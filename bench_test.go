@@ -1,0 +1,280 @@
+package repro
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each invoking the same experiment generator that cmd/modexp
+// uses, plus ablation benchmarks for the design choices called out in
+// DESIGN.md.  Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks report, beyond time and allocations, the headline metric of
+// the corresponding artifact via b.ReportMetric (e.g. the bandwidth ratio a
+// figure plots), so a benchmark run doubles as a quick regeneration of the
+// paper's numbers.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mergetree"
+	"repro/internal/online"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// BenchmarkFig1 regenerates Fig. 1 (bandwidth vs. guaranteed start-up
+// delay) and reports the bandwidth at a 1% delay for both algorithms.
+func BenchmarkFig1(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig1(experiments.DefaultFig1())
+	}
+	// Delay = 1% is the second sweep point.
+	b.ReportMetric(res.Series[0].Y[1], "offline-streams@1%")
+	b.ReportMetric(res.Series[1].Y[1], "online-streams@1%")
+}
+
+// BenchmarkTableM regenerates the M(n) table of Section 3.1.
+func BenchmarkTableM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableM(16)
+	}
+	b.ReportMetric(float64(core.MergeCost(16)), "M(16)")
+}
+
+// BenchmarkTableMw regenerates the receive-all M_w(n) table of Section 3.4.
+func BenchmarkTableMw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableMAll(16)
+	}
+	b.ReportMetric(float64(core.MergeCostAll(16)), "Mw(16)")
+}
+
+// BenchmarkTableI regenerates Fig. 8 (the I(n) intervals for n <= 55).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableI(55)
+	}
+	_, hi := core.LastMergeInterval(55)
+	b.ReportMetric(float64(hi), "maxI(55)")
+}
+
+// BenchmarkFig6Fig7Trees regenerates the optimal trees of Figs. 6 and 7
+// (all optimal trees for n=4 and the Fibonacci merge trees).
+func BenchmarkFig6Fig7Trees(b *testing.B) {
+	var count int
+	for i := 0; i < b.N; i++ {
+		opt, _ := mergetree.EnumerateOptimal(0, 4)
+		count = len(opt)
+		for _, n := range []int64{3, 5, 8, 13} {
+			core.OptimalTree(n)
+		}
+	}
+	b.ReportMetric(float64(count), "optimal-trees(n=4)")
+}
+
+// BenchmarkFig3Schedule regenerates the concrete schedule diagram of Fig. 3
+// (L=15, n=8) including full verification.
+func BenchmarkFig3Schedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := core.OptimalForest(15, 8)
+		fs, err := schedule.Build(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(core.FullCost(15, 8)), "fullcost(15,8)")
+}
+
+// BenchmarkThm12Examples regenerates the Theorem 12 worked examples.
+func BenchmarkThm12Examples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Theorem12Examples()
+	}
+	b.ReportMetric(float64(core.FullCost(4, 16)), "F(4,16)")
+}
+
+// BenchmarkThm14BatchingRatio regenerates the Theorem 14 comparison of
+// batching vs. batching+merging.
+func BenchmarkThm14BatchingRatio(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Theorem14(experiments.DefaultTheorem14())
+	}
+	b.ReportMetric(res.Series[0].Y[len(res.Series[0].Y)-1], "advantage@L=1024")
+}
+
+// BenchmarkThm19ReceiveAllRatio regenerates the receive-two vs. receive-all
+// comparison of Theorems 19-20.
+func BenchmarkThm19ReceiveAllRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ReceiveAllRatio([]int64{16, 256, 4096, 65536, 1 << 20}, 2000)
+	}
+	b.ReportMetric(core.ReceiveTwoAllRatio(1<<20), "M/Mw@n=2^20")
+	b.ReportMetric(core.LogPhi2, "log_phi(2)")
+}
+
+// BenchmarkFig9OnlineRatio regenerates Fig. 9 (on-line / off-line ratio vs.
+// time horizon).
+func BenchmarkFig9OnlineRatio(b *testing.B) {
+	cfg := experiments.DefaultFig9()
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig9(cfg)
+	}
+	last := res.Series[len(res.Series)-1]
+	b.ReportMetric(last.Y[len(last.Y)-1], "ratio@L=200,n=100000")
+}
+
+// fig11BenchConfig is a reduced-horizon configuration so a single benchmark
+// iteration stays in the tens of milliseconds; the full-size sweep is run by
+// cmd/modexp.
+func fig11BenchConfig() experiments.ComparisonConfig {
+	return experiments.ComparisonConfig{
+		DelayPct:     1.0,
+		HorizonMedia: 25,
+		LambdaPcts:   []float64{0.1, 0.5, 1.0, 2.0, 5.0},
+		Replications: 1,
+		Seed:         1,
+	}
+}
+
+// BenchmarkFig11ConstantRate regenerates Fig. 11 (constant-rate arrivals).
+func BenchmarkFig11ConstantRate(b *testing.B) {
+	cfg := fig11BenchConfig()
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Series[0].Y[0], "imm-dyadic@0.1%")
+	b.ReportMetric(res.Series[2].Y[0], "delay-guaranteed")
+}
+
+// BenchmarkFig12Poisson regenerates Fig. 12 (Poisson arrivals).
+func BenchmarkFig12Poisson(b *testing.B) {
+	cfg := fig11BenchConfig()
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Series[0].Y[len(res.Series[0].Y)-1], "imm-dyadic@5%")
+	b.ReportMetric(res.Series[2].Y[0], "delay-guaranteed")
+}
+
+// BenchmarkAblationClosedFormVsDP quantifies the paper's O(n) improvement
+// (Theorem 3 / Theorem 7) over the O(n^2) dynamic program of [6].
+func BenchmarkAblationClosedFormVsDP(b *testing.B) {
+	b.Run("closed-form-n=5000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MergeCostTable(5000)
+		}
+	})
+	b.Run("dp-n=5000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MergeCostDP(5000)
+		}
+	})
+	b.Run("linear-tree-n=5000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.OptimalTree(5000)
+		}
+	})
+	b.Run("dp-tree-n=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.OptimalTreeDP(2000)
+		}
+	})
+}
+
+// BenchmarkAblationStreamCountSearch compares the Theorem 12 two-candidate
+// optimal stream count against the naive scan.
+func BenchmarkAblationStreamCountSearch(b *testing.B) {
+	b.Run("theorem12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.OptimalStreamCount(500, 200000)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.OptimalStreamCountBrute(500, 200000)
+		}
+	})
+}
+
+// BenchmarkAblationBufferTradeoff regenerates the Section 3.3 buffer-bound
+// sweep.
+func BenchmarkAblationBufferTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.BufferTradeoff(60, 600)
+	}
+}
+
+// BenchmarkAblationOnlineTreeSize regenerates the static-tree-size ablation.
+func BenchmarkAblationOnlineTreeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.OnlineTreeSizeAblation(100, 10000)
+	}
+}
+
+// BenchmarkExtHybridServer regenerates the Section 5 hybrid-server
+// extension experiment.
+func BenchmarkExtHybridServer(b *testing.B) {
+	cfg := experiments.DefaultHybrid()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HybridServer(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtMultiObjectPeak regenerates the Section 5 multi-object peak
+// bandwidth extension experiment.
+func BenchmarkExtMultiObjectPeak(b *testing.B) {
+	cfg := experiments.DefaultMultiObject()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MultiObjectPeak(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtDyadicVsOptimal regenerates the dyadic-vs-exact-optimum
+// extension experiment (general-arrivals DP of internal/offline).
+func BenchmarkExtDyadicVsOptimal(b *testing.B) {
+	cfg := experiments.DefaultDyadicVsOptimal()
+	cfg.Replications = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DyadicVsOptimal(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSimulation measures the slot-accurate delivery simulator
+// executing an on-line schedule.
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	srv := online.NewServer(100)
+	f := srv.Forest(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunForest(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stalls != 0 {
+			b.Fatal("stalls in simulated schedule")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/textplot"
+)
+
+// textplotChart renders an experiment's series as an ASCII chart sized for a
+// typical terminal.
+func textplotChart(r experiments.Result) string {
+	return textplot.Chart(72, 18, r.Series...)
+}

@@ -1,0 +1,96 @@
+// Command modexp regenerates the paper's tables and figures.  Each
+// experiment prints its data table (CSV or aligned text) and, for figures,
+// an ASCII chart.  Without -exp it runs every experiment; with -out it also
+// writes one CSV file per experiment into the given directory.
+//
+// Usage:
+//
+//	modexp                      run everything, print aligned tables + charts
+//	modexp -exp fig11 -csv      print Fig. 11 data as CSV
+//	modexp -list                list experiment ids
+//	modexp -out results/        write <id>.csv files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by id (see -list)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	noChart := flag.Bool("no-chart", false, "suppress ASCII charts")
+	outDir := flag.String("out", "", "directory to write per-experiment CSV files")
+	flag.Parse()
+
+	results, err := experiments.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modexp:", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, r := range results {
+			fmt.Printf("%-16s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	if *exp != "" {
+		filtered := results[:0]
+		for _, r := range results {
+			if strings.EqualFold(r.ID, *exp) {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "modexp: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		results = filtered
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "modexp:", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, r := range results {
+		fmt.Printf("== %s (%s) ==\n", r.Title, r.ID)
+		if r.Notes != "" {
+			fmt.Println("  ", r.Notes)
+		}
+		fmt.Println()
+		if *csv {
+			fmt.Print(r.Table.CSV())
+		} else {
+			fmt.Print(r.Table.String())
+		}
+		if len(r.Series) > 0 && !*noChart && !*csv {
+			fmt.Println()
+			fmt.Print(chart(r))
+		}
+		fmt.Println()
+		if *outDir != "" {
+			path := filepath.Join(*outDir, r.ID+".csv")
+			if err := os.WriteFile(path, []byte(r.Table.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "modexp:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+			fmt.Println()
+		}
+	}
+}
+
+func chart(r experiments.Result) string {
+	return textplotChart(r)
+}

@@ -1,0 +1,142 @@
+// Command modsim runs the Media-on-Demand delivery simulator.
+//
+// In "offline" mode it builds the optimal merge forest for a given media
+// length and horizon, executes it slot by slot with the discrete-event
+// engine, and reports bandwidth, peak bandwidth, buffer occupancy, and
+// playback correctness.  In "online" mode it does the same for the on-line
+// delay-guaranteed algorithm.  In "compare" mode it reproduces one point of
+// the Figs. 11-12 comparison for a chosen arrival intensity.
+//
+// Usage:
+//
+//	modsim -mode offline -L 100 -n 1000
+//	modsim -mode online  -L 100 -n 1000
+//	modsim -mode compare -delay 1 -lambda 0.5 -horizon 100 -poisson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/arrivals"
+	"repro/internal/batching"
+	"repro/internal/core"
+	"repro/internal/dyadic"
+	"repro/internal/hybrid"
+	"repro/internal/mergetree"
+	"repro/internal/online"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+func main() {
+	mode := flag.String("mode", "offline", "offline | online | compare")
+	L := flag.Int64("L", 100, "media length in slots (offline/online modes)")
+	n := flag.Int64("n", 1000, "time horizon in slots (offline/online modes)")
+	buffer := flag.Int64("buffer", 0, "client buffer bound in slots (0 = unbounded, offline mode)")
+	delayPct := flag.Float64("delay", 1.0, "guaranteed start-up delay as %% of media length (compare mode)")
+	lambdaPct := flag.Float64("lambda", 0.5, "mean inter-arrival time as %% of media length (compare mode)")
+	horizon := flag.Float64("horizon", 100, "time horizon in media lengths (compare mode)")
+	poisson := flag.Bool("poisson", false, "use Poisson instead of constant-rate arrivals (compare mode)")
+	seed := flag.Int64("seed", 1, "random seed for Poisson arrivals")
+	flag.Parse()
+
+	switch *mode {
+	case "offline", "online":
+		var forest *mergetree.Forest
+		if *mode == "offline" {
+			if *buffer > 0 {
+				forest = core.OptimalForestBuffered(*L, *buffer, *n)
+			} else {
+				forest = core.OptimalForest(*L, *n)
+			}
+		} else {
+			forest = online.NewServer(*L).Forest(*n)
+		}
+		res, err := sim.RunForest(forest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("algorithm:            %s\n", *mode)
+		fmt.Printf("media length L:       %d slots\n", *L)
+		fmt.Printf("horizon n:            %d slots (%d clients)\n", *n, len(res.Clients))
+		fmt.Printf("full streams:         %d\n", forest.Streams())
+		fmt.Printf("total bandwidth:      %d slot-units (%.2f media streams)\n", res.TotalBandwidth, res.NormalizedBandwidth())
+		fmt.Printf("average bandwidth:    %.2f channels\n", res.AverageBandwidth())
+		fmt.Printf("peak bandwidth:       %d channels\n", res.PeakBandwidth)
+		fmt.Printf("max client buffer:    %d slots\n", res.MaxBuffer)
+		fmt.Printf("playback stalls:      %d\n", res.Stalls)
+		if *mode == "online" {
+			fmt.Printf("optimal offline cost: %d slot-units (ratio %.4f)\n",
+				core.FullCost(*L, *n), float64(res.TotalBandwidth)/float64(core.FullCost(*L, *n)))
+		}
+		if res.Stalls > 0 {
+			fmt.Fprintln(os.Stderr, "modsim: schedule produced playback interruptions")
+			os.Exit(1)
+		}
+	case "compare":
+		delay := *delayPct / 100
+		lambda := *lambdaPct / 100
+		if delay <= 0 || lambda <= 0 || *horizon <= 0 {
+			fmt.Fprintln(os.Stderr, "modsim: -delay, -lambda and -horizon must be positive")
+			os.Exit(2)
+		}
+		slotsPerMedia := int64(math.Round(1 / delay))
+		horizonSlots := int64(math.Round(*horizon / delay))
+		var tr arrivals.Trace
+		var params dyadic.Params
+		if *poisson {
+			tr = arrivals.Poisson(lambda, *horizon, *seed)
+			params = dyadic.GoldenPoisson()
+		} else {
+			tr = arrivals.Constant(lambda, *horizon)
+			params = dyadic.GoldenConstantRate(slotsPerMedia)
+		}
+		imm, err := dyadic.TotalCost(tr, 1.0, params)
+		exitOn(err)
+		bat, err := dyadic.TotalBatchedCost(tr, 1.0, delay, params)
+		exitOn(err)
+		dg := online.NormalizedCost(slotsPerMedia, horizonSlots)
+		hyb, err := policy.Hybrid(hybrid.DefaultConfig(1.0, delay)).Serve(tr, *horizon)
+		exitOn(err)
+		pureBatch := batching.BatchedCost(tr, delay)
+		unicast := batching.ImmediateUnicastCost(tr)
+		fmt.Printf("arrivals:             %d (%s, lambda = %.2f%% of media length)\n", len(tr), kind(*poisson), *lambdaPct)
+		fmt.Printf("delay:                %.2f%% of media length (L = %d slots)\n", *delayPct, slotsPerMedia)
+		fmt.Printf("horizon:              %.0f media lengths\n", *horizon)
+		fmt.Println()
+		fmt.Printf("immediate dyadic:     %10.2f media streams\n", imm)
+		fmt.Printf("batched dyadic:       %10.2f media streams\n", bat)
+		fmt.Printf("delay-guaranteed:     %10.2f media streams\n", dg)
+		fmt.Printf("hybrid (Section 5):   %10.2f media streams\n", hyb)
+		fmt.Printf("pure batching:        %10.2f media streams\n", pureBatch)
+		fmt.Printf("unicast (no sharing): %10.2f media streams\n", unicast)
+		// With few enough batched arrivals, also print the exact off-line
+		// lower bound for delay-permitted service.
+		if batchedTimes := tr.BatchTimes(delay); len(batchedTimes) <= 4000 {
+			opt, err := policy.OfflineOptimalBatched(1.0, delay, 4000).Serve(tr, *horizon)
+			exitOn(err)
+			fmt.Printf("offline optimum:      %10.2f media streams (exact lower bound with this delay)\n", opt)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "modsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modsim:", err)
+		os.Exit(1)
+	}
+}
+
+func kind(poisson bool) string {
+	if poisson {
+		return "Poisson"
+	}
+	return "constant rate"
+}

@@ -1,0 +1,76 @@
+// Command modtables prints the combinatorial tables of the paper: the
+// optimal merge cost M(n) (Section 3.1), the receive-all merge cost Mw(n)
+// (Section 3.4), the last-merge intervals I(n) (Fig. 8), the Theorem 12
+// worked examples, and the optimal full cost for a given L and n.
+//
+// Usage:
+//
+//	modtables [-max N] [-i] [-all-model] [-fullcost] [-L L] [-n n] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/textplot"
+)
+
+func main() {
+	maxN := flag.Int("max", 16, "largest n for the M(n)/Mw(n) tables")
+	maxI := flag.Int64("imax", 55, "largest n for the I(n) table")
+	showI := flag.Bool("i", false, "print the I(n) table (Fig. 8)")
+	showAll := flag.Bool("all-model", false, "print the receive-all Mw(n) table")
+	showFull := flag.Bool("fullcost", false, "print the Theorem 12 worked examples and the optimal full cost for -L/-n")
+	L := flag.Int64("L", 15, "media length in slots (with -fullcost)")
+	n := flag.Int64("n", 8, "number of arrival slots (with -fullcost)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	show := func(r experiments.Result) {
+		fmt.Println("#", r.Title)
+		if r.Notes != "" {
+			fmt.Println("#", r.Notes)
+		}
+		if *csv {
+			fmt.Print(r.Table.CSV())
+		} else {
+			fmt.Print(r.Table.String())
+		}
+		fmt.Println()
+	}
+
+	printedAny := false
+	if *showI {
+		show(experiments.TableI(*maxI))
+		printedAny = true
+	}
+	if *showAll {
+		show(experiments.TableMAll(*maxN))
+		printedAny = true
+	}
+	if *showFull {
+		show(experiments.Theorem12Examples())
+		tab := textplot.NewTable("L", "n", "optimal_streams", "full_cost", "avg_bandwidth", "normalized_streams")
+		if *L < 1 || *n < 1 {
+			fmt.Fprintln(os.Stderr, "modtables: -L and -n must be positive")
+			os.Exit(2)
+		}
+		s := core.OptimalStreamCount(*L, *n)
+		c := core.FullCost(*L, *n)
+		tab.AddRow(*L, *n, s, c, float64(c)/float64(*n), float64(c)/float64(*L))
+		fmt.Println("# Optimal full cost for the requested L and n")
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Print(tab.String())
+		}
+		fmt.Println()
+		printedAny = true
+	}
+	if !printedAny {
+		show(experiments.TableM(*maxN))
+	}
+}

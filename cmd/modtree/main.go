@@ -1,0 +1,127 @@
+// Command modtree prints optimal merge trees and concrete broadcast-schedule
+// diagrams (Figs. 3, 4, 6, 7 of the paper).
+//
+// Usage:
+//
+//	modtree -n 8                 print the optimal merge tree for 8 arrivals
+//	modtree -n 4 -all            print every optimal merge tree for 4 arrivals
+//	modtree -n 8 -L 15 -diagram  print the Fig. 3 style schedule diagram
+//	modtree -n 8 -receive-all    use the receive-all model
+//	modtree -n 20 -L 15 -forest  print the optimal merge forest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mergetree"
+	"repro/internal/schedule"
+)
+
+func main() {
+	n := flag.Int64("n", 8, "number of arrival slots")
+	L := flag.Int64("L", 15, "media length in slots (used with -diagram, -forest, -programs)")
+	all := flag.Bool("all", false, "enumerate every optimal merge tree (small n only)")
+	diagram := flag.Bool("diagram", false, "print the concrete schedule diagram (Fig. 3 style)")
+	forest := flag.Bool("forest", false, "build the optimal merge forest for L and n instead of a single tree")
+	programs := flag.Bool("programs", false, "print every client's receiving program")
+	receiveAll := flag.Bool("receive-all", false, "use the receive-all model instead of receive-two")
+	flag.Parse()
+
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "modtree: -n must be positive")
+		os.Exit(2)
+	}
+
+	if *all {
+		if *n > 14 {
+			fmt.Fprintln(os.Stderr, "modtree: -all enumerates all trees; use n <= 14")
+			os.Exit(2)
+		}
+		opt, cost := mergetree.EnumerateOptimal(0, int(*n))
+		fmt.Printf("n=%d: %d optimal merge tree(s), merge cost %d\n\n", *n, len(opt), cost)
+		for i, tr := range opt {
+			fmt.Printf("optimal tree %d: %s\n%s\n", i+1, tr, tr.Render())
+		}
+		return
+	}
+
+	var f *mergetree.Forest
+	if *forest {
+		if *receiveAll {
+			f = core.OptimalForestAll(*L, *n)
+		} else {
+			f = core.OptimalForest(*L, *n)
+		}
+		fmt.Printf("optimal merge forest for L=%d, n=%d: %d full stream(s), full cost %d\n\n",
+			*L, *n, f.Streams(), chooseCost(f, *receiveAll))
+		for i, tr := range f.Trees {
+			fmt.Printf("tree %d (root %d, %d arrivals): %s\n", i+1, tr.Arrival, tr.Size(), tr)
+		}
+	} else {
+		var tr *mergetree.Tree
+		if *receiveAll {
+			tr = core.OptimalTreeAll(*n)
+			fmt.Printf("optimal receive-all merge tree for n=%d (merge cost %d):\n\n", *n, tr.MergeCostAll())
+		} else {
+			tr = core.OptimalTree(*n)
+			fmt.Printf("optimal merge tree for n=%d (merge cost %d):\n\n", *n, tr.MergeCost())
+		}
+		fmt.Println(tr)
+		fmt.Print(tr.Render())
+		f = mergetree.NewForest(*L)
+		f.Add(tr)
+	}
+
+	if *diagram || *programs {
+		if !f.Trees[0].FitsLength(*L) {
+			fmt.Fprintf(os.Stderr, "modtree: a tree over %d arrivals needs L >= %d\n", *n, f.Trees[0].RequiredRootLength())
+			os.Exit(2)
+		}
+		fs, err := schedule.Build(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modtree:", err)
+			os.Exit(1)
+		}
+		if *diagram {
+			fmt.Printf("\nconcrete schedule diagram (L=%d, total bandwidth %d slots, peak %d streams):\n\n",
+				*L, fs.TotalBandwidth(), fs.PeakBandwidth())
+			fmt.Print(fs.Diagram())
+		}
+		if *programs {
+			fmt.Printf("\nreceiving programs:\n")
+			for _, arr := range sortedKeys(fs.Programs) {
+				p := fs.Programs[arr]
+				fmt.Printf("  client %3d: path %v, max buffer %d, stages %d\n",
+					arr, p.Path, p.MaxBuffer(), len(p.Stages))
+			}
+		}
+		if _, err := fs.Verify(); err != nil {
+			fmt.Fprintln(os.Stderr, "modtree: schedule verification FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nschedule verified: uninterrupted playback, receive-two, buffer bounds respected")
+	}
+}
+
+func chooseCost(f *mergetree.Forest, receiveAll bool) int64 {
+	if receiveAll {
+		return f.FullCostAll()
+	}
+	return f.FullCost()
+}
+
+func sortedKeys(m map[int64]*schedule.Program) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,13 @@
+// Package repro is the root of a from-scratch Go reproduction of
+//
+//	Amotz Bar-Noy, Justin Goshi, Richard E. Ladner.
+//	"Off-line and on-line guaranteed start-up delay for Media-on-Demand
+//	with stream merging."  SPAA 2003 (extended version: Journal of
+//	Discrete Algorithms 4 (2006) 72-105).
+//
+// The library lives under internal/ (core algorithms, baselines, delivery
+// simulator, experiment harness), executables under cmd/, runnable scenarios
+// under examples/, and the benchmark harness that regenerates every table
+// and figure of the paper in bench_test.go.  See README.md, DESIGN.md, and
+// EXPERIMENTS.md for the system inventory and the paper-vs-measured record.
+package repro

@@ -1,0 +1,63 @@
+// Capacity planning: how much server bandwidth does a video-on-demand
+// operator need for one popular title, as a function of the start-up delay
+// it is willing to promise?
+//
+// This example sweeps the guaranteed start-up delay from 0.5% to 20% of the
+// media length (the scenario of Fig. 1 in the paper) and prints, for each
+// delay, the bandwidth of the optimal off-line schedule, of the on-line
+// delay-guaranteed algorithm, and of plain batching, plus the peak number of
+// simultaneously busy channels — the figure an operator actually provisions.
+//
+// Run with:
+//
+//	go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/batching"
+	"repro/internal/core"
+	"repro/internal/online"
+	"repro/internal/schedule"
+	"repro/internal/textplot"
+)
+
+func main() {
+	const horizonMedia = 10.0 // plan for a 10-movie-lengths busy period
+
+	delays := []float64{0.5, 1, 2, 5, 10, 15, 20}
+	tab := textplot.NewTable("delay_%", "L_slots", "offline_streams", "online_streams", "batching_streams", "peak_channels", "max_client_buffer")
+
+	for _, pct := range delays {
+		L := int64(math.Round(100 / pct))
+		n := int64(math.Round(horizonMedia * float64(L)))
+		forest := core.OptimalForest(L, n)
+		fs, err := schedule.Build(forest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := fs.Verify(); err != nil {
+			log.Fatalf("delay %.1f%%: %v", pct, err)
+		}
+		tab.AddRow(
+			pct,
+			L,
+			forest.NormalizedCost(),
+			online.NormalizedCost(L, n),
+			float64(batching.DelayGuaranteedCost(L, n))/float64(L),
+			fs.PeakBandwidth(),
+			forest.MaxBufferRequirement(),
+		)
+	}
+
+	fmt.Println("Server capacity needed for one popular title over a busy period of")
+	fmt.Printf("%.0f media lengths, as a function of the promised start-up delay:\n\n", horizonMedia)
+	fmt.Print(tab.String())
+	fmt.Println()
+	fmt.Println("Reading the table: promising a 5% start-up delay (6 minutes on a 2h movie)")
+	fmt.Println("cuts total bandwidth by an order of magnitude versus batching, and the")
+	fmt.Println("simple static on-line algorithm stays within a few percent of the optimum.")
+}

@@ -1,0 +1,87 @@
+// VoD server: an on-line evening at a video-on-demand service.
+//
+// Requests for tonight's most popular movie arrive as a Poisson process
+// whose intensity ramps up toward prime time.  The operator guarantees a
+// start-up delay of 1% of the movie length and must choose a serving
+// strategy without knowing future arrivals.  This example replays the same
+// request trace against four strategies — the paper's on-line
+// delay-guaranteed algorithm, immediate-service dyadic merging, batched
+// dyadic merging, and plain batching — and reports the bandwidth each one
+// would have used, phase by phase.
+//
+// Run with:
+//
+//	go run ./examples/vodserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/arrivals"
+	"repro/internal/batching"
+	"repro/internal/dyadic"
+	"repro/internal/online"
+	"repro/internal/textplot"
+)
+
+func main() {
+	const (
+		delay = 0.01 // guaranteed start-up delay, as a fraction of the movie
+		seed  = 2026
+	)
+	slotsPerMedia := int64(math.Round(1 / delay))
+
+	// Three phases of the evening, each 20 movie-lengths long, with mean
+	// inter-arrival times of 4%, 1%, and 0.2% of the movie length.
+	phases := []struct {
+		name   string
+		lambda float64
+		span   float64
+	}{
+		{"early evening (quiet)", 0.04, 20},
+		{"ramp-up", 0.01, 20},
+		{"prime time (busy)", 0.002, 20},
+	}
+
+	tab := textplot.NewTable("phase", "arrivals", "delay_guaranteed", "immediate_dyadic", "batched_dyadic", "pure_batching")
+	var offset float64
+	totalDG, totalImm, totalBat, totalPure := 0.0, 0.0, 0.0, 0.0
+	for i, ph := range phases {
+		tr := arrivals.Poisson(ph.lambda, ph.span, seed+int64(i))
+		horizonSlots := int64(math.Round(ph.span / delay))
+
+		dg := online.NormalizedCost(slotsPerMedia, horizonSlots)
+		imm, err := dyadic.TotalCost(tr, 1.0, dyadic.GoldenPoisson())
+		if err != nil {
+			log.Fatal(err)
+		}
+		bat, err := dyadic.TotalBatchedCost(tr, 1.0, delay, dyadic.GoldenPoisson())
+		if err != nil {
+			log.Fatal(err)
+		}
+		pure := batching.BatchedCost(tr, delay)
+
+		tab.AddRow(ph.name, len(tr), dg, imm, bat, pure)
+		totalDG += dg
+		totalImm += imm
+		totalBat += bat
+		totalPure += pure
+		offset += ph.span
+	}
+	tab.AddRow("TOTAL", "", totalDG, totalImm, totalBat, totalPure)
+
+	fmt.Printf("Movie with a %.0f%% guaranteed start-up delay (L = %d slots); bandwidth in\n", delay*100, slotsPerMedia)
+	fmt.Println("complete movie streams per phase (lower is better):")
+	fmt.Println()
+	fmt.Print(tab.String())
+	fmt.Println()
+	fmt.Println("What to notice (matching Figs. 11-12 of the paper):")
+	fmt.Println("  * in the quiet phase the delay-guaranteed algorithm wastes streams on")
+	fmt.Println("    empty slots, so the dyadic variants win;")
+	fmt.Println("  * at prime time, when requests arrive much faster than the promised")
+	fmt.Println("    delay, the delay-guaranteed algorithm matches the dyadic merging")
+	fmt.Println("    algorithms while making no on-line decisions at all;")
+	fmt.Println("  * plain batching is always the most expensive merging-free option.")
+}

@@ -1,0 +1,146 @@
+// Package arrivals generates the client arrival processes used in the
+// empirical evaluation of Section 4.2: constant-rate arrivals (a request
+// exactly every lambda time units) and Poisson arrivals (exponential
+// inter-arrival times with mean lambda).  Times are expressed in units of
+// the media length, matching the paper's plots where both the guaranteed
+// start-up delay and the arrival intensity are percentages of the media
+// length.
+package arrivals
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Trace is a sequence of client arrival times in increasing order.
+type Trace []float64
+
+// Constant returns arrivals at lambda, 2*lambda, 3*lambda, ... up to (but
+// not including) horizon.  lambda is the constant inter-arrival time.
+// It panics if lambda <= 0 or horizon < 0.
+func Constant(lambda, horizon float64) Trace {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("arrivals: Constant requires lambda > 0, got %g", lambda))
+	}
+	if horizon < 0 {
+		panic(fmt.Sprintf("arrivals: Constant requires horizon >= 0, got %g", horizon))
+	}
+	var tr Trace
+	for t := lambda; t < horizon; t += lambda {
+		tr = append(tr, t)
+	}
+	return tr
+}
+
+// Poisson returns a Poisson arrival process over [0, horizon) with mean
+// inter-arrival time lambda, generated deterministically from the seed.
+// It panics if lambda <= 0 or horizon < 0.
+func Poisson(lambda, horizon float64, seed int64) Trace {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("arrivals: Poisson requires lambda > 0, got %g", lambda))
+	}
+	if horizon < 0 {
+		panic(fmt.Sprintf("arrivals: Poisson requires horizon >= 0, got %g", horizon))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * lambda
+		if t >= horizon {
+			break
+		}
+		tr = append(tr, t)
+	}
+	return tr
+}
+
+// Validate checks that the trace is sorted, non-negative, and finite.
+func (tr Trace) Validate() error {
+	for i, t := range tr {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return fmt.Errorf("arrivals: invalid time %g at index %d", t, i)
+		}
+		if i > 0 && t < tr[i-1] {
+			return fmt.Errorf("arrivals: trace not sorted at index %d (%g after %g)", i, t, tr[i-1])
+		}
+	}
+	return nil
+}
+
+// Count returns the number of arrivals in the trace.
+func (tr Trace) Count() int {
+	return len(tr)
+}
+
+// MeanInterArrival returns the empirical mean inter-arrival time, measuring
+// the first gap from time 0.  It returns 0 for an empty trace.
+func (tr Trace) MeanInterArrival() float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	return tr[len(tr)-1] / float64(len(tr))
+}
+
+// Clip returns the sub-trace of arrivals strictly before horizon.
+func (tr Trace) Clip(horizon float64) Trace {
+	i := sort.SearchFloat64s(tr, horizon)
+	return tr[:i]
+}
+
+// BatchToSlots batches the arrivals into slots of the given length (the
+// guaranteed start-up delay) and returns the 0-based indices of the slots
+// that contain at least one arrival.  An arrival at time t lands in slot
+// floor(t/slot) and is served at the end of that slot, (slot index+1)*slot,
+// which is at most `slot` time units after the request — the delay
+// guarantee.  This is the batching used by the batched dyadic baseline.
+func (tr Trace) BatchToSlots(slot float64) []int64 {
+	if slot <= 0 {
+		panic(fmt.Sprintf("arrivals: BatchToSlots requires slot > 0, got %g", slot))
+	}
+	var out []int64
+	last := int64(-1)
+	for _, t := range tr {
+		idx := int64(math.Floor(t / slot))
+		if idx != last {
+			out = append(out, idx)
+			last = idx
+		}
+	}
+	return out
+}
+
+// BatchTimes batches the arrivals into slots of the given length and returns
+// the service times (slot ends) of the non-empty slots, i.e. the times at
+// which a batching or batched-merging server starts streams.
+func (tr Trace) BatchTimes(slot float64) []float64 {
+	idx := tr.BatchToSlots(slot)
+	out := make([]float64, len(idx))
+	for i, s := range idx {
+		out[i] = float64(s+1) * slot
+	}
+	return out
+}
+
+// OccupiedSlots returns how many length-`slot` slots in [0, horizon) contain
+// at least one arrival.
+func (tr Trace) OccupiedSlots(slot, horizon float64) int {
+	count := 0
+	for _, idx := range tr.BatchToSlots(slot) {
+		if float64(idx)*slot < horizon {
+			count++
+		}
+	}
+	return count
+}
+
+// Merge combines two traces into one sorted trace.
+func Merge(a, b Trace) Trace {
+	out := make(Trace, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package arrivals
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	tr := Constant(0.25, 1.0)
+	if len(tr) != 3 {
+		t.Fatalf("Constant(0.25, 1.0) has %d arrivals, want 3 (0.25, 0.5, 0.75)", len(tr))
+	}
+	if math.Abs(tr[0]-0.25) > 1e-12 || math.Abs(tr[2]-0.75) > 1e-12 {
+		t.Errorf("unexpected arrivals %v", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestConstantEmptyHorizon(t *testing.T) {
+	if got := Constant(0.5, 0); len(got) != 0 {
+		t.Errorf("expected no arrivals, got %v", got)
+	}
+	if got := Constant(2.0, 1.0); len(got) != 0 {
+		t.Errorf("inter-arrival larger than horizon should produce nothing, got %v", got)
+	}
+}
+
+func TestConstantPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Constant(0, 1) },
+		func() { Constant(-1, 1) },
+		func() { Constant(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := Poisson(0.01, 10, 42)
+	b := Poisson(0.01, 10, 42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed gave different traces at %d", i)
+		}
+	}
+	c := Poisson(0.01, 10, 43)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds gave identical traces")
+		}
+	}
+}
+
+func TestPoissonStatistics(t *testing.T) {
+	lambda := 0.02
+	tr := Poisson(lambda, 200, 7)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Expected count is horizon/lambda = 10000; allow 5% deviation.
+	want := 200.0 / lambda
+	if got := float64(tr.Count()); math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Poisson count %v, want about %v", got, want)
+	}
+	if got := tr.MeanInterArrival(); math.Abs(got-lambda)/lambda > 0.05 {
+		t.Errorf("mean inter-arrival %v, want about %v", got, lambda)
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	Poisson(0, 1, 1)
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	if err := (Trace{0.5, 0.25}).Validate(); err == nil {
+		t.Errorf("unsorted trace should fail")
+	}
+	if err := (Trace{-1}).Validate(); err == nil {
+		t.Errorf("negative time should fail")
+	}
+	if err := (Trace{math.NaN()}).Validate(); err == nil {
+		t.Errorf("NaN should fail")
+	}
+	if err := (Trace{math.Inf(1)}).Validate(); err == nil {
+		t.Errorf("Inf should fail")
+	}
+	if err := (Trace{}).Validate(); err != nil {
+		t.Errorf("empty trace should validate")
+	}
+}
+
+func TestClip(t *testing.T) {
+	tr := Trace{0.1, 0.5, 0.9, 1.5}
+	c := tr.Clip(1.0)
+	if len(c) != 3 || c[2] != 0.9 {
+		t.Errorf("Clip = %v", c)
+	}
+	if got := tr.Clip(0); len(got) != 0 {
+		t.Errorf("Clip(0) should be empty")
+	}
+}
+
+func TestBatchToSlots(t *testing.T) {
+	tr := Trace{0.001, 0.004, 0.013, 0.013, 0.029, 0.041}
+	slots := tr.BatchToSlots(0.01)
+	want := []int64{0, 1, 2, 4}
+	if len(slots) != len(want) {
+		t.Fatalf("BatchToSlots = %v, want %v", slots, want)
+	}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("BatchToSlots = %v, want %v", slots, want)
+		}
+	}
+}
+
+func TestBatchTimesDelayGuarantee(t *testing.T) {
+	// Every client must be served within one slot of its arrival.
+	prop := func(seed int64, lam uint8) bool {
+		lambda := float64(lam%50+1) / 1000.0
+		tr := Poisson(lambda, 5, seed)
+		slot := 0.01
+		times := tr.BatchTimes(slot)
+		// Each arrival's service time is the end of its slot.
+		j := 0
+		for _, t := range tr {
+			for j < len(times) && times[j] < t {
+				j++
+			}
+			if j >= len(times) {
+				return false
+			}
+			if times[j]-t > slot+1e-12 || times[j] < t {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupiedSlots(t *testing.T) {
+	tr := Trace{0.005, 0.015, 0.995, 1.2}
+	if got := tr.OccupiedSlots(0.01, 1.0); got != 3 {
+		t.Errorf("OccupiedSlots = %d, want 3", got)
+	}
+}
+
+func TestBatchToSlotsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	Trace{0.1}.BatchToSlots(0)
+}
+
+func TestMerge(t *testing.T) {
+	a := Trace{0.1, 0.4}
+	b := Trace{0.2, 0.3, 0.5}
+	m := Merge(a, b)
+	if len(m) != 5 {
+		t.Fatalf("Merge length %d", len(m))
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("merged trace invalid: %v", err)
+	}
+}
+
+func TestConstantMeanInterArrival(t *testing.T) {
+	tr := Constant(0.01, 10)
+	if got := tr.MeanInterArrival(); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("MeanInterArrival = %v, want 0.01", got)
+	}
+	if (Trace{}).MeanInterArrival() != 0 {
+		t.Errorf("empty trace mean should be 0")
+	}
+}

@@ -1,0 +1,147 @@
+// Package bandwidth accounts for server bandwidth usage of a set of
+// streams.  The paper measures cost primarily as total bandwidth (the sum of
+// stream lengths, equivalently the integral over time of the number of
+// concurrently transmitting streams) normalized to complete media streams,
+// and discusses peak (maximum instantaneous) bandwidth as the quantity that
+// matters for a server carrying many media objects (Section 5).
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a half-open transmission interval [Start, End) of one stream,
+// in arbitrary time units.
+type Interval struct {
+	Start, End float64
+}
+
+// Duration returns End-Start (0 if the interval is empty or inverted).
+func (iv Interval) Duration() float64 {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Usage aggregates a set of stream transmission intervals.
+type Usage struct {
+	intervals []Interval
+}
+
+// New returns an empty Usage.
+func New() *Usage {
+	return &Usage{}
+}
+
+// Add records one stream transmitting over [start, end).  Empty or inverted
+// intervals are ignored.
+func (u *Usage) Add(start, end float64) {
+	if end <= start {
+		return
+	}
+	u.intervals = append(u.intervals, Interval{Start: start, End: end})
+}
+
+// AddLength records one stream starting at start and transmitting for the
+// given length of time.
+func (u *Usage) AddLength(start, length float64) {
+	u.Add(start, start+length)
+}
+
+// Streams returns the number of recorded streams.
+func (u *Usage) Streams() int {
+	return len(u.intervals)
+}
+
+// Total returns the total bandwidth in time units: the sum of all stream
+// durations.
+func (u *Usage) Total() float64 {
+	t := 0.0
+	for _, iv := range u.intervals {
+		t += iv.Duration()
+	}
+	return t
+}
+
+// NormalizedTotal returns the total bandwidth in units of complete media
+// streams of length L (the y-axis of Figs. 1, 11, 12).
+func (u *Usage) NormalizedTotal(L float64) float64 {
+	if L <= 0 {
+		panic(fmt.Sprintf("bandwidth: NormalizedTotal requires L > 0, got %g", L))
+	}
+	return u.Total() / L
+}
+
+// Average returns the time-average number of concurrently transmitting
+// streams over [from, to).
+func (u *Usage) Average(from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	total := 0.0
+	for _, iv := range u.intervals {
+		s, e := math.Max(iv.Start, from), math.Min(iv.End, to)
+		if e > s {
+			total += e - s
+		}
+	}
+	return total / (to - from)
+}
+
+// Peak returns the maximum number of streams transmitting at the same time.
+func (u *Usage) Peak() int {
+	type event struct {
+		t     float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(u.intervals))
+	for _, iv := range u.intervals {
+		if iv.Duration() == 0 {
+			continue
+		}
+		events = append(events, event{iv.Start, +1}, event{iv.End, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // process ends before starts at ties
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// Profile returns the number of active streams sampled at the start of each
+// of `samples` equal sub-intervals of [from, to).
+func (u *Usage) Profile(from, to float64, samples int) []int {
+	if samples <= 0 || to <= from {
+		return nil
+	}
+	out := make([]int, samples)
+	step := (to - from) / float64(samples)
+	for i := 0; i < samples; i++ {
+		t := from + float64(i)*step
+		count := 0
+		for _, iv := range u.intervals {
+			if iv.Start <= t && t < iv.End {
+				count++
+			}
+		}
+		out[i] = count
+	}
+	return out
+}
+
+// Intervals returns a copy of the recorded intervals.
+func (u *Usage) Intervals() []Interval {
+	return append([]Interval(nil), u.intervals...)
+}

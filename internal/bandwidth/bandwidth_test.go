@@ -1,0 +1,136 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTotalAndNormalized(t *testing.T) {
+	u := New()
+	u.Add(0, 15)
+	u.AddLength(5, 9)
+	u.AddLength(7, 2)
+	if got := u.Total(); got != 26 {
+		t.Errorf("Total = %v, want 26", got)
+	}
+	if got := u.NormalizedTotal(15); math.Abs(got-26.0/15.0) > 1e-12 {
+		t.Errorf("NormalizedTotal = %v", got)
+	}
+	if got := u.Streams(); got != 3 {
+		t.Errorf("Streams = %d, want 3", got)
+	}
+}
+
+func TestAddIgnoresEmptyIntervals(t *testing.T) {
+	u := New()
+	u.Add(5, 5)
+	u.Add(6, 4)
+	if u.Total() != 0 || u.Streams() != 0 {
+		t.Errorf("empty intervals should not be recorded")
+	}
+}
+
+func TestNormalizedTotalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	New().NormalizedTotal(0)
+}
+
+func TestPeak(t *testing.T) {
+	u := New()
+	u.Add(0, 10)
+	u.Add(2, 5)
+	u.Add(4, 6)
+	u.Add(5, 7)
+	// Intervals [0,10),[2,5),[4,6),[5,7): during [4,5) three streams are
+	// active; at time 5 the second ends as the fourth starts, so the peak
+	// stays 3.
+	if got := u.Peak(); got != 3 {
+		t.Errorf("Peak = %d, want 3", got)
+	}
+}
+
+func TestPeakEndBeforeStartAtTies(t *testing.T) {
+	u := New()
+	u.Add(0, 5)
+	u.Add(5, 10)
+	if got := u.Peak(); got != 1 {
+		t.Errorf("back-to-back streams should peak at 1, got %d", got)
+	}
+	if New().Peak() != 0 {
+		t.Errorf("empty usage should have zero peak")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	u := New()
+	u.Add(0, 10)
+	u.Add(0, 5)
+	// Over [0,10): total transmission time 15 -> average 1.5.
+	if got := u.Average(0, 10); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Average = %v, want 1.5", got)
+	}
+	// Over [5,10): only the first stream is active.
+	if got := u.Average(5, 10); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Average over [5,10) = %v, want 1", got)
+	}
+	if got := u.Average(3, 3); got != 0 {
+		t.Errorf("degenerate window should average 0")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	u := New()
+	u.Add(0, 2)
+	u.Add(1, 3)
+	p := u.Profile(0, 4, 4)
+	want := []int{1, 2, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Profile = %v, want %v", p, want)
+		}
+	}
+	if u.Profile(0, 4, 0) != nil || u.Profile(4, 0, 2) != nil {
+		t.Errorf("degenerate profiles should be nil")
+	}
+}
+
+func TestIntervalsCopy(t *testing.T) {
+	u := New()
+	u.Add(1, 2)
+	ivs := u.Intervals()
+	ivs[0].Start = 99
+	if u.Intervals()[0].Start != 1 {
+		t.Errorf("Intervals should return a copy")
+	}
+}
+
+func TestIntervalDuration(t *testing.T) {
+	if (Interval{2, 5}).Duration() != 3 {
+		t.Errorf("Duration wrong")
+	}
+	if (Interval{5, 2}).Duration() != 0 {
+		t.Errorf("inverted interval should have zero duration")
+	}
+}
+
+func TestPeakFig3Example(t *testing.T) {
+	// The Fig. 3 schedule (L=15, n=8 optimal tree) has peak bandwidth 4.
+	u := New()
+	lengths := map[int64]int64{0: 15, 1: 1, 2: 2, 3: 5, 4: 1, 5: 9, 6: 1, 7: 2}
+	for start, l := range lengths {
+		u.AddLength(float64(start), float64(l))
+	}
+	if got := u.Peak(); got != 4 {
+		t.Errorf("Peak = %d, want 4", got)
+	}
+	if got := u.Total(); got != 36 {
+		t.Errorf("Total = %v, want 36", got)
+	}
+	if got := u.Average(0, 15); math.Abs(got-36.0/15.0) > 1e-12 {
+		t.Errorf("Average = %v, want 2.4", got)
+	}
+}

@@ -1,0 +1,49 @@
+// Package batching implements the classic batching baselines discussed in
+// Section 1 and used in the empirical comparison of Section 4.2.
+//
+// A batching server groups requests for up to one guaranteed start-up delay
+// and then broadcasts the complete media once for each non-empty batch; it
+// never truncates streams and clients need neither extra receive bandwidth
+// nor buffers.  In the delay-guaranteed setting (an arrival in every slot)
+// this costs n*L, which Theorem 14 shows is Theta(L/log L) worse than
+// batching combined with stream merging.
+package batching
+
+import (
+	"fmt"
+
+	"repro/internal/arrivals"
+)
+
+// DelayGuaranteedCost returns the total bandwidth (in slot units) of pure
+// batching in the delay-guaranteed setting with n slots and media length L
+// slots: the whole media is broadcast once per slot.
+func DelayGuaranteedCost(L, n int64) int64 {
+	if L < 1 || n < 0 {
+		panic(fmt.Sprintf("batching: invalid L=%d n=%d", L, n))
+	}
+	return n * L
+}
+
+// BatchedCost returns the total bandwidth, in units of complete media
+// streams, of a batching server that serves a non-empty batch at the end of
+// every slot of length `delay`: one full stream per occupied slot.
+func BatchedCost(trace arrivals.Trace, delay float64) float64 {
+	if delay <= 0 {
+		panic(fmt.Sprintf("batching: delay must be positive, got %g", delay))
+	}
+	return float64(len(trace.BatchToSlots(delay)))
+}
+
+// ImmediateUnicastCost returns the total bandwidth, in units of complete
+// media streams, of serving every client with a private full stream the
+// moment it arrives (the no-multicast strawman of Section 1).
+func ImmediateUnicastCost(trace arrivals.Trace) float64 {
+	return float64(len(trace))
+}
+
+// StreamTimes returns the times at which a batching server with the given
+// delay starts full streams for the trace (the ends of non-empty slots).
+func StreamTimes(trace arrivals.Trace, delay float64) []float64 {
+	return trace.BatchTimes(delay)
+}

@@ -1,0 +1,87 @@
+package batching
+
+import (
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+)
+
+func TestDelayGuaranteedCost(t *testing.T) {
+	if got := DelayGuaranteedCost(15, 8); got != 120 {
+		t.Errorf("DelayGuaranteedCost(15,8) = %d, want 120", got)
+	}
+	if got := DelayGuaranteedCost(15, 0); got != 0 {
+		t.Errorf("zero slots should cost 0")
+	}
+}
+
+func TestDelayGuaranteedCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	DelayGuaranteedCost(0, 5)
+}
+
+func TestDelayGuaranteedNeverBeatsMerging(t *testing.T) {
+	// Theorem 14's premise: batching alone costs n*L, which is never below
+	// the optimal merged full cost.
+	for _, L := range []int64{1, 4, 15, 100} {
+		for _, n := range []int64{1, 7, 50, 300} {
+			if DelayGuaranteedCost(L, n) < core.FullCost(L, n) {
+				t.Errorf("batching beat merging for L=%d n=%d", L, n)
+			}
+		}
+	}
+}
+
+func TestBatchedCost(t *testing.T) {
+	tr := arrivals.Trace{0.001, 0.004, 0.013, 0.029, 0.041}
+	// Slots of length 0.01: occupied slots 0, 1, 2, 4 -> 4 full streams.
+	if got := BatchedCost(tr, 0.01); got != 4 {
+		t.Errorf("BatchedCost = %v, want 4", got)
+	}
+	if got := BatchedCost(arrivals.Trace{}, 0.01); got != 0 {
+		t.Errorf("empty trace should cost 0")
+	}
+}
+
+func TestBatchedCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	BatchedCost(arrivals.Trace{0.1}, 0)
+}
+
+func TestImmediateUnicastCost(t *testing.T) {
+	tr := arrivals.Constant(0.01, 1.0)
+	if got := ImmediateUnicastCost(tr); got != float64(len(tr)) {
+		t.Errorf("ImmediateUnicastCost = %v, want %v", got, len(tr))
+	}
+}
+
+func TestBatchedNeverExceedsUnicast(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tr := arrivals.Poisson(0.004, 3, seed)
+		if BatchedCost(tr, 0.01) > ImmediateUnicastCost(tr) {
+			t.Errorf("batching should never start more streams than unicast (seed %d)", seed)
+		}
+	}
+}
+
+func TestStreamTimesWithinDelay(t *testing.T) {
+	tr := arrivals.Poisson(0.02, 5, 3)
+	times := StreamTimes(tr, 0.05)
+	if len(times) != len(tr.BatchToSlots(0.05)) {
+		t.Fatalf("StreamTimes length mismatch")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("StreamTimes not increasing")
+		}
+	}
+}

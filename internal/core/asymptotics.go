@@ -1,0 +1,54 @@
+package core
+
+import (
+	"repro/internal/fib"
+)
+
+// MergeCostUpperBound returns the upper bound of Eq. (9) in Theorem 8:
+// M(n) <= (log_phi(n) + 1)·n − phi·n + 2.
+func MergeCostUpperBound(n int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	x := float64(n)
+	return (fib.LogPhi(x)+1)*x - fib.Phi*x + 2
+}
+
+// MergeCostLowerBound returns the lower bound of Eq. (10) in Theorem 8:
+// M(n) >= (log_phi(n) − 1)·n − phi^2·n + 2.
+func MergeCostLowerBound(n int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	x := float64(n)
+	return (fib.LogPhi(x)-1)*x - fib.Phi*fib.Phi*x + 2
+}
+
+// MergeCostLeadingTerm returns n·log_phi(n), the leading term of Theorem 8.
+func MergeCostLeadingTerm(n int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n) * fib.LogPhi(float64(n))
+}
+
+// FullCostLeadingTerm returns n·log_phi(L), the leading term of Theorem 13.
+func FullCostLeadingTerm(L, n int64) float64 {
+	if L <= 1 {
+		return float64(n)
+	}
+	return float64(n) * fib.LogPhi(float64(L))
+}
+
+// MergeCostAllLeadingTerm returns n·log2(n), the leading term of Eq. (21)
+// for the receive-all model.
+func MergeCostAllLeadingTerm(n int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n) * log2(float64(n))
+}
+
+func log2(x float64) float64 {
+	return fib.LogPhi(x) / fib.LogPhi(2)
+}

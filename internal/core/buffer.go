@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mergetree"
+)
+
+// BufferRequired returns b(x), the client buffer needed by the arrival x in
+// a tree rooted at r with full stream length L (Lemma 15).  It is re-exported
+// from the mergetree package for convenience.
+func BufferRequired(x, root, L int64) int64 {
+	return mergetree.BufferRequirement(x, root, L)
+}
+
+// MaxUsefulBuffer returns floor(L/2): clients never need a buffer larger
+// than half the stream length (Section 3.3), so any B >= L/2 behaves like an
+// unbounded buffer.
+func MaxUsefulBuffer(L int64) int64 {
+	return L / 2
+}
+
+// MinStreamsBuffered returns the minimum number of full streams when every
+// client buffer is bounded by B slots.  By Lemma 15 an arrival x can belong
+// to a tree rooted at r only if x - r <= B, so every tree spans at most B
+// slots, i.e. holds at most B+1 arrivals, giving ceil(n/(B+1)) as the tight
+// lower bound.  (The paper states the slightly more conservative ceil(n/B),
+// which corresponds to requiring a new root at least every B slots; the two
+// differ by at most one tree and the cost search below subsumes both.)
+// It panics unless 1 <= B and n >= 1.
+func MinStreamsBuffered(B, n int64) int64 {
+	if B < 1 || n < 1 {
+		panic(fmt.Sprintf("core: MinStreamsBuffered requires B >= 1 and n >= 1, got B=%d n=%d", B, n))
+	}
+	return (n + B) / (B + 1)
+}
+
+// FullCostBufferedWithStreams returns the cost of the balanced forest with s
+// full streams when the client buffer is bounded by B (and B <= L/2, so the
+// binding constraint is the tree span).  It returns an error if some tree in
+// the balanced partition would span more than B slots.
+func FullCostBufferedWithStreams(L, B, n, s int64) (int64, error) {
+	if B >= MaxUsefulBuffer(L) {
+		// Clients never need more than floor(L/2) slots of buffer
+		// (Lemma 15), so the bound is not binding.
+		return FullCostWithStreams(L, n, s), nil
+	}
+	p := n / s
+	r := n - p*s
+	maxSize := p
+	if r > 0 {
+		maxSize = p + 1
+	}
+	if maxSize-1 > B {
+		return 0, fmt.Errorf("core: %d streams yield trees spanning %d slots, exceeding buffer %d", s, maxSize-1, B)
+	}
+	return FullCostWithStreams(L, n, s), nil
+}
+
+// OptimalStreamCountBuffered returns the number of full streams minimizing
+// the full cost subject to the buffer bound B (Section 3.3).  The search
+// scans the feasible range [max(ceil(n/L), ceil(n/(B+1))), n]; since the
+// per-candidate evaluation is O(1) via the closed-form merge cost, this is
+// the linear-time algorithm of Theorem 16.
+func OptimalStreamCountBuffered(L, B, n int64) int64 {
+	if B >= MaxUsefulBuffer(L) {
+		// Buffer is effectively unbounded: fall back to Theorem 12.
+		return OptimalStreamCount(L, n)
+	}
+	s0 := MinStreams(L, n)
+	if sb := MinStreamsBuffered(B, n); sb > s0 {
+		s0 = sb
+	}
+	best := int64(-1)
+	var bestCost int64
+	for s := s0; s <= n; s++ {
+		c, err := FullCostBufferedWithStreams(L, B, n, s)
+		if err != nil {
+			continue
+		}
+		if best < 0 || c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	if best < 0 {
+		// n streams (one per arrival) is always feasible for any B >= 1.
+		best = n
+	}
+	return best
+}
+
+// FullCostBuffered returns the optimal full cost subject to the client
+// buffer bound B (Theorem 16).  For B >= L/2 it equals FullCost(L, n).
+func FullCostBuffered(L, B, n int64) int64 {
+	s := OptimalStreamCountBuffered(L, B, n)
+	return FullCostWithStreams(L, n, s)
+}
+
+// OptimalForestBuffered constructs an optimal merge forest subject to the
+// client buffer bound B in O(B + n) time (Theorem 16).  Every arrival in the
+// returned forest needs a buffer of at most min(B, L/2) slots.
+func OptimalForestBuffered(L, B, n int64) *mergetree.Forest {
+	s := OptimalStreamCountBuffered(L, B, n)
+	return ForestWithStreams(L, n, s)
+}

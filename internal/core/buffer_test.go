@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mergetree"
+)
+
+func TestMaxUsefulBuffer(t *testing.T) {
+	if MaxUsefulBuffer(15) != 7 || MaxUsefulBuffer(16) != 8 || MaxUsefulBuffer(1) != 0 {
+		t.Errorf("MaxUsefulBuffer wrong: %d %d %d",
+			MaxUsefulBuffer(15), MaxUsefulBuffer(16), MaxUsefulBuffer(1))
+	}
+}
+
+func TestBufferRequiredMatchesLemma15(t *testing.T) {
+	if BufferRequired(7, 0, 15) != 7 || BufferRequired(10, 0, 15) != 5 {
+		t.Errorf("BufferRequired disagrees with Lemma 15")
+	}
+}
+
+func TestMinStreamsBuffered(t *testing.T) {
+	cases := []struct {
+		B, n, want int64
+	}{
+		{1, 10, 5}, // trees of at most 2 arrivals
+		{3, 8, 2},  // trees of at most 4 arrivals
+		{3, 9, 3},  // 9 arrivals need 3 trees of <= 4
+		{7, 8, 1},  // one tree of 8 spans 7 slots
+		{7, 9, 2},
+	}
+	for _, c := range cases {
+		if got := MinStreamsBuffered(c.B, c.n); got != c.want {
+			t.Errorf("MinStreamsBuffered(%d,%d) = %d, want %d", c.B, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMinStreamsBufferedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MinStreamsBuffered(0,5) did not panic")
+		}
+	}()
+	MinStreamsBuffered(0, 5)
+}
+
+func TestFullCostBufferedUnboundedEqualsFullCost(t *testing.T) {
+	// B >= L/2 is equivalent to an unbounded buffer.
+	for _, c := range []struct{ L, n int64 }{{15, 8}, {15, 40}, {4, 16}, {100, 500}} {
+		B := MaxUsefulBuffer(c.L)
+		if got, want := FullCostBuffered(c.L, B, c.n), FullCost(c.L, c.n); got != want {
+			t.Errorf("FullCostBuffered(%d,B=%d,%d) = %d, want unconstrained %d", c.L, B, c.n, got, want)
+		}
+		if got, want := FullCostBuffered(c.L, c.L, c.n), FullCost(c.L, c.n); got != want {
+			t.Errorf("FullCostBuffered with B=L should match unconstrained")
+		}
+	}
+}
+
+func TestFullCostBufferedMonotoneInB(t *testing.T) {
+	// A larger buffer can only reduce (or keep) the optimal cost.
+	L, n := int64(40), int64(100)
+	prev := int64(1 << 60)
+	for B := int64(1); B <= MaxUsefulBuffer(L); B++ {
+		c := FullCostBuffered(L, B, n)
+		if c > prev {
+			t.Fatalf("cost increased with buffer: B=%d cost=%d prev=%d", B, c, prev)
+		}
+		prev = c
+	}
+	if prev != FullCost(L, n) {
+		t.Errorf("cost with B=L/2 (%d) != unconstrained cost (%d)", prev, FullCost(L, n))
+	}
+}
+
+func TestFullCostBufferedNeverBelowUnconstrained(t *testing.T) {
+	for _, L := range []int64{10, 15, 31} {
+		for n := int64(1); n <= 80; n++ {
+			for B := int64(1); B <= MaxUsefulBuffer(L); B++ {
+				if FullCostBuffered(L, B, n) < FullCost(L, n) {
+					t.Fatalf("L=%d n=%d B=%d: buffered cost below unconstrained optimum", L, n, B)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalForestBufferedRespectsBuffer(t *testing.T) {
+	for _, c := range []struct{ L, B, n int64 }{
+		{15, 3, 40}, {15, 1, 10}, {15, 7, 100}, {40, 5, 200}, {100, 10, 55},
+	} {
+		f := OptimalForestBuffered(c.L, c.B, c.n)
+		if err := f.ValidateConsecutive(); err != nil {
+			t.Fatalf("L=%d B=%d n=%d: %v", c.L, c.B, c.n, err)
+		}
+		if got := f.MaxBufferRequirement(); got > c.B {
+			t.Errorf("L=%d B=%d n=%d: forest needs buffer %d > B", c.L, c.B, c.n, got)
+		}
+		if got := f.FullCost(); got != FullCostBuffered(c.L, c.B, c.n) {
+			t.Errorf("L=%d B=%d n=%d: forest cost %d != FullCostBuffered %d",
+				c.L, c.B, c.n, got, FullCostBuffered(c.L, c.B, c.n))
+		}
+	}
+}
+
+func TestFullCostBufferedMatchesConstrainedBruteForce(t *testing.T) {
+	// Small-instance exhaustive check: the buffered optimum must equal the
+	// minimum full cost over all merge forests whose every tree needs at
+	// most B slots of client buffer.
+	L := int64(10)
+	for n := int64(1); n <= 9; n++ {
+		for B := int64(1); B < MaxUsefulBuffer(L); B++ {
+			want := bruteForceBufferedCost(L, B, n)
+			if got := FullCostBuffered(L, B, n); got != want {
+				t.Errorf("L=%d B=%d n=%d: FullCostBuffered=%d, brute force=%d", L, B, n, got, want)
+			}
+		}
+	}
+}
+
+// bruteForceBufferedCost enumerates every partition of [0,n-1] into
+// consecutive trees and every merge-tree shape per part, subject to the
+// buffer bound, and returns the minimum full cost.
+func bruteForceBufferedCost(L, B, n int64) int64 {
+	best := int64(-1)
+	var rec func(start int64, acc int64)
+	rec = func(start int64, acc int64) {
+		if start == n {
+			if best < 0 || acc < best {
+				best = acc
+			}
+			return
+		}
+		for size := int64(1); size <= n-start && size <= L; size++ {
+			// With consecutive arrivals and B < L/2, a tree over `size`
+			// arrivals contains an arrival needing buffer size-1 (Lemma 15),
+			// so the tree is feasible iff size-1 <= B.
+			if size-1 > B {
+				continue
+			}
+			_, cost := mergetree.EnumerateOptimal(start, int(size))
+			rec(start+size, acc+L+cost)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestOptimalStreamCountBufferedFeasible(t *testing.T) {
+	for _, c := range []struct{ L, B, n int64 }{{15, 3, 40}, {20, 2, 17}, {9, 4, 9}, {50, 24, 200}} {
+		s := OptimalStreamCountBuffered(c.L, c.B, c.n)
+		if s < 1 || s > c.n {
+			t.Fatalf("infeasible stream count %d", s)
+		}
+		if _, err := FullCostBufferedWithStreams(c.L, c.B, c.n, s); err != nil {
+			t.Errorf("chosen s=%d is infeasible: %v", s, err)
+		}
+	}
+}
+
+func TestFullCostBufferedWithStreamsError(t *testing.T) {
+	// One tree over 8 arrivals spans 7 slots, which exceeds B=3.
+	if _, err := FullCostBufferedWithStreams(15, 3, 8, 1); err == nil {
+		t.Errorf("expected infeasibility error")
+	}
+	// With B >= L/2 the same call is fine.
+	if _, err := FullCostBufferedWithStreams(15, 7, 8, 1); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func BenchmarkOptimalForestBuffered(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OptimalForestBuffered(100, 20, 10000)
+	}
+}

@@ -1,0 +1,34 @@
+// Package core implements the paper's primary contribution: optimal
+// off-line algorithms for delay-guaranteed Media-on-Demand with stream
+// merging (Bar-Noy, Goshi, Ladner; SPAA 2003 / JDA 2006).
+//
+// The delay-guaranteed setting schedules one (possibly truncated) stream at
+// the end of every slot, where a slot is the guaranteed start-up delay, so
+// the input reduces to the consecutive arrivals 0, 1, ..., n-1 and a full
+// stream length L (the media length measured in slots).
+//
+// The package provides, for the receive-two model (clients can receive two
+// streams at once, Section 3.1-3.3):
+//
+//   - MergeCost: the closed-form optimal merge cost
+//     M(n) = (k-1)n - F_{k+2} + 2 for F_k <= n <= F_{k+1} (Eq. 6),
+//   - MergeCostDP: the O(n^2) dynamic program of Eq. 5 (the baseline this
+//     paper improves upon),
+//   - LastMergeInterval / LastMergeRoots: the characterization of the set
+//     I(n) of arrivals that can be the last merge to the root (Theorem 3)
+//     and the r(i) recurrence,
+//   - OptimalTree: the O(n) optimal merge-tree construction (Theorem 7),
+//   - FullCostWithStreams, OptimalStreamCount, FullCost, OptimalForest: the
+//     optimal full cost (Lemma 9, Theorems 10 and 12),
+//   - FullCostBuffered / OptimalForestBuffered: the bounded client buffer
+//     variant (Section 3.3, Theorem 16),
+//
+// and for the receive-all model (Section 3.4):
+//
+//   - MergeCostAll (Eq. 20), OptimalTreeAll, FullCostAll, OptimalForestAll,
+//   - ReceiveTwoAllRatio: the log_phi(2) ~ 1.44 asymptotic comparison
+//     (Theorems 19 and 20).
+//
+// All functions operate on slot counts (int64) and return costs in units of
+// slot-bandwidth (one unit = transmitting one stream for one slot).
+package core

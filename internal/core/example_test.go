@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The paper's running example: a media object of L = 15 slots served to
+// n = 8 consecutive arrival slots.
+func ExampleMergeCost() {
+	for n := int64(1); n <= 8; n++ {
+		fmt.Printf("M(%d)=%d ", n, core.MergeCost(n))
+	}
+	fmt.Println()
+	// Output:
+	// M(1)=0 M(2)=1 M(3)=3 M(4)=6 M(5)=9 M(6)=13 M(7)=17 M(8)=21
+}
+
+func ExampleOptimalTree() {
+	tree := core.OptimalTree(8)
+	fmt.Println(tree)
+	fmt.Println("merge cost:", tree.MergeCost())
+	// Output:
+	// 0(1 2 3(4) 5(6 7))
+	// merge cost: 21
+}
+
+func ExampleOptimalForest() {
+	forest := core.OptimalForest(15, 14)
+	fmt.Println("full streams:", forest.Streams())
+	fmt.Println("full cost:", forest.FullCost())
+	// Output:
+	// full streams: 2
+	// full cost: 64
+}
+
+func ExampleOptimalStreamCount() {
+	// Section 3.2: for L = 4 and n = 16 the optimum uses 5 full streams.
+	fmt.Println(core.OptimalStreamCount(4, 16), core.FullCost(4, 16))
+	// Output:
+	// 5 38
+}
+
+func ExampleLastMergeInterval() {
+	lo, hi := core.LastMergeInterval(4)
+	fmt.Printf("I(4) = [%d,%d]\n", lo, hi)
+	lo, hi = core.LastMergeInterval(13)
+	fmt.Printf("I(13) = [%d,%d]\n", lo, hi)
+	// Output:
+	// I(4) = [2,3]
+	// I(13) = [8,8]
+}
+
+func ExampleMergeCostAll() {
+	// Receive-all model (Section 3.4).
+	fmt.Println(core.MergeCostAll(8), core.MergeCostAll(16))
+	// Output:
+	// 17 49
+}
+
+func ExampleOptimalForestBuffered() {
+	// Clients can buffer at most 3 slots of playback.
+	forest := core.OptimalForestBuffered(15, 3, 12)
+	fmt.Println("full streams:", forest.Streams())
+	fmt.Println("max buffer needed:", forest.MaxBufferRequirement())
+	// Output:
+	// full streams: 3
+	// max buffer needed: 3
+}

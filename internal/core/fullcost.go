@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+	"repro/internal/mergetree"
+)
+
+// MinStreams returns s0 = ceil(n/L), the minimum number of full streams in
+// any merge forest for n arrivals with full stream length L: at most L-1
+// later streams can merge with a stream of length L.
+func MinStreams(L, n int64) int64 {
+	if L < 1 || n < 1 {
+		panic(fmt.Sprintf("core: MinStreams requires L >= 1 and n >= 1, got L=%d n=%d", L, n))
+	}
+	return (n + L - 1) / L
+}
+
+// FullCostWithStreams returns F(L,n,s), the minimum full cost of any merge
+// forest for the arrivals [0, n-1] with full stream length L and exactly s
+// full streams (Lemma 9):
+//
+//	F(L,n,s) = s·L + r·M(p+1) + (s-r)·M(p),   n = p·s + r, 0 <= r < s.
+//
+// The caller is responsible for s being feasible (s >= ceil(n/L)); the
+// formula itself is defined for any 1 <= s <= n.
+func FullCostWithStreams(L, n, s int64) int64 {
+	if s < 1 || s > n {
+		panic(fmt.Sprintf("core: FullCostWithStreams requires 1 <= s <= n, got s=%d n=%d", s, n))
+	}
+	p := n / s
+	r := n - p*s
+	return s*L + r*MergeCost(p+1) + (s-r)*MergeCost(p)
+}
+
+// OptimalStreamCount returns a number of full streams s that minimizes
+// F(L,n,s) over the feasible range s0 <= s <= n, using Theorem 12: with h
+// such that F_{h+1} < L+2 <= F_{h+2} and s1 = floor(n/F_h), the optimum is
+// s1 or s1+1 (or s0 when s0 > s1).  Ties are broken toward the smaller s.
+func OptimalStreamCount(L, n int64) int64 {
+	s0 := MinStreams(L, n)
+	h := fib.IndexForLength(L)
+	s1 := n / fib.F(h)
+	candidates := []int64{s1, s1 + 1, s0}
+	best := int64(-1)
+	var bestCost int64
+	for _, s := range candidates {
+		if s < s0 {
+			s = s0
+		}
+		if s > n {
+			s = n
+		}
+		c := FullCostWithStreams(L, n, s)
+		if best < 0 || c < bestCost || (c == bestCost && s < best) {
+			best, bestCost = s, c
+		}
+	}
+	return best
+}
+
+// OptimalStreamCountBrute returns the s in [ceil(n/L), n] minimizing
+// F(L,n,s) by direct scan.  It is the reference implementation used to
+// validate Theorem 12 and for ablation benchmarks; prefer
+// OptimalStreamCount in production code.
+func OptimalStreamCountBrute(L, n int64) int64 {
+	s0 := MinStreams(L, n)
+	best := s0
+	bestCost := FullCostWithStreams(L, n, s0)
+	for s := s0 + 1; s <= n; s++ {
+		if c := FullCostWithStreams(L, n, s); c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return best
+}
+
+// FullCost returns F(L,n), the optimal full cost of any merge forest for
+// the arrivals [0, n-1] with full stream length L (total server bandwidth in
+// slot units).
+func FullCost(L, n int64) int64 {
+	return FullCostWithStreams(L, n, OptimalStreamCount(L, n))
+}
+
+// TreeSizes returns the multiset of tree sizes used by an optimal forest
+// with s full streams: r trees of p+1 arrivals followed by s-r trees of p
+// arrivals, where n = p·s + r (Lemma 9).
+func TreeSizes(n, s int64) []int64 {
+	if s < 1 || s > n {
+		panic(fmt.Sprintf("core: TreeSizes requires 1 <= s <= n, got s=%d n=%d", s, n))
+	}
+	p := n / s
+	r := n - p*s
+	sizes := make([]int64, 0, s)
+	for i := int64(0); i < r; i++ {
+		sizes = append(sizes, p+1)
+	}
+	for i := int64(0); i < s-r; i++ {
+		sizes = append(sizes, p)
+	}
+	return sizes
+}
+
+// ForestWithStreams constructs a minimum-cost merge forest for the arrivals
+// [0, n-1] with exactly s full streams: the trees are balanced per Lemma 9
+// and each tree is an optimal merge tree (Theorem 7).  Its full cost equals
+// FullCostWithStreams(L, n, s).
+func ForestWithStreams(L, n, s int64) *mergetree.Forest {
+	f := mergetree.NewForest(L)
+	start := int64(0)
+	for _, size := range TreeSizes(n, s) {
+		f.Add(OptimalTreeAt(start, size))
+		start += size
+	}
+	return f
+}
+
+// OptimalForest constructs an optimal merge forest for the arrivals
+// [0, n-1] with full stream length L in O(L + n) time (Theorem 10).  Its
+// full cost equals FullCost(L, n).
+func OptimalForest(L, n int64) *mergetree.Forest {
+	return ForestWithStreams(L, n, OptimalStreamCount(L, n))
+}
+
+// BatchingCost returns the full cost of the pure batching solution in the
+// delay-guaranteed setting: the whole transmission is broadcast once per
+// slot, costing n·L (Section 1 and Theorem 14).
+func BatchingCost(L, n int64) int64 {
+	return n * L
+}
+
+// BatchingAdvantage returns the ratio of the batching cost to the optimal
+// stream-merging full cost; by Theorem 14 this grows as Theta(L / log L).
+func BatchingAdvantage(L, n int64) float64 {
+	return float64(BatchingCost(L, n)) / float64(FullCost(L, n))
+}

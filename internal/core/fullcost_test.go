@@ -1,0 +1,299 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fib"
+)
+
+func TestMinStreams(t *testing.T) {
+	cases := []struct {
+		L, n, want int64
+	}{
+		{1, 5, 5}, {15, 8, 1}, {15, 15, 1}, {15, 16, 2}, {15, 30, 2}, {15, 31, 3}, {4, 16, 4},
+	}
+	for _, c := range cases {
+		if got := MinStreams(c.L, c.n); got != c.want {
+			t.Errorf("MinStreams(%d,%d) = %d, want %d", c.L, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMinStreamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MinStreams(0,1) did not panic")
+		}
+	}()
+	MinStreams(0, 1)
+}
+
+func TestFullCostPaperExamples(t *testing.T) {
+	// Section 2: L=15, n=8 -> full cost 36 with one full stream.
+	if got := FullCost(15, 8); got != 36 {
+		t.Errorf("F(15,8) = %d, want 36", got)
+	}
+	if got := OptimalStreamCount(15, 8); got != 1 {
+		t.Errorf("optimal streams for L=15,n=8 = %d, want 1", got)
+	}
+	// Section 2: L=15, n=14 -> two full streams, cost 2*15+17+17 = 64.
+	if got := FullCost(15, 14); got != 64 {
+		t.Errorf("F(15,14) = %d, want 64", got)
+	}
+	if got := OptimalStreamCount(15, 14); got != 2 {
+		t.Errorf("optimal streams for L=15,n=14 = %d, want 2", got)
+	}
+	// Section 3.2 (after Theorem 12): L=4, n=16: F(L,n,s0=4) = 40,
+	// F(L,n,s1=5) = 38, F(L,n,s1+1=6) = 38.
+	if got := FullCostWithStreams(4, 16, 4); got != 40 {
+		t.Errorf("F(4,16,4) = %d, want 40", got)
+	}
+	if got := FullCostWithStreams(4, 16, 5); got != 38 {
+		t.Errorf("F(4,16,5) = %d, want 38", got)
+	}
+	if got := FullCostWithStreams(4, 16, 6); got != 38 {
+		t.Errorf("F(4,16,6) = %d, want 38", got)
+	}
+	if got := FullCost(4, 16); got != 38 {
+		t.Errorf("F(4,16) = %d, want 38", got)
+	}
+}
+
+func TestFullCostWithStreamsLemma9(t *testing.T) {
+	// F(L,n,s) must equal the actual full cost of the balanced forest built
+	// from optimal trees.
+	for _, L := range []int64{1, 4, 8, 15, 40} {
+		for n := int64(1); n <= 60; n++ {
+			s0 := MinStreams(L, n)
+			for s := s0; s <= n; s++ {
+				f := ForestWithStreams(L, n, s)
+				if err := f.ValidateConsecutive(); err != nil {
+					t.Fatalf("L=%d n=%d s=%d: %v", L, n, s, err)
+				}
+				if got, want := f.FullCost(), FullCostWithStreams(L, n, s); got != want {
+					t.Fatalf("L=%d n=%d s=%d: forest cost %d, formula %d", L, n, s, got, want)
+				}
+				if int64(f.Streams()) != s {
+					t.Fatalf("L=%d n=%d s=%d: forest has %d streams", L, n, s, f.Streams())
+				}
+			}
+		}
+	}
+}
+
+func TestFullCostWithStreamsPanics(t *testing.T) {
+	for _, s := range []int64{0, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FullCostWithStreams(15,8,%d) did not panic", s)
+				}
+			}()
+			FullCostWithStreams(15, 8, s)
+		}()
+	}
+}
+
+func TestOptimalStreamCountMatchesBruteForce(t *testing.T) {
+	// Theorem 12 (two candidates) must yield the same minimum cost as a
+	// direct scan over all feasible s.
+	for _, L := range []int64{1, 2, 3, 4, 5, 7, 8, 12, 15, 20, 33, 50} {
+		for n := int64(1); n <= 200; n++ {
+			sTheorem := OptimalStreamCount(L, n)
+			sBrute := OptimalStreamCountBrute(L, n)
+			cTheorem := FullCostWithStreams(L, n, sTheorem)
+			cBrute := FullCostWithStreams(L, n, sBrute)
+			if cTheorem != cBrute {
+				t.Fatalf("L=%d n=%d: Theorem 12 gives s=%d cost %d, brute force s=%d cost %d",
+					L, n, sTheorem, cTheorem, sBrute, cBrute)
+			}
+		}
+	}
+}
+
+func TestOptimalStreamCountIsFeasible(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		L := int64(a%300) + 1
+		n := int64(b%3000) + 1
+		s := OptimalStreamCount(L, n)
+		return s >= MinStreams(L, n) && s <= n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem12CandidateStructure(t *testing.T) {
+	// Theorem 12: with h such that F_{h+1} < L+2 <= F_{h+2} and
+	// s1 = floor(n/F_h), either s1 or s1+1 attains the optimal full cost
+	// (when s1 >= s0; otherwise s0 = s1+1 does).
+	for _, L := range []int64{2, 4, 7, 15, 30, 100} {
+		h := fib.IndexForLength(L)
+		for n := int64(1); n <= 500; n++ {
+			s0 := MinStreams(L, n)
+			s1 := n / fib.F(h)
+			best := FullCostWithStreams(L, n, OptimalStreamCountBrute(L, n))
+			var c1, c2 int64 = -1, -1
+			if s1 >= s0 && s1 >= 1 && s1 <= n {
+				c1 = FullCostWithStreams(L, n, s1)
+			}
+			if s1+1 >= s0 && s1+1 <= n {
+				c2 = FullCostWithStreams(L, n, s1+1)
+			}
+			if s0 > s1 {
+				c2 = FullCostWithStreams(L, n, s0)
+			}
+			if c1 != best && c2 != best {
+				t.Fatalf("L=%d n=%d: neither s1=%d (%d) nor s1+1 (%d) achieves optimum %d",
+					L, n, s1, c1, c2, best)
+			}
+		}
+	}
+}
+
+func TestOptimalForestProperties(t *testing.T) {
+	for _, c := range []struct{ L, n int64 }{
+		{15, 8}, {15, 14}, {4, 16}, {1, 10}, {100, 1000}, {8, 8}, {8, 9}, {60, 59},
+	} {
+		f := OptimalForest(c.L, c.n)
+		if err := f.ValidateConsecutive(); err != nil {
+			t.Errorf("OptimalForest(%d,%d): %v", c.L, c.n, err)
+		}
+		if got := f.FullCost(); got != FullCost(c.L, c.n) {
+			t.Errorf("OptimalForest(%d,%d) cost %d, want %d", c.L, c.n, got, FullCost(c.L, c.n))
+		}
+		if f.Size() != int(c.n) {
+			t.Errorf("OptimalForest(%d,%d) covers %d arrivals", c.L, c.n, f.Size())
+		}
+	}
+}
+
+func TestOptimalForestNeverWorseThanSingleTreeOrBatching(t *testing.T) {
+	for _, L := range []int64{2, 5, 15, 40} {
+		for n := int64(1); n <= 120; n++ {
+			opt := FullCost(L, n)
+			if opt > BatchingCost(L, n) {
+				t.Fatalf("L=%d n=%d: optimal %d worse than batching %d", L, n, opt, BatchingCost(L, n))
+			}
+			if n <= L {
+				single := L + MergeCost(n)
+				if opt > single {
+					t.Fatalf("L=%d n=%d: optimal %d worse than single tree %d", L, n, opt, single)
+				}
+			}
+		}
+	}
+}
+
+func TestFullCostMonotoneInN(t *testing.T) {
+	// Adding one more arrival can only increase the optimal full cost.
+	for _, L := range []int64{3, 15, 64} {
+		prev := int64(0)
+		for n := int64(1); n <= 400; n++ {
+			c := FullCost(L, n)
+			if c < prev {
+				t.Fatalf("F(%d,%d) = %d < F(%d,%d) = %d", L, n, c, L, n-1, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestFullCostLeadingTermBound(t *testing.T) {
+	// Theorem 13: F(L,n) = n log_phi L + Theta(n).  Check that the measured
+	// cost divided by n stays within an additive constant band around
+	// log_phi L for a large horizon.
+	for _, L := range []int64{10, 50, 200, 1000} {
+		n := 100 * L
+		perArrival := float64(FullCost(L, n)) / float64(n)
+		lead := fib.LogPhi(float64(L))
+		if perArrival > lead+3 || perArrival < lead-4 {
+			t.Errorf("L=%d: per-arrival cost %.3f too far from log_phi L = %.3f", L, perArrival, lead)
+		}
+	}
+}
+
+func TestTreeSizes(t *testing.T) {
+	sizes := TreeSizes(16, 5)
+	// 16 = 3*5 + 1: one tree of 4 arrivals and four trees of 3.
+	want := []int64{4, 3, 3, 3, 3}
+	if len(sizes) != len(want) {
+		t.Fatalf("TreeSizes = %v", sizes)
+	}
+	var sum int64
+	for i, s := range sizes {
+		if s != want[i] {
+			t.Errorf("TreeSizes[%d] = %d, want %d", i, s, want[i])
+		}
+		sum += s
+	}
+	if sum != 16 {
+		t.Errorf("TreeSizes sum = %d, want 16", sum)
+	}
+}
+
+func TestTreeSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("TreeSizes(5,6) did not panic")
+		}
+	}()
+	TreeSizes(5, 6)
+}
+
+func TestBatchingAdvantageGrows(t *testing.T) {
+	// Theorem 14: batching with merging is Theta(L/log L) better than
+	// batching alone, so the advantage must grow with L.
+	prev := 0.0
+	for _, L := range []int64{4, 16, 64, 256, 1024} {
+		n := 20 * L
+		adv := BatchingAdvantage(L, n)
+		if adv <= prev {
+			t.Errorf("batching advantage did not grow: L=%d adv=%.2f prev=%.2f", L, adv, prev)
+		}
+		prev = adv
+	}
+	// And it must exceed a constant fraction of L/log_phi(L) for large L.
+	L := int64(1024)
+	n := 20 * L
+	adv := BatchingAdvantage(L, n)
+	if adv < float64(L)/fib.LogPhi(float64(L))/3 {
+		t.Errorf("advantage %.2f too small vs L/log L", adv)
+	}
+}
+
+func BenchmarkFullCost(b *testing.B) {
+	for _, c := range []struct{ L, n int64 }{{100, 10000}, {1000, 100000}} {
+		b.Run(benchName("L", c.L)+"_"+benchName("n", c.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FullCost(c.L, c.n)
+			}
+		})
+	}
+}
+
+func BenchmarkOptimalStreamCountTheoremVsBrute(b *testing.B) {
+	// Ablation for Theorem 12: two candidates vs. full scan.
+	b.Run("theorem12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			OptimalStreamCount(100, 50000)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			OptimalStreamCountBrute(100, 50000)
+		}
+	})
+}
+
+func BenchmarkOptimalForest(b *testing.B) {
+	for _, c := range []struct{ L, n int64 }{{15, 1000}, {100, 10000}, {100, 100000}} {
+		b.Run(benchName("L", c.L)+"_"+benchName("n", c.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				OptimalForest(c.L, c.n)
+			}
+		})
+	}
+}

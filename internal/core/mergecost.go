@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+)
+
+// MergeCost returns M(n), the optimal merge cost for the n consecutive
+// arrivals 0, ..., n-1 in the receive-two model, using the closed form of
+// Eq. (6): M(n) = (k-1)n - F_{k+2} + 2 where F_k <= n <= F_{k+1}.
+// M(0) and M(1) are 0.  It panics if n is negative.
+func MergeCost(n int64) int64 {
+	switch {
+	case n < 0:
+		panic(fmt.Sprintf("core: MergeCost requires n >= 0, got %d", n))
+	case n <= 1:
+		return 0
+	}
+	k := fib.IndexFloor(n)
+	return int64(k-1)*n - fib.F(k+2) + 2
+}
+
+// MergeCostTable returns the slice M(0), M(1), ..., M(n) computed with the
+// closed form.  It is convenient for algorithms (Lemma 9) that repeatedly
+// need merge costs of small tree sizes.
+func MergeCostTable(n int64) []int64 {
+	out := make([]int64, n+1)
+	for i := int64(0); i <= n; i++ {
+		out[i] = MergeCost(i)
+	}
+	return out
+}
+
+// H returns the quantity H(n,h) = M(h) + M(n-h) + 2n - h - 2 of Eq. (7):
+// the merge cost of the best tree over [0, n-1] whose last merge to the root
+// is the arrival h.  It requires 1 <= h <= n-1.
+func H(n, h int64) int64 {
+	if h < 1 || h > n-1 {
+		panic(fmt.Sprintf("core: H(n=%d, h=%d) requires 1 <= h <= n-1", n, h))
+	}
+	return MergeCost(h) + MergeCost(n-h) + 2*n - h - 2
+}
+
+// MergeCostDP returns the table M(0), ..., M(n) computed with the O(n^2)
+// dynamic program of Eq. (5): M(n) = min_{1<=h<=n-1} {M(h)+M(n-h)+2n-h-2}.
+// This is the algorithm implied by the general off-line solution of [6] and
+// serves as the baseline that the closed form (Theorem 3) improves upon.
+func MergeCostDP(n int) []int64 {
+	m := make([]int64, n+1)
+	for i := 2; i <= n; i++ {
+		best := int64(-1)
+		for h := 1; h <= i-1; h++ {
+			c := m[h] + m[i-h] + int64(2*i-h-2)
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		m[i] = best
+	}
+	return m
+}
+
+// LastMergeInterval returns the interval I(n) = [lo, hi] of arrivals that
+// can be the last merge to the root in an optimal merge tree for the
+// arrivals [0, n-1], using the characterization of Theorem 3.  For n < 2 the
+// interval is empty and (0, -1) is returned.
+func LastMergeInterval(n int64) (lo, hi int64) {
+	if n < 2 {
+		return 0, -1
+	}
+	k := fib.IndexFloor(n)
+	m := n - fib.F(k)
+	// For k = 3 (n = 2) the index k-3 = 0 with F(0) = 0, which makes the
+	// interval arithmetic below degenerate correctly to I(2) = [1, 1].
+	fk1 := fib.F(k - 1)
+	fk2 := fib.F(k - 2)
+	var fk3 int64
+	if k >= 3 {
+		fk3 = fib.F(k - 3)
+	}
+	switch {
+	case m <= fk3: // m in m1(k): I1(n) = [F_{k-1}, F_{k-1}+m]
+		return fk1, fk1 + m
+	case m <= fk2: // m in m2(k): I2(n) = [F_{k-2}+m, F_{k-1}+m]
+		return fk2 + m, fk1 + m
+	default: // m in m3(k): I3(n) = [F_{k-2}+m, F_k]
+		return fk2 + m, fib.F(k)
+	}
+}
+
+// LastMergeSet returns the exact set I(n) = {h : H(n,h) = M(n)} by direct
+// evaluation of H with the closed-form merge cost.  It runs in O(n) and is
+// used to cross-validate LastMergeInterval; prefer LastMergeInterval in
+// algorithms.
+func LastMergeSet(n int64) []int64 {
+	if n < 2 {
+		return nil
+	}
+	m := MergeCost(n)
+	var out []int64
+	for h := int64(1); h <= n-1; h++ {
+		if H(n, h) == m {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// LastMergeRoots returns the sequence r(1), ..., r(n) where
+// r(i) = max I(i) is the largest arrival that can be the last merge to the
+// root of an optimal tree over i consecutive arrivals.  It is computed in
+// O(n) with the recurrence from the proof of Theorem 7:
+//
+//	r(1) = 0, r(2) = 1,
+//	r(i) = r(i-1) + 1  if F_k <  i <= F_k + F_{k-2},
+//	r(i) = r(i-1)      if F_k + F_{k-2} < i <= F_{k+1},
+//
+// where F_k < i <= F_{k+1}.  The result slice is indexed from 1 (index 0 is
+// unused and holds 0).
+func LastMergeRoots(n int64) []int64 {
+	if n < 1 {
+		return nil
+	}
+	r := make([]int64, n+1)
+	if n >= 1 {
+		r[1] = 0
+	}
+	if n >= 2 {
+		r[2] = 1
+	}
+	// Track the bracket F_k < i <= F_{k+1} incrementally.
+	k := 2 // for i = 3: F_3 = 2 < 3 <= F_4 = 3, so k = 3; start below and advance.
+	for i := int64(3); i <= n; i++ {
+		for fib.F(k+1) < i {
+			k++
+		}
+		// Now F_k < i <= F_{k+1} (since F_k < i by the previous bracket and
+		// the loop above stops as soon as F_{k+1} >= i).
+		if i <= fib.F(k)+fib.F(k-2) {
+			r[i] = r[i-1] + 1
+		} else {
+			r[i] = r[i-1]
+		}
+	}
+	return r
+}
+
+// MergeCostIsOptimalSplit reports whether splitting the n arrivals with last
+// merge h achieves the optimal merge cost, i.e. whether h is in I(n).
+func MergeCostIsOptimalSplit(n, h int64) bool {
+	if n < 2 || h < 1 || h > n-1 {
+		return false
+	}
+	return H(n, h) == MergeCost(n)
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fib"
+	"repro/internal/mergetree"
+)
+
+// paperMergeCosts is the M(n) sequence from Section 3.1 of the paper for
+// n = 1..16.
+var paperMergeCosts = []int64{0, 1, 3, 6, 9, 13, 17, 21, 26, 31, 36, 41, 46, 52, 58, 64}
+
+func TestMergeCostPaperTable(t *testing.T) {
+	for i, want := range paperMergeCosts {
+		n := int64(i + 1)
+		if got := MergeCost(n); got != want {
+			t.Errorf("M(%d) = %d, want %d (paper table, Section 3.1)", n, got, want)
+		}
+	}
+}
+
+func TestMergeCostSmall(t *testing.T) {
+	if MergeCost(0) != 0 || MergeCost(1) != 0 {
+		t.Errorf("M(0) and M(1) must be 0")
+	}
+}
+
+func TestMergeCostPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MergeCost(-1) did not panic")
+		}
+	}()
+	MergeCost(-1)
+}
+
+func TestMergeCostMatchesDP(t *testing.T) {
+	// The closed form (Eq. 6 / Theorem 3) must agree with the O(n^2) dynamic
+	// program (Eq. 5) for all n up to a sizable bound.
+	const N = 600
+	dp := MergeCostDP(N)
+	for n := 0; n <= N; n++ {
+		if got := MergeCost(int64(n)); got != dp[n] {
+			t.Fatalf("closed form M(%d) = %d, DP gives %d", n, got, dp[n])
+		}
+	}
+}
+
+func TestMergeCostMatchesBruteForce(t *testing.T) {
+	// Exhaustive optimality over all merge trees for small n.
+	for n := 1; n <= 10; n++ {
+		if got, want := MergeCost(int64(n)), mergetree.MinMergeCostBruteForce(n); got != want {
+			t.Errorf("M(%d) = %d, brute force over all trees gives %d", n, got, want)
+		}
+	}
+}
+
+func TestMergeCostTable(t *testing.T) {
+	tab := MergeCostTable(16)
+	if len(tab) != 17 {
+		t.Fatalf("table length %d, want 17", len(tab))
+	}
+	for i, want := range paperMergeCosts {
+		if tab[i+1] != want {
+			t.Errorf("table[%d] = %d, want %d", i+1, tab[i+1], want)
+		}
+	}
+}
+
+func TestMergeCostFibonacciRedundancy(t *testing.T) {
+	// When n = F_k, both (k-1)n - F_{k+2} + 2 and (k-2)n - F_{k+1} + 2 give
+	// M(n) (the redundancy noted after Eq. 6).
+	for k := 3; k <= 30; k++ {
+		n := fib.F(k)
+		a := int64(k-1)*n - fib.F(k+2) + 2
+		b := int64(k-2)*n - fib.F(k+1) + 2
+		if a != b {
+			t.Errorf("redundancy fails at n=F_%d=%d: %d vs %d", k, n, a, b)
+		}
+		if MergeCost(n) != a {
+			t.Errorf("M(F_%d) = %d, want %d", k, MergeCost(n), a)
+		}
+	}
+}
+
+func TestMergeCostMonotoneIncrements(t *testing.T) {
+	// Observation 5: for F_j <= x < F_{j+1}, M(x+1) - M(x) = j - 1.
+	// In particular increments are non-decreasing in x (convexity-like
+	// property (12) used in Lemma 9).
+	prev := int64(-1)
+	for x := int64(1); x <= 100000; x++ {
+		inc := MergeCost(x+1) - MergeCost(x)
+		j := fib.IndexFloor(x)
+		if inc != int64(j-1) {
+			t.Fatalf("M(%d+1)-M(%d) = %d, want j-1 = %d", x, x, inc, j-1)
+		}
+		if inc < prev {
+			t.Fatalf("merge cost increments decreased at x=%d: %d after %d", x, inc, prev)
+		}
+		prev = inc
+	}
+}
+
+func TestMergeCostExchangeInequality(t *testing.T) {
+	// Inequality (12): for 1 <= i < j, M(i+1) + M(j-1) <= M(i) + M(j).
+	for i := int64(1); i <= 200; i++ {
+		for j := i + 1; j <= 200; j++ {
+			if MergeCost(i+1)+MergeCost(j-1) > MergeCost(i)+MergeCost(j) {
+				t.Fatalf("exchange inequality fails for i=%d j=%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMergeCostBounds(t *testing.T) {
+	// Theorem 8: the closed form lies between the stated lower and upper
+	// bounds.
+	for _, n := range []int64{2, 3, 5, 10, 50, 100, 1000, 12345, 100000, 1 << 20} {
+		m := float64(MergeCost(n))
+		if m > MergeCostUpperBound(n)+1e-6 {
+			t.Errorf("M(%d) = %v exceeds upper bound %v", n, m, MergeCostUpperBound(n))
+		}
+		if m < MergeCostLowerBound(n)-1e-6 {
+			t.Errorf("M(%d) = %v below lower bound %v", n, m, MergeCostLowerBound(n))
+		}
+	}
+}
+
+func TestHRecoversMergeCost(t *testing.T) {
+	// M(n) = min_h H(n,h) by definition; verify the closed form satisfies it.
+	for n := int64(2); n <= 400; n++ {
+		best := H(n, 1)
+		for h := int64(2); h <= n-1; h++ {
+			if c := H(n, h); c < best {
+				best = c
+			}
+		}
+		if best != MergeCost(n) {
+			t.Fatalf("min_h H(%d,h) = %d but M(%d) = %d", n, best, n, MergeCost(n))
+		}
+	}
+}
+
+func TestHPanicsOutOfRange(t *testing.T) {
+	for _, h := range []int64{0, 5, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("H(5,%d) did not panic", h)
+				}
+			}()
+			H(5, h)
+		}()
+	}
+}
+
+func TestLastMergeIntervalMatchesSet(t *testing.T) {
+	// Theorem 3's characterization of I(n) must match the brute-force set
+	// {h : H(n,h) = M(n)}, and the set must be a contiguous interval.
+	for n := int64(2); n <= 2000; n++ {
+		lo, hi := LastMergeInterval(n)
+		set := LastMergeSet(n)
+		if len(set) == 0 {
+			t.Fatalf("empty I(%d)", n)
+		}
+		if set[0] != lo || set[len(set)-1] != hi {
+			t.Fatalf("I(%d): characterization [%d,%d], brute force [%d,%d]",
+				n, lo, hi, set[0], set[len(set)-1])
+		}
+		for i := 1; i < len(set); i++ {
+			if set[i] != set[i-1]+1 {
+				t.Fatalf("I(%d) is not an interval: %v", n, set)
+			}
+		}
+	}
+}
+
+func TestLastMergeIntervalKnownValues(t *testing.T) {
+	cases := []struct {
+		n      int64
+		lo, hi int64
+	}{
+		{2, 1, 1},
+		{3, 2, 2},
+		{4, 2, 3},  // Fig. 6: two optimal trees for n=4
+		{5, 3, 3},  // Fibonacci: unique
+		{6, 3, 4},  // Fig. 8 row n=6
+		{7, 4, 5},  // m=2 in m2(5): I2 = [F3+2, F4+2] = [4,5]
+		{8, 5, 5},  // Fibonacci
+		{13, 8, 8}, // Fibonacci
+		{21, 13, 13},
+		{55, 34, 34},
+	}
+	for _, c := range cases {
+		lo, hi := LastMergeInterval(c.n)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("I(%d) = [%d,%d], want [%d,%d]", c.n, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestLastMergeIntervalEmptyForSmallN(t *testing.T) {
+	lo, hi := LastMergeInterval(1)
+	if lo <= hi {
+		t.Errorf("I(1) should be empty, got [%d,%d]", lo, hi)
+	}
+	if LastMergeSet(1) != nil {
+		t.Errorf("LastMergeSet(1) should be nil")
+	}
+}
+
+func TestLastMergeIntervalFibonacciSingleton(t *testing.T) {
+	// For n = F_k the only arrival that can merge last to the root is
+	// F_{k-1} (discussion after Theorem 3).
+	for k := 3; k <= 25; k++ {
+		n := fib.F(k)
+		lo, hi := LastMergeInterval(n)
+		if lo != hi || lo != fib.F(k-1) {
+			t.Errorf("I(F_%d = %d) = [%d,%d], want {%d}", k, n, lo, hi, fib.F(k-1))
+		}
+	}
+}
+
+func TestObservation4NestedGrowth(t *testing.T) {
+	// Observation 4: if I(x-1) = [i,j] then I(x) is contained in [i, j+1].
+	for x := int64(3); x <= 3000; x++ {
+		pl, ph := LastMergeInterval(x - 1)
+		lo, hi := LastMergeInterval(x)
+		if lo < pl || hi > ph+1 {
+			t.Fatalf("Observation 4 violated at x=%d: I(x-1)=[%d,%d], I(x)=[%d,%d]", x, pl, ph, lo, hi)
+		}
+	}
+}
+
+func TestLastMergeRootsRecurrence(t *testing.T) {
+	// r(i) = max I(i) for all i; the O(n) recurrence must match the
+	// characterization.
+	const N = 5000
+	r := LastMergeRoots(N)
+	if r[1] != 0 || r[2] != 1 {
+		t.Fatalf("r(1)=%d r(2)=%d, want 0 and 1", r[1], r[2])
+	}
+	for i := int64(2); i <= N; i++ {
+		_, hi := LastMergeInterval(i)
+		if r[i] != hi {
+			t.Fatalf("r(%d) = %d, want max I(%d) = %d", i, r[i], i, hi)
+		}
+	}
+}
+
+func TestLastMergeRootsSmall(t *testing.T) {
+	if LastMergeRoots(0) != nil {
+		t.Errorf("LastMergeRoots(0) should be nil")
+	}
+	r := LastMergeRoots(1)
+	if len(r) != 2 || r[1] != 0 {
+		t.Errorf("LastMergeRoots(1) = %v", r)
+	}
+}
+
+func TestMergeCostIsOptimalSplit(t *testing.T) {
+	if !MergeCostIsOptimalSplit(8, 5) {
+		t.Errorf("h=5 should be the optimal split for n=8")
+	}
+	if MergeCostIsOptimalSplit(8, 4) {
+		t.Errorf("h=4 should not be optimal for n=8")
+	}
+	if MergeCostIsOptimalSplit(1, 1) || MergeCostIsOptimalSplit(8, 0) || MergeCostIsOptimalSplit(8, 8) {
+		t.Errorf("out-of-range splits should report false")
+	}
+}
+
+func TestMergeCostPropertySubadditiveDecomposition(t *testing.T) {
+	// Property (via quick): for any n >= 2 and any h in I(n),
+	// M(n) = M(h) + M(n-h) + 2n - h - 2, and for h outside I(n) the
+	// expression is strictly larger.
+	prop := func(a uint16, b uint16) bool {
+		n := int64(a%4000) + 2
+		h := int64(b)%(n-1) + 1
+		lhs := H(n, h)
+		if lhs < MergeCost(n) {
+			return false
+		}
+		lo, hi := LastMergeInterval(n)
+		inInterval := h >= lo && h <= hi
+		return (lhs == MergeCost(n)) == inInterval
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMergeCostClosedForm(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeCost(int64(i%1000000 + 1))
+	}
+}
+
+func BenchmarkMergeCostClosedVsDP(b *testing.B) {
+	// Ablation: the paper's O(n) result vs. the O(n^2) DP of [6].
+	b.Run("closed-n=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MergeCostTable(2000)
+		}
+	})
+	b.Run("dp-n=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MergeCostDP(2000)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/fib"
+	"repro/internal/mergetree"
+)
+
+// MergeCostAll returns M_w(n), the optimal merge cost for n consecutive
+// arrivals in the receive-all model, using the closed form of Eq. (20):
+// M_w(n) = (k+1)n - 2^{k+1} + 1 for 2^k <= n <= 2^{k+1}.
+// M_w(0) and M_w(1) are 0.  It panics if n is negative.
+func MergeCostAll(n int64) int64 {
+	switch {
+	case n < 0:
+		panic(fmt.Sprintf("core: MergeCostAll requires n >= 0, got %d", n))
+	case n <= 1:
+		return 0
+	}
+	k := bits.Len64(uint64(n)) - 1 // largest k with 2^k <= n
+	return int64(k+1)*n - (int64(1) << uint(k+1)) + 1
+}
+
+// MergeCostAllDP returns the table M_w(0), ..., M_w(n) computed with the
+// dynamic program of Eq. (19): M_w(n) = min_h {M_w(h)+M_w(n-h)} + n - 1.
+func MergeCostAllDP(n int) []int64 {
+	m := make([]int64, n+1)
+	for i := 2; i <= n; i++ {
+		best := int64(-1)
+		for h := 1; h <= i-1; h++ {
+			c := m[h] + m[i-h]
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		m[i] = best + int64(i) - 1
+	}
+	return m
+}
+
+// OptimalTreeAll returns an optimal merge tree for n consecutive arrivals
+// 0, ..., n-1 in the receive-all model.  The optimal split is the balanced
+// one (h = ceil(n/2)), which yields a linear-time construction.
+func OptimalTreeAll(n int64) *mergetree.Tree {
+	return OptimalTreeAllAt(0, n)
+}
+
+// OptimalTreeAllAt is OptimalTreeAll shifted to start at the given arrival.
+func OptimalTreeAllAt(first, n int64) *mergetree.Tree {
+	if n < 1 {
+		panic(fmt.Sprintf("core: OptimalTreeAllAt requires n >= 1, got %d", n))
+	}
+	if n == 1 {
+		return mergetree.New(first)
+	}
+	h := (n + 1) / 2
+	left := OptimalTreeAllAt(first, h)
+	right := OptimalTreeAllAt(first+h, n-h)
+	left.AddChild(right)
+	return left
+}
+
+// FullCostAllWithStreams returns F_w(L,n,s) per Eq. (22): the receive-all
+// analogue of Lemma 9 with balanced trees.
+func FullCostAllWithStreams(L, n, s int64) int64 {
+	if s < 1 || s > n {
+		panic(fmt.Sprintf("core: FullCostAllWithStreams requires 1 <= s <= n, got s=%d n=%d", s, n))
+	}
+	p := n / s
+	r := n - p*s
+	return s*L + r*MergeCostAll(p+1) + (s-r)*MergeCostAll(p)
+}
+
+// OptimalStreamCountAll returns the number of full streams minimizing
+// F_w(L,n,s) over s in [ceil(n/L), n] by direct scan with the O(1)
+// closed-form merge cost.  (The paper does not give a two-candidate theorem
+// for the receive-all model, so the scan is the reference algorithm.)
+func OptimalStreamCountAll(L, n int64) int64 {
+	s0 := MinStreams(L, n)
+	best := s0
+	bestCost := FullCostAllWithStreams(L, n, s0)
+	for s := s0 + 1; s <= n; s++ {
+		if c := FullCostAllWithStreams(L, n, s); c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return best
+}
+
+// FullCostAll returns F_w(L,n), the optimal receive-all full cost.
+func FullCostAll(L, n int64) int64 {
+	return FullCostAllWithStreams(L, n, OptimalStreamCountAll(L, n))
+}
+
+// OptimalForestAll constructs an optimal receive-all merge forest for the
+// arrivals [0, n-1] with full stream length L.
+func OptimalForestAll(L, n int64) *mergetree.Forest {
+	s := OptimalStreamCountAll(L, n)
+	p := n / s
+	r := n - p*s
+	f := mergetree.NewForest(L)
+	start := int64(0)
+	for i := int64(0); i < s; i++ {
+		size := p
+		if i < r {
+			size = p + 1
+		}
+		f.Add(OptimalTreeAllAt(start, size))
+		start += size
+	}
+	return f
+}
+
+// ReceiveTwoAllRatio returns M(n)/M_w(n), the merge-cost penalty of the
+// receive-two model relative to the receive-all model.  By Theorem 19 this
+// tends to log_phi(2) ~ 1.4404 as n grows.
+func ReceiveTwoAllRatio(n int64) float64 {
+	mw := MergeCostAll(n)
+	if mw == 0 {
+		return 1
+	}
+	return float64(MergeCost(n)) / float64(mw)
+}
+
+// FullCostTwoAllRatio returns F(L,n)/F_w(L,n), which by Theorem 20 also
+// tends to log_phi(2) as L and then n grow.
+func FullCostTwoAllRatio(L, n int64) float64 {
+	return float64(FullCost(L, n)) / float64(FullCostAll(L, n))
+}
+
+// LogPhi2 is the limiting ratio log_phi(2) ~ 1.4404 of Theorems 19 and 20.
+var LogPhi2 = math.Log(2) / math.Log(fib.Phi)

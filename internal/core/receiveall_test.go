@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mergetree"
+)
+
+// paperMergeCostsAll is the M_w(n) sequence from Section 3.4 for n = 1..16.
+var paperMergeCostsAll = []int64{0, 1, 3, 5, 8, 11, 14, 17, 21, 25, 29, 33, 37, 41, 45, 49}
+
+func TestMergeCostAllPaperTable(t *testing.T) {
+	for i, want := range paperMergeCostsAll {
+		n := int64(i + 1)
+		if got := MergeCostAll(n); got != want {
+			t.Errorf("M_w(%d) = %d, want %d (paper table, Section 3.4)", n, got, want)
+		}
+	}
+}
+
+func TestMergeCostAllSmallAndPanics(t *testing.T) {
+	if MergeCostAll(0) != 0 || MergeCostAll(1) != 0 {
+		t.Errorf("M_w(0), M_w(1) must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MergeCostAll(-1) did not panic")
+		}
+	}()
+	MergeCostAll(-1)
+}
+
+func TestMergeCostAllMatchesDP(t *testing.T) {
+	const N = 600
+	dp := MergeCostAllDP(N)
+	for n := 0; n <= N; n++ {
+		if got := MergeCostAll(int64(n)); got != dp[n] {
+			t.Fatalf("closed form M_w(%d) = %d, DP gives %d", n, got, dp[n])
+		}
+	}
+}
+
+func TestMergeCostAllMatchesBruteForce(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		if got, want := MergeCostAll(int64(n)), mergetree.MinMergeCostAllBruteForce(n); got != want {
+			t.Errorf("M_w(%d) = %d, brute force %d", n, got, want)
+		}
+	}
+}
+
+func TestMergeCostAllPowerOfTwoRedundancy(t *testing.T) {
+	// Eq. 20 is redundant at n = 2^k just like Eq. 6 at Fibonacci numbers.
+	for k := 1; k <= 40; k++ {
+		n := int64(1) << uint(k)
+		a := int64(k+1)*n - (int64(1) << uint(k+1)) + 1
+		b := int64(k)*n - (int64(1) << uint(k)) + 1
+		if a != b {
+			t.Errorf("redundancy fails at n=2^%d", k)
+		}
+		if MergeCostAll(n) != a {
+			t.Errorf("M_w(2^%d) = %d, want %d", k, MergeCostAll(n), a)
+		}
+	}
+}
+
+func TestOptimalTreeAllCostMatchesClosedForm(t *testing.T) {
+	for n := int64(1); n <= 2000; n++ {
+		tr := OptimalTreeAll(n)
+		if got := tr.MergeCostAll(); got != MergeCostAll(n) {
+			t.Fatalf("OptimalTreeAll(%d) cost %d, want %d", n, got, MergeCostAll(n))
+		}
+		if tr.Size() != int(n) {
+			t.Fatalf("OptimalTreeAll(%d) has %d nodes", n, tr.Size())
+		}
+	}
+}
+
+func TestOptimalTreeAllIsValid(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 10, 64, 100, 1000} {
+		tr := OptimalTreeAll(n)
+		if err := tr.ValidateConsecutive(); err != nil {
+			t.Errorf("OptimalTreeAll(%d): %v", n, err)
+		}
+	}
+}
+
+func TestOptimalTreeAllPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("OptimalTreeAll(0) did not panic")
+		}
+	}()
+	OptimalTreeAll(0)
+}
+
+func TestOptimalTreeAllBalancedSplit(t *testing.T) {
+	// The last child of the root should carry floor(n/2) arrivals (the
+	// balanced split h = ceil(n/2) keeps the root side one larger when n is
+	// odd).
+	for _, n := range []int64{2, 3, 4, 7, 8, 15, 16, 33} {
+		tr := OptimalTreeAll(n)
+		last := tr.Children[len(tr.Children)-1]
+		if int64(last.Size()) != n/2 {
+			t.Errorf("n=%d: right subtree has %d nodes, want %d", n, last.Size(), n/2)
+		}
+	}
+}
+
+func TestFullCostAllPaperStyleExamples(t *testing.T) {
+	// Receive-all costs are never larger than receive-two costs and never
+	// smaller than batching-free lower bounds.
+	for _, c := range []struct{ L, n int64 }{{15, 8}, {15, 14}, {4, 16}, {100, 1000}} {
+		fa := FullCostAll(c.L, c.n)
+		ft := FullCost(c.L, c.n)
+		if fa > ft {
+			t.Errorf("L=%d n=%d: receive-all cost %d exceeds receive-two cost %d", c.L, c.n, fa, ft)
+		}
+		if fa < c.L {
+			t.Errorf("L=%d n=%d: receive-all cost %d below one full stream", c.L, c.n, fa)
+		}
+	}
+}
+
+func TestFullCostAllWithStreamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	FullCostAllWithStreams(15, 8, 0)
+}
+
+func TestOptimalForestAllProperties(t *testing.T) {
+	for _, c := range []struct{ L, n int64 }{{15, 8}, {15, 14}, {4, 16}, {64, 500}} {
+		f := OptimalForestAll(c.L, c.n)
+		if err := f.ValidateConsecutive(); err != nil {
+			t.Fatalf("OptimalForestAll(%d,%d): %v", c.L, c.n, err)
+		}
+		if got := f.FullCostAll(); got != FullCostAll(c.L, c.n) {
+			t.Errorf("OptimalForestAll(%d,%d) cost %d, want %d", c.L, c.n, got, FullCostAll(c.L, c.n))
+		}
+		if f.Size() != int(c.n) {
+			t.Errorf("OptimalForestAll(%d,%d) covers %d arrivals", c.L, c.n, f.Size())
+		}
+	}
+}
+
+func TestReceiveTwoAllRatioApproachesLogPhi2(t *testing.T) {
+	// Theorem 19: M(n)/M_w(n) -> log_phi(2) ~ 1.4404.
+	if math.Abs(LogPhi2-1.4404) > 0.001 {
+		t.Fatalf("LogPhi2 = %v", LogPhi2)
+	}
+	for _, n := range []int64{1 << 10, 1 << 16, 1 << 20, 1 << 24} {
+		r := ReceiveTwoAllRatio(n)
+		if math.Abs(r-LogPhi2) > 0.06 {
+			t.Errorf("ratio at n=%d is %.4f, want close to %.4f", n, r, LogPhi2)
+		}
+	}
+	// The convergence should improve with n.
+	if d1, d2 := math.Abs(ReceiveTwoAllRatio(1<<12)-LogPhi2), math.Abs(ReceiveTwoAllRatio(1<<22)-LogPhi2); d2 > d1 {
+		t.Errorf("ratio does not converge: |err(2^12)|=%.5f |err(2^22)|=%.5f", d1, d2)
+	}
+}
+
+func TestReceiveTwoAllRatioSmallN(t *testing.T) {
+	if got := ReceiveTwoAllRatio(1); got != 1 {
+		t.Errorf("ratio at n=1 should be 1, got %v", got)
+	}
+	// n=4: M=6, M_w=5.
+	if got := ReceiveTwoAllRatio(4); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("ratio at n=4 = %v, want 1.2", got)
+	}
+}
+
+func TestFullCostTwoAllRatioApproachesLogPhi2(t *testing.T) {
+	// Theorem 20: lim_L lim_n F/F_w = log_phi 2.  For large L and n >> L the
+	// ratio should be within a reasonable band of the limit.
+	r := FullCostTwoAllRatio(2000, 400000)
+	if r < 1.25 || r > LogPhi2+0.05 {
+		t.Errorf("full-cost ratio %.4f not in the expected band (1.25, %.3f]", r, LogPhi2+0.05)
+	}
+	// Ratio should always be >= 1 (receive-all is at least as good).
+	for _, c := range []struct{ L, n int64 }{{5, 10}, {15, 14}, {100, 3000}} {
+		if FullCostTwoAllRatio(c.L, c.n) < 1 {
+			t.Errorf("L=%d n=%d: ratio below 1", c.L, c.n)
+		}
+	}
+}
+
+func TestMergeCostAllLeadingTerm(t *testing.T) {
+	// Eq. 21: M_w(n) = n log2 n + O(n).
+	for _, n := range []int64{1 << 10, 1 << 15, 1 << 20} {
+		diff := float64(MergeCostAll(n)) - MergeCostAllLeadingTerm(n)
+		if math.Abs(diff) > 2*float64(n) {
+			t.Errorf("M_w(%d) deviates from n log2 n by %v (more than 2n)", n, diff)
+		}
+	}
+	if MergeCostAllLeadingTerm(1) != 0 {
+		t.Errorf("leading term at n=1 should be 0")
+	}
+}
+
+func BenchmarkMergeCostAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MergeCostAll(int64(i%1000000 + 1))
+	}
+}
+
+func BenchmarkOptimalTreeAll(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OptimalTreeAll(10000)
+	}
+}

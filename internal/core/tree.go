@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mergetree"
+)
+
+// OptimalTree returns an optimal merge tree (receive-two model) for the n
+// consecutive arrivals 0, ..., n-1, constructed in O(n) total time with the
+// recursive procedure of Theorem 7: split the input at r(size) (the largest
+// member of I(size)), build both parts, and attach the right part's root as
+// the last child of the left part's root.
+//
+// The returned tree has merge cost exactly MergeCost(n) and satisfies the
+// preorder-traversal property.  It panics if n < 1.
+func OptimalTree(n int64) *mergetree.Tree {
+	return OptimalTreeAt(0, n)
+}
+
+// OptimalTreeAt is OptimalTree shifted to start at the given first arrival:
+// it covers the arrivals first, first+1, ..., first+n-1.
+func OptimalTreeAt(first, n int64) *mergetree.Tree {
+	if n < 1 {
+		panic(fmt.Sprintf("core: OptimalTreeAt requires n >= 1, got %d", n))
+	}
+	r := LastMergeRoots(n)
+	return buildTree(first, first+n-1, r)
+}
+
+// buildTree implements the recursive procedure of Theorem 7 over the arrival
+// interval [i, j] using the precomputed r table (r[size] = max I(size)).
+func buildTree(i, j int64, r []int64) *mergetree.Tree {
+	if i == j {
+		return mergetree.New(i)
+	}
+	size := j - i + 1
+	split := r[size]
+	left := buildTree(i, i+split-1, r)
+	right := buildTree(i+split, j, r)
+	left.AddChild(right)
+	return left
+}
+
+// OptimalTreeDP returns an optimal merge tree for n consecutive arrivals
+// computed with the O(n^2) dynamic program of Eq. (5), recording for every
+// subproblem size the smallest optimal split.  It is the baseline against
+// which the O(n) construction is validated and benchmarked; both always
+// produce trees of identical (optimal) merge cost, though not necessarily
+// identical shape because optimal trees are not unique in general.
+func OptimalTreeDP(n int) *mergetree.Tree {
+	if n < 1 {
+		panic(fmt.Sprintf("core: OptimalTreeDP requires n >= 1, got %d", n))
+	}
+	m := make([]int64, n+1)
+	choice := make([]int, n+1)
+	for i := 2; i <= n; i++ {
+		best := int64(-1)
+		for h := 1; h <= i-1; h++ {
+			c := m[h] + m[i-h] + int64(2*i-h-2)
+			if best < 0 || c < best {
+				best = c
+				choice[i] = h
+			}
+		}
+		m[i] = best
+	}
+	var build func(i, j int64) *mergetree.Tree
+	build = func(i, j int64) *mergetree.Tree {
+		if i == j {
+			return mergetree.New(i)
+		}
+		h := int64(choice[j-i+1])
+		left := build(i, i+h-1)
+		right := build(i+h, j)
+		left.AddChild(right)
+		return left
+	}
+	return build(0, int64(n-1))
+}
+
+// FibonacciTree returns the unique optimal merge tree for n = F_k arrivals
+// (the "Fibonacci merge tree" of Section 3.1).  It panics if n is not a
+// Fibonacci number or n < 1.
+func FibonacciTree(n int64) *mergetree.Tree {
+	if n < 1 {
+		panic(fmt.Sprintf("core: FibonacciTree requires n >= 1, got %d", n))
+	}
+	if !isFibTreeSize(n) {
+		panic(fmt.Sprintf("core: FibonacciTree requires a Fibonacci number, got %d", n))
+	}
+	return OptimalTree(n)
+}
+
+func isFibTreeSize(n int64) bool {
+	if n == 1 || n == 2 {
+		return true
+	}
+	a, b := int64(1), int64(2)
+	for b < n {
+		a, b = b, a+b
+	}
+	return b == n
+}

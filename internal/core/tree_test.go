@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fib"
+	"repro/internal/mergetree"
+)
+
+func TestOptimalTreeCostMatchesClosedForm(t *testing.T) {
+	for n := int64(1); n <= 2000; n++ {
+		tr := OptimalTree(n)
+		if got := tr.MergeCost(); got != MergeCost(n) {
+			t.Fatalf("OptimalTree(%d) has merge cost %d, want %d", n, got, MergeCost(n))
+		}
+		if tr.Size() != int(n) {
+			t.Fatalf("OptimalTree(%d) has %d nodes", n, tr.Size())
+		}
+	}
+}
+
+func TestOptimalTreeIsValid(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 7, 8, 13, 100, 377, 1000} {
+		tr := OptimalTree(n)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("OptimalTree(%d): %v", n, err)
+		}
+		if err := tr.ValidateConsecutive(); err != nil {
+			t.Errorf("OptimalTree(%d): %v", n, err)
+		}
+	}
+}
+
+func TestOptimalTreeFig4(t *testing.T) {
+	// The paper's running example: n = 8 yields the unique Fibonacci merge
+	// tree 0(1 2 3(4) 5(6 7)) with merge cost 21 (Figs. 3, 4, 7).
+	tr := OptimalTree(8)
+	if got := tr.String(); got != "0(1 2 3(4) 5(6 7))" {
+		t.Errorf("OptimalTree(8) = %q, want the Fibonacci tree of Fig. 4", got)
+	}
+	if tr.MergeCost() != 21 {
+		t.Errorf("merge cost = %d, want 21", tr.MergeCost())
+	}
+}
+
+func TestOptimalTreeFibonacciShapes(t *testing.T) {
+	// Fig. 7: the unique optimal trees for n = 3, 5, 8, 13, and the
+	// recursive structure "tree for F_k = tree for F_{k-1} with the tree for
+	// F_{k-2} attached as the last child of the root".
+	want := map[int64]string{
+		3:  "0(1 2)",
+		5:  "0(1 2 3(4))",
+		8:  "0(1 2 3(4) 5(6 7))",
+		13: "0(1 2 3(4) 5(6 7) 8(9 10 11(12)))",
+	}
+	for n, ws := range want {
+		if got := OptimalTree(n).String(); got != ws {
+			t.Errorf("OptimalTree(%d) = %q, want %q", n, got, ws)
+		}
+	}
+	// Structural recursion check for larger Fibonacci numbers.
+	for k := 5; k <= 20; k++ {
+		n := fib.F(k)
+		tr := OptimalTree(n)
+		children := tr.Children
+		if len(children) == 0 {
+			t.Fatalf("n=%d: root has no children", n)
+		}
+		lastChild := children[len(children)-1]
+		if lastChild.Arrival != fib.F(k-1) {
+			t.Errorf("n=F_%d: last child of root is %d, want F_%d = %d",
+				k, lastChild.Arrival, k-1, fib.F(k-1))
+		}
+		if int64(lastChild.Size()) != fib.F(k-2) {
+			t.Errorf("n=F_%d: right subtree has %d nodes, want F_%d = %d",
+				k, lastChild.Size(), k-2, fib.F(k-2))
+		}
+	}
+}
+
+func TestOptimalTreeMatchesBruteForce(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		tr := OptimalTree(int64(n))
+		if got, want := tr.MergeCost(), mergetree.MinMergeCostBruteForce(n); got != want {
+			t.Errorf("OptimalTree(%d) cost %d, brute force %d", n, got, want)
+		}
+	}
+}
+
+func TestOptimalTreeAtShiftInvariance(t *testing.T) {
+	// Shifting all arrivals by a constant shifts nothing in the merge cost
+	// (it depends only on differences).
+	for _, n := range []int64{1, 5, 8, 30, 137} {
+		base := OptimalTree(n)
+		shifted := OptimalTreeAt(1000, n)
+		if shifted.MergeCost() != base.MergeCost() {
+			t.Errorf("n=%d: shifted cost %d != base cost %d", n, shifted.MergeCost(), base.MergeCost())
+		}
+		if shifted.Arrival != 1000 || shifted.Last() != 1000+n-1 {
+			t.Errorf("n=%d: shifted tree covers [%d,%d]", n, shifted.Arrival, shifted.Last())
+		}
+		if err := shifted.ValidateConsecutive(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestOptimalTreePanicsOnBadInput(t *testing.T) {
+	for _, n := range []int64{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OptimalTree(%d) did not panic", n)
+				}
+			}()
+			OptimalTree(n)
+		}()
+	}
+}
+
+func TestOptimalTreeDPMatchesClosedForm(t *testing.T) {
+	for n := 1; n <= 300; n++ {
+		dp := OptimalTreeDP(n)
+		if err := dp.ValidateConsecutive(); err != nil {
+			t.Fatalf("OptimalTreeDP(%d): %v", n, err)
+		}
+		if got, want := dp.MergeCost(), MergeCost(int64(n)); got != want {
+			t.Fatalf("OptimalTreeDP(%d) cost %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestOptimalTreeDPPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("OptimalTreeDP(0) did not panic")
+		}
+	}()
+	OptimalTreeDP(0)
+}
+
+func TestFibonacciTree(t *testing.T) {
+	tr := FibonacciTree(13)
+	if tr.Size() != 13 || tr.MergeCost() != 46 {
+		t.Errorf("FibonacciTree(13): size=%d cost=%d, want 13 and 46", tr.Size(), tr.MergeCost())
+	}
+	for _, n := range []int64{1, 2, 3, 5, 8, 21, 34} {
+		if FibonacciTree(n).Size() != int(n) {
+			t.Errorf("FibonacciTree(%d) wrong size", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("FibonacciTree(6) did not panic")
+		}
+	}()
+	FibonacciTree(6)
+}
+
+func TestFibonacciTreePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("FibonacciTree(0) did not panic")
+		}
+	}()
+	FibonacciTree(0)
+}
+
+func TestOptimalTreeRootDegreeGrowsLogarithmically(t *testing.T) {
+	// The Fibonacci merge tree for n = F_k has root degree k-2: each
+	// recursive step adds exactly one child to the root.
+	for k := 4; k <= 25; k++ {
+		tr := OptimalTree(fib.F(k))
+		if got := len(tr.Children); got != k-2 {
+			t.Errorf("root degree for n=F_%d is %d, want %d", k, got, k-2)
+		}
+	}
+}
+
+func BenchmarkOptimalTree(b *testing.B) {
+	for _, n := range []int64{100, 1000, 10000, 100000} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				OptimalTree(n)
+			}
+		})
+	}
+}
+
+func BenchmarkOptimalTreeDPvsLinear(b *testing.B) {
+	// Ablation for Theorem 7: O(n) construction vs. the O(n^2) DP.
+	b.Run("linear-n=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			OptimalTree(2000)
+		}
+	})
+	b.Run("dp-n=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			OptimalTreeDP(2000)
+		}
+	})
+}
+
+func benchName(prefix string, v int64) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHybridServerExperiment(t *testing.T) {
+	res, err := HybridServer(DefaultHybrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ext-hybrid" || len(res.Table.Rows) != 3 {
+		t.Fatalf("unexpected result shape: %+v", res.ID)
+	}
+	hybridCost := parseF(t, res.Table.Rows[0][1])
+	pureDG := parseF(t, res.Table.Rows[1][1])
+	pureDyadic := parseF(t, res.Table.Rows[2][1])
+	if hybridCost <= 0 || pureDG <= 0 || pureDyadic <= 0 {
+		t.Fatalf("costs should be positive: %v %v %v", hybridCost, pureDG, pureDyadic)
+	}
+	// On the default quiet/busy evening the hybrid must beat the pure
+	// delay-guaranteed strategy (it skips the quiet slots).
+	if hybridCost >= pureDG {
+		t.Errorf("hybrid (%v) should beat pure delay-guaranteed (%v)", hybridCost, pureDG)
+	}
+	if !strings.Contains(res.Notes, "delay-guaranteed mode") {
+		t.Errorf("notes should report the loaded fraction: %q", res.Notes)
+	}
+}
+
+func TestMultiObjectPeakExperiment(t *testing.T) {
+	cfg := DefaultMultiObject()
+	cfg.Objects = 5
+	cfg.Horizon = 5
+	res, err := MultiObjectPeak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per delay factor plus the popularity-aware row.
+	if len(res.Table.Rows) != len(cfg.DelayFactors)+1 {
+		t.Fatalf("expected %d rows, got %d", len(cfg.DelayFactors)+1, len(res.Table.Rows))
+	}
+	// Peak channels must be non-increasing as the delay grows.
+	peaks := res.Series[0].Y
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i] > peaks[i-1] {
+			t.Errorf("peak increased with a larger delay: %v", peaks)
+		}
+	}
+	// The largest delay factor must use strictly fewer peak channels than
+	// the base delay.
+	if peaks[len(peaks)-1] >= peaks[0] {
+		t.Errorf("scaling the delay did not reduce the peak: %v", peaks)
+	}
+}
+
+func TestDyadicVsOptimalExperiment(t *testing.T) {
+	cfg := DyadicVsOptimalConfig{
+		LambdaPcts:   []float64{1, 5},
+		HorizonMedia: 1.5,
+		Replications: 2,
+		Seed:         9,
+	}
+	res, err := DyadicVsOptimal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(res.Table.Rows))
+	}
+	for _, row := range res.Table.Rows {
+		ratio := parseF(t, row[4])
+		// The on-line dyadic heuristic can never beat the exact off-line
+		// optimum, and in this regime it stays within a factor of 2.
+		if ratio < 1-1e-9 {
+			t.Errorf("dyadic beat the optimum: ratio %v", ratio)
+		}
+		if ratio > 2 {
+			t.Errorf("dyadic more than 2x the optimum: ratio %v", ratio)
+		}
+	}
+}

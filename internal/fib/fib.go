@@ -1,0 +1,171 @@
+// Package fib provides Fibonacci-number utilities used throughout the
+// stream-merging algorithms of Bar-Noy, Goshi and Ladner.
+//
+// The optimal merge cost in the receive-two model is governed by Fibonacci
+// numbers: M(n) = (k-1)n - F_{k+2} + 2 for F_k <= n <= F_{k+1}, and the
+// optimal number of full streams in a forest is determined by the index h
+// with F_{h+1} < L+2 <= F_{h+2}.  This package centralizes all Fibonacci
+// index arithmetic so that the conventions (F_0 = 0, F_1 = 1, F_2 = 1, ...)
+// are defined in exactly one place.
+package fib
+
+import (
+	"fmt"
+	"math"
+)
+
+// Phi is the golden ratio (1+sqrt(5))/2, the positive solution of x^2 = x+1.
+const Phi = 1.6180339887498948482045868343656381177
+
+// PhiHat is the conjugate root (1-sqrt(5))/2 of x^2 = x+1.
+const PhiHat = -0.6180339887498948482045868343656381177
+
+// MaxIndex is the largest Fibonacci index representable without overflowing
+// int64 (F_92 = 7540113804746346429 < 2^63-1, F_93 overflows).
+const MaxIndex = 92
+
+// table holds F_0..F_MaxIndex, filled in by init.
+var table [MaxIndex + 1]int64
+
+func init() {
+	table[0] = 0
+	table[1] = 1
+	for k := 2; k <= MaxIndex; k++ {
+		table[k] = table[k-1] + table[k-2]
+	}
+}
+
+// F returns the k-th Fibonacci number with the convention
+// F(0)=0, F(1)=1, F(2)=1, F(3)=2, F(4)=3, F(5)=5, ...
+// It panics if k is negative or larger than MaxIndex.
+func F(k int) int64 {
+	if k < 0 || k > MaxIndex {
+		panic(fmt.Sprintf("fib: index %d out of range [0,%d]", k, MaxIndex))
+	}
+	return table[k]
+}
+
+// Sequence returns the slice F(0), F(1), ..., F(k).
+func Sequence(k int) []int64 {
+	if k < 0 || k > MaxIndex {
+		panic(fmt.Sprintf("fib: index %d out of range [0,%d]", k, MaxIndex))
+	}
+	out := make([]int64, k+1)
+	copy(out, table[:k+1])
+	return out
+}
+
+// UpTo returns all Fibonacci numbers F(2), F(3), ... that are <= n, starting
+// from F(2)=1 (the first positive index after the duplicated 1).  The result
+// is empty if n < 1.
+func UpTo(n int64) []int64 {
+	var out []int64
+	for k := 2; k <= MaxIndex && table[k] <= n; k++ {
+		out = append(out, table[k])
+	}
+	return out
+}
+
+// IsFibonacci reports whether n equals some Fibonacci number F(k) with k>=0.
+func IsFibonacci(n int64) bool {
+	if n < 0 {
+		return false
+	}
+	for k := 0; k <= MaxIndex; k++ {
+		if table[k] == n {
+			return true
+		}
+		if table[k] > n {
+			return false
+		}
+	}
+	return false
+}
+
+// IndexFloor returns the largest index k >= 2 such that F(k) <= n.
+// Using k >= 2 avoids the ambiguity F(1) = F(2) = 1 and matches the paper's
+// convention of writing n = F_k + m with 0 <= m <= F_{k-1}: for n = 1 the
+// returned index is 2, for n = 2 it is 3, for n = 3 it is 4, and so on.
+// It panics if n < 1.
+func IndexFloor(n int64) int {
+	if n < 1 {
+		panic(fmt.Sprintf("fib: IndexFloor requires n >= 1, got %d", n))
+	}
+	k := 2
+	for k+1 <= MaxIndex && table[k+1] <= n {
+		k++
+	}
+	return k
+}
+
+// Bracket returns the index k such that F(k) <= n <= F(k+1) together with
+// the bracketing values F(k) and F(k+1).  When n is itself a Fibonacci
+// number the lower index is returned (the paper's formulas are redundant at
+// the boundary, so either choice yields the same merge cost).
+// It panics if n < 1.
+func Bracket(n int64) (k int, fk, fk1 int64) {
+	k = IndexFloor(n)
+	return k, table[k], table[k+1]
+}
+
+// IndexForLength returns the index h satisfying F(h+1) < L+2 <= F(h+2).
+// This is the index used by Theorem 12 (optimal number of full streams is
+// floor(n/F(h)) or one more) and by the on-line algorithm of Section 4
+// (static merge trees of size F(h)).  It panics if L < 1.
+func IndexForLength(L int64) int {
+	if L < 1 {
+		panic(fmt.Sprintf("fib: IndexForLength requires L >= 1, got %d", L))
+	}
+	// Find the smallest index j >= 3 with L+2 <= F(j); then h = j-2.
+	target := L + 2
+	for j := 3; j <= MaxIndex; j++ {
+		if table[j] >= target {
+			return j - 2
+		}
+	}
+	panic(fmt.Sprintf("fib: IndexForLength overflow for L = %d", L))
+}
+
+// TreeSizeForLength returns F(h) for h = IndexForLength(L): the number of
+// arrivals per merge tree used by the on-line delay-guaranteed algorithm.
+func TreeSizeForLength(L int64) int64 {
+	return F(IndexForLength(L))
+}
+
+// LogPhi returns log base phi of x.
+func LogPhi(x float64) float64 {
+	return math.Log(x) / math.Log(Phi)
+}
+
+// Approx returns the Binet approximation phi^k/sqrt(5) rounded to the
+// nearest integer, which equals F(k) exactly for all k in range.
+func Approx(k int) int64 {
+	return int64(math.Round(math.Pow(Phi, float64(k)) / math.Sqrt(5)))
+}
+
+// Zeckendorf returns the Zeckendorf representation of n >= 1: the unique set
+// of non-consecutive Fibonacci indices k_1 > k_2 > ... (all >= 2) with
+// n = F(k_1) + F(k_2) + ...  It panics if n < 1.
+func Zeckendorf(n int64) []int {
+	if n < 1 {
+		panic(fmt.Sprintf("fib: Zeckendorf requires n >= 1, got %d", n))
+	}
+	var idx []int
+	rem := n
+	for rem > 0 {
+		k := IndexFloor(rem)
+		idx = append(idx, k)
+		rem -= table[k]
+	}
+	return idx
+}
+
+// FromZeckendorf reconstructs the integer encoded by a list of Fibonacci
+// indices (the inverse of Zeckendorf for valid representations).
+func FromZeckendorf(indices []int) int64 {
+	var n int64
+	for _, k := range indices {
+		n += F(k)
+	}
+	return n
+}

@@ -1,0 +1,264 @@
+package fib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFSmallValues(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987}
+	for k, w := range want {
+		if got := F(k); got != w {
+			t.Errorf("F(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestFRecurrence(t *testing.T) {
+	for k := 2; k <= MaxIndex; k++ {
+		if F(k) != F(k-1)+F(k-2) {
+			t.Fatalf("F(%d) = %d violates recurrence (F(%d)=%d, F(%d)=%d)",
+				k, F(k), k-1, F(k-1), k-2, F(k-2))
+		}
+	}
+}
+
+func TestFPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, MaxIndex + 1, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("F(%d) did not panic", k)
+				}
+			}()
+			F(k)
+		}()
+	}
+}
+
+func TestSequence(t *testing.T) {
+	seq := Sequence(10)
+	if len(seq) != 11 {
+		t.Fatalf("Sequence(10) has length %d, want 11", len(seq))
+	}
+	for k, v := range seq {
+		if v != F(k) {
+			t.Errorf("Sequence(10)[%d] = %d, want %d", k, v, F(k))
+		}
+	}
+}
+
+func TestUpTo(t *testing.T) {
+	got := UpTo(21)
+	want := []int64{1, 2, 3, 5, 8, 13, 21}
+	if len(got) != len(want) {
+		t.Fatalf("UpTo(21) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UpTo(21) = %v, want %v", got, want)
+		}
+	}
+	if len(UpTo(0)) != 0 {
+		t.Errorf("UpTo(0) should be empty, got %v", UpTo(0))
+	}
+}
+
+func TestIsFibonacci(t *testing.T) {
+	fibs := map[int64]bool{0: true, 1: true, 2: true, 3: true, 5: true, 8: true, 13: true, 21: true, 34: true}
+	for n := int64(-2); n <= 40; n++ {
+		want := fibs[n]
+		if n >= 0 && !want {
+			// not in the map and non-negative: only true if truly Fibonacci
+			want = false
+		}
+		if got := IsFibonacci(n); got != want {
+			t.Errorf("IsFibonacci(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIndexFloor(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{1, 2}, {2, 3}, {3, 4}, {4, 4}, {5, 5}, {7, 5}, {8, 6},
+		{12, 6}, {13, 7}, {20, 7}, {21, 8}, {33, 8}, {34, 9}, {55, 10},
+	}
+	for _, c := range cases {
+		if got := IndexFloor(c.n); got != c.want {
+			t.Errorf("IndexFloor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIndexFloorBrackets(t *testing.T) {
+	for n := int64(1); n <= 100000; n++ {
+		k := IndexFloor(n)
+		if !(F(k) <= n && n <= F(k+1)) || k < 2 {
+			t.Fatalf("IndexFloor(%d) = %d does not bracket: F(%d)=%d F(%d)=%d",
+				n, k, k, F(k), k+1, F(k+1))
+		}
+		// When n is strictly between Fibonacci numbers the bracket is unique.
+		if !IsFibonacci(n) && (F(k) > n || F(k+1) < n) {
+			t.Fatalf("bad bracket for %d", n)
+		}
+	}
+}
+
+func TestBracket(t *testing.T) {
+	k, lo, hi := Bracket(10)
+	if k != 6 || lo != 8 || hi != 13 {
+		t.Errorf("Bracket(10) = (%d,%d,%d), want (6,8,13)", k, lo, hi)
+	}
+	k, lo, hi = Bracket(13)
+	if k != 7 || lo != 13 || hi != 21 {
+		t.Errorf("Bracket(13) = (%d,%d,%d), want (7,13,21)", k, lo, hi)
+	}
+}
+
+func TestIndexForLength(t *testing.T) {
+	// h satisfies F(h+1) < L+2 <= F(h+2).
+	cases := []struct {
+		L    int64
+		want int
+	}{
+		{1, 2},  // L+2=3: F(3)=2 < 3 <= F(4)=3 -> h=2
+		{2, 3},  // L+2=4: F(4)=3 < 4 <= F(5)=5 -> h=3
+		{3, 3},  // L+2=5: F(4)=3 < 5 <= F(5)=5 -> h=3
+		{4, 4},  // L+2=6: F(5)=5 < 6 <= F(6)=8 -> h=4
+		{6, 4},  // L+2=8
+		{7, 5},  // L+2=9: F(6)=8 < 9 <= F(7)=13 -> h=5
+		{11, 5}, // L+2=13
+		{12, 6}, // L+2=14: F(7)=13 < 14 <= F(8)=21 -> h=6
+		{15, 6}, // the paper's running example L=15: h=6, F(6)=8
+		{19, 6},
+		{20, 7}, // L+2=22: F(8)=21 < 22 <= F(9)=34
+		{100, 10},
+	}
+	for _, c := range cases {
+		if got := IndexForLength(c.L); got != c.want {
+			t.Errorf("IndexForLength(%d) = %d, want %d", c.L, got, c.want)
+		}
+	}
+}
+
+func TestIndexForLengthInvariant(t *testing.T) {
+	for L := int64(1); L <= 100000; L++ {
+		h := IndexForLength(L)
+		if !(F(h+1) < L+2 && L+2 <= F(h+2)) {
+			t.Fatalf("IndexForLength(%d) = %d violates F(h+1) < L+2 <= F(h+2): F(%d)=%d F(%d)=%d",
+				L, h, h+1, F(h+1), h+2, F(h+2))
+		}
+	}
+}
+
+func TestTreeSizeForLength(t *testing.T) {
+	if got := TreeSizeForLength(15); got != 8 {
+		t.Errorf("TreeSizeForLength(15) = %d, want 8", got)
+	}
+	if got := TreeSizeForLength(100); got != 55 {
+		t.Errorf("TreeSizeForLength(100) = %d, want 55", got)
+	}
+	if got := TreeSizeForLength(1); got != 1 {
+		t.Errorf("TreeSizeForLength(1) = %d, want 1", got)
+	}
+}
+
+func TestApproxMatchesExact(t *testing.T) {
+	// Binet's formula rounded should be exact up to F(70) comfortably within
+	// float64 precision; beyond that rounding error may creep in, so only
+	// check the range we rely on.
+	for k := 0; k <= 70; k++ {
+		if got := Approx(k); got != F(k) {
+			t.Errorf("Approx(%d) = %d, want %d", k, got, F(k))
+		}
+	}
+}
+
+func TestLogPhi(t *testing.T) {
+	if got := LogPhi(Phi); math.Abs(got-1) > 1e-12 {
+		t.Errorf("LogPhi(phi) = %v, want 1", got)
+	}
+	if got := LogPhi(Phi * Phi); math.Abs(got-2) > 1e-12 {
+		t.Errorf("LogPhi(phi^2) = %v, want 2", got)
+	}
+}
+
+func TestZeckendorfSmall(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want []int
+	}{
+		{1, []int{2}},
+		{2, []int{3}},
+		{3, []int{4}},
+		{4, []int{4, 2}},
+		{10, []int{6, 3}},       // 8+2
+		{100, []int{11, 6, 4}},  // 89+8+3
+		{54, []int{9, 7, 5, 3}}, // 34+13+5+2
+	}
+	for _, c := range cases {
+		got := Zeckendorf(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("Zeckendorf(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Zeckendorf(%d) = %v, want %v", c.n, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestZeckendorfProperties(t *testing.T) {
+	// Property: representation sums back to n, uses indices >= 2, and has no
+	// two consecutive indices.
+	prop := func(x uint16) bool {
+		n := int64(x) + 1
+		idx := Zeckendorf(n)
+		if FromZeckendorf(idx) != n {
+			return false
+		}
+		for i, k := range idx {
+			if k < 2 {
+				return false
+			}
+			if i > 0 && idx[i-1]-k < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldenRatioIdentity(t *testing.T) {
+	if math.Abs(Phi*Phi-(Phi+1)) > 1e-12 {
+		t.Errorf("phi^2 != phi + 1")
+	}
+	if math.Abs(PhiHat*PhiHat-(PhiHat+1)) > 1e-12 {
+		t.Errorf("phiHat^2 != phiHat + 1")
+	}
+	if math.Abs((Phi+PhiHat)-1) > 1e-12 {
+		t.Errorf("phi + phiHat != 1")
+	}
+}
+
+func BenchmarkIndexFloor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		IndexFloor(int64(i%100000 + 1))
+	}
+}
+
+func BenchmarkZeckendorf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Zeckendorf(int64(i%100000 + 1))
+	}
+}

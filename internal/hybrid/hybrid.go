@@ -1,0 +1,237 @@
+// Package hybrid implements the hybrid server sketched in Section 5 of the
+// paper: use the delay-guaranteed algorithm while the server is heavily
+// loaded (its bandwidth is then bounded and independent of the arrival
+// pattern, so the server never has to decline a request), and switch to a
+// more opportunistic stream-merging algorithm (the batched dyadic algorithm)
+// when the client arrival intensity is low and starting a stream in every
+// slot would be wasteful.
+//
+// The policy is deliberately simple, matching the spirit of the paper's
+// delay-guaranteed algorithm: time is divided into fixed decision windows of
+// a whole number of slots; a window is classified as "loaded" when the
+// fraction of its slots containing at least one arrival reaches a threshold,
+// and consecutive windows with the same classification are served as one
+// segment by the corresponding algorithm.  Merging never crosses a segment
+// boundary, so each segment's cost is exactly the cost of the chosen
+// algorithm on that segment.
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arrivals"
+	"repro/internal/dyadic"
+	"repro/internal/online"
+)
+
+// Mode identifies the algorithm serving a segment.
+type Mode int
+
+const (
+	// ModeDyadic serves only the slots that contain arrivals, using the
+	// batched dyadic stream-merging algorithm.
+	ModeDyadic Mode = iota
+	// ModeDelayGuaranteed starts a (possibly truncated) stream at the end of
+	// every slot, following the static F_h-tree structure.
+	ModeDelayGuaranteed
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeDyadic:
+		return "dyadic"
+	case ModeDelayGuaranteed:
+		return "delay-guaranteed"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the hybrid policy.
+type Config struct {
+	// MediaLength is the media length in the trace's time unit (usually 1).
+	MediaLength float64
+	// Delay is the guaranteed start-up delay in the same unit.
+	Delay float64
+	// WindowSlots is the number of slots per load-classification window.
+	WindowSlots int
+	// OccupancyThreshold is the fraction of occupied slots at or above which
+	// a window is classified as loaded (delay-guaranteed mode).
+	OccupancyThreshold float64
+	// Dyadic holds the parameters of the dyadic algorithm used in the
+	// lightly-loaded mode.
+	Dyadic dyadic.Params
+}
+
+// DefaultConfig returns a reasonable hybrid configuration for the given
+// media length and delay.
+func DefaultConfig(mediaLength, delay float64) Config {
+	return Config{
+		MediaLength:        mediaLength,
+		Delay:              delay,
+		WindowSlots:        50,
+		OccupancyThreshold: 0.8,
+		Dyadic:             dyadic.GoldenPoisson(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MediaLength <= 0 {
+		return fmt.Errorf("hybrid: media length must be positive, got %g", c.MediaLength)
+	}
+	if c.Delay <= 0 || c.Delay > c.MediaLength {
+		return fmt.Errorf("hybrid: delay must be in (0, media length], got %g", c.Delay)
+	}
+	if c.WindowSlots < 1 {
+		return fmt.Errorf("hybrid: window must span at least one slot, got %d", c.WindowSlots)
+	}
+	if c.OccupancyThreshold <= 0 || c.OccupancyThreshold > 1 {
+		return fmt.Errorf("hybrid: occupancy threshold must be in (0,1], got %g", c.OccupancyThreshold)
+	}
+	return c.Dyadic.Validate()
+}
+
+// Segment is a maximal run of consecutive windows served in the same mode.
+type Segment struct {
+	// Start and End delimit the segment in time units.
+	Start, End float64
+	// Mode is the algorithm serving the segment.
+	Mode Mode
+	// Arrivals is the number of client arrivals in the segment.
+	Arrivals int
+	// Cost is the segment's bandwidth in complete media streams.
+	Cost float64
+}
+
+// Result summarizes a hybrid run.
+type Result struct {
+	// Segments is the mode timeline.
+	Segments []Segment
+	// TotalCost is the hybrid server's bandwidth in complete media streams.
+	TotalCost float64
+	// PureDelayGuaranteedCost is what the pure delay-guaranteed algorithm
+	// would have used over the whole horizon.
+	PureDelayGuaranteedCost float64
+	// PureDyadicCost is what the pure batched dyadic algorithm would have
+	// used over the whole horizon.
+	PureDyadicCost float64
+	// LoadedFraction is the fraction of the horizon served in
+	// delay-guaranteed mode.
+	LoadedFraction float64
+}
+
+// Run replays the arrival trace over [0, horizon) through the hybrid policy
+// and returns the mode timeline and cost comparison.
+func Run(trace arrivals.Trace, horizon float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("hybrid: horizon must be positive, got %g", horizon)
+	}
+	slotsPerMedia := int64(math.Round(cfg.MediaLength / cfg.Delay))
+	if slotsPerMedia < 1 {
+		slotsPerMedia = 1
+	}
+	totalSlots := int64(math.Ceil(horizon / cfg.Delay))
+	windowSlots := int64(cfg.WindowSlots)
+
+	// Classify each window by slot occupancy.
+	occupied := make(map[int64]bool)
+	for _, t := range trace {
+		if t < horizon {
+			occupied[int64(math.Floor(t/cfg.Delay))] = true
+		}
+	}
+	numWindows := (totalSlots + windowSlots - 1) / windowSlots
+	modes := make([]Mode, numWindows)
+	for w := int64(0); w < numWindows; w++ {
+		startSlot := w * windowSlots
+		endSlot := startSlot + windowSlots
+		if endSlot > totalSlots {
+			endSlot = totalSlots
+		}
+		occ := 0
+		for s := startSlot; s < endSlot; s++ {
+			if occupied[s] {
+				occ++
+			}
+		}
+		if float64(occ) >= cfg.OccupancyThreshold*float64(endSlot-startSlot) {
+			modes[w] = ModeDelayGuaranteed
+		} else {
+			modes[w] = ModeDyadic
+		}
+	}
+
+	// Coalesce consecutive windows with the same mode into segments and cost
+	// each segment with its algorithm.
+	srv := online.NewServer(slotsPerMedia)
+	res := &Result{}
+	var loadedSlots int64
+	for w := int64(0); w < numWindows; {
+		mode := modes[w]
+		end := w + 1
+		for end < numWindows && modes[end] == mode {
+			end++
+		}
+		startSlot := w * windowSlots
+		endSlot := end * windowSlots
+		if endSlot > totalSlots {
+			endSlot = totalSlots
+		}
+		segStart := float64(startSlot) * cfg.Delay
+		segEnd := float64(endSlot) * cfg.Delay
+		segTrace := sliceTrace(trace, segStart, segEnd)
+		seg := Segment{Start: segStart, End: segEnd, Mode: mode, Arrivals: len(segTrace)}
+		switch mode {
+		case ModeDelayGuaranteed:
+			n := endSlot - startSlot
+			seg.Cost = float64(srv.Cost(n)) / float64(slotsPerMedia)
+			loadedSlots += n
+		case ModeDyadic:
+			if len(segTrace) > 0 {
+				cost, err := dyadic.TotalBatchedCost(segTrace, cfg.MediaLength, cfg.Delay, cfg.Dyadic)
+				if err != nil {
+					return nil, err
+				}
+				seg.Cost = cost
+			}
+		}
+		res.Segments = append(res.Segments, seg)
+		res.TotalCost += seg.Cost
+		w = end
+	}
+
+	// Pure baselines over the whole horizon.
+	res.PureDelayGuaranteedCost = float64(srv.Cost(totalSlots)) / float64(slotsPerMedia)
+	clipped := trace.Clip(horizon)
+	if len(clipped) > 0 {
+		cost, err := dyadic.TotalBatchedCost(clipped, cfg.MediaLength, cfg.Delay, cfg.Dyadic)
+		if err != nil {
+			return nil, err
+		}
+		res.PureDyadicCost = cost
+	}
+	if totalSlots > 0 {
+		res.LoadedFraction = float64(loadedSlots) / float64(totalSlots)
+	}
+	return res, nil
+}
+
+// sliceTrace returns the arrivals in [from, to).
+func sliceTrace(trace arrivals.Trace, from, to float64) arrivals.Trace {
+	var out arrivals.Trace
+	for _, t := range trace {
+		if t >= from && t < to {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/dyadic"
+)
+
+func TestModeString(t *testing.T) {
+	if ModeDyadic.String() != "dyadic" || ModeDelayGuaranteed.String() != "delay-guaranteed" {
+		t.Errorf("mode names wrong")
+	}
+	if Mode(7).String() == "" {
+		t.Errorf("unknown mode should format")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(1, 0.01).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{MediaLength: 0, Delay: 0.01, WindowSlots: 10, OccupancyThreshold: 0.5, Dyadic: dyadic.Original()},
+		{MediaLength: 1, Delay: 0, WindowSlots: 10, OccupancyThreshold: 0.5, Dyadic: dyadic.Original()},
+		{MediaLength: 1, Delay: 2, WindowSlots: 10, OccupancyThreshold: 0.5, Dyadic: dyadic.Original()},
+		{MediaLength: 1, Delay: 0.01, WindowSlots: 0, OccupancyThreshold: 0.5, Dyadic: dyadic.Original()},
+		{MediaLength: 1, Delay: 0.01, WindowSlots: 10, OccupancyThreshold: 0, Dyadic: dyadic.Original()},
+		{MediaLength: 1, Delay: 0.01, WindowSlots: 10, OccupancyThreshold: 1.5, Dyadic: dyadic.Original()},
+		{MediaLength: 1, Delay: 0.01, WindowSlots: 10, OccupancyThreshold: 0.5, Dyadic: dyadic.Params{Alpha: 1, Beta: 0.5}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := DefaultConfig(1, 0.01)
+	if _, err := Run(arrivals.Trace{0.5, 0.2}, 10, cfg); err == nil {
+		t.Errorf("unsorted trace should fail")
+	}
+	if _, err := Run(arrivals.Trace{0.1}, 0, cfg); err == nil {
+		t.Errorf("non-positive horizon should fail")
+	}
+	badCfg := cfg
+	badCfg.WindowSlots = 0
+	if _, err := Run(arrivals.Trace{0.1}, 10, badCfg); err == nil {
+		t.Errorf("invalid config should fail")
+	}
+}
+
+func TestRunEmptyTraceCostsNothingInDyadicMode(t *testing.T) {
+	cfg := DefaultConfig(1, 0.01)
+	res, err := Run(arrivals.Trace{}, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no arrivals every window is lightly loaded, the dyadic mode
+	// serves nothing, and the hybrid cost is zero — while the pure
+	// delay-guaranteed algorithm would still pay for a stream per slot.
+	if res.TotalCost != 0 {
+		t.Errorf("hybrid cost on an empty trace = %v, want 0", res.TotalCost)
+	}
+	if res.PureDelayGuaranteedCost <= 0 {
+		t.Errorf("pure delay-guaranteed cost should be positive")
+	}
+	if res.LoadedFraction != 0 {
+		t.Errorf("no window should be classified as loaded")
+	}
+}
+
+func TestRunSaturatedTraceUsesDelayGuaranteedEverywhere(t *testing.T) {
+	// An arrival in every slot: every window is loaded, so the hybrid cost
+	// equals the pure delay-guaranteed cost.
+	cfg := DefaultConfig(1, 0.01)
+	tr := arrivals.Constant(0.005, 10) // two arrivals per slot on average
+	res, err := Run(tr, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoadedFraction < 0.99 {
+		t.Errorf("loaded fraction = %v, want ~1", res.LoadedFraction)
+	}
+	if math.Abs(res.TotalCost-res.PureDelayGuaranteedCost) > 1e-9 {
+		t.Errorf("hybrid cost %v != pure delay-guaranteed cost %v", res.TotalCost, res.PureDelayGuaranteedCost)
+	}
+	for _, s := range res.Segments {
+		if s.Mode != ModeDelayGuaranteed {
+			t.Errorf("segment [%v,%v) should be delay-guaranteed", s.Start, s.End)
+		}
+	}
+}
+
+func TestRunNonStationaryTraceSwitchesModes(t *testing.T) {
+	// Quiet first half (sparse Poisson), busy second half (dense constant
+	// rate).  The hybrid server must use the dyadic mode in (most of) the
+	// quiet half and the delay-guaranteed mode in the busy half, and must
+	// beat the pure delay-guaranteed server overall.
+	cfg := DefaultConfig(1, 0.01)
+	quiet := arrivals.Poisson(0.2, 10, 5)
+	var busy arrivals.Trace
+	for _, t0 := range arrivals.Constant(0.004, 10) {
+		busy = append(busy, 10+t0)
+	}
+	tr := arrivals.Merge(quiet, busy)
+	res, err := Run(tr, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoadedFraction <= 0.3 || res.LoadedFraction >= 0.7 {
+		t.Errorf("loaded fraction = %v, expected roughly half the horizon", res.LoadedFraction)
+	}
+	if res.TotalCost >= res.PureDelayGuaranteedCost {
+		t.Errorf("hybrid (%v) should beat pure delay-guaranteed (%v) on a half-quiet trace",
+			res.TotalCost, res.PureDelayGuaranteedCost)
+	}
+	// Mode assignment sanity: every segment fully inside the busy half is
+	// delay-guaranteed; every segment fully inside the quiet half (before
+	// time 9) is dyadic.
+	for _, s := range res.Segments {
+		if s.Start >= 10.5 && s.Mode != ModeDelayGuaranteed {
+			t.Errorf("busy segment [%v,%v) served in %v mode", s.Start, s.End, s.Mode)
+		}
+		if s.End <= 9 && s.Mode != ModeDyadic {
+			t.Errorf("quiet segment [%v,%v) served in %v mode", s.Start, s.End, s.Mode)
+		}
+	}
+	// Total arrivals across segments equals the trace size.
+	total := 0
+	for _, s := range res.Segments {
+		total += s.Arrivals
+	}
+	if total != len(tr) {
+		t.Errorf("segments account for %d arrivals, trace has %d", total, len(tr))
+	}
+}
+
+func TestRunCostNeverWorseThanBothPureStrategiesCombined(t *testing.T) {
+	// The hybrid cost is at most the pure delay-guaranteed cost plus the
+	// pure dyadic cost (each segment is served by one of the two).
+	for seed := int64(0); seed < 5; seed++ {
+		tr := arrivals.Poisson(0.008, 15, seed)
+		cfg := DefaultConfig(1, 0.01)
+		res, err := Run(tr, 15, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalCost > res.PureDelayGuaranteedCost+res.PureDyadicCost+1e-9 {
+			t.Errorf("seed %d: hybrid cost %v exceeds the sum of both pure costs", seed, res.TotalCost)
+		}
+	}
+}
+
+func TestSliceTrace(t *testing.T) {
+	tr := arrivals.Trace{0.5, 1.5, 2.5, 3.5}
+	got := sliceTrace(tr, 1, 3)
+	if len(got) != 2 || got[0] != 1.5 || got[1] != 2.5 {
+		t.Errorf("sliceTrace = %v", got)
+	}
+}
+
+func BenchmarkHybridRun(b *testing.B) {
+	tr := arrivals.Poisson(0.005, 50, 3)
+	cfg := DefaultConfig(1, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tr, 50, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

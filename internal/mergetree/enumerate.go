@@ -1,0 +1,136 @@
+package mergetree
+
+// Enumerate returns every merge tree with the preorder-traversal property
+// over the consecutive arrivals first, first+1, ..., first+n-1.  There are
+// Catalan(n-1) such trees, so this is intended only for small n (brute-force
+// optimality checks in tests and ablation studies).
+//
+// The enumeration follows the recursive structure of Lemma 2: the root is
+// the first arrival; the remaining arrivals are partitioned into consecutive
+// blocks, the first element of each block becomes a child of the root, and
+// each block is itself an arbitrary merge tree.
+func Enumerate(first int64, n int) []*Tree {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []*Tree{New(first)}
+	}
+	var result []*Tree
+	// Enumerate the compositions of the n-1 non-root arrivals into ordered
+	// blocks; each block of size b starting at arrival a contributes every
+	// merge tree over [a, a+b-1] as a child subtree.
+	blocksList := compositions(n - 1)
+	for _, blocks := range blocksList {
+		// For each composition, take the cartesian product of the per-block
+		// tree choices.
+		perBlock := make([][]*Tree, len(blocks))
+		start := first + 1
+		for i, b := range blocks {
+			perBlock[i] = Enumerate(start, b)
+			start += int64(b)
+		}
+		for _, combo := range cartesian(perBlock) {
+			root := New(first)
+			for _, child := range combo {
+				root.AddChild(child)
+			}
+			result = append(result, root)
+		}
+	}
+	return result
+}
+
+// EnumerateOptimal returns every merge tree over [first, first+n-1] whose
+// receive-two merge cost equals the minimum over all merge trees, together
+// with that minimum cost.  Brute force; small n only.
+func EnumerateOptimal(first int64, n int) ([]*Tree, int64) {
+	all := Enumerate(first, n)
+	if len(all) == 0 {
+		return nil, 0
+	}
+	best := all[0].MergeCost()
+	for _, t := range all[1:] {
+		if c := t.MergeCost(); c < best {
+			best = c
+		}
+	}
+	var opt []*Tree
+	for _, t := range all {
+		if t.MergeCost() == best {
+			opt = append(opt, t)
+		}
+	}
+	return opt, best
+}
+
+// MinMergeCostBruteForce returns the minimum receive-two merge cost over all
+// merge trees for n consecutive arrivals.  Brute force; small n only.
+func MinMergeCostBruteForce(n int) int64 {
+	_, best := EnumerateOptimal(0, n)
+	return best
+}
+
+// MinMergeCostAllBruteForce returns the minimum receive-all merge cost over
+// all merge trees for n consecutive arrivals.  Brute force; small n only.
+func MinMergeCostAllBruteForce(n int) int64 {
+	all := Enumerate(0, n)
+	if len(all) == 0 {
+		return 0
+	}
+	best := all[0].MergeCostAll()
+	for _, t := range all[1:] {
+		if c := t.MergeCostAll(); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// compositions returns all ordered compositions of n into positive parts.
+// compositions(3) = [[3] [1 2] [2 1] [1 1 1]] (order of the outer slice is
+// unspecified).
+func compositions(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	for first := 1; first <= n; first++ {
+		for _, rest := range compositions(n - first) {
+			comp := append([]int{first}, rest...)
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+// cartesian returns the cartesian product of the given slices of trees.
+func cartesian(choices [][]*Tree) [][]*Tree {
+	if len(choices) == 0 {
+		return [][]*Tree{{}}
+	}
+	var out [][]*Tree
+	for _, head := range choices[0] {
+		for _, rest := range cartesian(choices[1:]) {
+			combo := append([]*Tree{head}, rest...)
+			out = append(out, combo)
+		}
+	}
+	return out
+}
+
+// Catalan returns the n-th Catalan number, the count of merge trees over n+1
+// consecutive arrivals.  Used to sanity-check Enumerate in tests.
+func Catalan(n int) int64 {
+	// C(0)=1; C(n+1) = sum_{i=0..n} C(i) C(n-i).
+	c := make([]int64, n+1)
+	c[0] = 1
+	for m := 1; m <= n; m++ {
+		var s int64
+		for i := 0; i < m; i++ {
+			s += c[i] * c[m-1-i]
+		}
+		c[m] = s
+	}
+	return c[n]
+}

@@ -1,0 +1,147 @@
+package mergetree
+
+import (
+	"testing"
+)
+
+func TestCatalanNumbers(t *testing.T) {
+	want := []int64{1, 1, 2, 5, 14, 42, 132, 429, 1430, 4862}
+	for n, w := range want {
+		if got := Catalan(n); got != w {
+			t.Errorf("Catalan(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestEnumerateCounts(t *testing.T) {
+	// The number of merge trees with the preorder property over n arrivals
+	// is Catalan(n-1).
+	for n := 1; n <= 8; n++ {
+		trees := Enumerate(0, n)
+		if int64(len(trees)) != Catalan(n-1) {
+			t.Errorf("Enumerate(0,%d) produced %d trees, want Catalan(%d)=%d",
+				n, len(trees), n-1, Catalan(n-1))
+		}
+		seen := map[string]bool{}
+		for _, tr := range trees {
+			if tr.Size() != n {
+				t.Fatalf("enumerated tree has size %d, want %d: %v", tr.Size(), n, tr)
+			}
+			if err := tr.ValidateConsecutive(); err != nil {
+				t.Fatalf("enumerated tree invalid: %v", err)
+			}
+			key := tr.String()
+			if seen[key] {
+				t.Fatalf("duplicate enumerated tree %q", key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestEnumerateEmptyAndSingle(t *testing.T) {
+	if got := Enumerate(5, 0); got != nil {
+		t.Errorf("Enumerate(_,0) = %v, want nil", got)
+	}
+	single := Enumerate(5, 1)
+	if len(single) != 1 || single[0].Arrival != 5 || single[0].Size() != 1 {
+		t.Errorf("Enumerate(5,1) = %v", single)
+	}
+}
+
+func TestBruteForceMergeCostMatchesPaperSequence(t *testing.T) {
+	// Paper, Section 3.1: M(n) for n = 1..10 is 0,1,3,6,9,13,17,21,26,31.
+	want := []int64{0, 1, 3, 6, 9, 13, 17, 21, 26, 31}
+	for i, w := range want {
+		n := i + 1
+		if n > 9 {
+			// keep the brute force fast; n=10 has 4862 trees which is still
+			// fine, include it.
+		}
+		if got := MinMergeCostBruteForce(n); got != w {
+			t.Errorf("brute-force M(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestBruteForceReceiveAllMatchesPaperSequence(t *testing.T) {
+	// Paper, Section 3.4: M_w(n) for n = 1..10 is 0,1,3,5,8,11,14,17,21,25.
+	want := []int64{0, 1, 3, 5, 8, 11, 14, 17, 21, 25}
+	for i, w := range want {
+		n := i + 1
+		if got := MinMergeCostAllBruteForce(n); got != w {
+			t.Errorf("brute-force M_w(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestEnumerateOptimalN4HasTwoTrees(t *testing.T) {
+	// Fig. 6: there are exactly two optimal trees for n = 4, both with merge
+	// cost 6.
+	opt, best := EnumerateOptimal(0, 4)
+	if best != 6 {
+		t.Fatalf("optimal cost for n=4 = %d, want 6", best)
+	}
+	if len(opt) != 2 {
+		t.Errorf("number of optimal trees for n=4 = %d, want 2", len(opt))
+	}
+}
+
+func TestEnumerateOptimalFibonacciUnique(t *testing.T) {
+	// For n equal to a Fibonacci number the optimal tree is unique (Fig. 7).
+	for _, n := range []int{2, 3, 5, 8} {
+		opt, _ := EnumerateOptimal(0, n)
+		if len(opt) != 1 {
+			t.Errorf("n=%d: %d optimal trees, want 1 (Fibonacci merge tree is unique)", n, len(opt))
+		}
+	}
+}
+
+func TestEnumerateOptimalFibonacciTreeShapes(t *testing.T) {
+	// Fig. 7 gives the unique optimal trees for n = 3, 5, 8.
+	want := map[int]string{
+		3: "0(1 2)",
+		5: "0(1 2 3(4))",
+		8: "0(1 2 3(4) 5(6 7))",
+	}
+	for n, ws := range want {
+		opt, _ := EnumerateOptimal(0, n)
+		if len(opt) != 1 {
+			t.Fatalf("n=%d: expected unique optimal tree", n)
+		}
+		if got := opt[0].String(); got != ws {
+			t.Errorf("optimal tree for n=%d is %q, want %q", n, got, ws)
+		}
+	}
+}
+
+func TestCompositionsCount(t *testing.T) {
+	// There are 2^(n-1) compositions of n.
+	for n := 1; n <= 10; n++ {
+		if got := len(compositions(n)); got != 1<<uint(n-1) {
+			t.Errorf("compositions(%d) has %d entries, want %d", n, got, 1<<uint(n-1))
+		}
+	}
+	if got := len(compositions(0)); got != 1 {
+		t.Errorf("compositions(0) should have exactly the empty composition")
+	}
+}
+
+func TestCartesianProduct(t *testing.T) {
+	a := []*Tree{New(1), New(2)}
+	b := []*Tree{New(3), New(4), New(5)}
+	prod := cartesian([][]*Tree{a, b})
+	if len(prod) != 6 {
+		t.Errorf("cartesian product size = %d, want 6", len(prod))
+	}
+	empty := cartesian(nil)
+	if len(empty) != 1 || len(empty[0]) != 0 {
+		t.Errorf("cartesian(nil) should be a single empty combination")
+	}
+}
+
+func BenchmarkEnumerateN8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Enumerate(0, 8)
+	}
+}

@@ -1,0 +1,44 @@
+package mergetree_test
+
+import (
+	"fmt"
+
+	"repro/internal/mergetree"
+)
+
+func ExampleParse() {
+	// The optimal merge tree of Fig. 4 in its parenthesized encoding.
+	tree, _ := mergetree.Parse("0(1 2 3(4) 5(6 7))")
+	fmt.Println("size:", tree.Size())
+	fmt.Println("merge cost (receive-two):", tree.MergeCost())
+	fmt.Println("merge cost (receive-all):", tree.MergeCostAll())
+	fmt.Println("receiving program of client 7:", tree.PathTo(7))
+	// Output:
+	// size: 8
+	// merge cost (receive-two): 21
+	// merge cost (receive-all): 18
+	// receiving program of client 7: [0 5 7]
+}
+
+func ExampleForest_FullCost() {
+	f := mergetree.NewForest(15)
+	t1, _ := mergetree.Parse("0(1 2 3(4) 5(6))")
+	t2, _ := mergetree.Parse("7(8 9 10(11) 12(13))")
+	f.Add(t1)
+	f.Add(t2)
+	fmt.Println(f.FullCost())
+	// Output:
+	// 64
+}
+
+func ExampleTree_LengthsReceiveTwo() {
+	tree, _ := mergetree.Parse("0(1 2(3))")
+	for _, nl := range tree.LengthsReceiveTwo(10) {
+		fmt.Printf("stream %d: %d slots\n", nl.Arrival, nl.Length)
+	}
+	// Output:
+	// stream 0: 10 slots
+	// stream 1: 1 slots
+	// stream 2: 4 slots
+	// stream 3: 1 slots
+}

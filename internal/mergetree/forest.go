@@ -1,0 +1,223 @@
+package mergetree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Forest is a merge forest: a sequence of merge trees whose arrival ranges
+// are disjoint and increasing.  Each tree's root owns a full stream of
+// length L; the full cost of the forest is s·L plus the merge costs of the
+// trees (Section 2).
+type Forest struct {
+	// L is the full stream length in slots (media length divided by the
+	// guaranteed start-up delay).
+	L int64
+	// Trees are the merge trees in increasing order of their root arrival.
+	Trees []*Tree
+}
+
+// NewForest returns an empty forest for full stream length L.
+func NewForest(L int64) *Forest {
+	return &Forest{L: L}
+}
+
+// Add appends a tree to the forest.
+func (f *Forest) Add(t *Tree) {
+	f.Trees = append(f.Trees, t)
+}
+
+// Size returns the total number of arrivals across all trees.
+func (f *Forest) Size() int {
+	n := 0
+	for _, t := range f.Trees {
+		n += t.Size()
+	}
+	return n
+}
+
+// Streams returns the number of full streams (roots) in the forest.
+func (f *Forest) Streams() int {
+	return len(f.Trees)
+}
+
+// FullCost returns the full cost of the forest in the receive-two model:
+// s·L plus the sum of the merge costs of the trees.
+func (f *Forest) FullCost() int64 {
+	cost := int64(len(f.Trees)) * f.L
+	for _, t := range f.Trees {
+		cost += t.MergeCost()
+	}
+	return cost
+}
+
+// FullCostAll returns the full cost of the forest in the receive-all model.
+func (f *Forest) FullCostAll() int64 {
+	cost := int64(len(f.Trees)) * f.L
+	for _, t := range f.Trees {
+		cost += t.MergeCostAll()
+	}
+	return cost
+}
+
+// AverageBandwidth returns the average server bandwidth needed to satisfy
+// the requests: FullCost / number of arrivals, in units of playback
+// bandwidth (channels).
+func (f *Forest) AverageBandwidth() float64 {
+	n := f.Size()
+	if n == 0 {
+		return 0
+	}
+	return float64(f.FullCost()) / float64(n)
+}
+
+// NormalizedCost returns the full cost measured in complete media streams
+// (full cost divided by L), the unit used on the y-axis of Fig. 1 and
+// Figs. 11-12 of the paper.
+func (f *Forest) NormalizedCost() float64 {
+	if f.L == 0 {
+		return 0
+	}
+	return float64(f.FullCost()) / float64(f.L)
+}
+
+// Arrivals returns all arrivals of the forest in increasing order.
+func (f *Forest) Arrivals() []int64 {
+	var out []int64
+	for _, t := range f.Trees {
+		out = append(out, t.Arrivals()...)
+	}
+	return out
+}
+
+// Lengths returns the receive-two stream lengths of every node in the
+// forest, roots included (roots have length L), ordered by arrival.
+func (f *Forest) Lengths() []NodeLength {
+	var out []NodeLength
+	for _, t := range f.Trees {
+		out = append(out, t.LengthsReceiveTwo(f.L)...)
+	}
+	return out
+}
+
+// LengthsAll returns the receive-all stream lengths of every node.
+func (f *Forest) LengthsAll() []NodeLength {
+	var out []NodeLength
+	for _, t := range f.Trees {
+		out = append(out, t.LengthsReceiveAll(f.L)...)
+	}
+	return out
+}
+
+// Validate checks that every tree is a valid merge tree, that it fits the
+// full stream length L, and that the arrival ranges of successive trees are
+// increasing and disjoint.
+func (f *Forest) Validate() error {
+	if f.L < 1 {
+		return fmt.Errorf("mergetree: forest has invalid stream length L=%d", f.L)
+	}
+	var prevLast int64
+	for i, t := range f.Trees {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("tree %d: %w", i, err)
+		}
+		if err := t.ValidatePreorder(); err != nil {
+			return fmt.Errorf("tree %d: %w", i, err)
+		}
+		if !t.FitsLength(f.L) {
+			return fmt.Errorf("mergetree: tree %d spans %d slots which exceeds full stream length %d",
+				i, t.RequiredRootLength(), f.L)
+		}
+		if i > 0 && t.Arrival <= prevLast {
+			return fmt.Errorf("mergetree: tree %d starting at %d overlaps previous tree ending at %d",
+				i, t.Arrival, prevLast)
+		}
+		prevLast = t.Last()
+	}
+	return nil
+}
+
+// ValidateConsecutive additionally checks that the forest covers exactly the
+// consecutive arrivals first, first+1, ..., last with no gaps between trees.
+func (f *Forest) ValidateConsecutive() error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	arr := f.Arrivals()
+	for i := 1; i < len(arr); i++ {
+		if arr[i] != arr[i-1]+1 {
+			return fmt.Errorf("mergetree: forest arrivals are not consecutive: %d then %d", arr[i-1], arr[i])
+		}
+	}
+	return nil
+}
+
+// MaxBufferRequirement returns the maximum client buffer requirement over
+// the whole forest (Lemma 15 applied per tree).
+func (f *Forest) MaxBufferRequirement() int64 {
+	var mx int64
+	for _, t := range f.Trees {
+		if b := t.MaxBufferRequirement(f.L); b > mx {
+			mx = b
+		}
+	}
+	return mx
+}
+
+// Clone returns a deep copy of the forest.
+func (f *Forest) Clone() *Forest {
+	cp := &Forest{L: f.L, Trees: make([]*Tree, len(f.Trees))}
+	for i, t := range f.Trees {
+		cp.Trees[i] = t.Clone()
+	}
+	return cp
+}
+
+// String renders the forest as the stream length followed by each tree's
+// parenthesized encoding.
+func (f *Forest) String() string {
+	parts := make([]string, 0, len(f.Trees)+1)
+	parts = append(parts, fmt.Sprintf("L=%d", f.L))
+	for _, t := range f.Trees {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " | ")
+}
+
+// TreeOf returns the tree containing the given arrival, or nil if no tree
+// contains it.
+func (f *Forest) TreeOf(arrival int64) *Tree {
+	for _, t := range f.Trees {
+		if t.Arrival <= arrival && arrival <= t.Last() {
+			if t.Find(arrival) != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// ActiveStreams returns, for each slot in [from, to), the number of streams
+// actively transmitting during that slot in the receive-two model.  A stream
+// started at arrival a with length l is active during slots a, a+1, ...,
+// a+l-1 (the slot labeled t covers the interval [t, t+1)).  This is the
+// instantaneous server bandwidth profile used for peak-bandwidth analysis.
+func (f *Forest) ActiveStreams(from, to int64) []int {
+	if to <= from {
+		return nil
+	}
+	counts := make([]int, to-from)
+	for _, nl := range f.Lengths() {
+		start, end := nl.Arrival, nl.Arrival+nl.Length
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		for s := start; s < end; s++ {
+			counts[s-from]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,197 @@
+package mergetree
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildFig3Forest(t *testing.T) *Forest {
+	t.Helper()
+	f := NewForest(15)
+	tr, err := Parse("0(1 2 3(4) 5(6 7))")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f.Add(tr)
+	return f
+}
+
+func TestForestFullCostFig3(t *testing.T) {
+	f := buildFig3Forest(t)
+	if got := f.FullCost(); got != 36 {
+		t.Errorf("FullCost = %d, want 36 (paper, Fig. 3)", got)
+	}
+	if got := f.Size(); got != 8 {
+		t.Errorf("Size = %d, want 8", got)
+	}
+	if got := f.Streams(); got != 1 {
+		t.Errorf("Streams = %d, want 1", got)
+	}
+	if got := f.AverageBandwidth(); got != 36.0/8.0 {
+		t.Errorf("AverageBandwidth = %v, want 4.5", got)
+	}
+	if got := f.NormalizedCost(); got != 36.0/15.0 {
+		t.Errorf("NormalizedCost = %v, want 2.4", got)
+	}
+}
+
+func TestForestTwoTreesExample(t *testing.T) {
+	// Paper, Section 2: for L = 15 and n = 14 the optimal forest has two
+	// full streams and full cost 2*15 + 17 + 17 = 64.  Each tree is the
+	// optimal merge tree over 7 arrivals (merge cost 17).
+	f := NewForest(15)
+	t1, err := Parse("0(1 2 3(4) 5(6))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Parse("7(8 9 10(11) 12(13))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add(t1)
+	f.Add(t2)
+	if err := f.ValidateConsecutive(); err != nil {
+		t.Fatalf("ValidateConsecutive: %v", err)
+	}
+	if t1.MergeCost() != 17 || t2.MergeCost() != 17 {
+		t.Errorf("merge costs = %d, %d; want 17, 17", t1.MergeCost(), t2.MergeCost())
+	}
+	if got := f.FullCost(); got != 64 {
+		t.Errorf("FullCost = %d, want 64", got)
+	}
+}
+
+func TestForestValidateRejectsOverlap(t *testing.T) {
+	f := NewForest(15)
+	a, _ := Parse("0(1 2)")
+	b, _ := Parse("2(3)")
+	f.Add(a)
+	f.Add(b)
+	if err := f.Validate(); err == nil {
+		t.Errorf("expected overlap error")
+	}
+}
+
+func TestForestValidateRejectsTooLongTree(t *testing.T) {
+	f := NewForest(3)
+	a, _ := Parse("0(1 2 3)")
+	f.Add(a)
+	if err := f.Validate(); err == nil {
+		t.Errorf("expected error: tree spans 4 slots but L=3")
+	}
+}
+
+func TestForestValidateRejectsBadL(t *testing.T) {
+	f := NewForest(0)
+	f.Add(New(0))
+	if err := f.Validate(); err == nil {
+		t.Errorf("expected error for L=0")
+	}
+}
+
+func TestForestValidateConsecutiveRejectsGap(t *testing.T) {
+	f := NewForest(15)
+	a, _ := Parse("0(1)")
+	b, _ := Parse("3(4)")
+	f.Add(a)
+	f.Add(b)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate should pass: %v", err)
+	}
+	if err := f.ValidateConsecutive(); err == nil {
+		t.Errorf("expected gap error")
+	}
+}
+
+func TestForestArrivalsAndLengths(t *testing.T) {
+	f := buildFig3Forest(t)
+	arr := f.Arrivals()
+	if len(arr) != 8 || arr[0] != 0 || arr[7] != 7 {
+		t.Errorf("Arrivals = %v", arr)
+	}
+	lengths := f.Lengths()
+	var total int64
+	for _, nl := range lengths {
+		total += nl.Length
+	}
+	if total != f.FullCost() {
+		t.Errorf("sum of lengths %d != FullCost %d", total, f.FullCost())
+	}
+	lengthsAll := f.LengthsAll()
+	var totalAll int64
+	for _, nl := range lengthsAll {
+		totalAll += nl.Length
+	}
+	if totalAll != f.FullCostAll() {
+		t.Errorf("sum of receive-all lengths %d != FullCostAll %d", totalAll, f.FullCostAll())
+	}
+	if totalAll > total {
+		t.Errorf("receive-all cost %d should not exceed receive-two cost %d", totalAll, total)
+	}
+}
+
+func TestForestActiveStreamsSumsToFullCost(t *testing.T) {
+	f := buildFig3Forest(t)
+	// Streams run within [0, 15): the root occupies slots 0..14, every other
+	// stream is contained in that window.
+	counts := f.ActiveStreams(0, 20)
+	var sum int64
+	for _, c := range counts {
+		sum += int64(c)
+	}
+	if sum != f.FullCost() {
+		t.Errorf("sum of active stream slots %d != FullCost %d", sum, f.FullCost())
+	}
+	// During slot 7 (time [7,8)): active streams are those with
+	// arrival <= 7 < arrival+length: 0 (0..14), 3 (3..7), 5 (5..13), 7 (7..8).
+	if counts[7] != 4 {
+		t.Errorf("ActiveStreams at slot 7 = %d, want 4", counts[7])
+	}
+	if got := f.ActiveStreams(5, 5); got != nil {
+		t.Errorf("empty window should return nil, got %v", got)
+	}
+}
+
+func TestForestMaxBufferRequirement(t *testing.T) {
+	f := buildFig3Forest(t)
+	if got := f.MaxBufferRequirement(); got != 7 {
+		t.Errorf("MaxBufferRequirement = %d, want 7", got)
+	}
+}
+
+func TestForestCloneIndependent(t *testing.T) {
+	f := buildFig3Forest(t)
+	cp := f.Clone()
+	cp.Trees[0].Children[0].Arrival = 100
+	if f.Trees[0].Children[0].Arrival == 100 {
+		t.Errorf("Clone shares nodes with the original")
+	}
+	if cp.L != f.L {
+		t.Errorf("Clone lost L")
+	}
+}
+
+func TestForestTreeOf(t *testing.T) {
+	f := NewForest(15)
+	a, _ := Parse("0(1 2)")
+	b, _ := Parse("3(4 5)")
+	f.Add(a)
+	f.Add(b)
+	if got := f.TreeOf(4); got != b {
+		t.Errorf("TreeOf(4) returned wrong tree")
+	}
+	if got := f.TreeOf(0); got != a {
+		t.Errorf("TreeOf(0) returned wrong tree")
+	}
+	if got := f.TreeOf(9); got != nil {
+		t.Errorf("TreeOf(9) should be nil")
+	}
+}
+
+func TestForestString(t *testing.T) {
+	f := buildFig3Forest(t)
+	s := f.String()
+	if !strings.Contains(s, "L=15") || !strings.Contains(s, "0(1 2 3(4) 5(6 7))") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,80 @@
+package mergetree
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that any string accepted by Parse round-trips through
+// String and yields a structurally consistent tree, and that Parse never
+// panics on arbitrary input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"0",
+		"0(1 2 3(4) 5(6 7))",
+		"0(1(2(3(4))))",
+		"-3(-1 0(2))",
+		"0(",
+		"((((",
+		"0(1 2))",
+		"5 6",
+		"0(00001 2)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatalf("Parse(%q) returned nil tree without error", s)
+		}
+		out := tr.String()
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q) failed: %v", out, s, err)
+		}
+		if !tr.Equal(back) {
+			t.Fatalf("round trip mismatch for %q: %q vs %q", s, out, back.String())
+		}
+		if tr.Size() < 1 {
+			t.Fatalf("parsed tree has no nodes")
+		}
+		// Costs must be computable without panicking and non-negative for
+		// valid merge trees.
+		if tr.Validate() == nil {
+			if tr.MergeCost() < 0 || tr.MergeCostAll() < 0 {
+				t.Fatalf("negative cost for %q", out)
+			}
+			if tr.MergeCostAll() > tr.MergeCost() {
+				t.Fatalf("receive-all cost exceeds receive-two cost for %q", out)
+			}
+		}
+	})
+}
+
+// FuzzFromParentMap checks that reconstructing a tree from an arbitrary
+// parent map either fails cleanly or produces a valid tree.
+func FuzzFromParentMap(f *testing.F) {
+	f.Add(int64(0), uint8(5), uint8(3))
+	f.Add(int64(2), uint8(10), uint8(7))
+	f.Fuzz(func(t *testing.T, root int64, count, stride uint8) {
+		parents := map[int64]int64{}
+		n := int64(count%16) + 1
+		step := int64(stride%5) + 1
+		for i := int64(1); i <= n; i++ {
+			child := root + i*step
+			parents[child] = root + ((i - 1) / 2 * step) // binary-heap style parents
+		}
+		tr, err := FromParentMap(root, parents)
+		if err != nil {
+			return
+		}
+		if tr.Size() != int(n)+1 {
+			t.Fatalf("tree size %d, want %d", tr.Size(), n+1)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("FromParentMap produced an invalid tree: %v", err)
+		}
+	})
+}

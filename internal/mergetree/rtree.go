@@ -1,0 +1,223 @@
+package mergetree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RTree is a merge tree over real-valued arrival times.  It is used by the
+// on-line baselines (dyadic stream merging, immediate-service patching)
+// whose clients arrive at arbitrary points in continuous time rather than at
+// slot boundaries.  The stream-length formulas of Lemmas 1 and 17 hold for
+// arbitrary arrival times [6], so the cost accounting is the same as for the
+// slot-valued Tree up to the change of domain.
+type RTree struct {
+	// Arrival is the time at which the stream owned by this node starts.
+	Arrival float64
+	// Children are the direct merges into this stream, ordered by arrival.
+	Children []*RTree
+}
+
+// NewR returns a single-node real-valued merge tree.
+func NewR(arrival float64) *RTree {
+	return &RTree{Arrival: arrival}
+}
+
+// AddChild appends child as the last (right-most) child of t.
+func (t *RTree) AddChild(child *RTree) {
+	t.Children = append(t.Children, child)
+}
+
+// Size returns the number of nodes in the tree.
+func (t *RTree) Size() int {
+	if t == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Last returns z(t): the arrival of the right-most descendant.
+func (t *RTree) Last() float64 {
+	cur := t
+	for len(cur.Children) > 0 {
+		cur = cur.Children[len(cur.Children)-1]
+	}
+	return cur.Arrival
+}
+
+// Arrivals returns the arrivals of all nodes in preorder.
+func (t *RTree) Arrivals() []float64 {
+	out := make([]float64, 0, t.Size())
+	t.Walk(func(node, _ *RTree) {
+		out = append(out, node.Arrival)
+	})
+	return out
+}
+
+// Walk visits every node in preorder with its parent (nil for the root).
+func (t *RTree) Walk(visit func(node, parent *RTree)) {
+	var rec func(node, parent *RTree)
+	rec = func(node, parent *RTree) {
+		visit(node, parent)
+		for _, c := range node.Children {
+			rec(c, node)
+		}
+	}
+	rec(t, nil)
+}
+
+// Validate checks the merge-tree requirements: children strictly later than
+// parents and siblings in strictly increasing order.
+func (t *RTree) Validate() error {
+	var err error
+	t.Walk(func(node, parent *RTree) {
+		if err != nil {
+			return
+		}
+		if parent != nil && node.Arrival <= parent.Arrival {
+			err = fmt.Errorf("mergetree: node %g is not later than its parent %g", node.Arrival, parent.Arrival)
+			return
+		}
+		for i := 1; i < len(node.Children); i++ {
+			if node.Children[i].Arrival <= node.Children[i-1].Arrival {
+				err = fmt.Errorf("mergetree: children of %g are not ordered", node.Arrival)
+				return
+			}
+		}
+	})
+	return err
+}
+
+// ValidatePreorder checks the preorder-traversal property.
+func (t *RTree) ValidatePreorder() error {
+	arr := t.Arrivals()
+	for i := 1; i < len(arr); i++ {
+		if arr[i] <= arr[i-1] {
+			return fmt.Errorf("mergetree: preorder property violated: %g then %g", arr[i-1], arr[i])
+		}
+	}
+	return nil
+}
+
+// MergeCost returns the receive-two merge cost: the sum over non-root nodes
+// of 2 z(x) − x − p(x) (Lemma 1 for general arrivals).
+func (t *RTree) MergeCost() float64 {
+	var cost float64
+	t.Walk(func(node, parent *RTree) {
+		if parent != nil {
+			cost += 2*node.Last() - node.Arrival - parent.Arrival
+		}
+	})
+	return cost
+}
+
+// MergeCostAll returns the receive-all merge cost: the sum over non-root
+// nodes of z(x) − p(x) (Lemma 17 for general arrivals).
+func (t *RTree) MergeCostAll() float64 {
+	var cost float64
+	t.Walk(func(node, parent *RTree) {
+		if parent != nil {
+			cost += node.Last() - parent.Arrival
+		}
+	})
+	return cost
+}
+
+// RequiredRootLength returns the minimum full stream length for which this
+// tree is feasible: the last arrival must merge to the root before the root
+// stream ends, so the root must run for at least Last() − Arrival plus the
+// time to play the remainder — in the continuous setting the binding
+// constraint is z − r <= L (clients arriving at z still receive data from
+// the root).
+func (t *RTree) RequiredRootLength() float64 {
+	return t.Last() - t.Arrival
+}
+
+// RForest is a merge forest over real-valued arrival times.
+type RForest struct {
+	// L is the full stream (media) length in the same time unit as arrivals.
+	L float64
+	// Trees are the merge trees ordered by root arrival.
+	Trees []*RTree
+}
+
+// NewRForest returns an empty real-valued forest for media length L.
+func NewRForest(L float64) *RForest {
+	return &RForest{L: L}
+}
+
+// Add appends a tree to the forest.
+func (f *RForest) Add(t *RTree) {
+	f.Trees = append(f.Trees, t)
+}
+
+// Size returns the total number of arrivals.
+func (f *RForest) Size() int {
+	n := 0
+	for _, t := range f.Trees {
+		n += t.Size()
+	}
+	return n
+}
+
+// Streams returns the number of full streams (roots).
+func (f *RForest) Streams() int {
+	return len(f.Trees)
+}
+
+// FullCost returns s·L plus the merge costs of the trees (receive-two).
+func (f *RForest) FullCost() float64 {
+	cost := float64(len(f.Trees)) * f.L
+	for _, t := range f.Trees {
+		cost += t.MergeCost()
+	}
+	return cost
+}
+
+// NormalizedCost returns the full cost in units of complete media streams.
+func (f *RForest) NormalizedCost() float64 {
+	if f.L == 0 {
+		return 0
+	}
+	return f.FullCost() / f.L
+}
+
+// Validate checks every tree and the ordering of trees.
+func (f *RForest) Validate() error {
+	if f.L <= 0 {
+		return fmt.Errorf("mergetree: RForest has invalid media length %g", f.L)
+	}
+	var prevLast float64
+	for i, t := range f.Trees {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("tree %d: %w", i, err)
+		}
+		if err := t.ValidatePreorder(); err != nil {
+			return fmt.Errorf("tree %d: %w", i, err)
+		}
+		if t.RequiredRootLength() > f.L {
+			return fmt.Errorf("mergetree: tree %d spans %g which exceeds media length %g",
+				i, t.RequiredRootLength(), f.L)
+		}
+		if i > 0 && t.Arrival <= prevLast {
+			return fmt.Errorf("mergetree: tree %d starting at %g overlaps previous tree ending at %g",
+				i, t.Arrival, prevLast)
+		}
+		prevLast = t.Last()
+	}
+	return nil
+}
+
+// String renders the forest compactly for debugging.
+func (f *RForest) String() string {
+	parts := make([]string, 0, len(f.Trees)+1)
+	parts = append(parts, fmt.Sprintf("L=%g", f.L))
+	for _, t := range f.Trees {
+		parts = append(parts, fmt.Sprintf("root=%g size=%d", t.Arrival, t.Size()))
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,190 @@
+package mergetree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRTreeBasics(t *testing.T) {
+	tr := NewR(0)
+	tr.AddChild(NewR(1.5))
+	c := NewR(2.25)
+	c.AddChild(NewR(3.75))
+	tr.AddChild(c)
+	if tr.Size() != 4 {
+		t.Errorf("Size = %d, want 4", tr.Size())
+	}
+	if tr.Last() != 3.75 {
+		t.Errorf("Last = %v, want 3.75", tr.Last())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := tr.ValidatePreorder(); err != nil {
+		t.Errorf("ValidatePreorder: %v", err)
+	}
+	arr := tr.Arrivals()
+	if len(arr) != 4 || arr[3] != 3.75 {
+		t.Errorf("Arrivals = %v", arr)
+	}
+}
+
+func TestRTreeValidateRejectsBad(t *testing.T) {
+	bad := NewR(5)
+	bad.AddChild(NewR(3))
+	if bad.Validate() == nil {
+		t.Errorf("expected validation error for child earlier than parent")
+	}
+	bad2 := NewR(0)
+	bad2.AddChild(NewR(2))
+	bad2.AddChild(NewR(1))
+	if bad2.Validate() == nil {
+		t.Errorf("expected validation error for unordered siblings")
+	}
+	np := NewR(0)
+	c := NewR(2)
+	c.AddChild(NewR(4))
+	np.AddChild(c)
+	np.AddChild(NewR(3))
+	if np.ValidatePreorder() == nil {
+		t.Errorf("expected preorder violation")
+	}
+}
+
+func TestRTreeCostsMatchIntegerTree(t *testing.T) {
+	// An RTree with integer arrivals must have exactly the same costs as the
+	// corresponding Tree.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		it := randomTree(rng, 0, n)
+		rt := toRTree(it)
+		if math.Abs(rt.MergeCost()-float64(it.MergeCost())) > 1e-9 {
+			t.Fatalf("RTree merge cost %v != Tree merge cost %d", rt.MergeCost(), it.MergeCost())
+		}
+		if math.Abs(rt.MergeCostAll()-float64(it.MergeCostAll())) > 1e-9 {
+			t.Fatalf("RTree receive-all cost %v != Tree cost %d", rt.MergeCostAll(), it.MergeCostAll())
+		}
+	}
+}
+
+func toRTree(t *Tree) *RTree {
+	rt := NewR(float64(t.Arrival))
+	for _, c := range t.Children {
+		rt.AddChild(toRTree(c))
+	}
+	return rt
+}
+
+func TestRTreeCostScalesLinearly(t *testing.T) {
+	// Scaling all arrival times by a factor scales the merge cost by the
+	// same factor (the cost formulas are linear in the arrival times).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		it := randomTree(rng, 0, n)
+		rt := toRTree(it)
+		scaled := scaleRTree(rt, 0.37)
+		if math.Abs(scaled.MergeCost()-0.37*rt.MergeCost()) > 1e-9 {
+			t.Fatalf("scaled cost %v != 0.37 * %v", scaled.MergeCost(), rt.MergeCost())
+		}
+	}
+}
+
+func scaleRTree(t *RTree, f float64) *RTree {
+	s := NewR(t.Arrival * f)
+	for _, c := range t.Children {
+		s.AddChild(scaleRTree(c, f))
+	}
+	return s
+}
+
+func TestRForestCostAndValidate(t *testing.T) {
+	f := NewRForest(1.0)
+	t1 := NewR(0)
+	t1.AddChild(NewR(0.25))
+	c := NewR(0.5)
+	c.AddChild(NewR(0.6))
+	t1.AddChild(c)
+	f.Add(t1)
+	t2 := NewR(1.2)
+	t2.AddChild(NewR(1.3))
+	f.Add(t2)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if f.Size() != 6 || f.Streams() != 2 {
+		t.Errorf("Size=%d Streams=%d", f.Size(), f.Streams())
+	}
+	// Full cost: 2*L + merge costs.
+	// Tree 1: l(0.25)=0.25, l(0.5)=2*0.6-0.5-0=0.7, l(0.6)=0.1 -> 1.05.
+	// Tree 2: l(1.3)=0.1.
+	want := 2.0 + 1.05 + 0.1
+	if math.Abs(f.FullCost()-want) > 1e-9 {
+		t.Errorf("FullCost = %v, want %v", f.FullCost(), want)
+	}
+	if math.Abs(f.NormalizedCost()-want) > 1e-9 {
+		t.Errorf("NormalizedCost = %v, want %v (L=1)", f.NormalizedCost(), want)
+	}
+	if !strings.Contains(f.String(), "L=1") {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestRForestValidateRejects(t *testing.T) {
+	f := NewRForest(1.0)
+	t1 := NewR(0)
+	t1.AddChild(NewR(1.5)) // spans 1.5 > L=1
+	f.Add(t1)
+	if f.Validate() == nil {
+		t.Errorf("expected error: tree longer than media")
+	}
+
+	f2 := NewRForest(1.0)
+	a := NewR(0)
+	a.AddChild(NewR(0.5))
+	b := NewR(0.4)
+	f2.Add(a)
+	f2.Add(b)
+	if f2.Validate() == nil {
+		t.Errorf("expected overlap error")
+	}
+
+	f3 := NewRForest(0)
+	f3.Add(NewR(0))
+	if f3.Validate() == nil {
+		t.Errorf("expected error for non-positive L")
+	}
+}
+
+func TestRTreeRequiredRootLength(t *testing.T) {
+	tr := NewR(2)
+	tr.AddChild(NewR(2.5))
+	tr.AddChild(NewR(2.9))
+	if got := tr.RequiredRootLength(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("RequiredRootLength = %v, want 0.9", got)
+	}
+}
+
+func TestRTreeWalkParents(t *testing.T) {
+	tr := NewR(0)
+	c := NewR(1)
+	c.AddChild(NewR(2))
+	tr.AddChild(c)
+	var pairs [][2]float64
+	tr.Walk(func(node, parent *RTree) {
+		p := -1.0
+		if parent != nil {
+			p = parent.Arrival
+		}
+		pairs = append(pairs, [2]float64{node.Arrival, p})
+	})
+	want := [][2]float64{{0, -1}, {1, 0}, {2, 1}}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("Walk pairs = %v, want %v", pairs, want)
+		}
+	}
+}

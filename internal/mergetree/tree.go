@@ -1,0 +1,529 @@
+// Package mergetree defines the merge-tree and merge-forest structures used
+// by all stream-merging algorithms in this repository.
+//
+// A merge tree (Section 2 of the paper) is an ordered labeled tree whose
+// nodes are client arrival times.  The root is the earliest arrival in the
+// tree and owns a full stream of length L; every non-root node x owns a
+// truncated stream whose length is dictated by the stream-merging rules:
+//
+//	receive-two model:  l(x) = 2 z(x) − x − p(x)      (Lemma 1)
+//	receive-all model:  w(x) = z(x) − p(x)            (Lemma 17)
+//
+// where p(x) is the parent of x and z(x) is the right-most (latest) arrival
+// in the subtree rooted at x.  The merge cost of a tree is the sum of the
+// non-root lengths; the full cost of a forest adds L per root.
+//
+// The package provides slot-valued trees (Tree, arrivals are integers, used
+// by the optimal off-line and on-line algorithms) and real-valued trees
+// (RTree, arrivals are float64, used by the dyadic on-line baseline whose
+// clients arrive at arbitrary times).
+package mergetree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is a merge tree over integer (slot) arrival times.  The zero value is
+// not useful; construct trees with New or by parsing.
+type Tree struct {
+	// Arrival is the slot index at which the stream owned by this node
+	// starts (and at which the corresponding batch of clients arrives).
+	Arrival int64
+	// Children are the direct merges into this stream, ordered by arrival.
+	Children []*Tree
+}
+
+// New returns a single-node merge tree for the given arrival.
+func New(arrival int64) *Tree {
+	return &Tree{Arrival: arrival}
+}
+
+// AddChild appends child as the last (right-most) child of t.
+func (t *Tree) AddChild(child *Tree) {
+	t.Children = append(t.Children, child)
+}
+
+// Size returns the number of nodes (arrivals) in the tree.
+func (t *Tree) Size() int {
+	if t == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Height returns the number of edges on the longest root-to-leaf path.
+// A single node has height 0.
+func (t *Tree) Height() int {
+	if t == nil {
+		return -1
+	}
+	h := 0
+	for _, c := range t.Children {
+		if ch := c.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Last returns z(t): the arrival time of the right-most descendant of t,
+// which under the preorder-traversal property is the latest arrival in the
+// subtree rooted at t.
+func (t *Tree) Last() int64 {
+	cur := t
+	for len(cur.Children) > 0 {
+		cur = cur.Children[len(cur.Children)-1]
+	}
+	return cur.Arrival
+}
+
+// Arrivals returns the arrival times of all nodes in preorder.
+func (t *Tree) Arrivals() []int64 {
+	out := make([]int64, 0, t.Size())
+	t.walk(func(node *Tree, _ *Tree) {
+		out = append(out, node.Arrival)
+	})
+	return out
+}
+
+// walk visits every node in preorder, passing the node and its parent
+// (nil for the root).
+func (t *Tree) walk(visit func(node, parent *Tree)) {
+	var rec func(node, parent *Tree)
+	rec = func(node, parent *Tree) {
+		visit(node, parent)
+		for _, c := range node.Children {
+			rec(c, node)
+		}
+	}
+	rec(t, nil)
+}
+
+// Walk visits every node in preorder, passing each node and its parent
+// (nil for the root).  It is exported for packages that need to traverse
+// trees without reimplementing recursion (e.g. schedule construction).
+func (t *Tree) Walk(visit func(node, parent *Tree)) {
+	t.walk(visit)
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	if t == nil {
+		return nil
+	}
+	cp := &Tree{Arrival: t.Arrival}
+	if len(t.Children) > 0 {
+		cp.Children = make([]*Tree, len(t.Children))
+		for i, c := range t.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return cp
+}
+
+// Equal reports whether two trees have identical shape and labels.
+func (t *Tree) Equal(o *Tree) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Arrival != o.Arrival || len(t.Children) != len(o.Children) {
+		return false
+	}
+	for i := range t.Children {
+		if !t.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the structural merge-tree requirements of Section 2:
+//
+//   - every child's arrival is strictly greater than its parent's (a stream
+//     can only merge to an earlier stream), and
+//   - the children of every node are ordered by strictly increasing arrival.
+//
+// It returns a descriptive error for the first violation found.
+func (t *Tree) Validate() error {
+	var err error
+	t.walk(func(node, parent *Tree) {
+		if err != nil {
+			return
+		}
+		if parent != nil && node.Arrival <= parent.Arrival {
+			err = fmt.Errorf("mergetree: node %d is not later than its parent %d", node.Arrival, parent.Arrival)
+			return
+		}
+		for i := 1; i < len(node.Children); i++ {
+			if node.Children[i].Arrival <= node.Children[i-1].Arrival {
+				err = fmt.Errorf("mergetree: children of %d are not ordered: %d then %d",
+					node.Arrival, node.Children[i-1].Arrival, node.Children[i].Arrival)
+				return
+			}
+		}
+	})
+	return err
+}
+
+// ValidatePreorder checks that a preorder traversal of the tree yields the
+// arrival times in strictly increasing order (the preorder-traversal
+// property).  Every optimal merge tree satisfies this property [6]; trees
+// produced by the constructions in this repository always do.
+func (t *Tree) ValidatePreorder() error {
+	arr := t.Arrivals()
+	for i := 1; i < len(arr); i++ {
+		if arr[i] <= arr[i-1] {
+			return fmt.Errorf("mergetree: preorder property violated at position %d: %d then %d", i, arr[i-1], arr[i])
+		}
+	}
+	return nil
+}
+
+// ValidateConsecutive checks that the arrivals of the tree are exactly the
+// consecutive integers first, first+1, ..., last.  The delay-guaranteed
+// setting of the paper schedules one stream per slot, so optimal trees over
+// a slot range always satisfy this.
+func (t *Tree) ValidateConsecutive() error {
+	if err := t.ValidatePreorder(); err != nil {
+		return err
+	}
+	arr := t.Arrivals()
+	for i := 1; i < len(arr); i++ {
+		if arr[i] != arr[i-1]+1 {
+			return fmt.Errorf("mergetree: arrivals are not consecutive: %d followed by %d", arr[i-1], arr[i])
+		}
+	}
+	return nil
+}
+
+// Find returns the node with the given arrival, or nil if absent.
+func (t *Tree) Find(arrival int64) *Tree {
+	var found *Tree
+	t.walk(func(node, _ *Tree) {
+		if node.Arrival == arrival {
+			found = node
+		}
+	})
+	return found
+}
+
+// Parent returns the parent arrival p(x) of the node with the given arrival
+// and true, or 0 and false when the arrival is the root or absent.
+func (t *Tree) Parent(arrival int64) (int64, bool) {
+	var parent int64
+	ok := false
+	t.walk(func(node, p *Tree) {
+		if node.Arrival == arrival && p != nil {
+			parent = p.Arrival
+			ok = true
+		}
+	})
+	return parent, ok
+}
+
+// PathTo returns the receiving program of the client arriving at the given
+// time: the arrivals on the path from the root down to that node,
+// x_0 < x_1 < ... < x_k with x_0 the root and x_k = arrival.  It returns nil
+// if the arrival is not in the tree.
+func (t *Tree) PathTo(arrival int64) []int64 {
+	var path []int64
+	var rec func(node *Tree, acc []int64) []int64
+	rec = func(node *Tree, acc []int64) []int64 {
+		acc = append(acc, node.Arrival)
+		if node.Arrival == arrival {
+			out := make([]int64, len(acc))
+			copy(out, acc)
+			return out
+		}
+		for _, c := range node.Children {
+			if r := rec(c, acc); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	path = rec(t, nil)
+	return path
+}
+
+// NodeLength is the stream length owned by a single node.
+type NodeLength struct {
+	Arrival int64 // arrival time / stream start
+	Parent  int64 // parent arrival (meaningful only when !Root)
+	Last    int64 // z(x): last arrival in the subtree
+	Length  int64 // stream length in slots
+	Root    bool  // whether this node is the root of its tree
+}
+
+// LengthsReceiveTwo returns the stream length of every node of the tree in
+// the receive-two model.  Non-root nodes follow Lemma 1,
+// l(x) = 2 z(x) − x − p(x); the root's length is the supplied full stream
+// length L.  The result is ordered by arrival (preorder).
+func (t *Tree) LengthsReceiveTwo(L int64) []NodeLength {
+	out := make([]NodeLength, 0, t.Size())
+	t.walk(func(node, parent *Tree) {
+		nl := NodeLength{Arrival: node.Arrival, Last: node.Last()}
+		if parent == nil {
+			nl.Root = true
+			nl.Length = L
+		} else {
+			nl.Parent = parent.Arrival
+			nl.Length = 2*nl.Last - node.Arrival - parent.Arrival
+		}
+		out = append(out, nl)
+	})
+	return out
+}
+
+// LengthsReceiveAll returns the stream length of every node in the
+// receive-all model (Lemma 17): non-root nodes have w(x) = z(x) − p(x), the
+// root has length L.
+func (t *Tree) LengthsReceiveAll(L int64) []NodeLength {
+	out := make([]NodeLength, 0, t.Size())
+	t.walk(func(node, parent *Tree) {
+		nl := NodeLength{Arrival: node.Arrival, Last: node.Last()}
+		if parent == nil {
+			nl.Root = true
+			nl.Length = L
+		} else {
+			nl.Parent = parent.Arrival
+			nl.Length = nl.Last - parent.Arrival
+		}
+		out = append(out, nl)
+	})
+	return out
+}
+
+// MergeCost returns the merge cost of the tree in the receive-two model:
+// the sum of the stream lengths of all non-root nodes (Lemma 1).
+func (t *Tree) MergeCost() int64 {
+	var cost int64
+	t.walk(func(node, parent *Tree) {
+		if parent != nil {
+			cost += 2*node.Last() - node.Arrival - parent.Arrival
+		}
+	})
+	return cost
+}
+
+// MergeCostAll returns the merge cost of the tree in the receive-all model:
+// the sum of z(x) − p(x) over all non-root nodes (Lemma 17).
+func (t *Tree) MergeCostAll() int64 {
+	var cost int64
+	t.walk(func(node, parent *Tree) {
+		if parent != nil {
+			cost += node.Last() - parent.Arrival
+		}
+	})
+	return cost
+}
+
+// RequiredRootLength returns the minimum full stream length L for which this
+// tree is feasible: the last arrival z must satisfy z − root ≤ L − 1, so the
+// minimum is z − root + 1.
+func (t *Tree) RequiredRootLength() int64 {
+	return t.Last() - t.Arrival + 1
+}
+
+// FitsLength reports whether the tree is feasible for full stream length L.
+func (t *Tree) FitsLength(L int64) bool {
+	return t.RequiredRootLength() <= L
+}
+
+// BufferRequirement returns b(x), the client buffer size (in slots of
+// playback) required by clients arriving at time x in a tree rooted at r
+// with full stream length L (Lemma 15): b(x) = min(x − r, L − (x − r)).
+func BufferRequirement(x, root, L int64) int64 {
+	d := x - root
+	if d < 0 {
+		return 0
+	}
+	if L-d < d {
+		return L - d
+	}
+	return d
+}
+
+// MaxBufferRequirement returns the maximum buffer requirement over all
+// arrivals in the tree for full stream length L.
+func (t *Tree) MaxBufferRequirement(L int64) int64 {
+	var mx int64
+	root := t.Arrival
+	t.walk(func(node, _ *Tree) {
+		if b := BufferRequirement(node.Arrival, root, L); b > mx {
+			mx = b
+		}
+	})
+	return mx
+}
+
+// String renders the tree in a compact parenthesized form, e.g.
+// "0(1 2(3 4))" for a root 0 with children 1 and 2, where 2 has children 3
+// and 4.  Parse reverses the encoding.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.encode(&b)
+	return b.String()
+}
+
+func (t *Tree) encode(b *strings.Builder) {
+	fmt.Fprintf(b, "%d", t.Arrival)
+	if len(t.Children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range t.Children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		c.encode(b)
+	}
+	b.WriteByte(')')
+}
+
+// Parse decodes the parenthesized form produced by String.
+func Parse(s string) (*Tree, error) {
+	p := &parser{s: s}
+	t, err := p.parseTree()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("mergetree: trailing input at offset %d in %q", p.pos, s)
+	}
+	return t, nil
+}
+
+type parser struct {
+	s   string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.s) && p.s[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *parser) parseTree() (*Tree, error) {
+	p.skipSpace()
+	start := p.pos
+	neg := false
+	if p.pos < len(p.s) && p.s[p.pos] == '-' {
+		neg = true
+		p.pos++
+	}
+	var val int64
+	digits := 0
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		val = val*10 + int64(p.s[p.pos]-'0')
+		p.pos++
+		digits++
+	}
+	if digits == 0 {
+		return nil, fmt.Errorf("mergetree: expected arrival at offset %d in %q", start, p.s)
+	}
+	if neg {
+		val = -val
+	}
+	t := New(val)
+	if p.pos < len(p.s) && p.s[p.pos] == '(' {
+		p.pos++
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.s) {
+				return nil, errors.New("mergetree: unterminated child list")
+			}
+			if p.s[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			child, err := p.parseTree()
+			if err != nil {
+				return nil, err
+			}
+			t.AddChild(child)
+		}
+	}
+	return t, nil
+}
+
+// Render returns a multi-line ASCII rendering of the tree, one node per
+// line, children indented under their parent.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var rec func(node *Tree, prefix string, last bool, root bool)
+	rec = func(node *Tree, prefix string, last bool, root bool) {
+		if root {
+			fmt.Fprintf(&b, "%d\n", node.Arrival)
+		} else {
+			connector := "├── "
+			if last {
+				connector = "└── "
+			}
+			fmt.Fprintf(&b, "%s%s%d\n", prefix, connector, node.Arrival)
+		}
+		childPrefix := prefix
+		if !root {
+			if last {
+				childPrefix += "    "
+			} else {
+				childPrefix += "│   "
+			}
+		}
+		for i, c := range node.Children {
+			rec(c, childPrefix, i == len(node.Children)-1, false)
+		}
+	}
+	rec(t, "", true, true)
+	return b.String()
+}
+
+// ParentMap returns a map from each non-root arrival to its parent arrival.
+func (t *Tree) ParentMap() map[int64]int64 {
+	m := make(map[int64]int64, t.Size()-1)
+	t.walk(func(node, parent *Tree) {
+		if parent != nil {
+			m[node.Arrival] = parent.Arrival
+		}
+	})
+	return m
+}
+
+// FromParentMap reconstructs a tree from a root arrival and a map from
+// child arrival to parent arrival.  Children are attached in increasing
+// order of arrival, which preserves the sibling-ordering requirement.
+func FromParentMap(root int64, parents map[int64]int64) (*Tree, error) {
+	nodes := map[int64]*Tree{root: New(root)}
+	arrivals := make([]int64, 0, len(parents)+1)
+	for child := range parents {
+		arrivals = append(arrivals, child)
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	for _, a := range arrivals {
+		nodes[a] = New(a)
+	}
+	for _, a := range arrivals {
+		p, ok := nodes[parents[a]]
+		if !ok {
+			return nil, fmt.Errorf("mergetree: parent %d of %d is not a node", parents[a], a)
+		}
+		p.AddChild(nodes[a])
+	}
+	t := nodes[root]
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Size() != len(parents)+1 {
+		return nil, fmt.Errorf("mergetree: parent map is not a single tree rooted at %d", root)
+	}
+	return t, nil
+}

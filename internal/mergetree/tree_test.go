@@ -1,0 +1,501 @@
+package mergetree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fig4Tree returns the optimal merge tree of Fig. 4 for n = 8 arrivals:
+// 0(1 2 3(4) 5(6 7)), with merge cost 21 and full cost 36 for L = 15.
+func fig4Tree(t *testing.T) *Tree {
+	t.Helper()
+	tree, err := Parse("0(1 2 3(4) 5(6 7))")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tree
+}
+
+func TestNewAndSize(t *testing.T) {
+	tr := New(0)
+	if tr.Size() != 1 || tr.Height() != 0 {
+		t.Fatalf("single node: size=%d height=%d", tr.Size(), tr.Height())
+	}
+	tr.AddChild(New(1))
+	tr.AddChild(New(2))
+	tr.Children[1].AddChild(New(3))
+	if tr.Size() != 4 {
+		t.Errorf("Size = %d, want 4", tr.Size())
+	}
+	if tr.Height() != 2 {
+		t.Errorf("Height = %d, want 2", tr.Height())
+	}
+	if tr.Last() != 3 {
+		t.Errorf("Last = %d, want 3", tr.Last())
+	}
+}
+
+func TestNilSize(t *testing.T) {
+	var tr *Tree
+	if tr.Size() != 0 {
+		t.Errorf("nil Size = %d, want 0", tr.Size())
+	}
+	if tr.Height() != -1 {
+		t.Errorf("nil Height = %d, want -1", tr.Height())
+	}
+	if tr.Clone() != nil {
+		t.Errorf("nil Clone should be nil")
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	tr := fig4Tree(t)
+	if tr.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := tr.ValidatePreorder(); err != nil {
+		t.Errorf("ValidatePreorder: %v", err)
+	}
+	if err := tr.ValidateConsecutive(); err != nil {
+		t.Errorf("ValidateConsecutive: %v", err)
+	}
+	arr := tr.Arrivals()
+	for i, a := range arr {
+		if a != int64(i) {
+			t.Errorf("Arrivals[%d] = %d, want %d", i, a, i)
+		}
+	}
+	if tr.Last() != 7 {
+		t.Errorf("Last = %d, want 7", tr.Last())
+	}
+}
+
+func TestFig4MergeCost(t *testing.T) {
+	tr := fig4Tree(t)
+	if got := tr.MergeCost(); got != 21 {
+		t.Errorf("MergeCost = %d, want 21", got)
+	}
+}
+
+func TestFig4Lengths(t *testing.T) {
+	tr := fig4Tree(t)
+	lengths := tr.LengthsReceiveTwo(15)
+	byArrival := map[int64]NodeLength{}
+	for _, nl := range lengths {
+		byArrival[nl.Arrival] = nl
+	}
+	// From Fig. 3: stream A (0) is full length 15; F (5) has length 9
+	// (runs to time 14); H (7) has length 2; G (6) has length 1;
+	// B (1) has length 1; C (2) has length 2; D (3) has length 5; E (4)
+	// has length 1.
+	want := map[int64]int64{0: 15, 1: 1, 2: 2, 3: 5, 4: 1, 5: 9, 6: 1, 7: 2}
+	for a, wl := range want {
+		nl, ok := byArrival[a]
+		if !ok {
+			t.Fatalf("missing length for arrival %d", a)
+		}
+		if nl.Length != wl {
+			t.Errorf("length(%d) = %d, want %d", a, nl.Length, wl)
+		}
+	}
+	if !byArrival[0].Root {
+		t.Errorf("node 0 should be marked root")
+	}
+	if byArrival[5].Parent != 0 || byArrival[5].Last != 7 {
+		t.Errorf("node 5: parent=%d last=%d, want 0 and 7", byArrival[5].Parent, byArrival[5].Last)
+	}
+	// Sum of non-root lengths equals the merge cost.
+	var sum int64
+	for _, nl := range lengths {
+		if !nl.Root {
+			sum += nl.Length
+		}
+	}
+	if sum != tr.MergeCost() {
+		t.Errorf("sum of non-root lengths %d != merge cost %d", sum, tr.MergeCost())
+	}
+}
+
+func TestLemma1Expressions(t *testing.T) {
+	// The three expressions (1), (2), (3) for l(x) must agree on every
+	// non-root node of random valid trees.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		tr := randomTree(rng, 0, n)
+		tr.walk(func(node, parent *Tree) {
+			if parent == nil {
+				return
+			}
+			x, p, z := node.Arrival, parent.Arrival, node.Last()
+			e1 := 2*z - x - p
+			e2 := (x - p) + 2*(z-x)
+			e3 := (z - x) + (z - p)
+			if e1 != e2 || e2 != e3 {
+				t.Fatalf("length expressions disagree for x=%d p=%d z=%d: %d %d %d", x, p, z, e1, e2, e3)
+			}
+		})
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	tr := fig4Tree(t)
+	cases := []struct {
+		arrival int64
+		want    []int64
+	}{
+		{0, []int64{0}},
+		{1, []int64{0, 1}},
+		{4, []int64{0, 3, 4}},
+		{7, []int64{0, 5, 7}},
+		{6, []int64{0, 5, 6}},
+	}
+	for _, c := range cases {
+		got := tr.PathTo(c.arrival)
+		if len(got) != len(c.want) {
+			t.Errorf("PathTo(%d) = %v, want %v", c.arrival, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PathTo(%d) = %v, want %v", c.arrival, got, c.want)
+				break
+			}
+		}
+	}
+	if got := tr.PathTo(99); got != nil {
+		t.Errorf("PathTo(99) = %v, want nil", got)
+	}
+}
+
+func TestParentAndFind(t *testing.T) {
+	tr := fig4Tree(t)
+	if p, ok := tr.Parent(7); !ok || p != 5 {
+		t.Errorf("Parent(7) = %d,%v want 5,true", p, ok)
+	}
+	if p, ok := tr.Parent(5); !ok || p != 0 {
+		t.Errorf("Parent(5) = %d,%v want 0,true", p, ok)
+	}
+	if _, ok := tr.Parent(0); ok {
+		t.Errorf("Parent(0) should report false for the root")
+	}
+	if _, ok := tr.Parent(42); ok {
+		t.Errorf("Parent(42) should report false for a missing node")
+	}
+	if tr.Find(4) == nil || tr.Find(4).Arrival != 4 {
+		t.Errorf("Find(4) failed")
+	}
+	if tr.Find(100) != nil {
+		t.Errorf("Find(100) should be nil")
+	}
+}
+
+func TestValidateRejectsBadTrees(t *testing.T) {
+	// Child earlier than parent.
+	bad := New(5)
+	bad.AddChild(New(3))
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for child earlier than parent")
+	}
+	// Unordered siblings.
+	bad2 := New(0)
+	bad2.AddChild(New(4))
+	bad2.AddChild(New(2))
+	if err := bad2.Validate(); err == nil {
+		t.Errorf("expected error for unordered siblings")
+	}
+	// Valid merge tree that violates the preorder property: root 0 with
+	// children 2 and 3, where 2 has child 4 — preorder is 0,2,4,3.
+	np := New(0)
+	c2 := New(2)
+	c2.AddChild(New(4))
+	np.AddChild(c2)
+	np.AddChild(New(3))
+	if err := np.Validate(); err != nil {
+		t.Errorf("Validate should accept: %v", err)
+	}
+	if err := np.ValidatePreorder(); err == nil {
+		t.Errorf("ValidatePreorder should reject preorder violation")
+	}
+}
+
+func TestValidateConsecutiveRejectsGaps(t *testing.T) {
+	tr := New(0)
+	tr.AddChild(New(2))
+	if err := tr.ValidateConsecutive(); err == nil {
+		t.Errorf("expected error for non-consecutive arrivals")
+	}
+}
+
+func TestRequiredRootLengthAndFits(t *testing.T) {
+	tr := fig4Tree(t)
+	if got := tr.RequiredRootLength(); got != 8 {
+		t.Errorf("RequiredRootLength = %d, want 8", got)
+	}
+	if !tr.FitsLength(15) || !tr.FitsLength(8) || tr.FitsLength(7) {
+		t.Errorf("FitsLength behaves unexpectedly")
+	}
+}
+
+func TestBufferRequirement(t *testing.T) {
+	// Lemma 15: b(x) = min(x-r, L-(x-r)).
+	cases := []struct {
+		x, r, L, want int64
+	}{
+		{0, 0, 15, 0},
+		{7, 0, 15, 7},
+		{8, 0, 15, 7},
+		{10, 0, 15, 5},
+		{14, 0, 15, 1},
+		{5, 3, 10, 2},
+		{2, 5, 10, 0}, // x before root: degenerate, clamp to 0
+	}
+	for _, c := range cases {
+		if got := BufferRequirement(c.x, c.r, c.L); got != c.want {
+			t.Errorf("BufferRequirement(%d,%d,%d) = %d, want %d", c.x, c.r, c.L, got, c.want)
+		}
+	}
+}
+
+func TestMaxBufferRequirement(t *testing.T) {
+	tr := fig4Tree(t)
+	// Arrivals 0..7, root 0, L=15: max of min(d, 15-d) over d=0..7 is 7.
+	if got := tr.MaxBufferRequirement(15); got != 7 {
+		t.Errorf("MaxBufferRequirement = %d, want 7", got)
+	}
+	// With L=10: max of min(d, 10-d) over d=0..7 is 5.
+	if got := tr.MaxBufferRequirement(10); got != 5 {
+		t.Errorf("MaxBufferRequirement(L=10) = %d, want 5", got)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	tr := fig4Tree(t)
+	s := tr.String()
+	if s != "0(1 2 3(4) 5(6 7))" {
+		t.Errorf("String = %q", s)
+	}
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !tr.Equal(back) {
+		t.Errorf("round trip mismatch: %q vs %q", tr, back)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "(", "0(", "0(1", "0)", "0(1))", "a", "0(1 b)"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseNegativeArrival(t *testing.T) {
+	tr, err := Parse("-1(0 1)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tr.Arrival != -1 || tr.Size() != 3 {
+		t.Errorf("unexpected parse result %v", tr)
+	}
+}
+
+// randomTree builds a random merge tree with the preorder property over
+// arrivals first..first+n-1.
+func randomTree(rng *rand.Rand, first int64, n int) *Tree {
+	if n == 1 {
+		return New(first)
+	}
+	root := New(first)
+	remaining := n - 1
+	next := first + 1
+	for remaining > 0 {
+		b := 1 + rng.Intn(remaining)
+		root.AddChild(randomTree(rng, next, b))
+		next += int64(b)
+		remaining -= b
+	}
+	return root
+}
+
+func TestRandomTreeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz%14) + 1
+		r := rand.New(rand.NewSource(seed))
+		_ = rng
+		tr := randomTree(r, 0, n)
+		if tr.Validate() != nil || tr.ValidatePreorder() != nil {
+			return false
+		}
+		back, err := Parse(tr.String())
+		if err != nil {
+			return false
+		}
+		if !tr.Equal(back) {
+			return false
+		}
+		// Parent map round trip too.
+		rebuilt, err := FromParentMap(tr.Arrival, tr.ParentMap())
+		if err != nil {
+			return false
+		}
+		return rebuilt.Equal(tr) && rebuilt.MergeCost() == tr.MergeCost()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	tr := fig4Tree(t)
+	cp := tr.Clone()
+	if !tr.Equal(cp) {
+		t.Fatalf("clone not equal")
+	}
+	cp.Children[0].Arrival = 99
+	if tr.Equal(cp) {
+		t.Errorf("mutating the clone must not affect equality with the original")
+	}
+	if tr.Children[0].Arrival == 99 {
+		t.Errorf("clone shares structure with original")
+	}
+	var nilTree *Tree
+	if nilTree.Equal(tr) || tr.Equal(nil) {
+		t.Errorf("nil comparisons should be false")
+	}
+	if !nilTree.Equal(nil) {
+		t.Errorf("nil == nil should hold")
+	}
+}
+
+func TestRenderContainsAllNodes(t *testing.T) {
+	tr := fig4Tree(t)
+	r := tr.Render()
+	for _, want := range []string{"0", "└── 5", "└── 7", "├── 1"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Render missing %q:\n%s", want, r)
+		}
+	}
+	if got := strings.Count(r, "\n"); got != 8 {
+		t.Errorf("Render should have 8 lines, got %d:\n%s", got, r)
+	}
+}
+
+func TestParentMapRoundTrip(t *testing.T) {
+	tr := fig4Tree(t)
+	pm := tr.ParentMap()
+	if len(pm) != 7 {
+		t.Fatalf("ParentMap size = %d, want 7", len(pm))
+	}
+	if pm[7] != 5 || pm[4] != 3 || pm[1] != 0 {
+		t.Errorf("ParentMap wrong: %v", pm)
+	}
+	back, err := FromParentMap(0, pm)
+	if err != nil {
+		t.Fatalf("FromParentMap: %v", err)
+	}
+	if !back.Equal(tr) {
+		t.Errorf("FromParentMap round trip mismatch: %v vs %v", back, tr)
+	}
+}
+
+func TestFromParentMapErrors(t *testing.T) {
+	// Parent that is not a node.
+	if _, err := FromParentMap(0, map[int64]int64{2: 1}); err == nil {
+		t.Errorf("expected error for dangling parent")
+	}
+	// Child earlier than parent.
+	if _, err := FromParentMap(0, map[int64]int64{1: 2, 2: 0}); err == nil {
+		t.Errorf("expected error for child earlier than parent")
+	}
+}
+
+func TestMergeCostAll(t *testing.T) {
+	// For the receive-all model the optimal tree for n=4 is a balanced
+	// split; check w(x) = z(x) - p(x) on a hand-built tree 0(1 2(3)):
+	// w(1)=1-0=1, w(2)=3-0=3, w(3)=3-2=1 -> 5, matching M_w(4)=5.
+	tr, err := Parse("0(1 2(3))")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := tr.MergeCostAll(); got != 5 {
+		t.Errorf("MergeCostAll = %d, want 5", got)
+	}
+	// Receive-two cost of the same tree: l(1)=1, l(2)=2*3-2-0=4, l(3)=1 -> 6.
+	if got := tr.MergeCost(); got != 6 {
+		t.Errorf("MergeCost = %d, want 6", got)
+	}
+}
+
+func TestLengthsReceiveAll(t *testing.T) {
+	tr := fig4Tree(t)
+	lengths := tr.LengthsReceiveAll(15)
+	var sum int64
+	for _, nl := range lengths {
+		if nl.Root {
+			if nl.Length != 15 {
+				t.Errorf("root length = %d, want 15", nl.Length)
+			}
+			continue
+		}
+		want := nl.Last - nl.Parent
+		if nl.Length != want {
+			t.Errorf("receive-all length(%d) = %d, want %d", nl.Arrival, nl.Length, want)
+		}
+		sum += nl.Length
+	}
+	if sum != tr.MergeCostAll() {
+		t.Errorf("sum %d != MergeCostAll %d", sum, tr.MergeCostAll())
+	}
+}
+
+func TestReceiveAllNeverExceedsReceiveTwo(t *testing.T) {
+	// Property: for any tree, the receive-all merge cost is at most the
+	// receive-two merge cost (receive-all clients are strictly more capable).
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(14)
+		tr := randomTree(rng, int64(rng.Intn(5)), n)
+		if tr.MergeCostAll() > tr.MergeCost() {
+			t.Fatalf("receive-all cost %d exceeds receive-two cost %d for %v",
+				tr.MergeCostAll(), tr.MergeCost(), tr)
+		}
+	}
+}
+
+func TestWalkVisitsInPreorder(t *testing.T) {
+	tr := fig4Tree(t)
+	var order []int64
+	var parents []int64
+	tr.Walk(func(node, parent *Tree) {
+		order = append(order, node.Arrival)
+		if parent == nil {
+			parents = append(parents, -1)
+		} else {
+			parents = append(parents, parent.Arrival)
+		}
+	})
+	wantOrder := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	wantParents := []int64{-1, 0, 0, 0, 3, 0, 5, 5}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] || parents[i] != wantParents[i] {
+			t.Fatalf("Walk order/parents = %v/%v, want %v/%v", order, parents, wantOrder, wantParents)
+		}
+	}
+}
+
+func BenchmarkMergeCostFig4(b *testing.B) {
+	tr, _ := Parse("0(1 2 3(4) 5(6 7))")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.MergeCost()
+	}
+}

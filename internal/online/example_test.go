@@ -1,0 +1,38 @@
+package online_test
+
+import (
+	"fmt"
+
+	"repro/internal/online"
+)
+
+func ExampleNewServer() {
+	// A 2-hour movie with a 15-minute guaranteed delay is L = 8 slots long;
+	// the on-line algorithm statically uses merge trees of F_h = 8 slots...
+	srv := online.NewServer(8)
+	fmt.Println("tree size:", srv.TreeSize())
+	// ...and for L = 15 (the paper's running example) it also uses trees of
+	// 8 slots, because F_7 = 13 < 17 <= F_8 = 21.
+	fmt.Println("tree size for L=15:", online.NewServer(15).TreeSize())
+	// Output:
+	// tree size: 5
+	// tree size for L=15: 8
+}
+
+func ExampleServer_ProgramFor() {
+	srv := online.NewServer(15)
+	// The client arriving in slot 23 = 2*8 + 7 gets the receiving program of
+	// offset 7 in the third tree: streams 16, 21, 23.
+	fmt.Println(srv.ProgramFor(23))
+	// Output:
+	// [16 21 23]
+}
+
+func ExampleCompetitiveRatio() {
+	// Theorem 22: the on-line cost approaches the off-line optimum.
+	fmt.Printf("%.3f\n", online.CompetitiveRatio(15, 8))
+	fmt.Printf("%.3f\n", online.CompetitiveRatio(15, 10000))
+	// Output:
+	// 1.000
+	// 1.000
+}

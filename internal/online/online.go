@@ -1,0 +1,178 @@
+// Package online implements the paper's on-line delay-guaranteed algorithm
+// (Section 4.1).
+//
+// The algorithm operates without knowing the time horizon n.  It statically
+// picks the merge-tree size F_h, where F_{h+1} < L+2 <= F_{h+2} and L is the
+// media length in slots of the guaranteed start-up delay, precomputes the
+// optimal merge tree for F_h arrivals (Theorem 7), and then simply repeats
+// that tree forever: a full stream starts at slots 0, F_h, 2F_h, ..., and
+// the arrival at slot t is slotted into position t mod F_h of the current
+// tree.  Because every decision is static, the server answers each request
+// with a precomputed receiving program in O(1) time and schedules streams
+// deterministically — no on-line decisions at all, which is the key
+// simplicity advantage over the dyadic algorithm (Section 4.2).
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/mergetree"
+)
+
+// Server is the precomputed state of the on-line delay-guaranteed algorithm
+// for one media object.
+type Server struct {
+	// L is the media length in slots (media length / guaranteed delay).
+	L int64
+	// h is the Fibonacci index with F_{h+1} < L+2 <= F_{h+2}.
+	h int
+	// treeSize is F_h, the number of arrivals per merge tree.
+	treeSize int64
+	// template is the optimal merge tree over arrivals 0..F_h-1.
+	template *mergetree.Tree
+	// programs[q] is the receiving program (path of offsets within the
+	// template) for the arrival at offset q in its tree.
+	programs [][]int64
+}
+
+// NewServer precomputes the on-line algorithm's static state for media
+// length L (in slots).  The precomputation is O(L) as discussed in
+// Section 4.2; every subsequent request is answered in O(1).
+func NewServer(L int64) *Server {
+	if L < 1 {
+		panic(fmt.Sprintf("online: NewServer requires L >= 1, got %d", L))
+	}
+	h := fib.IndexForLength(L)
+	size := fib.F(h)
+	tmpl := core.OptimalTree(size)
+	progs := make([][]int64, size)
+	for q := int64(0); q < size; q++ {
+		progs[q] = tmpl.PathTo(q)
+	}
+	return &Server{L: L, h: h, treeSize: size, template: tmpl, programs: progs}
+}
+
+// TreeSize returns F_h, the static number of arrivals per merge tree.
+func (s *Server) TreeSize() int64 {
+	return s.treeSize
+}
+
+// FibIndex returns the index h with F_{h+1} < L+2 <= F_{h+2}.
+func (s *Server) FibIndex() int {
+	return s.h
+}
+
+// Template returns a copy of the precomputed optimal merge tree used for
+// every group of F_h consecutive slots.
+func (s *Server) Template() *mergetree.Tree {
+	return s.template.Clone()
+}
+
+// ProgramFor returns the receiving program for the (imaginary batched)
+// client arriving at the given slot: the arrival slots of the streams it
+// listens to, from the root of its tree down to its own stream.  This is the
+// O(1) table lookup described in Section 4.2.
+func (s *Server) ProgramFor(slot int64) []int64 {
+	if slot < 0 {
+		panic(fmt.Sprintf("online: negative slot %d", slot))
+	}
+	base := (slot / s.treeSize) * s.treeSize
+	offsets := s.programs[slot%s.treeSize]
+	path := make([]int64, len(offsets))
+	for i, o := range offsets {
+		path[i] = base + o
+	}
+	return path
+}
+
+// IsRootSlot reports whether a full stream starts at the given slot.
+func (s *Server) IsRootSlot(slot int64) bool {
+	return slot >= 0 && slot%s.treeSize == 0
+}
+
+// Forest returns the merge forest the on-line algorithm transmits for a time
+// horizon of n slots: full copies of the template tree every F_h slots, plus
+// a prefix of the template for the final partial group.  Streams in the
+// final group are truncated as soon as the horizon ends (no client after
+// slot n-1 exists to require them).
+func (s *Server) Forest(n int64) *mergetree.Forest {
+	if n < 1 {
+		panic(fmt.Sprintf("online: Forest requires n >= 1, got %d", n))
+	}
+	f := mergetree.NewForest(s.L)
+	for start := int64(0); start < n; start += s.treeSize {
+		remaining := n - start
+		if remaining >= s.treeSize {
+			f.Add(shiftTree(s.template, start))
+		} else {
+			f.Add(shiftTree(prefixTree(s.template, remaining), start))
+		}
+	}
+	return f
+}
+
+// Cost returns the total server bandwidth (in slot units) used by the
+// on-line algorithm over a horizon of n slots — the quantity called A(L,n)
+// in Theorem 21.
+func (s *Server) Cost(n int64) int64 {
+	return s.Forest(n).FullCost()
+}
+
+// shiftTree returns a copy of t with every arrival shifted by delta.
+func shiftTree(t *mergetree.Tree, delta int64) *mergetree.Tree {
+	cp := mergetree.New(t.Arrival + delta)
+	for _, c := range t.Children {
+		cp.AddChild(shiftTree(c, delta))
+	}
+	return cp
+}
+
+// prefixTree returns the subtree of t induced by the arrivals < m (the first
+// m arrivals in preorder).  Because the template satisfies the preorder
+// property over 0..F_h-1, the prefix is itself a valid merge tree.
+func prefixTree(t *mergetree.Tree, m int64) *mergetree.Tree {
+	if t.Arrival >= m {
+		return nil
+	}
+	cp := mergetree.New(t.Arrival)
+	for _, c := range t.Children {
+		if sub := prefixTree(c, m); sub != nil {
+			cp.AddChild(sub)
+		}
+	}
+	return cp
+}
+
+// Cost returns A(L,n), the total bandwidth of the on-line delay-guaranteed
+// algorithm for media length L and horizon n, in slot units.
+func Cost(L, n int64) int64 {
+	return NewServer(L).Cost(n)
+}
+
+// NormalizedCost returns A(L,n)/L: the on-line algorithm's bandwidth in
+// units of complete media streams (the y-axis of Fig. 1 and Figs. 11-12).
+func NormalizedCost(L, n int64) float64 {
+	return float64(Cost(L, n)) / float64(L)
+}
+
+// CompetitiveRatio returns A(L,n) / F(L,n), the ratio of the on-line cost to
+// the optimal off-line full cost.  Theorem 22 bounds it by 1 + 2L/n for
+// L >= 7 and n > L^2 + 2; Fig. 9 plots it.
+func CompetitiveRatio(L, n int64) float64 {
+	return float64(Cost(L, n)) / float64(core.FullCost(L, n))
+}
+
+// UpperBound returns the analytical upper bound of Theorem 21 on A(L,n):
+// (s1+1)(L + M(F_h)) with s1 = floor(n/F_h).
+func UpperBound(L, n int64) int64 {
+	h := fib.IndexForLength(L)
+	s1 := n / fib.F(h)
+	return (s1 + 1) * (L + core.MergeCost(fib.F(h)))
+}
+
+// TheoremBound returns the competitive-ratio bound 1 + 2L/n of Theorem 22.
+func TheoremBound(L, n int64) float64 {
+	return 1 + 2*float64(L)/float64(n)
+}

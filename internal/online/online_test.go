@@ -1,0 +1,258 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/schedule"
+)
+
+func TestNewServerTreeSize(t *testing.T) {
+	cases := []struct {
+		L    int64
+		size int64
+	}{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 5}, {11, 5}, {15, 8}, {19, 8}, {20, 13}, {100, 55},
+	}
+	for _, c := range cases {
+		s := NewServer(c.L)
+		if got := s.TreeSize(); got != c.size {
+			t.Errorf("TreeSize(L=%d) = %d, want F_h = %d", c.L, got, c.size)
+		}
+		if fib.F(s.FibIndex()) != c.size {
+			t.Errorf("FibIndex inconsistent for L=%d", c.L)
+		}
+	}
+}
+
+func TestNewServerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewServer(0) should panic")
+		}
+	}()
+	NewServer(0)
+}
+
+func TestTemplateIsOptimal(t *testing.T) {
+	s := NewServer(15)
+	tmpl := s.Template()
+	if tmpl.Size() != 8 {
+		t.Fatalf("template size %d, want 8", tmpl.Size())
+	}
+	if tmpl.MergeCost() != core.MergeCost(8) {
+		t.Errorf("template cost %d, want %d", tmpl.MergeCost(), core.MergeCost(8))
+	}
+	// Template returns a copy: mutating it must not corrupt the server.
+	tmpl.Children[0].Arrival = 99
+	if s.Template().Children[0].Arrival == 99 {
+		t.Errorf("Template should return a copy")
+	}
+}
+
+func TestProgramForLookup(t *testing.T) {
+	s := NewServer(15)
+	// The template is the Fibonacci tree 0(1 2 3(4) 5(6 7)); the arrival at
+	// slot 7 has path 0 -> 5 -> 7, and the arrival at slot 23 (= 2*8+7) has
+	// the same path shifted by 16.
+	want7 := []int64{0, 5, 7}
+	got := s.ProgramFor(7)
+	if len(got) != 3 {
+		t.Fatalf("ProgramFor(7) = %v", got)
+	}
+	for i := range want7 {
+		if got[i] != want7[i] {
+			t.Fatalf("ProgramFor(7) = %v, want %v", got, want7)
+		}
+	}
+	got23 := s.ProgramFor(23)
+	for i := range want7 {
+		if got23[i] != want7[i]+16 {
+			t.Fatalf("ProgramFor(23) = %v, want shifted %v", got23, want7)
+		}
+	}
+	// Root slots are multiples of 8.
+	if !s.IsRootSlot(0) || !s.IsRootSlot(16) || s.IsRootSlot(5) {
+		t.Errorf("IsRootSlot wrong")
+	}
+	if p := s.ProgramFor(16); len(p) != 1 || p[0] != 16 {
+		t.Errorf("ProgramFor(16) = %v, want [16]", p)
+	}
+}
+
+func TestProgramForPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewServer(15).ProgramFor(-1)
+}
+
+func TestForestStructure(t *testing.T) {
+	s := NewServer(15)
+	f := s.Forest(20)
+	if err := f.ValidateConsecutive(); err != nil {
+		t.Fatalf("Forest(20): %v", err)
+	}
+	// 20 arrivals with trees of 8: trees at 0, 8, 16 (the last with 4
+	// arrivals).
+	if f.Streams() != 3 {
+		t.Errorf("Streams = %d, want 3", f.Streams())
+	}
+	if f.Size() != 20 {
+		t.Errorf("Size = %d, want 20", f.Size())
+	}
+	if f.Trees[2].Size() != 4 {
+		t.Errorf("last tree size = %d, want 4", f.Trees[2].Size())
+	}
+}
+
+func TestForestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewServer(15).Forest(0)
+}
+
+func TestCostExactMultiple(t *testing.T) {
+	// For n a multiple of F_h the on-line cost is (n/F_h) * (L + M(F_h)).
+	s := NewServer(15)
+	for _, mult := range []int64{1, 2, 5, 10} {
+		n := 8 * mult
+		want := mult * (15 + core.MergeCost(8))
+		if got := s.Cost(n); got != want {
+			t.Errorf("Cost(n=%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCostMatchesForestCost(t *testing.T) {
+	for _, L := range []int64{1, 4, 15, 40, 100} {
+		s := NewServer(L)
+		for _, n := range []int64{1, 3, 7, 20, 100, 137} {
+			if got, want := Cost(L, n), s.Forest(n).FullCost(); got != want {
+				t.Errorf("Cost(%d,%d) = %d, forest cost %d", L, n, got, want)
+			}
+		}
+	}
+}
+
+func TestOnlineNeverBeatsOffline(t *testing.T) {
+	// The optimal off-line cost is a lower bound for any algorithm.
+	for _, L := range []int64{2, 7, 15, 50, 100} {
+		for _, n := range []int64{1, 5, 13, 50, 200, 1000} {
+			if Cost(L, n) < core.FullCost(L, n) {
+				t.Errorf("on-line beat the optimum for L=%d n=%d", L, n)
+			}
+		}
+	}
+}
+
+func TestOnlineWithinTheorem21UpperBound(t *testing.T) {
+	for _, L := range []int64{7, 15, 50, 100} {
+		for _, n := range []int64{10, 100, 1000, 5000} {
+			if Cost(L, n) > UpperBound(L, n) {
+				t.Errorf("A(%d,%d) = %d exceeds the Theorem 21 bound %d", L, n, Cost(L, n), UpperBound(L, n))
+			}
+		}
+	}
+}
+
+func TestCompetitiveRatioTheorem22(t *testing.T) {
+	// Theorem 22: for L >= 7 and n > L^2 + 2, A(L,n)/F(L,n) <= 1 + 2L/n.
+	for _, L := range []int64{7, 10, 15, 30, 64} {
+		for _, n := range []int64{L*L + 3, 2 * L * L, 10 * L * L} {
+			ratio := CompetitiveRatio(L, n)
+			bound := TheoremBound(L, n)
+			if ratio > bound+1e-12 {
+				t.Errorf("L=%d n=%d: ratio %.6f exceeds Theorem 22 bound %.6f", L, n, ratio, bound)
+			}
+			if ratio < 1 {
+				t.Errorf("L=%d n=%d: ratio %.6f below 1", L, n, ratio)
+			}
+		}
+	}
+}
+
+func TestCompetitiveRatioApproachesOne(t *testing.T) {
+	// Fig. 9: the ratio tends to 1 as the horizon grows.
+	L := int64(100)
+	prev := CompetitiveRatio(L, 500)
+	for _, n := range []int64{2000, 20000, 200000} {
+		r := CompetitiveRatio(L, n)
+		// Across orders of magnitude the ratio must not move away from 1
+		// (small fluctuations from remainder effects are tolerated).
+		if r > prev+0.005 {
+			t.Errorf("ratio increased from %.5f to %.5f at n=%d", prev, r, n)
+		}
+		prev = r
+	}
+	if prev > 1.01 {
+		t.Errorf("ratio at n=200000 is %.5f, should be within 1%% of optimal", prev)
+	}
+}
+
+func TestOnlineForestSchedulesVerify(t *testing.T) {
+	// The streams transmitted by the on-line algorithm must give every
+	// client uninterrupted playback under the receive-two rules.
+	for _, c := range []struct{ L, n int64 }{{15, 8}, {15, 20}, {4, 30}, {30, 100}, {100, 222}} {
+		f := NewServer(c.L).Forest(c.n)
+		fs, err := schedule.Build(f)
+		if err != nil {
+			t.Fatalf("Build(L=%d,n=%d): %v", c.L, c.n, err)
+		}
+		if _, err := fs.Verify(); err != nil {
+			t.Fatalf("Verify(L=%d,n=%d): %v", c.L, c.n, err)
+		}
+	}
+}
+
+func TestNormalizedCost(t *testing.T) {
+	// One full tree of 8 arrivals for L=15 costs 36 slot units = 2.4 media
+	// streams.
+	if got := NormalizedCost(15, 8); got != 36.0/15.0 {
+		t.Errorf("NormalizedCost(15,8) = %v, want 2.4", got)
+	}
+}
+
+func TestPrefixTreeCostAtLeastOptimal(t *testing.T) {
+	// The truncated last tree is a merge tree over its m arrivals, so its
+	// cost is at least M(m).
+	s := NewServer(100)
+	for m := int64(1); m < s.TreeSize(); m++ {
+		f := s.Forest(m)
+		if len(f.Trees) != 1 {
+			t.Fatalf("m=%d: expected a single (partial) tree", m)
+		}
+		if got := f.Trees[0].MergeCost(); got < core.MergeCost(m) {
+			t.Errorf("prefix tree cost %d below the optimum %d for m=%d", got, core.MergeCost(m), m)
+		}
+	}
+}
+
+func BenchmarkNewServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewServer(1000)
+	}
+}
+
+func BenchmarkProgramLookup(b *testing.B) {
+	s := NewServer(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ProgramFor(int64(i))
+	}
+}
+
+func BenchmarkOnlineForest(b *testing.B) {
+	s := NewServer(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Forest(10000)
+	}
+}

@@ -1,0 +1,285 @@
+// Package policy provides a uniform interface over every serving strategy in
+// this repository — the paper's delay-guaranteed on-line algorithm, the
+// dyadic baselines, batching, unicast, the Section 5 hybrid, and the exact
+// off-line optimum — so that experiments, examples, and downstream users can
+// compare algorithms by name on a common footing: give each policy an
+// arrival trace and a horizon, get back the total server bandwidth in
+// complete media streams.
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arrivals"
+	"repro/internal/batching"
+	"repro/internal/dyadic"
+	"repro/internal/hybrid"
+	"repro/internal/offline"
+	"repro/internal/online"
+)
+
+// Policy is one serving strategy for a single media object.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Serve returns the total server bandwidth, in complete media streams,
+	// needed to serve the given arrival trace over the horizon [0, horizon).
+	Serve(trace arrivals.Trace, horizon float64) (float64, error)
+}
+
+// DelayGuaranteed returns the paper's on-line delay-guaranteed policy: a
+// (possibly truncated) stream starts at the end of every slot of length
+// delay, following the static F_h merge-tree template, regardless of whether
+// the slot contains arrivals.
+func DelayGuaranteed(mediaLength, delay float64) Policy {
+	return delayGuaranteed{mediaLength: mediaLength, delay: delay}
+}
+
+type delayGuaranteed struct {
+	mediaLength, delay float64
+}
+
+func (p delayGuaranteed) Name() string { return "delay-guaranteed" }
+
+func (p delayGuaranteed) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+	if err := validate(p.mediaLength, p.delay, horizon); err != nil {
+		return 0, err
+	}
+	if err := trace.Validate(); err != nil {
+		return 0, err
+	}
+	L := slotsPerMedia(p.mediaLength, p.delay)
+	n := int64(math.Ceil(horizon / p.delay))
+	if n < 1 {
+		n = 1
+	}
+	return online.NormalizedCost(L, n), nil
+}
+
+// ImmediateDyadic returns the immediate-service dyadic policy with the given
+// parameters (clients are served the instant they arrive).
+func ImmediateDyadic(mediaLength float64, params dyadic.Params) Policy {
+	return immediateDyadic{mediaLength: mediaLength, params: params}
+}
+
+type immediateDyadic struct {
+	mediaLength float64
+	params      dyadic.Params
+}
+
+func (p immediateDyadic) Name() string { return "immediate dyadic" }
+
+func (p immediateDyadic) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+	if p.mediaLength <= 0 || horizon <= 0 {
+		return 0, fmt.Errorf("policy: media length and horizon must be positive")
+	}
+	return dyadic.TotalCost(trace.Clip(horizon), p.mediaLength, p.params)
+}
+
+// BatchedDyadic returns the batched dyadic policy: arrivals wait until the
+// end of their slot and only non-empty slots start streams.
+func BatchedDyadic(mediaLength, delay float64, params dyadic.Params) Policy {
+	return batchedDyadic{mediaLength: mediaLength, delay: delay, params: params}
+}
+
+type batchedDyadic struct {
+	mediaLength, delay float64
+	params             dyadic.Params
+}
+
+func (p batchedDyadic) Name() string { return "batched dyadic" }
+
+func (p batchedDyadic) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+	if err := validate(p.mediaLength, p.delay, horizon); err != nil {
+		return 0, err
+	}
+	return dyadic.TotalBatchedCost(trace.Clip(horizon), p.mediaLength, p.delay, p.params)
+}
+
+// PureBatching returns the merging-free batching policy: one full stream per
+// non-empty slot.
+func PureBatching(mediaLength, delay float64) Policy {
+	return pureBatching{mediaLength: mediaLength, delay: delay}
+}
+
+type pureBatching struct {
+	mediaLength, delay float64
+}
+
+func (p pureBatching) Name() string { return "batching" }
+
+func (p pureBatching) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+	if err := validate(p.mediaLength, p.delay, horizon); err != nil {
+		return 0, err
+	}
+	if err := trace.Validate(); err != nil {
+		return 0, err
+	}
+	return batching.BatchedCost(trace.Clip(horizon), p.delay), nil
+}
+
+// Unicast returns the no-sharing strawman: a private full stream per client.
+func Unicast() Policy {
+	return unicast{}
+}
+
+type unicast struct{}
+
+func (unicast) Name() string { return "unicast" }
+
+func (unicast) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+	if horizon <= 0 {
+		return 0, fmt.Errorf("policy: horizon must be positive")
+	}
+	if err := trace.Validate(); err != nil {
+		return 0, err
+	}
+	return batching.ImmediateUnicastCost(trace.Clip(horizon)), nil
+}
+
+// Hybrid returns the Section 5 hybrid policy with the given configuration.
+func Hybrid(cfg hybrid.Config) Policy {
+	return hybridPolicy{cfg: cfg}
+}
+
+type hybridPolicy struct {
+	cfg hybrid.Config
+}
+
+func (p hybridPolicy) Name() string { return "hybrid" }
+
+func (p hybridPolicy) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+	res, err := hybrid.Run(trace.Clip(horizon), horizon, p.cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.TotalCost, nil
+}
+
+// OfflineOptimal returns the exact off-line optimum for general arrivals
+// (the interval dynamic program of internal/offline).  Because the DP is
+// quadratic in the number of arrivals it refuses traces larger than
+// maxArrivals (use 0 for the default of 5000).
+func OfflineOptimal(mediaLength float64, maxArrivals int) Policy {
+	if maxArrivals <= 0 {
+		maxArrivals = 5000
+	}
+	return offlineOptimal{mediaLength: mediaLength, maxArrivals: maxArrivals}
+}
+
+type offlineOptimal struct {
+	mediaLength float64
+	maxArrivals int
+}
+
+func (p offlineOptimal) Name() string { return "offline optimal" }
+
+func (p offlineOptimal) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+	if p.mediaLength <= 0 || horizon <= 0 {
+		return 0, fmt.Errorf("policy: media length and horizon must be positive")
+	}
+	clipped := trace.Clip(horizon)
+	if len(clipped) > p.maxArrivals {
+		return 0, fmt.Errorf("policy: offline optimal limited to %d arrivals, trace has %d", p.maxArrivals, len(clipped))
+	}
+	if len(clipped) == 0 {
+		return 0, nil
+	}
+	res, err := offline.OptimalForest(clipped, p.mediaLength, offline.ReceiveTwo)
+	if err != nil {
+		return 0, err
+	}
+	return res.NormalizedCost(), nil
+}
+
+// OfflineOptimalBatched returns the exact off-line optimum when every client
+// may be delayed up to `delay` (served at the end of its slot): the interval
+// dynamic program applied to the batched service times.  It is the tight
+// lower bound for all the delay-`delay` policies (delay-guaranteed, batched
+// dyadic, batching), whereas OfflineOptimal is the lower bound for the
+// immediate-service policies.
+func OfflineOptimalBatched(mediaLength, delay float64, maxArrivals int) Policy {
+	if maxArrivals <= 0 {
+		maxArrivals = 5000
+	}
+	return offlineOptimalBatched{mediaLength: mediaLength, delay: delay, maxArrivals: maxArrivals}
+}
+
+type offlineOptimalBatched struct {
+	mediaLength, delay float64
+	maxArrivals        int
+}
+
+func (p offlineOptimalBatched) Name() string { return "offline optimal (batched)" }
+
+func (p offlineOptimalBatched) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+	if err := validate(p.mediaLength, p.delay, horizon); err != nil {
+		return 0, err
+	}
+	if err := trace.Validate(); err != nil {
+		return 0, err
+	}
+	batched := trace.Clip(horizon).BatchTimes(p.delay)
+	if len(batched) > p.maxArrivals {
+		return 0, fmt.Errorf("policy: offline optimal limited to %d arrivals, batched trace has %d", p.maxArrivals, len(batched))
+	}
+	if len(batched) == 0 {
+		return 0, nil
+	}
+	res, err := offline.OptimalForest(batched, p.mediaLength, offline.ReceiveTwo)
+	if err != nil {
+		return 0, err
+	}
+	return res.NormalizedCost(), nil
+}
+
+// Standard returns the set of policies compared in Figs. 11-12 plus the
+// merging-free baselines, configured for the given media length and delay
+// and the given arrival type (Poisson or constant rate), in a stable order.
+func Standard(mediaLength, delay float64, poisson bool) []Policy {
+	var params dyadic.Params
+	if poisson {
+		params = dyadic.GoldenPoisson()
+	} else {
+		params = dyadic.GoldenConstantRate(slotsPerMedia(mediaLength, delay))
+	}
+	return []Policy{
+		DelayGuaranteed(mediaLength, delay),
+		ImmediateDyadic(mediaLength, params),
+		BatchedDyadic(mediaLength, delay, params),
+		Hybrid(hybrid.DefaultConfig(mediaLength, delay)),
+		PureBatching(mediaLength, delay),
+		Unicast(),
+	}
+}
+
+// Compare serves the trace with every policy and returns the costs keyed by
+// policy name.
+func Compare(policies []Policy, trace arrivals.Trace, horizon float64) (map[string]float64, error) {
+	out := make(map[string]float64, len(policies))
+	for _, p := range policies {
+		c, err := p.Serve(trace, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("policy %q: %w", p.Name(), err)
+		}
+		out[p.Name()] = c
+	}
+	return out, nil
+}
+
+func validate(mediaLength, delay, horizon float64) error {
+	if mediaLength <= 0 || delay <= 0 || delay > mediaLength || horizon <= 0 {
+		return fmt.Errorf("policy: need 0 < delay <= media length and horizon > 0 (got media=%g delay=%g horizon=%g)",
+			mediaLength, delay, horizon)
+	}
+	return nil
+}
+
+func slotsPerMedia(mediaLength, delay float64) int64 {
+	s := int64(math.Round(mediaLength / delay))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

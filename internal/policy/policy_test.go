@@ -1,0 +1,192 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/dyadic"
+	"repro/internal/hybrid"
+	"repro/internal/online"
+)
+
+func TestPolicyNames(t *testing.T) {
+	ps := Standard(1, 0.01, true)
+	if len(ps) != 6 {
+		t.Fatalf("Standard returned %d policies", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if p.Name() == "" {
+			t.Errorf("empty policy name")
+		}
+		if names[p.Name()] {
+			t.Errorf("duplicate policy name %q", p.Name())
+		}
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"delay-guaranteed", "immediate dyadic", "batched dyadic", "hybrid", "batching", "unicast"} {
+		if !names[want] {
+			t.Errorf("missing policy %q", want)
+		}
+	}
+	if OfflineOptimal(1, 0).Name() != "offline optimal" {
+		t.Errorf("offline optimal name wrong")
+	}
+}
+
+func TestDelayGuaranteedMatchesOnlinePackage(t *testing.T) {
+	p := DelayGuaranteed(1, 0.01)
+	got, err := p.Serve(arrivals.Trace{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := online.NormalizedCost(100, 1000)
+	if got != want {
+		t.Errorf("Serve = %v, want %v", got, want)
+	}
+	// The delay-guaranteed cost is independent of the trace.
+	got2, err := p.Serve(arrivals.Poisson(0.001, 10, 1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != got {
+		t.Errorf("delay-guaranteed cost should not depend on the trace")
+	}
+}
+
+func TestPolicyErrorPropagation(t *testing.T) {
+	bad := arrivals.Trace{0.5, 0.2}
+	horizon := 5.0
+	for _, p := range []Policy{
+		DelayGuaranteed(1, 0.01),
+		ImmediateDyadic(1, dyadic.GoldenPoisson()),
+		BatchedDyadic(1, 0.01, dyadic.GoldenPoisson()),
+		PureBatching(1, 0.01),
+		Unicast(),
+		Hybrid(hybrid.DefaultConfig(1, 0.01)),
+		OfflineOptimal(1, 0),
+	} {
+		if _, err := p.Serve(bad, horizon); err == nil {
+			t.Errorf("policy %q accepted an unsorted trace", p.Name())
+		}
+	}
+	if _, err := DelayGuaranteed(1, 0).Serve(arrivals.Trace{}, 5); err == nil {
+		t.Errorf("invalid delay should fail")
+	}
+	if _, err := PureBatching(1, 0.01).Serve(arrivals.Trace{0.1}, 0); err == nil {
+		t.Errorf("invalid horizon should fail")
+	}
+	if _, err := Unicast().Serve(arrivals.Trace{0.1}, 0); err == nil {
+		t.Errorf("invalid horizon should fail for unicast")
+	}
+	if _, err := ImmediateDyadic(0, dyadic.GoldenPoisson()).Serve(arrivals.Trace{0.1}, 5); err == nil {
+		t.Errorf("invalid media length should fail")
+	}
+	if _, err := OfflineOptimal(0, 0).Serve(arrivals.Trace{0.1}, 5); err == nil {
+		t.Errorf("invalid media length should fail for offline optimal")
+	}
+}
+
+func TestCompareOrderingOnDenseTrace(t *testing.T) {
+	// Dense arrivals (many per slot): unicast is the most expensive,
+	// batching beats unicast, stream merging beats batching, the
+	// immediate-service off-line optimum lower-bounds the immediate-service
+	// policies, and the batched off-line optimum lower-bounds every
+	// delay-permitted policy.
+	trace := arrivals.Poisson(0.002, 4, 3)
+	horizon := 4.0
+	ps := append(Standard(1, 0.01, true), OfflineOptimal(1, 0), OfflineOptimalBatched(1, 0.01, 0))
+	costs, err := Compare(ps, trace, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs["unicast"] <= costs["batching"] {
+		t.Errorf("batching (%v) should beat unicast (%v)", costs["batching"], costs["unicast"])
+	}
+	if costs["batching"] <= costs["batched dyadic"] {
+		t.Errorf("batched dyadic (%v) should beat batching (%v)", costs["batched dyadic"], costs["batching"])
+	}
+	optImmediate := costs["offline optimal"]
+	for _, name := range []string{"immediate dyadic", "unicast"} {
+		if costs[name] < optImmediate-1e-9 {
+			t.Errorf("policy %q (%v) beat the immediate-service optimum (%v)", name, costs[name], optImmediate)
+		}
+	}
+	optBatched := costs["offline optimal (batched)"]
+	for _, name := range []string{"delay-guaranteed", "batched dyadic", "hybrid", "batching"} {
+		if costs[name] < optBatched-1e-9 {
+			t.Errorf("policy %q (%v) beat the batched off-line optimum (%v)", name, costs[name], optBatched)
+		}
+	}
+	// Allowing a delay can only help: the batched optimum is at most the
+	// immediate-service optimum.
+	if optBatched > optImmediate+1e-9 {
+		t.Errorf("batched optimum (%v) exceeds immediate optimum (%v)", optBatched, optImmediate)
+	}
+}
+
+func TestCompareSparseTraceFavorsDyadic(t *testing.T) {
+	// Sparse arrivals: the delay-guaranteed policy is the most expensive of
+	// the merging policies (it starts streams for empty slots).
+	trace := arrivals.Poisson(0.05, 10, 7)
+	costs, err := Compare(Standard(1, 0.01, true), trace, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs["delay-guaranteed"] <= costs["immediate dyadic"] {
+		t.Errorf("sparse arrivals: delay-guaranteed (%v) should exceed immediate dyadic (%v)",
+			costs["delay-guaranteed"], costs["immediate dyadic"])
+	}
+	if costs["hybrid"] >= costs["delay-guaranteed"] {
+		t.Errorf("hybrid (%v) should beat pure delay-guaranteed (%v) on a sparse trace",
+			costs["hybrid"], costs["delay-guaranteed"])
+	}
+}
+
+func TestCompareStopsOnError(t *testing.T) {
+	ps := []Policy{DelayGuaranteed(1, 0.01), OfflineOptimal(1, 2)}
+	trace := arrivals.Poisson(0.01, 5, 1) // far more than 2 arrivals
+	if _, err := Compare(ps, trace, 5); err == nil {
+		t.Errorf("Compare should propagate the offline-optimal size error")
+	}
+	if !strings.Contains(err2str(Compare(ps, trace, 5)), "offline optimal") {
+		t.Errorf("error should identify the failing policy")
+	}
+}
+
+func err2str(_ map[string]float64, err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestOfflineOptimalEmptyTrace(t *testing.T) {
+	c, err := OfflineOptimal(1, 0).Serve(arrivals.Trace{}, 5)
+	if err != nil || c != 0 {
+		t.Errorf("empty trace should cost 0, got %v, %v", c, err)
+	}
+}
+
+func TestSlotsPerMediaClamp(t *testing.T) {
+	if slotsPerMedia(1, 2) != 1 {
+		t.Errorf("slotsPerMedia should clamp to 1")
+	}
+	if slotsPerMedia(1, 0.01) != 100 {
+		t.Errorf("slotsPerMedia(1, 0.01) should be 100")
+	}
+}
+
+func TestStandardConstantRateParams(t *testing.T) {
+	// The constant-rate variant must use beta = F_h/L per Section 4.2; just
+	// check it produces a valid, distinct policy set.
+	ps := Standard(1, 0.01, false)
+	costs, err := Compare(ps, arrivals.Constant(0.005, 5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != len(ps) {
+		t.Errorf("expected %d costs, got %d", len(ps), len(costs))
+	}
+}

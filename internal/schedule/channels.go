@@ -1,0 +1,104 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Channel is one physical multicast channel of the server: a sequence of
+// non-overlapping stream transmissions.  Mapping the streams of a schedule
+// onto channels makes the "channels" component of the Media-on-Demand system
+// of Section 2 concrete: the number of channels needed is exactly the peak
+// bandwidth of the schedule, because stream transmissions are intervals on
+// the time line.
+type Channel struct {
+	// ID is the channel index, starting at 0.
+	ID int
+	// Streams are the transmissions carried by the channel, ordered by
+	// start slot and pairwise non-overlapping.
+	Streams []StreamSchedule
+}
+
+// Busy returns the total number of slots during which the channel transmits.
+func (c Channel) Busy() int64 {
+	var total int64
+	for _, s := range c.Streams {
+		total += s.Length
+	}
+	return total
+}
+
+// AssignChannels maps every stream of the schedule onto physical channels
+// using the greedy first-fit rule on streams sorted by start slot.  Because
+// stream transmissions are intervals, the greedy assignment uses exactly
+// PeakBandwidth() channels, which is optimal.
+func (fs *ForestSchedule) AssignChannels() []Channel {
+	streams := make([]StreamSchedule, 0, len(fs.Streams))
+	for _, s := range fs.Streams {
+		if s.Length > 0 {
+			streams = append(streams, s)
+		}
+	}
+	sort.Slice(streams, func(i, j int) bool {
+		if streams[i].Start != streams[j].Start {
+			return streams[i].Start < streams[j].Start
+		}
+		return streams[i].Length > streams[j].Length
+	})
+	var channels []Channel
+	ends := make([]int64, 0) // ends[i] = slot after the last transmission on channel i
+	for _, s := range streams {
+		placed := false
+		for i := range channels {
+			if ends[i] <= s.Start {
+				channels[i].Streams = append(channels[i].Streams, s)
+				ends[i] = s.End()
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			channels = append(channels, Channel{ID: len(channels), Streams: []StreamSchedule{s}})
+			ends = append(ends, s.End())
+		}
+	}
+	return channels
+}
+
+// ValidateChannels checks a channel assignment: every stream of the schedule
+// appears on exactly one channel, transmissions on a channel never overlap,
+// and the number of channels equals the schedule's peak bandwidth.
+func (fs *ForestSchedule) ValidateChannels(channels []Channel) error {
+	seen := make(map[int64]bool)
+	for _, c := range channels {
+		for i, s := range c.Streams {
+			if seen[s.Start] {
+				return fmt.Errorf("schedule: stream starting at %d assigned twice", s.Start)
+			}
+			seen[s.Start] = true
+			if i > 0 {
+				prev := c.Streams[i-1]
+				if s.Start < prev.End() {
+					return fmt.Errorf("schedule: channel %d: stream at %d overlaps stream at %d", c.ID, s.Start, prev.Start)
+				}
+			}
+			orig, ok := fs.Streams[s.Start]
+			if !ok || orig.Length != s.Length {
+				return fmt.Errorf("schedule: channel %d carries an unknown or altered stream at %d", c.ID, s.Start)
+			}
+		}
+	}
+	active := 0
+	for _, s := range fs.Streams {
+		if s.Length > 0 {
+			active++
+		}
+	}
+	if len(seen) != active {
+		return fmt.Errorf("schedule: %d streams assigned, schedule has %d", len(seen), active)
+	}
+	if got, want := len(channels), fs.PeakBandwidth(); got != want {
+		return fmt.Errorf("schedule: %d channels used, peak bandwidth is %d", got, want)
+	}
+	return nil
+}

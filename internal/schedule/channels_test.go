@@ -1,0 +1,108 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/online"
+)
+
+func TestAssignChannelsFig3(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	channels := fs.AssignChannels()
+	if err := fs.ValidateChannels(channels); err != nil {
+		t.Fatalf("ValidateChannels: %v", err)
+	}
+	if len(channels) != 4 {
+		t.Errorf("Fig. 3 schedule needs %d channels, want 4 (its peak bandwidth)", len(channels))
+	}
+	// Channel busy time across all channels equals the total bandwidth.
+	var busy int64
+	for _, c := range channels {
+		busy += c.Busy()
+	}
+	if busy != fs.TotalBandwidth() {
+		t.Errorf("channel busy time %d != total bandwidth %d", busy, fs.TotalBandwidth())
+	}
+}
+
+func TestAssignChannelsOptimalAndOnlineForests(t *testing.T) {
+	cases := []*ForestSchedule{}
+	for _, c := range []struct{ L, n int64 }{{15, 14}, {30, 200}, {100, 350}} {
+		fs, err := Build(core.OptimalForest(c.L, c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, fs)
+	}
+	fsOnline, err := Build(online.NewServer(50).Forest(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, fsOnline)
+	fsAll, err := BuildReceiveAll(core.OptimalForestAll(30, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, fsAll)
+	for i, fs := range cases {
+		channels := fs.AssignChannels()
+		if err := fs.ValidateChannels(channels); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestAssignChannelsEmpty(t *testing.T) {
+	fs := &ForestSchedule{L: 5, Streams: map[int64]StreamSchedule{}, Programs: map[int64]*Program{}}
+	channels := fs.AssignChannels()
+	if len(channels) != 0 {
+		t.Errorf("empty schedule should need no channels")
+	}
+	if err := fs.ValidateChannels(channels); err != nil {
+		t.Errorf("ValidateChannels on empty schedule: %v", err)
+	}
+}
+
+func TestValidateChannelsRejectsBadAssignments(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	good := fs.AssignChannels()
+
+	// Duplicate assignment.
+	dup := append([]Channel{}, good...)
+	dup = append(dup, Channel{ID: len(dup), Streams: []StreamSchedule{good[0].Streams[0]}})
+	if err := fs.ValidateChannels(dup); err == nil {
+		t.Errorf("duplicate stream assignment should fail")
+	}
+
+	// Missing stream.
+	missing := []Channel{{ID: 0, Streams: good[0].Streams}}
+	if err := fs.ValidateChannels(missing); err == nil {
+		t.Errorf("missing streams should fail")
+	}
+
+	// Overlapping streams on one channel.
+	overlap := []Channel{{ID: 0, Streams: []StreamSchedule{fs.Streams[0], fs.Streams[5]}}}
+	if err := fs.ValidateChannels(overlap); err == nil {
+		t.Errorf("overlapping transmissions should fail")
+	}
+
+	// Altered stream length.
+	altered := fs.AssignChannels()
+	altered[0].Streams[0].Length++
+	if err := fs.ValidateChannels(altered); err == nil {
+		t.Errorf("altered stream should fail")
+	}
+}
+
+func BenchmarkAssignChannels(b *testing.B) {
+	fs, err := Build(core.OptimalForest(100, 2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.AssignChannels()
+	}
+}

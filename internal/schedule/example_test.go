@@ -1,0 +1,41 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+)
+
+func ExampleBuildProgram() {
+	// Client H of the paper's Section 2 example: it arrives at slot 7 and
+	// its receiving program is the path 0 -> 5 -> 7 in the merge tree of
+	// Fig. 4, with L = 15.
+	p, _ := schedule.BuildProgram([]int64{0, 5, 7}, 15)
+	for _, st := range p.Stages {
+		fmt.Printf("stage %d, slots [%d,%d):", st.Index, st.From, st.To)
+		for _, r := range st.Receptions {
+			fmt.Printf(" parts %d-%d from stream %d;", r.FirstPart, r.LastPart, r.Stream)
+		}
+		fmt.Println()
+	}
+	fmt.Println("max buffer:", p.MaxBuffer())
+	// Output:
+	// stage 0, slots [7,9): parts 1-2 from stream 7; parts 3-4 from stream 5;
+	// stage 1, slots [9,14): parts 5-9 from stream 5; parts 10-14 from stream 0;
+	// stage 2, slots [14,15): parts 15-15 from stream 0;
+	// max buffer: 7
+}
+
+func ExampleBuild() {
+	forest := core.OptimalForest(15, 8)
+	fs, _ := schedule.Build(forest)
+	rep, err := fs.Verify()
+	fmt.Println("verified clients:", rep.Clients, "error:", err)
+	fmt.Println("total bandwidth:", fs.TotalBandwidth(), "peak:", fs.PeakBandwidth())
+	fmt.Println("channels needed:", len(fs.AssignChannels()))
+	// Output:
+	// verified clients: 8 error: <nil>
+	// total bandwidth: 36 peak: 4
+	// channels needed: 4
+}

@@ -1,0 +1,66 @@
+package schedule
+
+import (
+	"testing"
+)
+
+// FuzzBuildProgram feeds arbitrary paths and stream lengths to BuildProgram
+// and checks the receiving-program invariants whenever construction
+// succeeds: the parts 1..L are covered exactly once, each part is received
+// in the slot its stream broadcasts it, never after its playback slot, and
+// never from more than two streams at a time.
+func FuzzBuildProgram(f *testing.F) {
+	f.Add(int64(15), uint8(3), uint8(2), uint8(1), uint8(0))
+	f.Add(int64(8), uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(30), uint8(5), uint8(9), uint8(3), uint8(7))
+	f.Fuzz(func(t *testing.T, l int64, g1, g2, g3, g4 uint8) {
+		L := l%200 + 1
+		// Build a strictly increasing path from the gap values, capped so it
+		// stays within L-1 of the root.
+		path := []int64{0}
+		for _, g := range []uint8{g1, g2, g3, g4} {
+			if g == 0 {
+				continue
+			}
+			next := path[len(path)-1] + int64(g%32)
+			if next == path[len(path)-1] {
+				next++
+			}
+			path = append(path, next)
+		}
+		p, err := BuildProgram(path, L)
+		if err != nil {
+			return
+		}
+		parts := p.Parts()
+		if int64(len(parts)) != L {
+			t.Fatalf("L=%d path=%v: received %d distinct parts", L, path, len(parts))
+		}
+		if p.TotalSlotsReceiving() != L {
+			t.Fatalf("L=%d path=%v: %d reception slots", L, path, p.TotalSlotsReceiving())
+		}
+		client := path[len(path)-1]
+		for i, ps := range parts {
+			if ps.Part != int64(i)+1 {
+				t.Fatalf("missing part %d", i+1)
+			}
+			if ps.Slot != ps.Stream+ps.Part-1 {
+				t.Fatalf("part %d misaligned with its stream's broadcast", ps.Part)
+			}
+			if ps.Slot > client+ps.Part-1 {
+				t.Fatalf("part %d received after its playback slot", ps.Part)
+			}
+		}
+		if p.MaxConcurrentStreams() > 2 {
+			t.Fatalf("receive-two violated: %d concurrent streams", p.MaxConcurrentStreams())
+		}
+		if p.MaxBuffer() > L/2 {
+			t.Fatalf("buffer %d exceeds L/2", p.MaxBuffer())
+		}
+		for _, b := range p.BufferOccupancy() {
+			if b < 0 {
+				t.Fatalf("buffer underflow")
+			}
+		}
+	})
+}

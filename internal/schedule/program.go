@@ -1,0 +1,256 @@
+// Package schedule turns merge forests into concrete broadcast schedules and
+// client receiving programs, following the stream-merging rules of Section 2
+// of the paper.
+//
+// A stream scheduled at slot x broadcasts part j of the media during slot
+// x+j-1 (one part per slot), for j = 1, ..., l(x).  A client arriving at
+// slot x_k with receiving program x_0 < x_1 < ... < x_k (the path from the
+// root of its merge tree) listens to at most two streams at a time:
+//
+//	stage i (0 <= i <= k-1): from slot 2x_k - x_{k-i} to slot
+//	  2x_k - x_{k-i-1}, it receives parts
+//	  2x_k - 2x_{k-i} + 1, ..., 2x_k - x_{k-i} - x_{k-i-1} from stream
+//	  x_{k-i} and parts 2x_k - x_{k-i} - x_{k-i-1} + 1, ..., 2x_k - 2x_{k-i-1}
+//	  from stream x_{k-i-1};
+//	stage k: from slot 2x_k - x_0 to slot x_0 + L it receives parts
+//	  2(x_k - x_0) + 1, ..., L from the root stream x_0.
+//
+// Part numbers are clamped to L since streams only carry a prefix of the
+// media.  The package also provides verification (every client receives all
+// L parts in time for uninterrupted playback, never listens to more than two
+// streams, and never exceeds the Lemma 15 buffer bound) and ASCII rendering
+// of the concrete schedule diagram in the style of Fig. 3.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Reception describes a contiguous block of parts a client receives from a
+// single stream: part FirstPart is received during slot StartSlot, part
+// FirstPart+1 during StartSlot+1, and so on through LastPart.
+type Reception struct {
+	// Stream is the arrival time identifying the stream listened to.
+	Stream int64
+	// StartSlot is the slot during which FirstPart is received.
+	StartSlot int64
+	// FirstPart and LastPart delimit the received parts (1-based, inclusive).
+	FirstPart, LastPart int64
+}
+
+// Slots returns the number of slots the reception spans.
+func (r Reception) Slots() int64 {
+	if r.LastPart < r.FirstPart {
+		return 0
+	}
+	return r.LastPart - r.FirstPart + 1
+}
+
+// EndSlot returns the slot after the last reception slot.
+func (r Reception) EndSlot() int64 {
+	return r.StartSlot + r.Slots()
+}
+
+// Stage is one stage of a client's receiving program: a time window during
+// which the client listens to one stream (the final stage) or two streams
+// simultaneously (all earlier stages).
+type Stage struct {
+	// Index is the stage number i in 0..k.
+	Index int
+	// From and To delimit the stage's slots: [From, To).
+	From, To int64
+	// Receptions holds one entry per stream listened to during the stage
+	// (one or two entries).
+	Receptions []Reception
+}
+
+// Program is the complete receiving program of one client.
+type Program struct {
+	// Client is the arrival slot of the client (and of the stream started
+	// for it).
+	Client int64
+	// Path is the root-to-client path x_0 < ... < x_k in the merge tree.
+	Path []int64
+	// L is the full stream length in slots.
+	L int64
+	// Stages are the reception stages in chronological order.
+	Stages []Stage
+}
+
+// BuildProgram constructs the receiving program for the client arriving at
+// the last element of path, for full stream length L.  The path must be
+// strictly increasing and non-empty; otherwise an error is returned.
+func BuildProgram(path []int64, L int64) (*Program, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("schedule: empty path")
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i] <= path[i-1] {
+			return nil, fmt.Errorf("schedule: path is not strictly increasing at %d", i)
+		}
+	}
+	if L < 1 {
+		return nil, fmt.Errorf("schedule: L must be positive, got %d", L)
+	}
+	k := len(path) - 1
+	xk := path[k]
+	x0 := path[0]
+	if xk-x0 > L-1 {
+		return nil, fmt.Errorf("schedule: client %d is %d slots after root %d, exceeding L-1 = %d",
+			xk, xk-x0, x0, L-1)
+	}
+	p := &Program{Client: xk, Path: append([]int64(nil), path...), L: L}
+
+	clamp := func(v int64) int64 {
+		if v > L {
+			return L
+		}
+		return v
+	}
+
+	// Stages 0..k-1: two simultaneous receptions.
+	for i := 0; i <= k-1; i++ {
+		upper := path[k-i]   // x_{k-i}: the stream the client is currently "on"
+		lower := path[k-i-1] // x_{k-i-1}: the stream it is merging toward
+		from := 2*xk - upper
+		to := 2*xk - lower
+		st := Stage{Index: i, From: from, To: to}
+		// Parts from the later stream upper.
+		upFirst := 2*xk - 2*upper + 1
+		upLast := clamp(2*xk - upper - lower)
+		if upLast >= upFirst {
+			st.Receptions = append(st.Receptions, Reception{
+				Stream: upper, StartSlot: from, FirstPart: upFirst, LastPart: upLast,
+			})
+		}
+		// Parts from the earlier stream lower.
+		loFirst := 2*xk - upper - lower + 1
+		loLast := clamp(2*xk - 2*lower)
+		if loLast >= loFirst && loFirst <= L {
+			st.Receptions = append(st.Receptions, Reception{
+				Stream: lower, StartSlot: from, FirstPart: loFirst, LastPart: loLast,
+			})
+		}
+		p.Stages = append(p.Stages, st)
+	}
+
+	// Stage k: single reception from the root for the remaining parts.
+	first := 2*(xk-x0) + 1
+	if first <= L {
+		st := Stage{Index: k, From: 2*xk - x0, To: x0 + L}
+		st.Receptions = append(st.Receptions, Reception{
+			Stream: x0, StartSlot: 2*xk - x0, FirstPart: first, LastPart: L,
+		})
+		p.Stages = append(p.Stages, st)
+	}
+	return p, nil
+}
+
+// PartSource identifies when and from which stream a part is received.
+type PartSource struct {
+	// Part is the 1-based media part number.
+	Part int64
+	// Stream is the stream the part is received from.
+	Stream int64
+	// Slot is the slot during which the part is received.
+	Slot int64
+}
+
+// Parts returns, for every part 1..L, the slot and stream from which the
+// client receives it.  If a part is received more than once the earliest
+// reception is reported; missing parts are omitted (Verify flags them).
+func (p *Program) Parts() []PartSource {
+	seen := make(map[int64]PartSource)
+	for _, st := range p.Stages {
+		for _, r := range st.Receptions {
+			for j := r.FirstPart; j <= r.LastPart; j++ {
+				slot := r.StartSlot + (j - r.FirstPart)
+				if prev, ok := seen[j]; !ok || slot < prev.Slot {
+					seen[j] = PartSource{Part: j, Stream: r.Stream, Slot: slot}
+				}
+			}
+		}
+	}
+	out := make([]PartSource, 0, len(seen))
+	for _, ps := range seen {
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Part < out[j].Part })
+	return out
+}
+
+// MaxConcurrentStreams returns the largest number of streams the client
+// listens to during any single slot.
+func (p *Program) MaxConcurrentStreams() int {
+	counts := make(map[int64]int)
+	for _, st := range p.Stages {
+		for _, r := range st.Receptions {
+			for s := r.StartSlot; s < r.EndSlot(); s++ {
+				counts[s]++
+			}
+		}
+	}
+	mx := 0
+	for _, c := range counts {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// BufferOccupancy returns the client's buffer occupancy (number of received
+// but not yet played parts) at the end of every slot from the client's
+// arrival until it has played the whole stream.  Slot t (relative index
+// t - Client) plays part t - Client + 1.
+func (p *Program) BufferOccupancy() []int64 {
+	parts := p.Parts()
+	recvBySlot := make(map[int64]int64)
+	var lastSlot int64 = p.Client
+	for _, ps := range parts {
+		recvBySlot[ps.Slot]++
+		if ps.Slot > lastSlot {
+			lastSlot = ps.Slot
+		}
+	}
+	playEnd := p.Client + p.L // playback occupies slots Client .. Client+L-1
+	if playEnd-1 > lastSlot {
+		lastSlot = playEnd - 1
+	}
+	occ := make([]int64, 0, lastSlot-p.Client+1)
+	var buffered int64
+	for t := p.Client; t <= lastSlot; t++ {
+		buffered += recvBySlot[t]
+		if t < playEnd {
+			// One part is consumed by the player during every playback slot.
+			buffered--
+		}
+		occ = append(occ, buffered)
+	}
+	return occ
+}
+
+// MaxBuffer returns the maximum buffer occupancy over the client's lifetime.
+func (p *Program) MaxBuffer() int64 {
+	var mx int64
+	for _, b := range p.BufferOccupancy() {
+		if b > mx {
+			mx = b
+		}
+	}
+	return mx
+}
+
+// TotalSlotsReceiving returns the total number of (stream, slot) pairs the
+// client spends receiving data; with two simultaneous streams a slot counts
+// twice.
+func (p *Program) TotalSlotsReceiving() int64 {
+	var total int64
+	for _, st := range p.Stages {
+		for _, r := range st.Receptions {
+			total += r.Slots()
+		}
+	}
+	return total
+}

@@ -1,0 +1,206 @@
+package schedule
+
+import (
+	"testing"
+)
+
+// The paper's worked example (Section 2): client H arrives at slot 7 with
+// receiving program x0=0, x1=5, x2=7 and L=15.
+func buildClientH(t *testing.T) *Program {
+	t.Helper()
+	p, err := BuildProgram([]int64{0, 5, 7}, 15)
+	if err != nil {
+		t.Fatalf("BuildProgram: %v", err)
+	}
+	return p
+}
+
+func TestBuildProgramClientH(t *testing.T) {
+	p := buildClientH(t)
+	if p.Client != 7 || p.L != 15 {
+		t.Fatalf("Client=%d L=%d", p.Client, p.L)
+	}
+	if len(p.Stages) != 3 {
+		t.Fatalf("expected 3 stages, got %d", len(p.Stages))
+	}
+	// Stage 0: from slot 7 to 9, parts 1,2 from stream 7 and parts 3,4 from
+	// stream 5.
+	s0 := p.Stages[0]
+	if s0.From != 7 || s0.To != 9 || len(s0.Receptions) != 2 {
+		t.Fatalf("stage 0 = %+v", s0)
+	}
+	if r := s0.Receptions[0]; r.Stream != 7 || r.FirstPart != 1 || r.LastPart != 2 || r.StartSlot != 7 {
+		t.Errorf("stage 0 primary = %+v", r)
+	}
+	if r := s0.Receptions[1]; r.Stream != 5 || r.FirstPart != 3 || r.LastPart != 4 {
+		t.Errorf("stage 0 secondary = %+v", r)
+	}
+	// Stage 1: from slot 9 to 14, parts 5..9 from stream 5 and 10..14 from
+	// stream 0.
+	s1 := p.Stages[1]
+	if s1.From != 9 || s1.To != 14 {
+		t.Fatalf("stage 1 window = [%d,%d)", s1.From, s1.To)
+	}
+	if r := s1.Receptions[0]; r.Stream != 5 || r.FirstPart != 5 || r.LastPart != 9 {
+		t.Errorf("stage 1 primary = %+v", r)
+	}
+	if r := s1.Receptions[1]; r.Stream != 0 || r.FirstPart != 10 || r.LastPart != 14 {
+		t.Errorf("stage 1 secondary = %+v", r)
+	}
+	// Stage 2: from slot 14 to 15, part 15 from the root.
+	s2 := p.Stages[2]
+	if s2.From != 14 || s2.To != 15 || len(s2.Receptions) != 1 {
+		t.Fatalf("stage 2 = %+v", s2)
+	}
+	if r := s2.Receptions[0]; r.Stream != 0 || r.FirstPart != 15 || r.LastPart != 15 {
+		t.Errorf("stage 2 reception = %+v", r)
+	}
+}
+
+func TestProgramPartsClientH(t *testing.T) {
+	p := buildClientH(t)
+	parts := p.Parts()
+	if len(parts) != 15 {
+		t.Fatalf("client H receives %d parts, want 15", len(parts))
+	}
+	for i, ps := range parts {
+		if ps.Part != int64(i+1) {
+			t.Fatalf("part list not contiguous: %+v", parts)
+		}
+		// Broadcast alignment: part j is received from stream s during slot
+		// s+j-1.
+		if ps.Slot != ps.Stream+ps.Part-1 {
+			t.Errorf("part %d from stream %d received at slot %d, broadcast slot is %d",
+				ps.Part, ps.Stream, ps.Slot, ps.Stream+ps.Part-1)
+		}
+		// On-time delivery: part j plays at slot 7+j-1.
+		if ps.Slot > 7+ps.Part-1 {
+			t.Errorf("part %d arrives after its playback slot", ps.Part)
+		}
+	}
+	// Source streams per the paper's walk-through.
+	wantStream := map[int64]int64{1: 7, 2: 7, 3: 5, 4: 5, 5: 5, 9: 5, 10: 0, 14: 0, 15: 0}
+	for part, stream := range wantStream {
+		if parts[part-1].Stream != stream {
+			t.Errorf("part %d received from stream %d, want %d", part, parts[part-1].Stream, stream)
+		}
+	}
+}
+
+func TestProgramClientHBufferAndConcurrency(t *testing.T) {
+	p := buildClientH(t)
+	if got := p.MaxConcurrentStreams(); got != 2 {
+		t.Errorf("MaxConcurrentStreams = %d, want 2", got)
+	}
+	if got := p.MaxBuffer(); got != 7 {
+		t.Errorf("MaxBuffer = %d, want 7 (Lemma 15: min(7, 15-7))", got)
+	}
+	if got := p.TotalSlotsReceiving(); got != 15 {
+		t.Errorf("TotalSlotsReceiving = %d, want 15", got)
+	}
+	occ := p.BufferOccupancy()
+	for i, b := range occ {
+		if b < 0 {
+			t.Fatalf("buffer underflow at relative slot %d: %v", i, occ)
+		}
+	}
+	if occ[len(occ)-1] != 0 {
+		t.Errorf("buffer should drain to 0 at the end, got %d", occ[len(occ)-1])
+	}
+}
+
+func TestBuildProgramRootClient(t *testing.T) {
+	// A client arriving with the root stream simply receives parts 1..L from
+	// it.
+	p, err := BuildProgram([]int64{3}, 10)
+	if err != nil {
+		t.Fatalf("BuildProgram: %v", err)
+	}
+	if len(p.Stages) != 1 {
+		t.Fatalf("expected a single stage, got %d", len(p.Stages))
+	}
+	r := p.Stages[0].Receptions[0]
+	if r.Stream != 3 || r.FirstPart != 1 || r.LastPart != 10 || r.StartSlot != 3 {
+		t.Errorf("root client reception = %+v", r)
+	}
+	if p.MaxConcurrentStreams() != 1 || p.MaxBuffer() != 0 {
+		t.Errorf("root client should never buffer or receive two streams")
+	}
+}
+
+func TestBuildProgramDirectChildFarFromRoot(t *testing.T) {
+	// Client at 14 merging directly to root 0 with L=15: it receives parts
+	// 1..14 from its own stream and part 15 from the root (the x-r > L/2
+	// regime).
+	p, err := BuildProgram([]int64{0, 14}, 15)
+	if err != nil {
+		t.Fatalf("BuildProgram: %v", err)
+	}
+	parts := p.Parts()
+	if len(parts) != 15 {
+		t.Fatalf("received %d parts, want 15", len(parts))
+	}
+	if p.TotalSlotsReceiving() != 15 {
+		t.Errorf("TotalSlotsReceiving = %d, want 15", p.TotalSlotsReceiving())
+	}
+	if parts[14].Stream != 0 || parts[0].Stream != 14 {
+		t.Errorf("unexpected sources: first from %d, last from %d", parts[0].Stream, parts[14].Stream)
+	}
+	// Lemma 15: buffer requirement is min(14, 15-14) = 1.
+	if got := p.MaxBuffer(); got != 1 {
+		t.Errorf("MaxBuffer = %d, want 1", got)
+	}
+}
+
+func TestBuildProgramErrors(t *testing.T) {
+	if _, err := BuildProgram(nil, 10); err == nil {
+		t.Errorf("empty path should fail")
+	}
+	if _, err := BuildProgram([]int64{0, 5, 5}, 10); err == nil {
+		t.Errorf("non-increasing path should fail")
+	}
+	if _, err := BuildProgram([]int64{0, 3}, 0); err == nil {
+		t.Errorf("non-positive L should fail")
+	}
+	if _, err := BuildProgram([]int64{0, 12}, 10); err == nil {
+		t.Errorf("client beyond L-1 slots from root should fail")
+	}
+}
+
+func TestReceptionHelpers(t *testing.T) {
+	r := Reception{Stream: 5, StartSlot: 9, FirstPart: 5, LastPart: 9}
+	if r.Slots() != 5 || r.EndSlot() != 14 {
+		t.Errorf("Slots=%d EndSlot=%d", r.Slots(), r.EndSlot())
+	}
+	empty := Reception{FirstPart: 4, LastPart: 3}
+	if empty.Slots() != 0 {
+		t.Errorf("empty reception should span 0 slots")
+	}
+}
+
+func TestBuildProgramDeepPath(t *testing.T) {
+	// A chain 0 <- 1 <- 3 <- 7 with L = 20: stages must tile the parts
+	// 1..L with no gaps or overlaps.
+	p, err := BuildProgram([]int64{0, 1, 3, 7}, 20)
+	if err != nil {
+		t.Fatalf("BuildProgram: %v", err)
+	}
+	parts := p.Parts()
+	if len(parts) != 20 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	if p.TotalSlotsReceiving() != 20 {
+		t.Errorf("TotalSlotsReceiving = %d, want 20", p.TotalSlotsReceiving())
+	}
+	if p.MaxConcurrentStreams() > 2 {
+		t.Errorf("receive-two violated: %d", p.MaxConcurrentStreams())
+	}
+	for _, ps := range parts {
+		if ps.Slot != ps.Stream+ps.Part-1 {
+			t.Errorf("part %d misaligned with broadcast of stream %d", ps.Part, ps.Stream)
+		}
+		if ps.Slot > p.Client+ps.Part-1 {
+			t.Errorf("part %d late", ps.Part)
+		}
+	}
+}

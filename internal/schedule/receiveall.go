@@ -1,0 +1,166 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mergetree"
+)
+
+// BuildProgramAll constructs the receiving program of a client in the
+// receive-all model (Section 3.4): the client arriving at the last element
+// of path listens to every stream on its root path simultaneously from the
+// moment it arrives, taking parts 1 + (x_k − x_i), ..., x_k − x_{i−1} from
+// the stream at x_i (and the initial x_k − x_{k−1} parts from its own
+// stream, and the final parts from the root) — the part assignment from the
+// proof of Lemma 17.  Part numbers are clamped to L.
+func BuildProgramAll(path []int64, L int64) (*Program, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("schedule: empty path")
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i] <= path[i-1] {
+			return nil, fmt.Errorf("schedule: path is not strictly increasing at %d", i)
+		}
+	}
+	if L < 1 {
+		return nil, fmt.Errorf("schedule: L must be positive, got %d", L)
+	}
+	k := len(path) - 1
+	xk := path[k]
+	x0 := path[0]
+	if xk-x0 > L-1 {
+		return nil, fmt.Errorf("schedule: client %d is %d slots after root %d, exceeding L-1 = %d",
+			xk, xk-x0, x0, L-1)
+	}
+	p := &Program{Client: xk, Path: append([]int64(nil), path...), L: L}
+	st := Stage{Index: 0, From: xk, To: x0 + L}
+	clamp := func(v int64) int64 {
+		if v > L {
+			return L
+		}
+		return v
+	}
+	for i := k; i >= 0; i-- {
+		xi := path[i]
+		var first, last int64
+		if i == k {
+			first = 1
+		} else {
+			first = 1 + (xk - xi)
+		}
+		if i == 0 {
+			last = L
+		} else {
+			last = clamp(xk - path[i-1])
+		}
+		if last < first {
+			continue
+		}
+		// Part `first` from stream xi is broadcast during slot xi+first-1,
+		// which equals xk for every non-root stream and for the root when
+		// the client needs its first part immediately.
+		st.Receptions = append(st.Receptions, Reception{
+			Stream:    xi,
+			StartSlot: xi + first - 1,
+			FirstPart: first,
+			LastPart:  last,
+		})
+	}
+	p.Stages = append(p.Stages, st)
+	return p, nil
+}
+
+// BuildReceiveAll constructs the broadcast schedule and all receiving
+// programs for a merge forest in the receive-all model: stream lengths
+// follow Lemma 17 (w(x) = z(x) − p(x)) and every client listens to all the
+// streams on its root path at once.
+func BuildReceiveAll(f *mergetree.Forest) (*ForestSchedule, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &ForestSchedule{
+		L:        f.L,
+		Streams:  make(map[int64]StreamSchedule),
+		Programs: make(map[int64]*Program),
+	}
+	for _, nl := range f.LengthsAll() {
+		length := nl.Length
+		if length > f.L {
+			length = f.L
+		}
+		fs.Streams[nl.Arrival] = StreamSchedule{Start: nl.Arrival, Length: length, Root: nl.Root}
+	}
+	for _, t := range f.Trees {
+		tree := t
+		var walkErr error
+		tree.Walk(func(node, _ *mergetree.Tree) {
+			if walkErr != nil {
+				return
+			}
+			prog, err := BuildProgramAll(tree.PathTo(node.Arrival), f.L)
+			if err != nil {
+				walkErr = fmt.Errorf("client %d: %w", node.Arrival, err)
+				return
+			}
+			fs.Programs[node.Arrival] = prog
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+	}
+	return fs, nil
+}
+
+// VerifyReceiveAll checks a receive-all schedule: every client receives all
+// L parts exactly once, each part aligned with its stream's broadcast and no
+// later than its playback slot, the number of simultaneously received
+// streams never exceeds the client's path length, and buffers never exceed
+// L parts.  It returns a report and the first violation found.
+func (fs *ForestSchedule) VerifyReceiveAll() (VerifyReport, error) {
+	rep := VerifyReport{}
+	clients := make([]int64, 0, len(fs.Programs))
+	for c := range fs.Programs {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, c := range clients {
+		prog := fs.Programs[c]
+		rep.Clients++
+		parts := prog.Parts()
+		if int64(len(parts)) != fs.L {
+			return rep, fmt.Errorf("client %d receives %d distinct parts, want %d", c, len(parts), fs.L)
+		}
+		if got := prog.TotalSlotsReceiving(); got != fs.L {
+			return rep, fmt.Errorf("client %d spends %d reception slots, want exactly %d", c, got, fs.L)
+		}
+		for idx, ps := range parts {
+			if ps.Part != int64(idx)+1 {
+				return rep, fmt.Errorf("client %d is missing part %d", c, idx+1)
+			}
+			if ps.Slot > c+ps.Part-1 {
+				return rep, fmt.Errorf("client %d receives part %d during slot %d, after its playback slot %d",
+					c, ps.Part, ps.Slot, c+ps.Part-1)
+			}
+			s, ok := fs.Streams[ps.Stream]
+			if !ok {
+				return rep, fmt.Errorf("client %d listens to unknown stream %d", c, ps.Stream)
+			}
+			if got := s.PartAt(ps.Slot); got != ps.Part {
+				return rep, fmt.Errorf("client %d expects part %d from stream %d during slot %d, but it broadcasts part %d",
+					c, ps.Part, ps.Stream, ps.Slot, got)
+			}
+		}
+		if mc := prog.MaxConcurrentStreams(); mc > len(prog.Path) {
+			return rep, fmt.Errorf("client %d listens to %d streams at once with a path of %d", c, mc, len(prog.Path))
+		} else if mc > rep.MaxConcurrent {
+			rep.MaxConcurrent = mc
+		}
+		if mb := prog.MaxBuffer(); mb > fs.L {
+			return rep, fmt.Errorf("client %d buffers %d parts, exceeding the media length", c, mb)
+		} else if mb > rep.MaxBuffer {
+			rep.MaxBuffer = mb
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,163 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mergetree"
+)
+
+func TestBuildProgramAllClientH(t *testing.T) {
+	// Receive-all program for the client at slot 7 with path 0 -> 5 -> 7 and
+	// L = 15 (the Fig. 3/4 example viewed in the receive-all model): it
+	// listens to all three streams from slot 7 on, taking parts 1-2 from its
+	// own stream, 3-7 from stream 5, and 8-15 from the root.
+	p, err := BuildProgramAll([]int64{0, 5, 7}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stages) != 1 {
+		t.Fatalf("receive-all program should have a single stage, got %d", len(p.Stages))
+	}
+	recs := p.Stages[0].Receptions
+	if len(recs) != 3 {
+		t.Fatalf("expected 3 receptions, got %d", len(recs))
+	}
+	want := []Reception{
+		{Stream: 7, StartSlot: 7, FirstPart: 1, LastPart: 2},
+		{Stream: 5, StartSlot: 7, FirstPart: 3, LastPart: 7},
+		{Stream: 0, StartSlot: 7, FirstPart: 8, LastPart: 15},
+	}
+	for i, w := range want {
+		if recs[i] != w {
+			t.Errorf("reception %d = %+v, want %+v", i, recs[i], w)
+		}
+	}
+	if p.MaxConcurrentStreams() != 3 {
+		t.Errorf("MaxConcurrentStreams = %d, want 3", p.MaxConcurrentStreams())
+	}
+	if p.TotalSlotsReceiving() != 15 {
+		t.Errorf("TotalSlotsReceiving = %d, want 15", p.TotalSlotsReceiving())
+	}
+	parts := p.Parts()
+	if len(parts) != 15 {
+		t.Fatalf("received %d parts", len(parts))
+	}
+	for _, ps := range parts {
+		if ps.Slot != ps.Stream+ps.Part-1 {
+			t.Errorf("part %d misaligned", ps.Part)
+		}
+		if ps.Slot > 7+ps.Part-1 {
+			t.Errorf("part %d late", ps.Part)
+		}
+	}
+}
+
+func TestBuildProgramAllErrors(t *testing.T) {
+	if _, err := BuildProgramAll(nil, 5); err == nil {
+		t.Errorf("empty path should fail")
+	}
+	if _, err := BuildProgramAll([]int64{0, 0}, 5); err == nil {
+		t.Errorf("non-increasing path should fail")
+	}
+	if _, err := BuildProgramAll([]int64{0, 1}, 0); err == nil {
+		t.Errorf("non-positive L should fail")
+	}
+	if _, err := BuildProgramAll([]int64{0, 9}, 5); err == nil {
+		t.Errorf("client too far from root should fail")
+	}
+}
+
+func TestBuildProgramAllRootOnly(t *testing.T) {
+	p, err := BuildProgramAll([]int64{4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxConcurrentStreams() != 1 || p.MaxBuffer() != 0 {
+		t.Errorf("root client should stream straight through")
+	}
+}
+
+func TestBuildReceiveAllOptimalForests(t *testing.T) {
+	for _, c := range []struct{ L, n int64 }{{15, 8}, {15, 14}, {4, 16}, {16, 100}, {64, 200}} {
+		f := core.OptimalForestAll(c.L, c.n)
+		fs, err := BuildReceiveAll(f)
+		if err != nil {
+			t.Fatalf("BuildReceiveAll(L=%d,n=%d): %v", c.L, c.n, err)
+		}
+		rep, err := fs.VerifyReceiveAll()
+		if err != nil {
+			t.Fatalf("VerifyReceiveAll(L=%d,n=%d): %v", c.L, c.n, err)
+		}
+		if rep.Clients != int(c.n) {
+			t.Errorf("verified %d clients, want %d", rep.Clients, c.n)
+		}
+		if got, want := fs.TotalBandwidth(), core.FullCostAll(c.L, c.n); got != want {
+			t.Errorf("L=%d n=%d: receive-all schedule bandwidth %d != Fw(L,n) = %d", c.L, c.n, got, want)
+		}
+	}
+}
+
+func TestBuildReceiveAllWorksForReceiveTwoOptimalForests(t *testing.T) {
+	// Any valid merge forest can be served in the receive-all model with the
+	// (shorter) Lemma 17 stream lengths.
+	f := core.OptimalForest(15, 8)
+	fs, err := BuildReceiveAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.VerifyReceiveAll(); err != nil {
+		t.Fatalf("VerifyReceiveAll: %v", err)
+	}
+	if fs.TotalBandwidth() > core.FullCost(15, 8) {
+		t.Errorf("receive-all bandwidth should not exceed the receive-two cost of the same forest")
+	}
+}
+
+func TestVerifyReceiveAllDetectsTruncation(t *testing.T) {
+	f := core.OptimalForestAll(15, 8)
+	fs, err := BuildReceiveAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate one non-root stream below its Lemma 17 length.
+	for a, s := range fs.Streams {
+		if !s.Root && s.Length > 1 {
+			s.Length--
+			fs.Streams[a] = s
+			break
+		}
+	}
+	if _, err := fs.VerifyReceiveAll(); err == nil {
+		t.Errorf("expected verification failure after truncating a stream")
+	}
+}
+
+func TestBuildReceiveAllRejectsInvalidForest(t *testing.T) {
+	f := mergetree.NewForest(3)
+	tr, _ := mergetree.Parse("0(1 2 3)")
+	f.Add(tr)
+	if _, err := BuildReceiveAll(f); err == nil {
+		t.Errorf("expected error for a tree that does not fit L")
+	}
+}
+
+func TestReceiveAllCheaperThanReceiveTwoSchedules(t *testing.T) {
+	// For the same L and n, the optimal receive-all schedule never uses more
+	// bandwidth than the optimal receive-two schedule (Theorem 19/20 at the
+	// schedule level).
+	for _, c := range []struct{ L, n int64 }{{15, 8}, {30, 100}, {100, 350}} {
+		two, err := Build(core.OptimalForest(c.L, c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := BuildReceiveAll(core.OptimalForestAll(c.L, c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all.TotalBandwidth() > two.TotalBandwidth() {
+			t.Errorf("L=%d n=%d: receive-all schedule (%d) costs more than receive-two (%d)",
+				c.L, c.n, all.TotalBandwidth(), two.TotalBandwidth())
+		}
+	}
+}

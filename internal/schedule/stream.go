@@ -1,0 +1,275 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mergetree"
+)
+
+// StreamSchedule describes what a single stream broadcasts: parts
+// 1..Length of the media, one part per slot, starting at slot Start.
+type StreamSchedule struct {
+	// Start is the slot at which the stream begins (its arrival label).
+	Start int64
+	// Length is the number of parts the stream broadcasts before it is
+	// truncated (the root of a tree broadcasts the full L parts).
+	Length int64
+	// Root reports whether this is a full (root) stream.
+	Root bool
+}
+
+// PartAt returns the part number broadcast during the given slot, or 0 if
+// the stream is not transmitting during that slot.
+func (s StreamSchedule) PartAt(slot int64) int64 {
+	j := slot - s.Start + 1
+	if j < 1 || j > s.Length {
+		return 0
+	}
+	return j
+}
+
+// End returns the slot after the stream's last transmission slot.
+func (s StreamSchedule) End() int64 {
+	return s.Start + s.Length
+}
+
+// ForestSchedule is the complete broadcast plan for a merge forest: the
+// per-stream schedules and the per-client receiving programs.
+type ForestSchedule struct {
+	// L is the full stream length in slots.
+	L int64
+	// Streams maps each stream's start slot to its schedule.
+	Streams map[int64]StreamSchedule
+	// Programs maps each client arrival to its receiving program.
+	Programs map[int64]*Program
+}
+
+// Build constructs the broadcast schedule and all receiving programs for a
+// merge forest in the receive-two model.  The forest must validate.
+func Build(f *mergetree.Forest) (*ForestSchedule, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &ForestSchedule{
+		L:        f.L,
+		Streams:  make(map[int64]StreamSchedule),
+		Programs: make(map[int64]*Program),
+	}
+	for _, nl := range f.Lengths() {
+		length := nl.Length
+		if length > f.L {
+			// A stream never broadcasts more than the whole media.
+			length = f.L
+		}
+		fs.Streams[nl.Arrival] = StreamSchedule{Start: nl.Arrival, Length: length, Root: nl.Root}
+	}
+	for _, t := range f.Trees {
+		tree := t
+		var walkErr error
+		tree.Walk(func(node, _ *mergetree.Tree) {
+			if walkErr != nil {
+				return
+			}
+			path := tree.PathTo(node.Arrival)
+			prog, err := BuildProgram(path, f.L)
+			if err != nil {
+				walkErr = fmt.Errorf("client %d: %w", node.Arrival, err)
+				return
+			}
+			fs.Programs[node.Arrival] = prog
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+	}
+	return fs, nil
+}
+
+// TotalBandwidth returns the total server bandwidth of the schedule in slot
+// units: the sum of all stream lengths.
+func (fs *ForestSchedule) TotalBandwidth() int64 {
+	var total int64
+	for _, s := range fs.Streams {
+		total += s.Length
+	}
+	return total
+}
+
+// PeakBandwidth returns the maximum number of simultaneously transmitting
+// streams over all slots.
+func (fs *ForestSchedule) PeakBandwidth() int {
+	type event struct {
+		slot  int64
+		delta int
+	}
+	var events []event
+	for _, s := range fs.Streams {
+		if s.Length == 0 {
+			continue
+		}
+		events = append(events, event{s.Start, +1}, event{s.End(), -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].slot != events[j].slot {
+			return events[i].slot < events[j].slot
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// VerifyReport aggregates the results of verifying a schedule.
+type VerifyReport struct {
+	// Clients is the number of receiving programs checked.
+	Clients int
+	// MaxConcurrent is the largest number of streams any client listened to
+	// in one slot.
+	MaxConcurrent int
+	// MaxBuffer is the largest buffer occupancy observed over all clients.
+	MaxBuffer int64
+}
+
+// Verify checks that the schedule delivers uninterrupted playback to every
+// client under the receive-two constraints:
+//
+//  1. every client receives every part 1..L exactly once,
+//  2. each part is received from a stream during the slot that stream
+//     broadcasts it, and no later than its playback slot,
+//  3. the stream is still transmitting during that slot (its Lemma 1 length
+//     suffices),
+//  4. no client listens to more than two streams during any slot, and
+//  5. no client buffers more than floor(L/2) parts (the universal bound of
+//     Section 3.3); clients within L/2 slots of their root additionally
+//     respect the exact Lemma 15 bound x - r.
+//
+// (The exact Lemma 15 value min(x-r, L-(x-r)) is only guaranteed for
+// "L-trees" — trees whose non-root stream lengths stay below L — which every
+// optimal tree is; arbitrary merge trees may exceed it by one part in the
+// x-r > L/2 regime, so only the universal bound is enforced there.)
+//
+// It returns a report and the first violation found (nil if none).
+func (fs *ForestSchedule) Verify() (VerifyReport, error) {
+	rep := VerifyReport{}
+	clients := make([]int64, 0, len(fs.Programs))
+	for c := range fs.Programs {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, c := range clients {
+		prog := fs.Programs[c]
+		rep.Clients++
+		parts := prog.Parts()
+		if int64(len(parts)) != fs.L {
+			return rep, fmt.Errorf("client %d receives %d distinct parts, want %d", c, len(parts), fs.L)
+		}
+		if got := prog.TotalSlotsReceiving(); got != fs.L {
+			return rep, fmt.Errorf("client %d spends %d reception slots, want exactly %d (each part received once)",
+				c, got, fs.L)
+		}
+		for idx, ps := range parts {
+			if ps.Part != int64(idx)+1 {
+				return rep, fmt.Errorf("client %d is missing part %d", c, idx+1)
+			}
+			// Playback of part j occupies slot c + j - 1; the part must be
+			// received during or before that slot.
+			if ps.Slot > c+ps.Part-1 {
+				return rep, fmt.Errorf("client %d receives part %d during slot %d, after its playback slot %d",
+					c, ps.Part, ps.Slot, c+ps.Part-1)
+			}
+			s, ok := fs.Streams[ps.Stream]
+			if !ok {
+				return rep, fmt.Errorf("client %d listens to unknown stream %d", c, ps.Stream)
+			}
+			if got := s.PartAt(ps.Slot); got != ps.Part {
+				return rep, fmt.Errorf("client %d expects part %d from stream %d during slot %d, but the stream broadcasts part %d",
+					c, ps.Part, ps.Stream, ps.Slot, got)
+			}
+		}
+		if mc := prog.MaxConcurrentStreams(); mc > 2 {
+			return rep, fmt.Errorf("client %d listens to %d streams at once", c, mc)
+		} else if mc > rep.MaxConcurrent {
+			rep.MaxConcurrent = mc
+		}
+		// Buffer bounds (Section 3.3 universal bound and Lemma 15).
+		root := prog.Path[0]
+		bound := fs.L / 2
+		if c-root <= fs.L/2 {
+			bound = mergetree.BufferRequirement(c, root, fs.L)
+		}
+		if mb := prog.MaxBuffer(); mb > bound {
+			return rep, fmt.Errorf("client %d buffers %d parts, exceeding the bound %d", c, mb, bound)
+		} else if mb > rep.MaxBuffer {
+			rep.MaxBuffer = mb
+		}
+	}
+	return rep, nil
+}
+
+// RequiredStreamLengths returns, for every stream, the largest part number
+// any client requests from it.  By Lemma 1 this equals the stream length
+// 2z(x) - x - p(x) (clamped to L) for non-root streams and L for roots that
+// serve a full tree.
+func (fs *ForestSchedule) RequiredStreamLengths() map[int64]int64 {
+	req := make(map[int64]int64, len(fs.Streams))
+	for _, prog := range fs.Programs {
+		for _, ps := range prog.Parts() {
+			if ps.Part > req[ps.Stream] {
+				req[ps.Stream] = ps.Part
+			}
+		}
+	}
+	return req
+}
+
+// Diagram renders an ASCII version of the concrete schedule diagram of
+// Fig. 3: one row per stream, one column per slot, each cell showing the
+// part number broadcast during that slot (blank when idle).
+func (fs *ForestSchedule) Diagram() string {
+	starts := make([]int64, 0, len(fs.Streams))
+	var maxEnd int64
+	for a, s := range fs.Streams {
+		starts = append(starts, a)
+		if s.End() > maxEnd {
+			maxEnd = s.End()
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	var minStart int64
+	if len(starts) > 0 {
+		minStart = starts[0]
+	}
+	var b strings.Builder
+	// Header row with slot numbers.
+	fmt.Fprintf(&b, "%8s |", "stream")
+	for t := minStart; t < maxEnd; t++ {
+		fmt.Fprintf(&b, "%4d", t)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s-+%s\n", strings.Repeat("-", 8), strings.Repeat("-", int(maxEnd-minStart)*4))
+	for _, a := range starts {
+		s := fs.Streams[a]
+		label := fmt.Sprintf("%d", a)
+		if s.Root {
+			label += "*"
+		}
+		fmt.Fprintf(&b, "%8s |", label)
+		for t := minStart; t < maxEnd; t++ {
+			if p := s.PartAt(t); p > 0 {
+				fmt.Fprintf(&b, "%4d", p)
+			} else {
+				b.WriteString("    ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,306 @@
+package schedule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mergetree"
+)
+
+func fig3Schedule(t *testing.T) (*mergetree.Forest, *ForestSchedule) {
+	t.Helper()
+	f := mergetree.NewForest(15)
+	tr, err := mergetree.Parse("0(1 2 3(4) 5(6 7))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add(tr)
+	fs, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return f, fs
+}
+
+func TestBuildFig3StreamLengths(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	want := map[int64]int64{0: 15, 1: 1, 2: 2, 3: 5, 4: 1, 5: 9, 6: 1, 7: 2}
+	if len(fs.Streams) != len(want) {
+		t.Fatalf("got %d streams, want %d", len(fs.Streams), len(want))
+	}
+	for a, wl := range want {
+		s, ok := fs.Streams[a]
+		if !ok {
+			t.Fatalf("missing stream %d", a)
+		}
+		if s.Length != wl {
+			t.Errorf("stream %d length = %d, want %d", a, s.Length, wl)
+		}
+		if s.Root != (a == 0) {
+			t.Errorf("stream %d root flag = %v", a, s.Root)
+		}
+	}
+}
+
+func TestStreamSchedulePartAt(t *testing.T) {
+	s := StreamSchedule{Start: 5, Length: 9}
+	if s.PartAt(4) != 0 || s.PartAt(5) != 1 || s.PartAt(13) != 9 || s.PartAt(14) != 0 {
+		t.Errorf("PartAt wrong: %d %d %d %d", s.PartAt(4), s.PartAt(5), s.PartAt(13), s.PartAt(14))
+	}
+	if s.End() != 14 {
+		t.Errorf("End = %d, want 14", s.End())
+	}
+}
+
+func TestBuildFig3TotalBandwidthMatchesFullCost(t *testing.T) {
+	f, fs := fig3Schedule(t)
+	if got := fs.TotalBandwidth(); got != f.FullCost() {
+		t.Errorf("TotalBandwidth = %d, want %d", got, f.FullCost())
+	}
+	if got := fs.TotalBandwidth(); got != 36 {
+		t.Errorf("TotalBandwidth = %d, want 36", got)
+	}
+}
+
+func TestBuildFig3PeakBandwidth(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	// During slot 7 four streams transmit simultaneously (0, 3, 5, 7); no
+	// slot has more.
+	if got := fs.PeakBandwidth(); got != 4 {
+		t.Errorf("PeakBandwidth = %d, want 4", got)
+	}
+}
+
+func TestVerifyFig3(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	rep, err := fs.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Clients != 8 {
+		t.Errorf("verified %d clients, want 8", rep.Clients)
+	}
+	if rep.MaxConcurrent != 2 {
+		t.Errorf("MaxConcurrent = %d, want 2", rep.MaxConcurrent)
+	}
+	if rep.MaxBuffer != 7 {
+		t.Errorf("MaxBuffer = %d, want 7", rep.MaxBuffer)
+	}
+}
+
+func TestRequiredStreamLengthsMatchLemma1(t *testing.T) {
+	// Lemma 1 is exactly the statement that the largest part requested from
+	// stream x is 2z(x) - x - p(x).
+	f, fs := fig3Schedule(t)
+	req := fs.RequiredStreamLengths()
+	for _, nl := range f.Lengths() {
+		want := nl.Length
+		if nl.Root {
+			want = f.L
+		}
+		if req[nl.Arrival] != want {
+			t.Errorf("stream %d: required length %d, Lemma 1 gives %d", nl.Arrival, req[nl.Arrival], want)
+		}
+	}
+}
+
+func TestClientFMergesAtSlot10(t *testing.T) {
+	// Paper: "client F that arrives at time 5 merges to stream A at time 10"
+	// even though stream F runs until slot 13 for clients G and H.
+	_, fs := fig3Schedule(t)
+	prog := fs.Programs[5]
+	var lastFromOwn int64 = -1
+	for _, ps := range prog.Parts() {
+		if ps.Stream == 5 && ps.Slot > lastFromOwn {
+			lastFromOwn = ps.Slot
+		}
+	}
+	if lastFromOwn != 9 {
+		t.Errorf("client 5 last receives from its own stream during slot %d, want 9 (merges at time 10)", lastFromOwn)
+	}
+	if fs.Streams[5].End() != 14 {
+		t.Errorf("stream 5 ends at %d, want 14 (length 9 for clients G, H)", fs.Streams[5].End())
+	}
+}
+
+func TestVerifyOptimalForests(t *testing.T) {
+	// Every optimal forest produced by the core package must yield a
+	// verifiable schedule: all clients get uninterrupted playback with at
+	// most two simultaneous streams and Lemma 15 buffers.
+	cases := []struct{ L, n int64 }{
+		{15, 8}, {15, 14}, {4, 16}, {1, 5}, {2, 9}, {8, 8}, {8, 64}, {30, 200}, {100, 350},
+	}
+	for _, c := range cases {
+		f := core.OptimalForest(c.L, c.n)
+		fs, err := Build(f)
+		if err != nil {
+			t.Fatalf("Build(L=%d,n=%d): %v", c.L, c.n, err)
+		}
+		rep, err := fs.Verify()
+		if err != nil {
+			t.Fatalf("Verify(L=%d,n=%d): %v", c.L, c.n, err)
+		}
+		if rep.Clients != int(c.n) {
+			t.Errorf("L=%d n=%d: verified %d clients", c.L, c.n, rep.Clients)
+		}
+		if fs.TotalBandwidth() != core.FullCost(c.L, c.n) {
+			t.Errorf("L=%d n=%d: schedule bandwidth %d != optimal full cost %d",
+				c.L, c.n, fs.TotalBandwidth(), core.FullCost(c.L, c.n))
+		}
+	}
+}
+
+func TestVerifyBufferedForestsRespectBufferBound(t *testing.T) {
+	for _, c := range []struct{ L, B, n int64 }{{15, 3, 30}, {20, 5, 100}, {50, 10, 120}} {
+		f := core.OptimalForestBuffered(c.L, c.B, c.n)
+		fs, err := Build(f)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		rep, err := fs.Verify()
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if rep.MaxBuffer > c.B {
+			t.Errorf("L=%d B=%d n=%d: observed buffer %d exceeds bound", c.L, c.B, c.n, rep.MaxBuffer)
+		}
+	}
+}
+
+func TestVerifyRandomForests(t *testing.T) {
+	// Any structurally valid forest of preorder trees over consecutive
+	// arrivals (not just optimal ones) must verify: the stream-merging rules
+	// are feasible for every merge tree that fits the stream length.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		L := int64(5 + rng.Intn(40))
+		f := mergetree.NewForest(L)
+		start := int64(0)
+		for len(f.Trees) < 3 {
+			size := 1 + rng.Intn(int(L))
+			f.Add(randomPreorderTree(rng, start, size))
+			start += int64(size)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("random forest invalid: %v", err)
+		}
+		fs, err := Build(f)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		if _, err := fs.Verify(); err != nil {
+			t.Fatalf("Verify failed for random forest (L=%d): %v\n%s", L, err, f)
+		}
+		if fs.TotalBandwidth() < f.FullCost()-int64(f.Size())*L {
+			t.Fatalf("bandwidth accounting inconsistent")
+		}
+	}
+}
+
+func randomPreorderTree(rng *rand.Rand, first int64, n int) *mergetree.Tree {
+	if n == 1 {
+		return mergetree.New(first)
+	}
+	root := mergetree.New(first)
+	remaining := n - 1
+	next := first + 1
+	for remaining > 0 {
+		b := 1 + rng.Intn(remaining)
+		root.AddChild(randomPreorderTree(rng, next, b))
+		next += int64(b)
+		remaining -= b
+	}
+	return root
+}
+
+func TestBuildRejectsInvalidForest(t *testing.T) {
+	f := mergetree.NewForest(3)
+	tr, _ := mergetree.Parse("0(1 2 3)")
+	f.Add(tr)
+	if _, err := Build(f); err == nil {
+		t.Errorf("expected error for a tree that does not fit L")
+	}
+}
+
+func TestVerifyDetectsTruncatedStream(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	// Truncate stream 5 below its Lemma 1 length: clients G and H now miss
+	// parts.
+	s := fs.Streams[5]
+	s.Length = 4
+	fs.Streams[5] = s
+	if _, err := fs.Verify(); err == nil {
+		t.Errorf("expected verification failure after truncating stream 5")
+	}
+}
+
+func TestVerifyDetectsLateStream(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	// Shift stream 7 one slot later: its parts no longer align with the
+	// receiving program.
+	s := fs.Streams[7]
+	s.Start = 8
+	fs.Streams[7] = s
+	if _, err := fs.Verify(); err == nil {
+		t.Errorf("expected verification failure after delaying stream 7")
+	}
+}
+
+func TestVerifyDetectsMissingStream(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	delete(fs.Streams, 3)
+	if _, err := fs.Verify(); err == nil {
+		t.Errorf("expected verification failure after removing stream 3")
+	}
+}
+
+func TestDiagramFig3(t *testing.T) {
+	_, fs := fig3Schedule(t)
+	d := fs.Diagram()
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	// Header + separator + 8 stream rows.
+	if len(lines) != 10 {
+		t.Fatalf("diagram has %d lines, want 10:\n%s", len(lines), d)
+	}
+	if !strings.Contains(lines[0], "stream") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(d, "0*") {
+		t.Errorf("root stream should be marked with *:\n%s", d)
+	}
+	// The root row must show all 15 parts; the row for stream 6 shows a
+	// single part.
+	if !strings.Contains(d, "  15") {
+		t.Errorf("diagram missing part 15:\n%s", d)
+	}
+}
+
+func TestPeakBandwidthEmptySchedule(t *testing.T) {
+	fs := &ForestSchedule{L: 5, Streams: map[int64]StreamSchedule{}, Programs: map[int64]*Program{}}
+	if fs.PeakBandwidth() != 0 {
+		t.Errorf("empty schedule should have zero peak bandwidth")
+	}
+	if fs.TotalBandwidth() != 0 {
+		t.Errorf("empty schedule should have zero total bandwidth")
+	}
+	if rep, err := fs.Verify(); err != nil || rep.Clients != 0 {
+		t.Errorf("empty schedule should verify trivially")
+	}
+}
+
+func BenchmarkBuildAndVerify(b *testing.B) {
+	f := core.OptimalForest(100, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, err := Build(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

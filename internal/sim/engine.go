@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/mergetree"
+	"repro/internal/schedule"
+)
+
+// ClientStats summarizes one client's simulated experience.
+type ClientStats struct {
+	// Arrival is the client's arrival slot (playback starts at that slot).
+	Arrival int64
+	// StartDelay is the number of slots between arrival and the start of
+	// playback; in the delay-guaranteed model it is always 0 because the
+	// imaginary batched client starts playing at the slot boundary.
+	StartDelay int64
+	// FinishSlot is the slot after the client has played the last part.
+	FinishSlot int64
+	// MaxBuffer is the largest number of parts buffered at once.
+	MaxBuffer int64
+	// MaxConcurrent is the largest number of streams listened to in one slot.
+	MaxConcurrent int
+	// Stalls counts slots in which the part to be played had not yet been
+	// received (playback interruption); it must be 0 for a correct schedule.
+	Stalls int
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// L is the media length in slots.
+	L int64
+	// Clients holds per-client statistics ordered by arrival.
+	Clients []ClientStats
+	// TotalBandwidth is the total number of (channel, slot) transmissions.
+	TotalBandwidth int64
+	// PeakBandwidth is the maximum number of channels transmitting in any
+	// single slot.
+	PeakBandwidth int
+	// Slots is the number of slots simulated.
+	Slots int64
+	// MaxBuffer is the maximum buffer occupancy over all clients.
+	MaxBuffer int64
+	// Stalls is the total number of playback interruptions; 0 means every
+	// client enjoyed uninterrupted playback.
+	Stalls int
+}
+
+// NormalizedBandwidth returns the total bandwidth in complete media streams.
+func (r *Result) NormalizedBandwidth() float64 {
+	return float64(r.TotalBandwidth) / float64(r.L)
+}
+
+// AverageBandwidth returns the average number of busy channels per slot.
+func (r *Result) AverageBandwidth() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.TotalBandwidth) / float64(r.Slots)
+}
+
+// client is the simulated client state machine.
+type client struct {
+	arrival  int64
+	program  *schedule.Program
+	received map[int64]bool // parts in hand (buffered or already played)
+	played   int64          // number of parts played so far
+	stats    ClientStats
+}
+
+// stream is the simulated multicast channel state.
+type stream struct {
+	sched schedule.StreamSchedule
+}
+
+// RunForest executes the merge forest slot by slot in the receive-two model
+// and returns the aggregate result.  The forest must be valid; playback
+// violations are reported in the result (Stalls) rather than as errors so
+// that deliberately corrupted schedules can be studied.
+func RunForest(f *mergetree.Forest) (*Result, error) {
+	fs, err := schedule.Build(f)
+	if err != nil {
+		return nil, err
+	}
+	return RunSchedule(fs)
+}
+
+// RunSchedule executes a prebuilt forest schedule.
+func RunSchedule(fs *schedule.ForestSchedule) (*Result, error) {
+	if fs.L < 1 {
+		return nil, fmt.Errorf("sim: invalid media length %d", fs.L)
+	}
+	// Instantiate channels.
+	var firstSlot, lastSlot int64
+	first := true
+	streams := make(map[int64]*stream, len(fs.Streams))
+	for a, s := range fs.Streams {
+		streams[a] = &stream{sched: s}
+		if first || s.Start < firstSlot {
+			firstSlot = s.Start
+		}
+		if first || s.End() > lastSlot {
+			lastSlot = s.End()
+		}
+		first = false
+	}
+	// Instantiate clients.
+	clients := make([]*client, 0, len(fs.Programs))
+	for arr, prog := range fs.Programs {
+		c := &client{
+			arrival:  arr,
+			program:  prog,
+			received: make(map[int64]bool, fs.L),
+			stats:    ClientStats{Arrival: arr},
+		}
+		clients = append(clients, c)
+		if arr+fs.L > lastSlot {
+			lastSlot = arr + fs.L
+		}
+	}
+	sortClients(clients)
+	if first && len(clients) == 0 {
+		return &Result{L: fs.L}, nil
+	}
+
+	res := &Result{L: fs.L}
+	// Slot-by-slot execution.
+	for slot := firstSlot; slot < lastSlot; slot++ {
+		// 1. Server transmits on every active channel.
+		busy := 0
+		for _, st := range streams {
+			if st.sched.PartAt(slot) > 0 {
+				busy++
+			}
+		}
+		res.TotalBandwidth += int64(busy)
+		if busy > res.PeakBandwidth {
+			res.PeakBandwidth = busy
+		}
+		// 2. Clients tune to the channels their program dictates and store
+		// the received parts in their buffers.
+		for _, c := range clients {
+			if slot < c.arrival || c.played >= fs.L {
+				continue
+			}
+			listening := 0
+			for _, stg := range c.program.Stages {
+				for _, r := range stg.Receptions {
+					if slot < r.StartSlot || slot >= r.EndSlot() {
+						continue
+					}
+					listening++
+					part := r.FirstPart + (slot - r.StartSlot)
+					st, ok := streams[r.Stream]
+					if !ok || st.sched.PartAt(slot) != part {
+						// The channel is not carrying the expected part;
+						// the client receives nothing from it this slot.
+						continue
+					}
+					c.received[part] = true
+				}
+			}
+			if listening > c.stats.MaxConcurrent {
+				c.stats.MaxConcurrent = listening
+			}
+			// 3. The client plays the next part (playback starts at the
+			// arrival slot).
+			next := c.played + 1
+			if c.received[next] {
+				c.played++
+			} else {
+				c.stats.Stalls++
+				res.Stalls++
+			}
+			if buffered := int64(len(c.received)) - c.played; buffered > c.stats.MaxBuffer {
+				c.stats.MaxBuffer = buffered
+			}
+			if c.played == fs.L && c.stats.FinishSlot == 0 {
+				c.stats.FinishSlot = slot + 1
+			}
+		}
+	}
+	for _, c := range clients {
+		if c.stats.MaxBuffer > res.MaxBuffer {
+			res.MaxBuffer = c.stats.MaxBuffer
+		}
+		res.Clients = append(res.Clients, c.stats)
+	}
+	res.Slots = lastSlot - firstSlot
+	return res, nil
+}
+
+func sortClients(cs []*client) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].arrival < cs[j-1].arrival; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

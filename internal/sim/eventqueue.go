@@ -1,0 +1,101 @@
+// Package sim is a slot-accurate discrete-event simulator of a
+// Media-on-Demand delivery system with stream merging: a server multicasting
+// (possibly truncated) streams on channels, and clients that follow their
+// receiving programs, listen to at most two channels at a time, buffer parts
+// ahead of playback, and play the media without interruption starting one
+// guaranteed start-up delay after their arrival.
+//
+// The simulator executes a merge forest produced by any of the algorithms in
+// this repository (optimal off-line, on-line delay-guaranteed, hand-built)
+// and reports bandwidth usage, buffer occupancy, and any playback violations.
+// It is the evaluation substrate for the experiments of Section 4.2.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback in the discrete-event engine.
+type Event struct {
+	// Time is the slot (or continuous time) at which the event fires.
+	Time float64
+	// Priority breaks ties: lower priorities fire first at equal times.
+	Priority int
+	// Action is invoked when the event fires.
+	Action func()
+
+	index int
+}
+
+// EventQueue is a min-heap of events ordered by time then priority.  The
+// zero value is ready to use.
+type EventQueue struct {
+	h eventHeap
+}
+
+// Push schedules an event.
+func (q *EventQueue) Push(e *Event) {
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *EventQueue) Pop() *Event {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int {
+	return q.h.Len()
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *EventQueue) Peek() *Event {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Run drains the queue, invoking every event's action in time order.
+// Actions may push further events.
+func (q *EventQueue) Run() {
+	for q.Len() > 0 {
+		e := q.Pop()
+		if e.Action != nil {
+			e.Action()
+		}
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].Priority < h[j].Priority
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

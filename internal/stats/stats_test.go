@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev(nil) != 0 {
+		t.Errorf("empty-slice aggregates should be 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Errorf("singleton variance should be 0")
+	}
+	if ConfidenceInterval95([]float64{3}) != 0 {
+		t.Errorf("singleton CI should be 0")
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Errorf("empty Summarize should be zero value")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Errorf("Min/Max wrong")
+	}
+	if got := Median(xs); got != 3.5 {
+		t.Errorf("Median = %v, want 3.5", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd Median = %v, want 3", got)
+	}
+}
+
+func TestPanicsOnEmpty(t *testing.T) {
+	for _, f := range []func(){
+		func() { Min(nil) },
+		func() { Max(nil) },
+		func() { Median(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarizeAndString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // alternating 0/1, sd ~ 0.5025
+	}
+	ci := ConfidenceInterval95(xs)
+	if ci <= 0 || ci > 0.2 {
+		t.Errorf("CI = %v out of expected range", ci)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(0.5, 0); got != 0.5 {
+		t.Errorf("RelativeError with zero want = %v", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestPropertiesMeanBounds(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9 && Variance(xs) >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableCSVAndString(t *testing.T) {
+	tab := NewTable("n", "M(n)", "ratio")
+	tab.AddRow(1, 0, 0.0)
+	tab.AddRow(8, 21, 1.4404)
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "n,M(n),ratio\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "8,21,1.4404") {
+		t.Errorf("CSV row wrong: %q", csv)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "M(n)") || !strings.Contains(s, "---") {
+		t.Errorf("String table missing pieces:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table should have 4 lines, got %d", len(lines))
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := NewTable("v")
+	tab.AddRow(3.0)
+	tab.AddRow(float32(2.5))
+	csv := tab.CSV()
+	if !strings.Contains(csv, "3\n") {
+		t.Errorf("whole floats should render without decimals: %q", csv)
+	}
+	if !strings.Contains(csv, "2.5000") {
+		t.Errorf("fractional floats should render with 4 decimals: %q", csv)
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	s1 := Series{Name: "online", X: []float64{0, 1, 2, 3}, Y: []float64{10, 8, 6, 5}}
+	s2 := Series{Name: "optimal", X: []float64{0, 1, 2, 3}, Y: []float64{9, 7, 5, 4}}
+	out := Chart(40, 10, s1, s2)
+	if !strings.Contains(out, "*=online") || !strings.Contains(out, "o=optimal") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // 10 grid rows + axis + x labels + legend
+		t.Errorf("chart has %d lines, want 13:\n%s", len(lines), out)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	if out := Chart(40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart should say no data, got %q", out)
+	}
+	// Single point and tiny dimensions must not panic.
+	out := Chart(1, 1, Series{Name: "p", X: []float64{5}, Y: []float64{5}})
+	if out == "" {
+		t.Errorf("single-point chart should render something")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out := Chart(20, 6, Series{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series should still plot markers:\n%s", out)
+	}
+}
