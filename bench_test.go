@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mergetree"
+	"repro/internal/multiobject"
 	"repro/internal/online"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -275,6 +276,63 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 		}
 		if res.Stalls != 0 {
 			b.Fatal("stalls in simulated schedule")
+		}
+	}
+}
+
+// BenchmarkSimLarge pits the indexed, parallel engine against the original
+// slot-by-slot reference engine on a large on-line schedule (10^6
+// client-slots: 10000 clients each playing a 100-slot media), so the speedup
+// is measured rather than asserted.  The schedule is built once outside the
+// timed region; both engines produce bit-identical results (see the
+// equivalence tests in internal/sim).
+func BenchmarkSimLarge(b *testing.B) {
+	const (
+		mediaSlots = 100
+		horizon    = 10000
+	)
+	f := online.NewServer(mediaSlots).Forest(horizon)
+	fs, err := schedule.Build(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clientSlots := float64(len(fs.Programs)) * float64(mediaSlots)
+	run := func(b *testing.B, engine func(*schedule.ForestSchedule) (*sim.Result, error)) {
+		b.ReportAllocs()
+		b.ReportMetric(clientSlots, "client-slots")
+		for i := 0; i < b.N; i++ {
+			res, err := engine(fs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stalls != 0 {
+				b.Fatal("stalls in simulated schedule")
+			}
+		}
+	}
+	b.Run("indexed", func(b *testing.B) { run(b, sim.RunSchedule) })
+	b.Run("reference", func(b *testing.B) { run(b, sim.RunScheduleReference) })
+}
+
+// BenchmarkSimWorkload measures the multi-object workload driver: a Zipf
+// catalog with Poisson arrival mixes simulated end to end on the indexed
+// engine.
+func BenchmarkSimWorkload(b *testing.B) {
+	cfg := sim.WorkloadConfig{
+		Catalog:          multiobject.ZipfCatalog(5, 1.0, 0.02, 1.0),
+		Horizon:          5,
+		MeanInterArrival: 0.02,
+		Poisson:          true,
+		Seed:             1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunWorkload(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stalls != 0 {
+			b.Fatal("stalls in workload")
 		}
 	}
 }

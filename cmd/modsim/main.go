@@ -7,11 +7,16 @@
 // delay-guaranteed algorithm.  In "compare" mode it reproduces one point of
 // the Figs. 11-12 comparison for a chosen arrival intensity.
 //
+// In "workload" mode it simulates a whole catalog of media objects at once
+// (Zipf popularities, Poisson or constant-rate arrival mixes) on the indexed
+// parallel engine and reports per-object and server-wide channel usage.
+//
 // Usage:
 //
 //	modsim -mode offline -L 100 -n 1000
 //	modsim -mode online  -L 100 -n 1000
 //	modsim -mode compare -delay 1 -lambda 0.5 -horizon 100 -poisson
+//	modsim -mode workload -objects 10 -zipf 1 -delay 2 -lambda 0.5 -horizon 20 -poisson
 package main
 
 import (
@@ -26,21 +31,26 @@ import (
 	"repro/internal/dyadic"
 	"repro/internal/hybrid"
 	"repro/internal/mergetree"
+	"repro/internal/multiobject"
 	"repro/internal/online"
 	"repro/internal/policy"
+	"repro/internal/schedule"
 	"repro/internal/sim"
 )
 
 func main() {
-	mode := flag.String("mode", "offline", "offline | online | compare")
+	mode := flag.String("mode", "offline", "offline | online | compare | workload")
 	L := flag.Int64("L", 100, "media length in slots (offline/online modes)")
 	n := flag.Int64("n", 1000, "time horizon in slots (offline/online modes)")
 	buffer := flag.Int64("buffer", 0, "client buffer bound in slots (0 = unbounded, offline mode)")
-	delayPct := flag.Float64("delay", 1.0, "guaranteed start-up delay as %% of media length (compare mode)")
-	lambdaPct := flag.Float64("lambda", 0.5, "mean inter-arrival time as %% of media length (compare mode)")
-	horizon := flag.Float64("horizon", 100, "time horizon in media lengths (compare mode)")
-	poisson := flag.Bool("poisson", false, "use Poisson instead of constant-rate arrivals (compare mode)")
+	delayPct := flag.Float64("delay", 1.0, "guaranteed start-up delay as %% of media length (compare/workload modes)")
+	lambdaPct := flag.Float64("lambda", 0.5, "mean inter-arrival time as %% of media length (compare/workload modes)")
+	horizon := flag.Float64("horizon", 100, "time horizon in media lengths (compare/workload modes)")
+	poisson := flag.Bool("poisson", false, "use Poisson instead of constant-rate arrivals (compare/workload modes)")
 	seed := flag.Int64("seed", 1, "random seed for Poisson arrivals")
+	objects := flag.Int("objects", 10, "catalog size (workload mode)")
+	zipf := flag.Float64("zipf", 1.0, "Zipf popularity exponent (workload mode)")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
 	flag.Parse()
 
 	switch *mode {
@@ -55,7 +65,12 @@ func main() {
 		} else {
 			forest = online.NewServer(*L).Forest(*n)
 		}
-		res, err := sim.RunForest(forest)
+		fs, err := schedule.Build(forest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modsim:", err)
+			os.Exit(1)
+		}
+		res, err := sim.RunScheduleWorkers(fs, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "modsim:", err)
 			os.Exit(1)
@@ -120,6 +135,43 @@ func main() {
 			opt, err := policy.OfflineOptimalBatched(1.0, delay, 4000).Serve(tr, *horizon)
 			exitOn(err)
 			fmt.Printf("offline optimum:      %10.2f media streams (exact lower bound with this delay)\n", opt)
+		}
+	case "workload":
+		delay := *delayPct / 100
+		lambda := *lambdaPct / 100
+		if delay <= 0 || lambda <= 0 || *horizon <= 0 || *objects < 1 {
+			fmt.Fprintln(os.Stderr, "modsim: -delay, -lambda, -horizon and -objects must be positive")
+			os.Exit(2)
+		}
+		res, err := sim.RunWorkload(sim.WorkloadConfig{
+			Catalog:          multiobject.ZipfCatalog(*objects, 1.0, delay, *zipf),
+			Horizon:          *horizon,
+			MeanInterArrival: lambda,
+			Poisson:          *poisson,
+			Seed:             *seed,
+			Workers:          *workers,
+		})
+		exitOn(err)
+		fmt.Printf("catalog:              %d objects, Zipf(%.2f) popularity\n", *objects, *zipf)
+		fmt.Printf("arrivals:             %s, aggregate lambda = %.2f%% of media length\n", kind(*poisson), *lambdaPct)
+		fmt.Printf("delay:                %.2f%% of media length\n", *delayPct)
+		fmt.Printf("horizon:              %.0f media lengths\n", *horizon)
+		fmt.Println()
+		fmt.Printf("%-12s %8s %8s %8s %12s %8s %8s\n",
+			"object", "L", "arrivals", "clients", "streams", "peak", "stalls")
+		for _, o := range res.Objects {
+			fmt.Printf("%-12s %8d %8d %8d %12.2f %8d %8d\n",
+				o.Object.Name, o.SlotsPerMedia, o.Arrivals, o.Clients,
+				o.Streams, o.Sim.PeakBandwidth, o.Sim.Stalls)
+		}
+		fmt.Println()
+		fmt.Printf("server peak:          %d channels\n", res.Peak)
+		fmt.Printf("server average:       %.2f channels\n", res.AverageChannels())
+		fmt.Printf("total busy time:      %.2f media lengths\n", res.TotalBusyTime)
+		fmt.Printf("playback stalls:      %d\n", res.Stalls)
+		if res.Stalls > 0 {
+			fmt.Fprintln(os.Stderr, "modsim: workload produced playback interruptions")
+			os.Exit(1)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "modsim: unknown mode %q\n", *mode)

@@ -505,6 +505,10 @@ func All() ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, ext1, ext2, ext3)
+	ext4, err := MultiObjectSim(DefaultWorkloadSim())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ext1, ext2, ext3, ext4)
 	return out, nil
 }

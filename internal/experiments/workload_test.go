@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiObjectSim(t *testing.T) {
+	cfg := DefaultWorkloadSim()
+	cfg.Horizon = 4
+	res, err := MultiObjectSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ext-workload-sim" {
+		t.Errorf("ID = %q", res.ID)
+	}
+	if got := len(res.Table.Rows); got != cfg.Objects {
+		t.Fatalf("table has %d rows, want one per object (%d)", got, cfg.Objects)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Y) != cfg.Objects {
+		t.Fatalf("expected one series with %d points", cfg.Objects)
+	}
+	for i, y := range res.Series[0].Y {
+		if y <= 0 {
+			t.Errorf("object %d: non-positive measured streams %g", i, y)
+		}
+	}
+	if !strings.Contains(res.Notes, "0 stalls") {
+		t.Errorf("simulated workload must report 0 stalls; notes: %s", res.Notes)
+	}
+}
+
+func TestMultiObjectSimConstantRate(t *testing.T) {
+	cfg := DefaultWorkloadSim()
+	cfg.Horizon = 3
+	cfg.Poisson = false
+	res, err := MultiObjectSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "constant-rate") {
+		t.Errorf("notes should name the arrival process: %s", res.Notes)
+	}
+}
+
+func TestMultiObjectSimRejectsBadConfig(t *testing.T) {
+	cfg := DefaultWorkloadSim()
+	cfg.MeanInterArrival = 0
+	if _, err := MultiObjectSim(cfg); err == nil {
+		t.Error("expected an error for a zero mean inter-arrival time")
+	}
+}

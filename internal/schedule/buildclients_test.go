@@ -1,0 +1,64 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mergetree"
+)
+
+func TestBuildClientsSubset(t *testing.T) {
+	f := mergetree.NewForest(15)
+	tr, err := mergetree.Parse("0(1 2 3(4) 5(6 7))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add(tr)
+	full, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := BuildClients(f, []int64{2, 6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sub.Streams, full.Streams) {
+		t.Error("BuildClients must build the complete broadcast plan")
+	}
+	if len(sub.Programs) != 2 {
+		t.Fatalf("expected 2 programs (duplicates collapse), got %d", len(sub.Programs))
+	}
+	for _, c := range []int64{2, 6} {
+		if !reflect.DeepEqual(sub.Programs[c], full.Programs[c]) {
+			t.Errorf("client %d: subset program differs from the full build", c)
+		}
+	}
+}
+
+func TestBuildClientsAllMatchesBuild(t *testing.T) {
+	f := mergetree.NewForest(15)
+	tr, err := mergetree.Parse("0(1 2 3(4) 5(6 7))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add(tr)
+	full, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := BuildClients(f, f.Arrivals())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, full) {
+		t.Error("BuildClients over every arrival must equal Build")
+	}
+}
+
+func TestBuildClientsUnknownArrival(t *testing.T) {
+	f := mergetree.NewForest(15)
+	f.Add(mergetree.New(0))
+	if _, err := BuildClients(f, []int64{3}); err == nil {
+		t.Error("expected an error for an arrival outside the forest")
+	}
+}

@@ -49,21 +49,9 @@ type ForestSchedule struct {
 // Build constructs the broadcast schedule and all receiving programs for a
 // merge forest in the receive-two model.  The forest must validate.
 func Build(f *mergetree.Forest) (*ForestSchedule, error) {
-	if err := f.Validate(); err != nil {
+	fs, err := buildStreams(f)
+	if err != nil {
 		return nil, err
-	}
-	fs := &ForestSchedule{
-		L:        f.L,
-		Streams:  make(map[int64]StreamSchedule),
-		Programs: make(map[int64]*Program),
-	}
-	for _, nl := range f.Lengths() {
-		length := nl.Length
-		if length > f.L {
-			// A stream never broadcasts more than the whole media.
-			length = f.L
-		}
-		fs.Streams[nl.Arrival] = StreamSchedule{Start: nl.Arrival, Length: length, Root: nl.Root}
 	}
 	for _, t := range f.Trees {
 		tree := t
@@ -83,6 +71,54 @@ func Build(f *mergetree.Forest) (*ForestSchedule, error) {
 		if walkErr != nil {
 			return nil, walkErr
 		}
+	}
+	return fs, nil
+}
+
+// BuildClients constructs the full broadcast schedule (every stream of the
+// forest) but receiving programs only for the given client arrivals.  The
+// server's broadcast plan never depends on which slots actually have
+// clients, so sparse workloads can skip the program construction for the
+// empty slots.  Every requested arrival must be a node of the forest.
+func BuildClients(f *mergetree.Forest, clients []int64) (*ForestSchedule, error) {
+	fs, err := buildStreams(f)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range clients {
+		if _, ok := fs.Programs[c]; ok {
+			continue
+		}
+		tree := f.TreeOf(c)
+		if tree == nil {
+			return nil, fmt.Errorf("schedule: no tree contains client %d", c)
+		}
+		prog, err := BuildProgram(tree.PathTo(c), f.L)
+		if err != nil {
+			return nil, fmt.Errorf("client %d: %w", c, err)
+		}
+		fs.Programs[c] = prog
+	}
+	return fs, nil
+}
+
+// buildStreams validates the forest and builds the per-stream schedules.
+func buildStreams(f *mergetree.Forest) (*ForestSchedule, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &ForestSchedule{
+		L:        f.L,
+		Streams:  make(map[int64]StreamSchedule),
+		Programs: make(map[int64]*Program),
+	}
+	for _, nl := range f.Lengths() {
+		length := nl.Length
+		if length > f.L {
+			// A stream never broadcasts more than the whole media.
+			length = f.L
+		}
+		fs.Streams[nl.Arrival] = StreamSchedule{Start: nl.Arrival, Length: length, Root: nl.Root}
 	}
 	return fs, nil
 }

@@ -1,0 +1,36 @@
+package sim
+
+// bitset is a fixed-size set of part numbers.  Parts are 1-based and
+// contiguous per reception, which makes a packed bit vector both smaller and
+// much faster than the map[int64]bool the reference engine uses: Set is a
+// single word OR, and membership a single word AND.
+type bitset struct {
+	words []uint64
+}
+
+// newBitset returns a bitset able to hold values 0..n.
+func newBitset(n int64) *bitset {
+	return &bitset{words: make([]uint64, (n>>6)+1)}
+}
+
+// Set inserts v and reports whether it was newly inserted.
+func (b *bitset) Set(v int64) bool {
+	w, mask := v>>6, uint64(1)<<(uint(v)&63)
+	if b.words[w]&mask != 0 {
+		return false
+	}
+	b.words[w] |= mask
+	return true
+}
+
+// Has reports whether v is in the set.
+func (b *bitset) Has(v int64) bool {
+	return b.words[v>>6]&(uint64(1)<<(uint(v)&63)) != 0
+}
+
+// Reset clears the set for reuse.
+func (b *bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}

@@ -1,7 +1,46 @@
+// Package sim is a slot-accurate simulator of a Media-on-Demand delivery
+// system with stream merging: a server multicasting (possibly truncated)
+// streams on channels, and clients that follow their receiving programs,
+// listen to at most two channels at a time, buffer parts ahead of playback,
+// and play the media without interruption starting one guaranteed start-up
+// delay after their arrival.
+//
+// The simulator executes a merge forest produced by any of the algorithms in
+// this repository (optimal off-line, on-line delay-guaranteed, hand-built)
+// and reports bandwidth usage, buffer occupancy, and any playback
+// violations.  It is the evaluation substrate for the experiments of
+// Section 4.2.
+//
+// Two engines implement the same slot semantics:
+//
+//   - RunSchedule is the indexed, parallel production engine.  Server
+//     bandwidth is derived from the stream intervals by prefix sums (streams
+//     broadcast contiguous slot ranges, so no per-slot scan over channels is
+//     needed), and every client is simulated only over its own
+//     [arrival, finish) window against its own sorted reception intervals,
+//     with a bitset + watermark buffer instead of a hash set.  Clients are
+//     independent given the broadcast plan, so they are sharded across
+//     runtime.NumCPU() goroutines and the per-shard statistics are merged at
+//     the end.  Total work is O(S + W + sum of per-client windows) for S
+//     streams and a W-slot horizon, versus O(W x clients x streams) for the
+//     naive engine, and the result is bit-identical and deterministic for
+//     any worker count.
+//
+//   - RunScheduleReference is the original slot-by-slot engine, kept as an
+//     executable specification: every slot scans every channel and every
+//     client.  The equivalence tests assert both engines agree field by
+//     field on valid, corrupted, and randomized schedules.
+//
+// RunWorkload layers a multi-object driver on top: a catalog of media
+// objects (internal/multiobject) with Poisson or constant-rate arrival
+// mixes (internal/arrivals) is simulated object by object on the indexed
+// engine and the per-object results are combined into a server-wide,
+// real-time bandwidth profile.
 package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mergetree"
 	"repro/internal/schedule"
@@ -59,24 +98,39 @@ func (r *Result) AverageBandwidth() float64 {
 	return float64(r.TotalBandwidth) / float64(r.Slots)
 }
 
-// client is the simulated client state machine.
-type client struct {
-	arrival  int64
-	program  *schedule.Program
-	received map[int64]bool // parts in hand (buffered or already played)
-	played   int64          // number of parts played so far
-	stats    ClientStats
+// window computes the simulated slot range [first, last) of a schedule: the
+// span of all stream transmissions and of all client lifetimes.  Client
+// arrivals participate on both ends — a client arriving before the earliest
+// stream must still be simulated (and stall) from its arrival slot, and a
+// client always occupies at least the L slots of its playback.  empty
+// reports whether the schedule has neither streams nor clients.
+func window(fs *schedule.ForestSchedule) (first, last int64, empty bool) {
+	empty = true
+	for _, s := range fs.Streams {
+		if empty || s.Start < first {
+			first = s.Start
+		}
+		if empty || s.End() > last {
+			last = s.End()
+		}
+		empty = false
+	}
+	for arr := range fs.Programs {
+		if empty || arr < first {
+			first = arr
+		}
+		if empty || arr+fs.L > last {
+			last = arr + fs.L
+		}
+		empty = false
+	}
+	return first, last, empty
 }
 
-// stream is the simulated multicast channel state.
-type stream struct {
-	sched schedule.StreamSchedule
-}
-
-// RunForest executes the merge forest slot by slot in the receive-two model
-// and returns the aggregate result.  The forest must be valid; playback
-// violations are reported in the result (Stalls) rather than as errors so
-// that deliberately corrupted schedules can be studied.
+// RunForest executes the merge forest in the receive-two model on the
+// indexed engine and returns the aggregate result.  The forest must be
+// valid; playback violations are reported in the result (Stalls) rather
+// than as errors so that deliberately corrupted schedules can be studied.
 func RunForest(f *mergetree.Forest) (*Result, error) {
 	fs, err := schedule.Build(f)
 	if err != nil {
@@ -85,43 +139,34 @@ func RunForest(f *mergetree.Forest) (*Result, error) {
 	return RunSchedule(fs)
 }
 
-// RunSchedule executes a prebuilt forest schedule.
-func RunSchedule(fs *schedule.ForestSchedule) (*Result, error) {
+// RunScheduleReference executes a prebuilt forest schedule slot by slot:
+// every slot scans every channel and every client.  It is the executable
+// specification the indexed engine (RunSchedule) is tested against; prefer
+// RunSchedule everywhere else.
+func RunScheduleReference(fs *schedule.ForestSchedule) (*Result, error) {
 	if fs.L < 1 {
 		return nil, fmt.Errorf("sim: invalid media length %d", fs.L)
 	}
+	firstSlot, lastSlot, empty := window(fs)
+	if empty {
+		return &Result{L: fs.L}, nil
+	}
 	// Instantiate channels.
-	var firstSlot, lastSlot int64
-	first := true
 	streams := make(map[int64]*stream, len(fs.Streams))
 	for a, s := range fs.Streams {
 		streams[a] = &stream{sched: s}
-		if first || s.Start < firstSlot {
-			firstSlot = s.Start
-		}
-		if first || s.End() > lastSlot {
-			lastSlot = s.End()
-		}
-		first = false
 	}
 	// Instantiate clients.
 	clients := make([]*client, 0, len(fs.Programs))
 	for arr, prog := range fs.Programs {
-		c := &client{
+		clients = append(clients, &client{
 			arrival:  arr,
 			program:  prog,
 			received: make(map[int64]bool, fs.L),
 			stats:    ClientStats{Arrival: arr},
-		}
-		clients = append(clients, c)
-		if arr+fs.L > lastSlot {
-			lastSlot = arr + fs.L
-		}
+		})
 	}
 	sortClients(clients)
-	if first && len(clients) == 0 {
-		return &Result{L: fs.L}, nil
-	}
 
 	res := &Result{L: fs.L}
 	// Slot-by-slot execution.
@@ -190,10 +235,23 @@ func RunSchedule(fs *schedule.ForestSchedule) (*Result, error) {
 	return res, nil
 }
 
+// client is the reference engine's client state machine.
+type client struct {
+	arrival  int64
+	program  *schedule.Program
+	received map[int64]bool // parts in hand (buffered or already played)
+	played   int64          // number of parts played so far
+	stats    ClientStats
+}
+
+// stream is the reference engine's multicast channel state.
+type stream struct {
+	sched schedule.StreamSchedule
+}
+
+// sortClients orders clients by arrival.  Arrivals are unique (they are the
+// keys of ForestSchedule.Programs), so the order — and therefore
+// Result.Clients — is fully deterministic regardless of map iteration order.
 func sortClients(cs []*client) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j].arrival < cs[j-1].arrival; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
-		}
-	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].arrival < cs[j].arrival })
 }

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mergetree"
+	"repro/internal/online"
+	"repro/internal/schedule"
+)
+
+// mustBuild builds the schedule for a forest or fails the test.
+func mustBuild(t *testing.T, f *mergetree.Forest) *schedule.ForestSchedule {
+	t.Helper()
+	fs, err := schedule.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// assertEngineEquivalence runs both engines on the schedule and fails unless
+// every Result field — aggregates and the full per-client slice — matches.
+func assertEngineEquivalence(t *testing.T, name string, fs *schedule.ForestSchedule) {
+	t.Helper()
+	ref, refErr := RunScheduleReference(fs)
+	for _, workers := range []int{0, 1, 3} {
+		got, gotErr := RunScheduleWorkers(fs, workers)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error mismatch: reference %v, indexed(workers=%d) %v", name, refErr, workers, gotErr)
+		}
+		if refErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("%s (workers=%d): engines disagree\nreference: %+v\nindexed:   %+v", name, workers, ref, got)
+		}
+	}
+}
+
+// TestEngineEquivalenceFixtures replays every schedule shape the original
+// engine tests cover — optimal off-line forests, on-line forests, receive-all
+// schedules, buffered forests, and a deliberately corrupted schedule — and
+// asserts the indexed engine reproduces the reference engine bit for bit.
+func TestEngineEquivalenceFixtures(t *testing.T) {
+	fig3 := mergetree.NewForest(15)
+	tr, err := mergetree.Parse("0(1 2 3(4) 5(6 7))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3.Add(tr)
+	assertEngineEquivalence(t, "fig3", mustBuild(t, fig3))
+
+	for _, c := range []struct{ L, n int64 }{{15, 8}, {15, 14}, {4, 16}, {8, 40}, {50, 120}} {
+		assertEngineEquivalence(t, "optimal", mustBuild(t, core.OptimalForest(c.L, c.n)))
+	}
+	assertEngineEquivalence(t, "online", mustBuild(t, online.NewServer(30).Forest(100)))
+	assertEngineEquivalence(t, "buffered", mustBuild(t, core.OptimalForestBuffered(20, 4, 60)))
+
+	all, err := schedule.BuildReceiveAll(core.OptimalForestAll(15, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEngineEquivalence(t, "receive-all", all)
+
+	// Corrupted schedule: truncating stream 5 makes clients 6 and 7 stall.
+	corrupted := mustBuild(t, fig3)
+	s := corrupted.Streams[5]
+	s.Length = 3
+	corrupted.Streams[5] = s
+	assertEngineEquivalence(t, "corrupted", corrupted)
+	if res, err := RunSchedule(corrupted); err != nil || res.Stalls == 0 {
+		t.Errorf("indexed engine must report stalls on the corrupted schedule (err %v)", err)
+	}
+
+	// A negative stream length never transmits; it must not perturb the
+	// bandwidth accounting of the healthy streams.
+	negative := mustBuild(t, fig3)
+	s = negative.Streams[3]
+	s.Length = -2
+	negative.Streams[3] = s
+	assertEngineEquivalence(t, "negative-length", negative)
+}
+
+// randomTree builds a random merge tree over the consecutive arrivals
+// first..first+size-1; contiguous child blocks keep the preorder property.
+func randomTree(rng *rand.Rand, first int64, size int) *mergetree.Tree {
+	t := mergetree.New(first)
+	rest := size - 1
+	next := first + 1
+	for rest > 0 {
+		k := 1 + rng.Intn(rest)
+		t.AddChild(randomTree(rng, next, k))
+		next += int64(k)
+		rest -= k
+	}
+	return t
+}
+
+// TestEngineEquivalenceRandomForests compares the engines on randomized
+// forests — random tree shapes, random gaps between trees — both intact and
+// with randomly corrupted stream lengths (so the stall-accounting paths are
+// exercised too).
+func TestEngineEquivalenceRandomForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		var L int64 = 10 + int64(rng.Intn(50))
+		f := mergetree.NewForest(L)
+		arrival := int64(rng.Intn(5))
+		for trees := 1 + rng.Intn(3); trees > 0; trees-- {
+			size := 1 + rng.Intn(int(L/2)+1)
+			f.Add(randomTree(rng, arrival, size))
+			arrival += int64(size + rng.Intn(4))
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("trial %d: generated forest invalid: %v", trial, err)
+		}
+		fs := mustBuild(t, f)
+		assertEngineEquivalence(t, "random", fs)
+
+		// Corrupt a few stream lengths (shrink or grow) and compare again.
+		for a, s := range fs.Streams {
+			if rng.Intn(3) == 0 {
+				s.Length += int64(rng.Intn(7)) - 3
+				if s.Length < 0 {
+					s.Length = 0
+				}
+				fs.Streams[a] = s
+			}
+		}
+		assertEngineEquivalence(t, "random-corrupted", fs)
+	}
+}
+
+// handProgram builds a single-stage program without BuildProgram's
+// validation, for adversarial schedules.
+func handProgram(client int64, recs ...schedule.Reception) *schedule.Program {
+	from, to := int64(0), int64(0)
+	for i, r := range recs {
+		if i == 0 || r.StartSlot < from {
+			from = r.StartSlot
+		}
+		if r.EndSlot() > to {
+			to = r.EndSlot()
+		}
+	}
+	return &schedule.Program{
+		Client: client,
+		Path:   []int64{client},
+		L:      0, // unused by the engines
+		Stages: []schedule.Stage{{From: from, To: to, Receptions: recs}},
+	}
+}
+
+// TestWindowCoversEarlyClients is the regression test for the simulation
+// window: a client arriving before the earliest stream must be simulated
+// (and stall) from its arrival slot, not from the first stream start.
+func TestWindowCoversEarlyClients(t *testing.T) {
+	fs := &schedule.ForestSchedule{
+		L:       5,
+		Streams: map[int64]schedule.StreamSchedule{10: {Start: 10, Length: 5}},
+		Programs: map[int64]*schedule.Program{
+			7: handProgram(7, schedule.Reception{Stream: 7, StartSlot: 7, FirstPart: 1, LastPart: 5}),
+		},
+	}
+	assertEngineEquivalence(t, "early-client", fs)
+	res, err := RunSchedule(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window is [7, 15): slots 7..14, not [10, 15) as the buggy window gave.
+	if res.Slots != 8 {
+		t.Errorf("Slots = %d, want 8 (window must start at the client arrival, slot 7)", res.Slots)
+	}
+	// The client listens to a stream that does not exist, so it stalls in
+	// every one of its 8 slots — including the 3 before the first stream.
+	if res.Stalls != 8 {
+		t.Errorf("Stalls = %d, want 8 (pre-stream slots must be counted)", res.Stalls)
+	}
+	if res.Clients[0].MaxConcurrent != 1 {
+		t.Errorf("MaxConcurrent = %d, want 1 (listening counts even on a dead channel)", res.Clients[0].MaxConcurrent)
+	}
+}
+
+// TestEngineEdgeCases pins down the degenerate schedules both engines must
+// agree on: no clients, no streams, a single client, and a client arriving
+// at the very last slot of the horizon.
+func TestEngineEdgeCases(t *testing.T) {
+	t.Run("no-clients", func(t *testing.T) {
+		fs := &schedule.ForestSchedule{
+			L:        10,
+			Streams:  map[int64]schedule.StreamSchedule{0: {Start: 0, Length: 10, Root: true}},
+			Programs: map[int64]*schedule.Program{},
+		}
+		assertEngineEquivalence(t, "no-clients", fs)
+		res, err := RunSchedule(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalBandwidth != 10 || res.PeakBandwidth != 1 || len(res.Clients) != 0 {
+			t.Errorf("unexpected result: %+v", res)
+		}
+	})
+	t.Run("no-streams", func(t *testing.T) {
+		fs := &schedule.ForestSchedule{
+			L:       4,
+			Streams: map[int64]schedule.StreamSchedule{},
+			Programs: map[int64]*schedule.Program{
+				3: handProgram(3, schedule.Reception{Stream: 3, StartSlot: 3, FirstPart: 1, LastPart: 4}),
+			},
+		}
+		assertEngineEquivalence(t, "no-streams", fs)
+		res, err := RunSchedule(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With nothing broadcast the client stalls over its whole lifetime.
+		if res.Slots != 4 || res.Stalls != 4 || res.TotalBandwidth != 0 {
+			t.Errorf("unexpected result: %+v", res)
+		}
+	})
+	t.Run("single-client", func(t *testing.T) {
+		f := mergetree.NewForest(12)
+		f.Add(mergetree.New(5))
+		fs := mustBuild(t, f)
+		assertEngineEquivalence(t, "single-client", fs)
+		res, err := RunSchedule(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stalls != 0 || res.Clients[0].FinishSlot != 17 || res.TotalBandwidth != 12 {
+			t.Errorf("unexpected result: %+v", res)
+		}
+	})
+	t.Run("client-at-last-slot", func(t *testing.T) {
+		fs := mustBuild(t, core.OptimalForest(15, 8))
+		// Keep only the last client; the broadcast plan is unchanged.
+		var last int64
+		for arr := range fs.Programs {
+			if arr > last {
+				last = arr
+			}
+		}
+		fs.Programs = map[int64]*schedule.Program{last: fs.Programs[last]}
+		assertEngineEquivalence(t, "client-at-last-slot", fs)
+		res, err := RunSchedule(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stalls != 0 || len(res.Clients) != 1 || res.Clients[0].Arrival != last {
+			t.Errorf("unexpected result: %+v", res)
+		}
+	})
+}
+
+// TestIndexedDeterministicAcrossWorkers checks that the worker count has no
+// effect on the result, only on wall-clock time.
+func TestIndexedDeterministicAcrossWorkers(t *testing.T) {
+	fs := mustBuild(t, online.NewServer(25).Forest(300))
+	base, err := RunScheduleWorkers(fs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16, 1000} {
+		got, err := RunScheduleWorkers(fs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d changes the result", w)
+		}
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(200)
+	if b.Has(0) || b.Has(200) {
+		t.Fatal("new bitset must be empty")
+	}
+	if !b.Set(63) || !b.Set(64) || !b.Set(200) {
+		t.Fatal("first Set must report a new element")
+	}
+	if b.Set(64) {
+		t.Fatal("second Set of the same element must report false")
+	}
+	if !b.Has(63) || !b.Has(64) || !b.Has(200) || b.Has(65) {
+		t.Fatal("membership after Set is wrong")
+	}
+	b.Reset()
+	if b.Has(63) || b.Has(64) || b.Has(200) {
+		t.Fatal("Reset must clear the set")
+	}
+}

@@ -1,14 +1,3 @@
-// Package sim is a slot-accurate discrete-event simulator of a
-// Media-on-Demand delivery system with stream merging: a server multicasting
-// (possibly truncated) streams on channels, and clients that follow their
-// receiving programs, listen to at most two channels at a time, buffer parts
-// ahead of playback, and play the media without interruption starting one
-// guaranteed start-up delay after their arrival.
-//
-// The simulator executes a merge forest produced by any of the algorithms in
-// this repository (optimal off-line, on-line delay-guaranteed, hand-built)
-// and reports bandwidth usage, buffer occupancy, and any playback violations.
-// It is the evaluation substrate for the experiments of Section 4.2.
 package sim
 
 import "container/heap"

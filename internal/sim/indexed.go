@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/schedule"
+)
+
+// RunSchedule executes a prebuilt forest schedule on the indexed, parallel
+// engine with one worker per CPU.  It produces results identical field by
+// field to RunScheduleReference, in a fraction of the work: server bandwidth
+// comes from the stream intervals (prefix sums over a difference array of
+// starts and ends), and each client is simulated only over its own lifetime
+// against its own sorted reception intervals.
+func RunSchedule(fs *schedule.ForestSchedule) (*Result, error) {
+	return RunScheduleWorkers(fs, 0)
+}
+
+// RunScheduleWorkers is RunSchedule with an explicit worker count; workers
+// <= 0 selects runtime.NumCPU().  The result does not depend on the worker
+// count — clients are independent given the broadcast plan, so sharding only
+// changes wall-clock time.
+func RunScheduleWorkers(fs *schedule.ForestSchedule, workers int) (*Result, error) {
+	if fs.L < 1 {
+		return nil, fmt.Errorf("sim: invalid media length %d", fs.L)
+	}
+	firstSlot, lastSlot, empty := window(fs)
+	if empty {
+		return &Result{L: fs.L}, nil
+	}
+	res := &Result{L: fs.L, Slots: lastSlot - firstSlot}
+	res.TotalBandwidth, res.PeakBandwidth = bandwidthIndex(fs)
+
+	// Arrivals in deterministic (sorted) order; they are unique map keys, so
+	// this fixes the Result.Clients order completely.
+	arrs := make([]int64, 0, len(fs.Programs))
+	for arr := range fs.Programs {
+		arrs = append(arrs, arr)
+	}
+	sort.Slice(arrs, func(i, j int) bool { return arrs[i] < arrs[j] })
+	if len(arrs) > 0 {
+		res.Clients = make([]ClientStats, len(arrs))
+	}
+
+	// The bitset must hold every part number any stream can deliver; a
+	// (corrupted) stream may carry parts beyond L.
+	maxPart := fs.L
+	for _, s := range fs.Streams {
+		if s.Length > maxPart {
+			maxPart = s.Length
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(arrs) {
+		workers = len(arrs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Shard clients into contiguous blocks, one goroutine per shard, and
+	// merge the shard-local aggregates at the end.
+	type shardStats struct {
+		stalls    int
+		maxBuffer int64
+	}
+	partial := make([]shardStats, workers)
+	var wg sync.WaitGroup
+	per := (len(arrs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(arrs) {
+			hi = len(arrs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			bs := newBitset(maxPart + 1)
+			for i := lo; i < hi; i++ {
+				arr := arrs[i]
+				st := simulateClient(arr, fs.Programs[arr], fs, lastSlot, bs)
+				res.Clients[i] = st
+				partial[w].stalls += st.Stalls
+				if st.MaxBuffer > partial[w].maxBuffer {
+					partial[w].maxBuffer = st.MaxBuffer
+				}
+				bs.Reset()
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partial {
+		res.Stalls += p.stalls
+		if p.maxBuffer > res.MaxBuffer {
+			res.MaxBuffer = p.maxBuffer
+		}
+	}
+	return res, nil
+}
+
+// bandwidthIndex derives the total and peak server bandwidth directly from
+// the stream intervals.  Every stream broadcasts one part per slot over the
+// contiguous range [Start, Start+Length), and the simulation window always
+// covers every stream in full, so the total is a sum of interval lengths and
+// the peak is a sweep over the sorted interval endpoints — no per-slot scan.
+// Streams with a non-positive (corrupted) length never transmit and are
+// skipped, exactly as the reference engine's PartAt test skips them.
+func bandwidthIndex(fs *schedule.ForestSchedule) (total int64, peak int) {
+	type endpoint struct {
+		slot  int64
+		delta int
+	}
+	events := make([]endpoint, 0, 2*len(fs.Streams))
+	for _, s := range fs.Streams {
+		if s.Length <= 0 {
+			continue
+		}
+		total += s.Length
+		events = append(events, endpoint{s.Start, +1}, endpoint{s.End(), -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].slot != events[j].slot {
+			return events[i].slot < events[j].slot
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur := 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return total, peak
+}
+
+// span is a half-open slot interval during which a client listens to one
+// reception (whether or not the stream actually carries the expected parts).
+type span struct {
+	start, end int64
+}
+
+// run is the validated portion of a reception: an aligned, in-range slot
+// interval during which the expected part really arrives each slot (part
+// firstPart at slot start, firstPart+1 at start+1, ...).
+type run struct {
+	start, end, firstPart int64
+}
+
+// clientIndex is the precomputed reception index of a single client.
+type clientIndex struct {
+	spans []span // all non-empty receptions, sorted by start
+	runs  []run  // validated delivery runs, sorted by start
+}
+
+// buildClientIndex validates every reception of the program against the
+// stream table once, instead of once per slot.  A stream broadcasts part j
+// during slot Start+j-1, so a reception delivers its parts if and only if
+// its slot/part offsets are aligned with the stream's (a single integer
+// comparison); the delivered range is then the reception clipped to the
+// stream's transmission interval.
+func buildClientIndex(prog *schedule.Program, fs *schedule.ForestSchedule) clientIndex {
+	var ix clientIndex
+	for _, stg := range prog.Stages {
+		for _, r := range stg.Receptions {
+			if r.Slots() <= 0 {
+				continue
+			}
+			ix.spans = append(ix.spans, span{r.StartSlot, r.EndSlot()})
+			s, ok := fs.Streams[r.Stream]
+			if !ok {
+				continue
+			}
+			// Alignment: part r.FirstPart+(t-r.StartSlot) equals the
+			// stream's part t-s.Start+1 for every t, or for none.
+			if r.StartSlot-r.FirstPart != s.Start-1 {
+				continue
+			}
+			lo, hi := r.StartSlot, r.EndSlot()
+			if lo < s.Start {
+				lo = s.Start
+			}
+			if hi > s.End() {
+				hi = s.End()
+			}
+			if hi <= lo {
+				continue
+			}
+			ix.runs = append(ix.runs, run{lo, hi, r.FirstPart + (lo - r.StartSlot)})
+		}
+	}
+	sort.Slice(ix.spans, func(i, j int) bool { return ix.spans[i].start < ix.spans[j].start })
+	sort.Slice(ix.runs, func(i, j int) bool { return ix.runs[i].start < ix.runs[j].start })
+	return ix
+}
+
+// simulateClient replays one client's state machine over its own lifetime
+// [arrival, finish), touching only the slots and receptions that concern it.
+// The received-parts buffer is a bitset with the played prefix acting as a
+// watermark (parts are contiguous per reception), and the listening count is
+// maintained by pointers into the sorted span endpoints.  The slot semantics
+// are exactly those of RunScheduleReference.
+func simulateClient(arrival int64, prog *schedule.Program, fs *schedule.ForestSchedule, lastSlot int64, bs *bitset) ClientStats {
+	ix := buildClientIndex(prog, fs)
+	stats := ClientStats{Arrival: arrival}
+
+	// Sorted span endpoints for the O(1) amortized listening count.
+	ends := make([]int64, len(ix.spans))
+	for i, sp := range ix.spans {
+		ends[i] = sp.end
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	var (
+		played     int64
+		received   int64 // distinct parts in hand (buffered or played)
+		spanPtr    int   // spans with start <= slot
+		endPtr     int   // spans with end <= slot
+		runPtr     int   // runs admitted to the active list
+		active     []run
+		receivedMx int64
+	)
+	for slot := arrival; slot < lastSlot; slot++ {
+		// 1. Listening count: spans that cover this slot.
+		for spanPtr < len(ix.spans) && ix.spans[spanPtr].start <= slot {
+			spanPtr++
+		}
+		for endPtr < len(ends) && ends[endPtr] <= slot {
+			endPtr++
+		}
+		if listening := spanPtr - endPtr; listening > stats.MaxConcurrent {
+			stats.MaxConcurrent = listening
+		}
+		// 2. Deliveries: every active validated run hands over one part.
+		for runPtr < len(ix.runs) && ix.runs[runPtr].start <= slot {
+			active = append(active, ix.runs[runPtr])
+			runPtr++
+		}
+		live := active[:0]
+		for _, r := range active {
+			if r.end <= slot {
+				continue
+			}
+			live = append(live, r)
+			if bs.Set(r.firstPart + (slot - r.start)) {
+				received++
+			}
+		}
+		active = live
+		// 3. Playback of the next part, or a stall.
+		if bs.Has(played + 1) {
+			played++
+		} else {
+			stats.Stalls++
+		}
+		if buffered := received - played; buffered > receivedMx {
+			receivedMx = buffered
+		}
+		if played == fs.L {
+			stats.FinishSlot = slot + 1
+			break
+		}
+	}
+	stats.MaxBuffer = receivedMx
+	return stats
+}
