@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mergetree"
 	"repro/internal/multiobject"
+	"repro/internal/offline"
 	"repro/internal/online"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -334,5 +335,175 @@ func BenchmarkSimWorkload(b *testing.B) {
 		if res.Stalls != 0 {
 			b.Fatal("stalls in workload")
 		}
+	}
+}
+
+// BenchmarkOnlineCostClosed measures the closed-form on-line cost A(L,n)
+// against the forest-materializing reference at a million-slot horizon.
+// "cold" includes the server precomputation and the one-time memo fill;
+// "hot" is the steady-state O(1) query the experiments pay.
+func BenchmarkOnlineCostClosed(b *testing.B) {
+	const (
+		L = 100
+		n = 1_000_000
+	)
+	b.Run("closed-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			online.NewServer(L).CostClosed(n)
+		}
+	})
+	b.Run("closed-hot", func(b *testing.B) {
+		srv := online.NewServer(L)
+		srv.CostClosed(n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.CostClosed(n)
+		}
+	})
+	b.Run("forest-reference", func(b *testing.B) {
+		srv := online.NewServer(L)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.Cost(n)
+		}
+	})
+	srv := online.NewServer(L)
+	if srv.CostClosed(n) != srv.Cost(n) {
+		b.Fatal("closed form diverges from reference")
+	}
+}
+
+// offlineBenchTimes builds a deterministic pseudo-random strictly-increasing
+// arrival sequence for the offline DP benchmarks.
+func offlineBenchTimes(n int) []float64 {
+	times := make([]float64, n)
+	t := 0.0
+	state := uint64(12345)
+	for i := range times {
+		state = state*6364136223846793005 + 1442695040888963407
+		t += 0.5 + float64(state>>40)/float64(1<<24)
+		times[i] = t
+	}
+	return times
+}
+
+// BenchmarkOfflineDP pits the flattened (triangular, int32-split, optionally
+// parallel) interval DP against the [][]-based Knuth-accelerated reference
+// at n=10000; both produce bit-identical tables (see internal/offline
+// tests).  B/op shows the memory halving; on multi-core hosts the flat
+// variant additionally shards each DP diagonal across GOMAXPROCS workers.
+func BenchmarkOfflineDP(b *testing.B) {
+	times := offlineBenchTimes(10000)
+	b.Run("flat-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := offline.ComputeTables(times, offline.ReceiveTwo, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference-fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := offline.MergeCostTableFast(times, offline.ReceiveTwo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOfflineForest measures the banded end-to-end optimum (the
+// policy.OfflineOptimal path) at the raised arrival cap's scale: the band
+// keeps the table footprint proportional to arrivals-per-window rather than
+// n^2.
+func BenchmarkOfflineForest(b *testing.B) {
+	const n = 10000
+	times := offlineBenchTimes(n)
+	// Window of ~200 arrivals.
+	window := (times[n-1] - times[0]) / (n / 200)
+	b.ReportAllocs()
+	b.ReportMetric(float64(offline.BandBytes(times, window))/(1<<20), "table-MB")
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.OptimalForestWorkers(times, window, offline.ReceiveTwo, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// activeStreamsPerSlot is the pre-refactor ActiveStreams: one increment per
+// (stream, slot) pair, so it scales with the total stream length.
+func activeStreamsPerSlot(f *mergetree.Forest, from, to int64) []int {
+	if to <= from {
+		return nil
+	}
+	counts := make([]int, to-from)
+	for _, nl := range f.Lengths() {
+		start, end := nl.Arrival, nl.Arrival+nl.Length
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		for s := start; s < end; s++ {
+			counts[s-from]++
+		}
+	}
+	return counts
+}
+
+// BenchmarkActiveStreams compares the difference-array bandwidth profile
+// against the per-slot reference on an on-line forest whose total stream
+// length (~L x streams) dwarfs the queried range.
+func BenchmarkActiveStreams(b *testing.B) {
+	const (
+		L       = 2000
+		horizon = 100000
+	)
+	f := online.NewServer(L).Forest(horizon)
+	want := activeStreamsPerSlot(f, 0, horizon)
+	got := f.ActiveStreams(0, horizon)
+	for i := range want {
+		if got[i] != want[i] {
+			b.Fatalf("difference-array profile diverges at slot %d", i)
+		}
+	}
+	b.Run("diff-array", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.ActiveStreams(0, horizon)
+		}
+	})
+	b.Run("per-slot-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			activeStreamsPerSlot(f, 0, horizon)
+		}
+	})
+}
+
+// BenchmarkComparisonSweepWorkers measures the Figs. 11-12 replication grid
+// serial vs. pooled (bit-identical output; the speedup tracks the host's
+// core count).
+func BenchmarkComparisonSweepWorkers(b *testing.B) {
+	cfg := fig11BenchConfig()
+	cfg.Replications = 4
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "pooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig12(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -26,10 +26,7 @@ import (
 	"os"
 
 	"repro/internal/arrivals"
-	"repro/internal/batching"
 	"repro/internal/core"
-	"repro/internal/dyadic"
-	"repro/internal/hybrid"
 	"repro/internal/mergetree"
 	"repro/internal/multiobject"
 	"repro/internal/online"
@@ -100,39 +97,32 @@ func main() {
 			os.Exit(2)
 		}
 		slotsPerMedia := int64(math.Round(1 / delay))
-		horizonSlots := int64(math.Round(*horizon / delay))
 		var tr arrivals.Trace
-		var params dyadic.Params
 		if *poisson {
 			tr = arrivals.Poisson(lambda, *horizon, *seed)
-			params = dyadic.GoldenPoisson()
 		} else {
 			tr = arrivals.Constant(lambda, *horizon)
-			params = dyadic.GoldenConstantRate(slotsPerMedia)
 		}
-		imm, err := dyadic.TotalCost(tr, 1.0, params)
+		// The Figs. 11-12 policy set, served across the worker pool; costs
+		// are identical to a serial run.
+		costs, err := policy.CompareParallel(policy.Standard(1.0, delay, *poisson), tr, *horizon, *workers)
 		exitOn(err)
-		bat, err := dyadic.TotalBatchedCost(tr, 1.0, delay, params)
-		exitOn(err)
-		dg := online.NormalizedCost(slotsPerMedia, horizonSlots)
-		hyb, err := policy.Hybrid(hybrid.DefaultConfig(1.0, delay)).Serve(tr, *horizon)
-		exitOn(err)
-		pureBatch := batching.BatchedCost(tr, delay)
-		unicast := batching.ImmediateUnicastCost(tr)
 		fmt.Printf("arrivals:             %d (%s, lambda = %.2f%% of media length)\n", len(tr), kind(*poisson), *lambdaPct)
 		fmt.Printf("delay:                %.2f%% of media length (L = %d slots)\n", *delayPct, slotsPerMedia)
 		fmt.Printf("horizon:              %.0f media lengths\n", *horizon)
 		fmt.Println()
-		fmt.Printf("immediate dyadic:     %10.2f media streams\n", imm)
-		fmt.Printf("batched dyadic:       %10.2f media streams\n", bat)
-		fmt.Printf("delay-guaranteed:     %10.2f media streams\n", dg)
-		fmt.Printf("hybrid (Section 5):   %10.2f media streams\n", hyb)
-		fmt.Printf("pure batching:        %10.2f media streams\n", pureBatch)
-		fmt.Printf("unicast (no sharing): %10.2f media streams\n", unicast)
+		fmt.Printf("immediate dyadic:     %10.2f media streams\n", costs["immediate dyadic"])
+		fmt.Printf("batched dyadic:       %10.2f media streams\n", costs["batched dyadic"])
+		fmt.Printf("delay-guaranteed:     %10.2f media streams\n", costs["delay-guaranteed"])
+		fmt.Printf("hybrid (Section 5):   %10.2f media streams\n", costs["hybrid"])
+		fmt.Printf("pure batching:        %10.2f media streams\n", costs["batching"])
+		fmt.Printf("unicast (no sharing): %10.2f media streams\n", costs["unicast"])
 		// With few enough batched arrivals, also print the exact off-line
-		// lower bound for delay-permitted service.
-		if batchedTimes := tr.BatchTimes(delay); len(batchedTimes) <= 4000 {
-			opt, err := policy.OfflineOptimalBatched(1.0, delay, 4000).Serve(tr, *horizon)
+		// lower bound for delay-permitted service.  The banded flat DP of
+		// internal/offline accepts an order of magnitude more arrivals than
+		// the old full-table implementation.
+		if batchedTimes := tr.BatchTimes(delay); len(batchedTimes) <= 40000 {
+			opt, err := policy.OfflineOptimalBatched(1.0, delay, 40000).Serve(tr, *horizon)
 			exitOn(err)
 			fmt.Printf("offline optimum:      %10.2f media streams (exact lower bound with this delay)\n", opt)
 		}

@@ -251,7 +251,7 @@ func Fig9(cfg Fig9Config) Result {
 	for _, n := range cfg.Horizons {
 		row := []interface{}{n}
 		for i, L := range cfg.Ls {
-			ratio := float64(servers[i].Cost(n)) / float64(core.FullCost(L, n))
+			ratio := float64(servers[i].CostClosed(n)) / float64(core.FullCost(L, n))
 			row = append(row, ratio)
 			series[i].X = append(series[i].X, float64(n))
 			series[i].Y = append(series[i].Y, ratio)
@@ -283,6 +283,12 @@ type ComparisonConfig struct {
 	Replications int
 	// Seed seeds the Poisson generator.
 	Seed int64
+	// Workers is the size of the worker pool the (lambda, replication) grid
+	// is spread across: 0 means GOMAXPROCS, 1 means serial.  Each
+	// replication derives its seed from (lambda, replication index) alone,
+	// never from scheduling order, so the resulting series are bit-identical
+	// to a serial run for every worker count.
+	Workers int
 }
 
 // DefaultComparison returns the configuration matching Section 4.2.
@@ -339,31 +345,49 @@ func comparisonFigure(cfg ComparisonConfig, poisson bool) (Result, error) {
 		params = dyadic.GoldenConstantRate(slotsPerMedia)
 	}
 
+	reps := 1
+	if poisson {
+		reps = cfg.Replications
+		if reps < 1 {
+			reps = 1
+		}
+	}
+	// Fan the (lambda, replication) grid across a worker pool.  Every cell
+	// is seeded by its grid coordinates, so the per-cell results — and the
+	// in-order reduction below — are bit-identical to a serial sweep.
+	type cell struct {
+		imm, bat float64
+		err      error
+	}
+	grid := make([][]cell, len(cfg.LambdaPcts))
+	for li := range grid {
+		grid[li] = make([]cell, reps)
+	}
+	runCell := func(li, r int) {
+		lp := cfg.LambdaPcts[li]
+		lambda := lp / 100.0
+		var tr arrivals.Trace
+		if poisson {
+			tr = arrivals.Poisson(lambda, cfg.HorizonMedia, cfg.Seed+int64(r)*101+int64(lp*1000))
+		} else {
+			tr = arrivals.Constant(lambda, cfg.HorizonMedia)
+		}
+		c := &grid[li][r]
+		c.imm, c.bat, _, c.err = comparisonPoint(tr, delay, slotsPerMedia, params, dgStreams)
+	}
+	forEachGridCell(len(cfg.LambdaPcts), reps, cfg.Workers, runCell)
+
 	tab := textplot.NewTable("lambda_pct", "immediate_dyadic", "batched_dyadic", "delay_guaranteed")
 	var xs, immS, batS, dgS []float64
-	for _, lp := range cfg.LambdaPcts {
-		lambda := lp / 100.0
-		var imms, bats []float64
-		reps := 1
-		if poisson {
-			reps = cfg.Replications
-			if reps < 1 {
-				reps = 1
-			}
-		}
+	for li, lp := range cfg.LambdaPcts {
+		imms := make([]float64, 0, reps)
+		bats := make([]float64, 0, reps)
 		for r := 0; r < reps; r++ {
-			var tr arrivals.Trace
-			if poisson {
-				tr = arrivals.Poisson(lambda, cfg.HorizonMedia, cfg.Seed+int64(r)*101+int64(lp*1000))
-			} else {
-				tr = arrivals.Constant(lambda, cfg.HorizonMedia)
-			}
-			imm, bat, _, err := comparisonPoint(tr, delay, slotsPerMedia, params, dgStreams)
-			if err != nil {
+			if err := grid[li][r].err; err != nil {
 				return Result{}, err
 			}
-			imms = append(imms, imm)
-			bats = append(bats, bat)
+			imms = append(imms, grid[li][r].imm)
+			bats = append(bats, grid[li][r].bat)
 		}
 		imm := stats.Mean(imms)
 		bat := stats.Mean(bats)
@@ -470,8 +494,18 @@ func staticTreeCost(L, n, size int64) int64 {
 	return cost
 }
 
-// All runs every experiment with its default configuration.
+// All runs every experiment with its default configuration, using all CPUs
+// for the sweeps that support worker pools.
 func All() ([]Result, error) {
+	return AllWithWorkers(0)
+}
+
+// AllWithWorkers runs every experiment, spreading the replication grids of
+// the Figs. 11-12 sweeps, the dyadic-vs-optimal extension, and the workload
+// simulation across `workers` goroutines (0 means GOMAXPROCS, 1 means
+// serial).  Per-replication seeds depend only on grid coordinates, so the
+// output is bit-identical for every worker count.
+func AllWithWorkers(workers int) ([]Result, error) {
 	out := []Result{
 		Fig1(DefaultFig1()),
 		TableM(16),
@@ -484,11 +518,13 @@ func All() ([]Result, error) {
 		OnlineTreeSizeAblation(100, 10000),
 		BufferTradeoff(60, 600),
 	}
-	f11, err := Fig11(DefaultComparison())
+	cmp := DefaultComparison()
+	cmp.Workers = workers
+	f11, err := Fig11(cmp)
 	if err != nil {
 		return nil, err
 	}
-	f12, err := Fig12(DefaultComparison())
+	f12, err := Fig12(cmp)
 	if err != nil {
 		return nil, err
 	}
@@ -501,11 +537,15 @@ func All() ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ext3, err := DyadicVsOptimal(DefaultDyadicVsOptimal())
+	dvo := DefaultDyadicVsOptimal()
+	dvo.Workers = workers
+	ext3, err := DyadicVsOptimal(dvo)
 	if err != nil {
 		return nil, err
 	}
-	ext4, err := MultiObjectSim(DefaultWorkloadSim())
+	wl := DefaultWorkloadSim()
+	wl.Workers = workers
+	ext4, err := MultiObjectSim(wl)
 	if err != nil {
 		return nil, err
 	}

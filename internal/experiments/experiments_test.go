@@ -302,3 +302,65 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+// TestComparisonSweepBitIdenticalAcrossWorkers checks the Figs. 11-12
+// replication grid produces exactly the same series for any worker count:
+// replication seeds derive from grid coordinates, never scheduling order.
+func TestComparisonSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	cfg := ComparisonConfig{
+		DelayPct:     1.0,
+		HorizonMedia: 10,
+		LambdaPcts:   []float64{0.5, 1.0, 2.0},
+		Replications: 3,
+		Seed:         1,
+		Workers:      1,
+	}
+	serial, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 7} {
+		cfg.Workers = workers
+		par, err := Fig12(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := range serial.Series {
+			for i := range serial.Series[si].Y {
+				if par.Series[si].Y[i] != serial.Series[si].Y[i] {
+					t.Fatalf("workers=%d: series %q point %d = %v, want bit-identical %v",
+						workers, serial.Series[si].Name, i, par.Series[si].Y[i], serial.Series[si].Y[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDyadicVsOptimalBitIdenticalAcrossWorkers does the same for the
+// extension sweep that exercises the parallel offline DP underneath.
+func TestDyadicVsOptimalBitIdenticalAcrossWorkers(t *testing.T) {
+	cfg := DyadicVsOptimalConfig{
+		LambdaPcts:   []float64{0.5, 1, 2},
+		HorizonMedia: 2,
+		Replications: 2,
+		Seed:         23,
+		Workers:      1,
+	}
+	serial, err := DyadicVsOptimal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := DyadicVsOptimal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Series[0].Y) != len(serial.Series[0].Y) {
+		t.Fatalf("parallel sweep has %d points, serial %d", len(par.Series[0].Y), len(serial.Series[0].Y))
+	}
+	for i := range serial.Series[0].Y {
+		if par.Series[0].Y[i] != serial.Series[0].Y[i] {
+			t.Fatalf("point %d = %v, want bit-identical %v", i, par.Series[0].Y[i], serial.Series[0].Y[i])
+		}
+	}
+}

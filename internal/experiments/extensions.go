@@ -177,6 +177,10 @@ type DyadicVsOptimalConfig struct {
 	Replications int
 	// Seed seeds the generator.
 	Seed int64
+	// Workers sizes the worker pool over the (lambda, replication) grid
+	// (0 means GOMAXPROCS, 1 means serial); seeds depend only on grid
+	// coordinates so the output is identical for every worker count.
+	Workers int
 }
 
 // DefaultDyadicVsOptimal returns the default sweep.
@@ -195,31 +199,63 @@ func DefaultDyadicVsOptimal() DyadicVsOptimalConfig {
 // the Figs. 11-12 comparison: the dyadic curve there is itself within a
 // modest factor of the unconstrained optimum.
 func DyadicVsOptimal(cfg DyadicVsOptimalConfig) (Result, error) {
+	reps := cfg.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	type cell struct {
+		dy, opt, count float64
+		skipped        bool
+		err            error
+	}
+	grid := make([][]cell, len(cfg.LambdaPcts))
+	for li := range grid {
+		grid[li] = make([]cell, reps)
+	}
+	// When the grid itself fans out, keep each cell's offline DP serial so
+	// the two pools don't nest into workers^2 CPU-bound goroutines; a serial
+	// grid (Workers == 1) lets the DP use every core instead.
+	dpWorkers := 1
+	if cfg.Workers == 1 {
+		dpWorkers = 0
+	}
+	forEachGridCell(len(cfg.LambdaPcts), reps, cfg.Workers, func(li, r int) {
+		lp := cfg.LambdaPcts[li]
+		lambda := lp / 100
+		c := &grid[li][r]
+		tr := arrivals.Poisson(lambda, cfg.HorizonMedia, cfg.Seed+int64(r)*37+int64(lp*100))
+		if len(tr) < 2 {
+			c.skipped = true
+			return
+		}
+		dy, err := dyadic.TotalCost(tr, 1.0, dyadic.GoldenPoisson())
+		if err != nil {
+			c.err = err
+			return
+		}
+		opt, err := offline.OptimalForestWorkers(tr, 1.0, offline.ReceiveTwo, dpWorkers)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.dy, c.opt, c.count = dy, opt.NormalizedCost(), float64(len(tr))
+	})
+
 	tab := textplot.NewTable("lambda_pct", "arrivals", "dyadic_streams", "optimal_streams", "ratio")
 	var xs, ratios []float64
-	for _, lp := range cfg.LambdaPcts {
-		lambda := lp / 100
+	for li, lp := range cfg.LambdaPcts {
 		var dyCosts, optCosts, counts []float64
-		reps := cfg.Replications
-		if reps < 1 {
-			reps = 1
-		}
 		for r := 0; r < reps; r++ {
-			tr := arrivals.Poisson(lambda, cfg.HorizonMedia, cfg.Seed+int64(r)*37+int64(lp*100))
-			if len(tr) < 2 {
+			c := grid[li][r]
+			if c.err != nil {
+				return Result{}, c.err
+			}
+			if c.skipped {
 				continue
 			}
-			dy, err := dyadic.TotalCost(tr, 1.0, dyadic.GoldenPoisson())
-			if err != nil {
-				return Result{}, err
-			}
-			opt, err := offline.OptimalForest(tr, 1.0, offline.ReceiveTwo)
-			if err != nil {
-				return Result{}, err
-			}
-			dyCosts = append(dyCosts, dy)
-			optCosts = append(optCosts, opt.NormalizedCost())
-			counts = append(counts, float64(len(tr)))
+			dyCosts = append(dyCosts, c.dy)
+			optCosts = append(optCosts, c.opt)
+			counts = append(counts, c.count)
 		}
 		if len(dyCosts) == 0 {
 			continue

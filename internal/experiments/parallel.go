@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachGridCell invokes run(i, j) for every cell of an nI x nJ grid using
+// a pool of `workers` goroutines (0 means GOMAXPROCS, 1 means serial).  The
+// cells must be independent; callers write results into per-cell slots and
+// reduce them in grid order afterwards, which keeps parallel sweeps
+// bit-identical to serial ones.
+func forEachGridCell(nI, nJ, workers int, run func(i, j int)) {
+	total := nI * nJ
+	if total <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for i := 0; i < nI; i++ {
+			for j := 0; j < nJ; j++ {
+				run(i, j)
+			}
+		}
+		return
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(atomic.AddInt64(&next, 1))
+				if k >= total {
+					return
+				}
+				run(k/nJ, k%nJ)
+			}
+		}()
+	}
+	wg.Wait()
+}

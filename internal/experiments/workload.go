@@ -28,6 +28,8 @@ type WorkloadSimConfig struct {
 	Poisson bool
 	// Seed seeds the Poisson generators.
 	Seed int64
+	// Workers is the per-object simulation worker count (0 means all CPUs).
+	Workers int
 }
 
 // DefaultWorkloadSim returns a five-object catalog under a Poisson mix.
@@ -57,6 +59,7 @@ func MultiObjectSim(cfg WorkloadSimConfig) (Result, error) {
 		MeanInterArrival: cfg.MeanInterArrival,
 		Poisson:          cfg.Poisson,
 		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
 	})
 	if err != nil {
 		return Result{}, err

@@ -193,7 +193,7 @@ func Run(trace arrivals.Trace, horizon float64, cfg Config) (*Result, error) {
 		switch mode {
 		case ModeDelayGuaranteed:
 			n := endSlot - startSlot
-			seg.Cost = float64(srv.Cost(n)) / float64(slotsPerMedia)
+			seg.Cost = float64(srv.CostClosed(n)) / float64(slotsPerMedia)
 			loadedSlots += n
 		case ModeDyadic:
 			if len(segTrace) > 0 {
@@ -210,7 +210,7 @@ func Run(trace arrivals.Trace, horizon float64, cfg Config) (*Result, error) {
 	}
 
 	// Pure baselines over the whole horizon.
-	res.PureDelayGuaranteedCost = float64(srv.Cost(totalSlots)) / float64(slotsPerMedia)
+	res.PureDelayGuaranteedCost = float64(srv.CostClosed(totalSlots)) / float64(slotsPerMedia)
 	clipped := trace.Clip(horizon)
 	if len(clipped) > 0 {
 		cost, err := dyadic.TotalBatchedCost(clipped, cfg.MediaLength, cfg.Delay, cfg.Dyadic)

@@ -1,40 +1,48 @@
 package mergetree
 
+import "fmt"
+
 // Enumerate returns every merge tree with the preorder-traversal property
 // over the consecutive arrivals first, first+1, ..., first+n-1.  There are
 // Catalan(n-1) such trees, so this is intended only for small n (brute-force
-// optimality checks in tests and ablation studies).
+// optimality checks in tests and ablation studies).  The result slice is
+// preallocated to exactly Catalan(n-1) entries and the count is asserted, so
+// callers can rely on the size without recounting.
 //
 // The enumeration follows the recursive structure of Lemma 2: the root is
 // the first arrival; the remaining arrivals are partitioned into consecutive
 // blocks, the first element of each block becomes a child of the root, and
-// each block is itself an arbitrary merge tree.
+// each block is itself an arbitrary merge tree.  Subtrees are shared between
+// returned trees; treat them as read-only.
 func Enumerate(first int64, n int) []*Tree {
 	if n <= 0 {
 		return nil
 	}
+	result := enumerate(first, n)
+	if want := Catalan(n - 1); int64(len(result)) != want {
+		panic(fmt.Sprintf("mergetree: Enumerate(%d) produced %d trees, want Catalan(%d) = %d",
+			n, len(result), n-1, want))
+	}
+	return result
+}
+
+func enumerate(first int64, n int) []*Tree {
 	if n == 1 {
 		return []*Tree{New(first)}
 	}
-	var result []*Tree
-	// Enumerate the compositions of the n-1 non-root arrivals into ordered
-	// blocks; each block of size b starting at arrival a contributes every
-	// merge tree over [a, a+b-1] as a child subtree.
-	blocksList := compositions(n - 1)
-	for _, blocks := range blocksList {
-		// For each composition, take the cartesian product of the per-block
-		// tree choices.
+	result := make([]*Tree, 0, Catalan(n-1))
+	for _, blocks := range compositions(n - 1) {
 		perBlock := make([][]*Tree, len(blocks))
 		start := first + 1
 		for i, b := range blocks {
-			perBlock[i] = Enumerate(start, b)
+			perBlock[i] = enumerate(start, b)
 			start += int64(b)
 		}
+		// Each combination slice is freshly allocated by cartesian, so it
+		// can be adopted as the root's child list directly.
 		for _, combo := range cartesian(perBlock) {
 			root := New(first)
-			for _, child := range combo {
-				root.AddChild(child)
-			}
+			root.Children = combo
 			result = append(result, root)
 		}
 	}
@@ -49,15 +57,17 @@ func EnumerateOptimal(first int64, n int) ([]*Tree, int64) {
 	if len(all) == 0 {
 		return nil, 0
 	}
-	best := all[0].MergeCost()
-	for _, t := range all[1:] {
-		if c := t.MergeCost(); c < best {
-			best = c
+	costs := make([]int64, len(all))
+	best := int64(0)
+	for i, t := range all {
+		costs[i] = t.MergeCost()
+		if i == 0 || costs[i] < best {
+			best = costs[i]
 		}
 	}
 	var opt []*Tree
-	for _, t := range all {
-		if t.MergeCost() == best {
+	for i, t := range all {
+		if costs[i] == best {
 			opt = append(opt, t)
 		}
 	}
@@ -88,39 +98,68 @@ func MinMergeCostAllBruteForce(n int) int64 {
 }
 
 // compositions returns all ordered compositions of n into positive parts.
-// compositions(3) = [[3] [1 2] [2 1] [1 1 1]] (order of the outer slice is
-// unspecified).
+// compositions(3) = [[3] [1 2] [2 1] [1 1 1]] (outer order unspecified).
+// The result is preallocated to its known size 2^(n-1) and each composition
+// is copied exactly once out of a shared scratch slice, instead of the
+// O(2^n) re-entrant append chains of the naive recursion.
 func compositions(n int) [][]int {
-	if n == 0 {
-		return [][]int{{}}
+	size := 1
+	if n > 0 {
+		size = 1 << uint(n-1)
 	}
-	var out [][]int
-	for first := 1; first <= n; first++ {
-		for _, rest := range compositions(n - first) {
-			comp := append([]int{first}, rest...)
-			out = append(out, comp)
+	out := make([][]int, 0, size)
+	cur := make([]int, 0, n)
+	var rec func(rem int)
+	rec = func(rem int) {
+		if rem == 0 {
+			out = append(out, append(make([]int, 0, len(cur)), cur...))
+			return
+		}
+		for f := 1; f <= rem; f++ {
+			cur = append(cur, f)
+			rec(rem - f)
+			cur = cur[:len(cur)-1]
 		}
 	}
+	rec(n)
 	return out
 }
 
-// cartesian returns the cartesian product of the given slices of trees.
+// cartesian returns the cartesian product of the given slices of trees,
+// preallocated to its known size and expanded with an odometer (one
+// allocation per combination).
 func cartesian(choices [][]*Tree) [][]*Tree {
-	if len(choices) == 0 {
-		return [][]*Tree{{}}
+	total := 1
+	for _, c := range choices {
+		total *= len(c)
 	}
-	var out [][]*Tree
-	for _, head := range choices[0] {
-		for _, rest := range cartesian(choices[1:]) {
-			combo := append([]*Tree{head}, rest...)
-			out = append(out, combo)
+	if total == 0 {
+		return nil
+	}
+	out := make([][]*Tree, 0, total)
+	idx := make([]int, len(choices))
+	for {
+		combo := make([]*Tree, len(choices))
+		for i, c := range choices {
+			combo[i] = c[idx[i]]
+		}
+		out = append(out, combo)
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(choices[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out
 		}
 	}
-	return out
 }
 
 // Catalan returns the n-th Catalan number, the count of merge trees over n+1
-// consecutive arrivals.  Used to sanity-check Enumerate in tests.
+// consecutive arrivals.  Used to sanity-check Enumerate.
 func Catalan(n int) int64 {
 	// C(0)=1; C(n+1) = sum_{i=0..n} C(i) C(n-i).
 	c := make([]int64, n+1)

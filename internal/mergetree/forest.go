@@ -83,9 +83,11 @@ func (f *Forest) NormalizedCost() float64 {
 
 // Arrivals returns all arrivals of the forest in increasing order.
 func (f *Forest) Arrivals() []int64 {
-	var out []int64
+	out := make([]int64, 0, f.Size())
 	for _, t := range f.Trees {
-		out = append(out, t.Arrivals()...)
+		t.Walk(func(node, _ *Tree) {
+			out = append(out, node.Arrival)
+		})
 	}
 	return out
 }
@@ -93,18 +95,18 @@ func (f *Forest) Arrivals() []int64 {
 // Lengths returns the receive-two stream lengths of every node in the
 // forest, roots included (roots have length L), ordered by arrival.
 func (f *Forest) Lengths() []NodeLength {
-	var out []NodeLength
+	out := make([]NodeLength, 0, f.Size())
 	for _, t := range f.Trees {
-		out = append(out, t.LengthsReceiveTwo(f.L)...)
+		out = t.appendLengthsReceiveTwo(out, f.L)
 	}
 	return out
 }
 
 // LengthsAll returns the receive-all stream lengths of every node.
 func (f *Forest) LengthsAll() []NodeLength {
-	var out []NodeLength
+	out := make([]NodeLength, 0, f.Size())
 	for _, t := range f.Trees {
-		out = append(out, t.LengthsReceiveAll(f.L)...)
+		out = t.appendLengthsReceiveAll(out, f.L)
 	}
 	return out
 }
@@ -202,22 +204,40 @@ func (f *Forest) TreeOf(arrival int64) *Tree {
 // started at arrival a with length l is active during slots a, a+1, ...,
 // a+l-1 (the slot labeled t covers the interval [t, t+1)).  This is the
 // instantaneous server bandwidth profile used for peak-bandwidth analysis.
+// The implementation is a difference-array sweep: each stream contributes a
+// +1/-1 pair at its clamped endpoints and one prefix sum produces the
+// per-slot counts, so the cost is O(streams + (to-from)) rather than
+// O(total stream length).
 func (f *Forest) ActiveStreams(from, to int64) []int {
 	if to <= from {
 		return nil
 	}
-	counts := make([]int, to-from)
-	for _, nl := range f.Lengths() {
-		start, end := nl.Arrival, nl.Arrival+nl.Length
-		if start < from {
-			start = from
+	// diff[i] holds the change in active-stream count at slot from+i; the
+	// extra final entry absorbs decrements at the right edge of the window.
+	diff := make([]int, to-from+1)
+	var scratch []NodeLength // reused per tree; lengths come from the one Lemma 1 implementation
+	for _, t := range f.Trees {
+		scratch = t.appendLengthsReceiveTwo(scratch[:0], f.L)
+		for _, nl := range scratch {
+			start, end := nl.Arrival, nl.Arrival+nl.Length
+			if start < from {
+				start = from
+			}
+			if end > to {
+				end = to
+			}
+			if start >= end {
+				continue
+			}
+			diff[start-from]++
+			diff[end-from]--
 		}
-		if end > to {
-			end = to
-		}
-		for s := start; s < end; s++ {
-			counts[s-from]++
-		}
+	}
+	counts := diff[:to-from]
+	active := 0
+	for i := range counts {
+		active += counts[i]
+		counts[i] = active
 	}
 	return counts
 }

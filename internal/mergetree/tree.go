@@ -233,24 +233,71 @@ func (t *Tree) Parent(arrival int64) (int64, bool) {
 // x_0 < x_1 < ... < x_k with x_0 the root and x_k = arrival.  It returns nil
 // if the arrival is not in the tree.
 func (t *Tree) PathTo(arrival int64) []int64 {
-	var path []int64
-	var rec func(node *Tree, acc []int64) []int64
-	rec = func(node *Tree, acc []int64) []int64 {
-		acc = append(acc, node.Arrival)
-		if node.Arrival == arrival {
-			out := make([]int64, len(acc))
-			copy(out, acc)
-			return out
-		}
-		for _, c := range node.Children {
-			if r := rec(c, acc); r != nil {
-				return r
-			}
-		}
+	path, ok := t.appendPathTo(nil, arrival)
+	if !ok {
 		return nil
 	}
-	path = rec(t, nil)
 	return path
+}
+
+// AppendPathTo appends the root-to-arrival path to dst and returns the
+// extended slice, or dst unchanged if the arrival is not in the tree.  It
+// lets hot loops (schedule construction over many clients) reuse one buffer
+// instead of allocating a path per call.
+func (t *Tree) AppendPathTo(dst []int64, arrival int64) []int64 {
+	path, ok := t.appendPathTo(dst, arrival)
+	if !ok {
+		return dst
+	}
+	return path
+}
+
+func (t *Tree) appendPathTo(dst []int64, arrival int64) ([]int64, bool) {
+	base := len(dst)
+	// Descend iteratively: thanks to the sibling ordering the target child is
+	// the last one whose arrival is <= the target, and arrival ranges of
+	// subtrees are contiguous under the preorder property.  Fall back to a
+	// full scan only if the greedy descent misses (non-preorder trees).
+	dst = append(dst, t.Arrival)
+	node := t
+greedy:
+	for node.Arrival != arrival {
+		if arrival < node.Arrival {
+			break
+		}
+		for i := len(node.Children) - 1; i >= 0; i-- {
+			c := node.Children[i]
+			if c.Arrival <= arrival {
+				node = c
+				dst = append(dst, c.Arrival)
+				continue greedy
+			}
+		}
+		break
+	}
+	if node.Arrival == arrival {
+		return dst, true
+	}
+	// Slow path for trees without the preorder property.
+	dst = dst[:base]
+	var rec func(node *Tree) bool
+	rec = func(n *Tree) bool {
+		dst = append(dst, n.Arrival)
+		if n.Arrival == arrival {
+			return true
+		}
+		for _, c := range n.Children {
+			if rec(c) {
+				return true
+			}
+		}
+		dst = dst[:len(dst)-1]
+		return false
+	}
+	if rec(t) {
+		return dst, true
+	}
+	return dst[:base], false
 }
 
 // NodeLength is the stream length owned by a single node.
@@ -267,7 +314,12 @@ type NodeLength struct {
 // l(x) = 2 z(x) − x − p(x); the root's length is the supplied full stream
 // length L.  The result is ordered by arrival (preorder).
 func (t *Tree) LengthsReceiveTwo(L int64) []NodeLength {
-	out := make([]NodeLength, 0, t.Size())
+	return t.appendLengthsReceiveTwo(make([]NodeLength, 0, t.Size()), L)
+}
+
+// appendLengthsReceiveTwo appends the receive-two lengths to dst, avoiding a
+// fresh allocation when the caller has already sized a buffer.
+func (t *Tree) appendLengthsReceiveTwo(dst []NodeLength, L int64) []NodeLength {
 	t.walk(func(node, parent *Tree) {
 		nl := NodeLength{Arrival: node.Arrival, Last: node.Last()}
 		if parent == nil {
@@ -277,16 +329,20 @@ func (t *Tree) LengthsReceiveTwo(L int64) []NodeLength {
 			nl.Parent = parent.Arrival
 			nl.Length = 2*nl.Last - node.Arrival - parent.Arrival
 		}
-		out = append(out, nl)
+		dst = append(dst, nl)
 	})
-	return out
+	return dst
 }
 
 // LengthsReceiveAll returns the stream length of every node in the
 // receive-all model (Lemma 17): non-root nodes have w(x) = z(x) − p(x), the
 // root has length L.
 func (t *Tree) LengthsReceiveAll(L int64) []NodeLength {
-	out := make([]NodeLength, 0, t.Size())
+	return t.appendLengthsReceiveAll(make([]NodeLength, 0, t.Size()), L)
+}
+
+// appendLengthsReceiveAll appends the receive-all lengths to dst.
+func (t *Tree) appendLengthsReceiveAll(dst []NodeLength, L int64) []NodeLength {
 	t.walk(func(node, parent *Tree) {
 		nl := NodeLength{Arrival: node.Arrival, Last: node.Last()}
 		if parent == nil {
@@ -296,9 +352,9 @@ func (t *Tree) LengthsReceiveAll(L int64) []NodeLength {
 			nl.Parent = parent.Arrival
 			nl.Length = nl.Last - parent.Arrival
 		}
-		out = append(out, nl)
+		dst = append(dst, nl)
 	})
-	return out
+	return dst
 }
 
 // MergeCost returns the merge cost of the tree in the receive-two model:

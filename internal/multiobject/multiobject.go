@@ -159,9 +159,8 @@ func Build(cat Catalog, horizon float64) (*Plan, error) {
 			n = 1
 		}
 		srv := online.NewServer(L)
-		forest := srv.Forest(n)
 		objUsage := bandwidth.New()
-		for _, nl := range forest.Lengths() {
+		for _, nl := range srv.AppendLengths(nil, n) {
 			start := float64(nl.Arrival) * o.Delay
 			length := float64(nl.Length) * o.Delay
 			usage.AddLength(start, length)

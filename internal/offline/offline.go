@@ -15,12 +15,16 @@
 //     the remaining arrivals merge), and
 //   - the corresponding merge trees.
 //
-// Two implementations of the interval DP are provided: a plain O(n^3)
-// reference and a split-monotonicity accelerated variant (Knuth-style
-// bounds) that runs in O(n^2) in practice; the test suite cross-validates
-// them on random instances and against the closed forms of the slotted case.
-// The package is used as the exact-optimum baseline for evaluating the
-// on-line algorithms on general arrival sequences.
+// Three implementations of the interval DP are provided: a plain O(n^3)
+// reference (MergeCostTable), a split-monotonicity accelerated variant
+// (Knuth-style bounds, MergeCostTableFast) that runs in O(n^2) in practice,
+// and the production path ComputeTables, which runs the same accelerated
+// recurrence in flat banded triangular storage — 12 bytes per cell instead
+// of 32 — either row-major serially or with each DP diagonal sharded across
+// a worker pool.  The test suite cross-validates all three cell for cell on
+// random instances and against the closed forms of the slotted case.  The
+// package is used as the exact-optimum baseline for evaluating the on-line
+// algorithms on general arrival sequences.
 package offline
 
 import (
@@ -169,11 +173,11 @@ func MergeCost(times []float64, model Model) (float64, error) {
 	if len(times) == 0 {
 		return 0, nil
 	}
-	mc, _, err := MergeCostTableFast(times, model)
+	t, err := ComputeTables(times, model, 0, 0)
 	if err != nil {
 		return 0, err
 	}
-	return mc[0][len(times)-1], nil
+	return t.MC(0, len(times)-1), nil
 }
 
 // BuildTree reconstructs an optimal merge tree over the arrivals i..j from a
@@ -195,12 +199,12 @@ func OptimalTree(times []float64, model Model) (*mergetree.RTree, float64, error
 	if len(times) == 0 {
 		return nil, 0, fmt.Errorf("offline: no arrivals")
 	}
-	mc, split, err := MergeCostTableFast(times, model)
+	t, err := ComputeTables(times, model, 0, 0)
 	if err != nil {
 		return nil, 0, err
 	}
 	n := len(times)
-	return BuildTree(times, split, 0, n-1), mc[0][n-1], nil
+	return t.BuildTree(times, 0, n-1), t.MC(0, n-1), nil
 }
 
 // Forest is the result of the full off-line optimization: which arrivals
@@ -223,6 +227,16 @@ type Forest struct {
 // j only while times[j] - times[i] < L (later clients could not receive the
 // root's data otherwise).
 func OptimalForest(times []float64, L float64, model Model) (*Forest, error) {
+	return OptimalForestWorkers(times, L, model, 0)
+}
+
+// OptimalForestWorkers is OptimalForest with an explicit DP worker count
+// (0 means GOMAXPROCS).  The interval DP is computed in banded flat storage:
+// a group rooted at arrival i can only extend while times[j] - times[i] < L,
+// so only the O(n * W) intervals inside an L-window are materialized, where
+// W is the largest number of arrivals in any such window — the reason the
+// arrival cap of policy.OfflineOptimal could be raised 10x.
+func OptimalForestWorkers(times []float64, L float64, model Model, workers int) (*Forest, error) {
 	if err := validateTimes(times); err != nil {
 		return nil, err
 	}
@@ -233,7 +247,7 @@ func OptimalForest(times []float64, L float64, model Model) (*Forest, error) {
 	if n == 0 {
 		return &Forest{Forest: mergetree.NewRForest(L)}, nil
 	}
-	mc, split, err := MergeCostTableFast(times, model)
+	t, err := ComputeTables(times, model, L, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +261,7 @@ func OptimalForest(times []float64, L float64, model Model) (*Forest, error) {
 			if times[j-1]-times[i] >= L {
 				break
 			}
-			c := best[i] + L + mc[i][j-1]
+			c := best[i] + L + t.MC(i, j-1)
 			if c < best[j] {
 				best[j] = c
 				choice[j] = i
@@ -269,7 +283,7 @@ func OptimalForest(times []float64, L float64, model Model) (*Forest, error) {
 		if gi+1 < len(roots) {
 			end = roots[gi+1] - 1
 		}
-		forest.Add(BuildTree(times, split, start, end))
+		forest.Add(t.BuildTree(times, start, end))
 	}
 	return &Forest{Forest: forest, Cost: best[n], Roots: roots}, nil
 }

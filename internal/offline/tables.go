@@ -1,0 +1,286 @@
+package offline
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/mergetree"
+)
+
+// Tables is the interval merge-cost dynamic program in flat storage: one
+// contiguous []float64 for the costs and one []int32 for the splits, packed
+// triangularly and optionally banded.  Compared with the [][]float64 +
+// [][]int tables of MergeCostTableFast this representation
+//
+//   - stores only the upper triangle (the DP never reads i > j), and
+//   - uses int32 splits (4 bytes instead of 8),
+//
+// which together cut memory to 6 n^2 bytes from 16 n^2 — 37.5% — for the
+// unbanded case, and far less when a window bound applies.  Row starts are
+// precomputed so every (i, j) access is one add and one load, keeping the
+// inner DP loop on two cache-resident arrays.
+//
+// When a window w > 0 is given, only the intervals [i, j] with
+// times[j] - times[i] < w are stored.  Every sub-interval of a stored
+// interval is stored too, so the DP is closed over the band; this is exactly
+// the set of intervals OptimalForest can ever use, because a merge tree
+// rooted at arrival i can only span clients that arrive while the root's
+// full stream is still transmitting.
+type Tables struct {
+	n     int
+	model Model
+	// limit[i] is the largest j such that (i, j) is stored.
+	limit []int32
+	// off[i] is the flat index of cell (i, i); off[n] is the cell count.
+	off   []int64
+	mc    []float64
+	split []int32
+}
+
+// N returns the number of arrivals the tables cover.
+func (t *Tables) N() int { return t.n }
+
+// Limit returns the largest j for which (i, j) is stored.
+func (t *Tables) Limit(i int) int { return int(t.limit[i]) }
+
+// InBand reports whether the interval [i, j] is stored.
+func (t *Tables) InBand(i, j int) bool {
+	return 0 <= i && i <= j && j < t.n && j <= int(t.limit[i])
+}
+
+// MC returns the optimal merge cost of a single tree over the arrivals
+// i..j (rooted at i).  The interval must be in band.
+func (t *Tables) MC(i, j int) float64 { return t.mc[t.off[i]+int64(j-i)] }
+
+// Split returns the last merge h chosen for the interval [i, j] (0 when
+// i == j).  The interval must be in band.
+func (t *Tables) Split(i, j int) int { return int(t.split[t.off[i]+int64(j-i)]) }
+
+// Cells returns the number of stored DP cells.
+func (t *Tables) Cells() int64 { return int64(len(t.mc)) }
+
+// MemoryBytes returns the size of the flat backing arrays in bytes
+// (cellBytes per cell: a float64 cost and an int32 split).
+func (t *Tables) MemoryBytes() int64 { return t.Cells() * cellBytes }
+
+// cellBytes is the storage cost of one DP cell: a float64 cost plus an
+// int32 split.
+const cellBytes = 12
+
+// forEachBandLimit calls fn(i, lim) for every row i, where lim is the
+// largest j such that the interval [i, j] is inside the window (<= 0 or
+// +Inf means unbanded).  It is the single definition of the band used by
+// both ComputeTables and the pre-allocation estimates, so the memory guard
+// in policy.OfflineOptimal can never drift from what ComputeTables
+// actually allocates.
+func forEachBandLimit(times []float64, window float64, fn func(i, lim int)) {
+	n := len(times)
+	if window <= 0 || math.IsInf(window, 1) {
+		for i := 0; i < n; i++ {
+			fn(i, n-1)
+		}
+		return
+	}
+	j := 0
+	for i := 0; i < n; i++ {
+		if j < i {
+			j = i
+		}
+		for j+1 < n && times[j+1]-times[i] < window {
+			j++
+		}
+		fn(i, j)
+	}
+}
+
+// BandCells returns, in O(n) time and O(1) space, the number of DP cells
+// ComputeTables will allocate for the given window (<= 0 means unbanded).
+func BandCells(times []float64, window float64) int64 {
+	var cells int64
+	forEachBandLimit(times, window, func(i, lim int) {
+		cells += int64(lim-i) + 1
+	})
+	return cells
+}
+
+// BandBytes returns the size in bytes of the flat DP tables ComputeTables
+// would allocate for the given window, in O(n) time.  Callers can use it to
+// bound memory before committing to the computation.
+func BandBytes(times []float64, window float64) int64 {
+	return BandCells(times, window) * cellBytes
+}
+
+// ComputeTables runs the split-monotonicity (Knuth-accelerated) interval DP
+// of MergeCostTableFast into flat banded storage, sharding each diagonal of
+// the DP across a persistent pool of `workers` goroutines (0 means
+// GOMAXPROCS).  All cells of one diagonal depend only on strictly shorter
+// intervals, so a diagonal is embarrassingly parallel; each cell is computed
+// by exactly the same float operations in the same order as the serial
+// algorithm, so the resulting mc and split tables are bit-identical to
+// MergeCostTableFast for every in-band cell regardless of worker count.
+func ComputeTables(times []float64, model Model, window float64, workers int) (*Tables, error) {
+	if err := validateTimes(times); err != nil {
+		return nil, err
+	}
+	n := len(times)
+	t := &Tables{n: n, model: model}
+	if n == 0 {
+		return t, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	t.limit = make([]int32, n)
+	forEachBandLimit(times, window, func(i, lim int) {
+		t.limit[i] = int32(lim)
+	})
+	t.off = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		t.off[i+1] = t.off[i] + int64(t.limit[i]) - int64(i) + 1
+	}
+	t.mc = make([]float64, t.off[n])
+	t.split = make([]int32, t.off[n])
+
+	// Seed the length-2 diagonal (split[i][i+1] = i+1, like the serial code).
+	for i := 0; i+1 < n; i++ {
+		if int(t.limit[i]) >= i+1 {
+			idx := t.off[i] + 1
+			t.mc[idx] = edgeCost(times, i, i+1, i+1, model)
+			t.split[idx] = int32(i + 1)
+		}
+	}
+
+	// The two drivers below fill the same cells with the same per-cell code
+	// (fillRange), so their outputs are identical; they differ only in
+	// iteration order.  Serially, row-major order (rows from the bottom up)
+	// keeps reads and writes of the current and next row cache-resident —
+	// measurably faster than the diagonal order of the [][] reference.  With
+	// workers, cells of one diagonal are independent, so each diagonal is
+	// sharded across a persistent pool.
+	if workers <= 1 || n-2 < minParallelRows {
+		for i := n - 2; i >= 0; i-- {
+			if lim := int(t.limit[i]); lim >= i+2 {
+				t.fillRange(times, i, i+2, lim)
+			}
+		}
+		return t, nil
+	}
+
+	type job struct{ length, lo, hi int }
+	jobs := make(chan job, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func() {
+			for jb := range jobs {
+				t.computeDiagonal(times, jb.length, jb.lo, jb.hi)
+				wg.Done()
+			}
+		}()
+	}
+	defer close(jobs)
+
+	for length := 3; length <= n; length++ {
+		rows := n - length + 1 // candidate start rows 0 .. rows-1
+		if rows < minParallelRows {
+			t.computeDiagonal(times, length, 0, rows)
+			continue
+		}
+		chunk := (rows + workers - 1) / workers
+		for lo := 0; lo < rows; lo += chunk {
+			hi := lo + chunk
+			if hi > rows {
+				hi = rows
+			}
+			wg.Add(1)
+			jobs <- job{length, lo, hi}
+		}
+		wg.Wait()
+	}
+	return t, nil
+}
+
+// minParallelRows is the diagonal size below which the sync overhead of
+// fanning out exceeds the work; such diagonals run on the caller.
+const minParallelRows = 512
+
+// computeDiagonal fills the cells (i, i+length-1) for i in [lo, hi),
+// skipping rows whose band is too narrow.
+func (t *Tables) computeDiagonal(times []float64, length, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		j := i + length - 1
+		if j <= int(t.limit[i]) {
+			t.fillRange(times, i, j, j)
+		}
+	}
+}
+
+// fillRange fills the cells (i, j) for j in [jLo, jHi] of row i, in
+// increasing j.  Cells (i, i) .. (i, jLo-1) and the whole rows below i must
+// already be final.  The float operations per cell match MergeCostTableFast
+// exactly (same expressions, same order), so the output is bit-identical to
+// the [][] reference no matter which driver calls this; only the indexing
+// is flattened.
+func (t *Tables) fillRange(times []float64, i, jLo, jHi int) {
+	off, mc, split := t.off, t.mc, t.split
+	offI := off[i]
+	// rowI is mc shifted so rowI[h] = mc(i, h); rowSplitI likewise for the
+	// split table, and rowI1/rowSplitI1 for row i+1.
+	rowI := mc[offI-int64(i):]
+	rowSplitI := split[offI-int64(i):]
+	offI1 := off[i+1]
+	rowI1Split := split[offI1-int64(i+1):]
+	receiveAll := t.model == ReceiveAll
+	ti := times[i]
+	for j := jLo; j <= jHi; j++ {
+		// Knuth bounds: only splits between the optima of [i, j-1] and
+		// [i+1, j] need examining.
+		sLo := int(rowSplitI[j-1])
+		sHi := int(rowI1Split[j])
+		if sLo < i+1 {
+			sLo = i + 1
+		}
+		if sHi > j {
+			sHi = j
+		}
+		if sHi < sLo {
+			sHi = sLo
+		}
+		best := math.Inf(1)
+		bestH := sLo
+		if receiveAll {
+			// edgeCost is times[j] - times[i], independent of h.
+			e := times[j] - ti
+			for h := sLo; h <= sHi; h++ {
+				c := rowI[h-1] + mc[off[h]+int64(j-h)] + e
+				if c < best {
+					best, bestH = c, h
+				}
+			}
+		} else {
+			tj2 := 2 * times[j]
+			for h := sLo; h <= sHi; h++ {
+				c := rowI[h-1] + mc[off[h]+int64(j-h)] + (tj2 - times[h] - ti)
+				if c < best {
+					best, bestH = c, h
+				}
+			}
+		}
+		rowI[j] = best
+		rowSplitI[j] = int32(bestH)
+	}
+}
+
+// BuildTree reconstructs an optimal merge tree over the arrivals i..j from
+// the split table.
+func (t *Tables) BuildTree(times []float64, i, j int) *mergetree.RTree {
+	if i == j {
+		return mergetree.NewR(times[i])
+	}
+	h := t.Split(i, j)
+	left := t.BuildTree(times, i, h-1)
+	right := t.BuildTree(times, h, j)
+	left.AddChild(right)
+	return left
+}

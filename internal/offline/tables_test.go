@@ -1,0 +1,145 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTablesMatchFastExactly is the required equivalence property: the
+// flattened (and optionally parallel) DP must reproduce the mc and split
+// tables of MergeCostTableFast bit for bit on random instances, in both
+// receive models and for any worker count.
+func TestTablesMatchFastExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(100)
+		times := randomTimes(rng, n, 50)
+		for _, model := range []Model{ReceiveTwo, ReceiveAll} {
+			mc, split, err := MergeCostTableFast(times, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				tab, err := ComputeTables(times, model, 0, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					for j := i; j < n; j++ {
+						if got, want := tab.MC(i, j), mc[i][j]; got != want {
+							t.Fatalf("model %v workers %d: mc(%d,%d) = %v, want %v", model, workers, i, j, got, want)
+						}
+						if got, want := tab.Split(i, j), split[i][j]; got != want {
+							t.Fatalf("model %v workers %d: split(%d,%d) = %d, want %d", model, workers, i, j, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTablesParallelPoolExactly exercises the persistent worker pool (only
+// engaged on diagonals of at least 512 rows) and checks bit-identical
+// output against the serial [][] reference.
+func TestTablesParallelPoolExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 700
+	times := randomTimes(rng, n, 500)
+	mc, split, err := MergeCostTableFast(times, ReceiveTwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ComputeTables(times, ReceiveTwo, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if tab.MC(i, j) != mc[i][j] || tab.Split(i, j) != split[i][j] {
+				t.Fatalf("cell (%d,%d): got (%v,%d), want (%v,%d)",
+					i, j, tab.MC(i, j), tab.Split(i, j), mc[i][j], split[i][j])
+			}
+		}
+	}
+}
+
+// TestTablesBandedMatchesFull checks that banded tables agree with the full
+// computation on every in-band cell and report the band size BandCells
+// predicts.
+func TestTablesBandedMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(80)
+		times := randomTimes(rng, n, 30)
+		window := 1 + rng.Float64()*10
+		full, err := ComputeTables(times, ReceiveTwo, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		banded, err := ComputeTables(times, ReceiveTwo, window, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := banded.Cells(), BandCells(times, window); got != want {
+			t.Fatalf("banded cells = %d, BandCells predicts %d", got, want)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				in := times[j]-times[i] < window
+				if in != banded.InBand(i, j) {
+					t.Fatalf("InBand(%d,%d) = %v, want %v", i, j, banded.InBand(i, j), in)
+				}
+				if !in {
+					continue
+				}
+				if banded.MC(i, j) != full.MC(i, j) || banded.Split(i, j) != full.Split(i, j) {
+					t.Fatalf("banded cell (%d,%d) diverges from full", i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimalForestWorkersDeterministic checks the forest DP produces the
+// same cost, roots, and trees for any worker count.
+func TestOptimalForestWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(120)
+		times := randomTimes(rng, n, 20)
+		L := 2 + rng.Float64()*6
+		serial, err := OptimalForestWorkers(times, L, ReceiveTwo, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := OptimalForestWorkers(times, L, ReceiveTwo, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Cost != parallel.Cost {
+			t.Fatalf("cost diverges: %v vs %v", serial.Cost, parallel.Cost)
+		}
+		if len(serial.Roots) != len(parallel.Roots) {
+			t.Fatalf("roots diverge: %v vs %v", serial.Roots, parallel.Roots)
+		}
+		for i := range serial.Roots {
+			if serial.Roots[i] != parallel.Roots[i] {
+				t.Fatalf("roots diverge: %v vs %v", serial.Roots, parallel.Roots)
+			}
+		}
+	}
+}
+
+// TestMemoryBytesAccounting sanity-checks the 12-bytes-per-cell estimate
+// used by policy.OfflineOptimal to refuse over-sized instances.
+func TestMemoryBytesAccounting(t *testing.T) {
+	times := randomTimes(rand.New(rand.NewSource(1)), 100, 10)
+	tab, err := ComputeTables(times, ReceiveTwo, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tab.MemoryBytes(), int64(100*101/2*12); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+}

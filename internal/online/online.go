@@ -15,6 +15,8 @@ package online
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fib"
@@ -35,6 +37,21 @@ type Server struct {
 	// programs[q] is the receiving program (path of offsets within the
 	// template) for the arrival at offset q in its tree.
 	programs [][]int64
+
+	// costOnce lazily fills the closed-form cost state below; it is shared
+	// by CostClosed, AppendLengths, and everything layered on them, so a
+	// Server stays cheap for callers that never query costs.
+	costOnce sync.Once
+	// templateCost is M(F_h), the merge cost of the full template.
+	templateCost int64
+	// prefixCost[m] is the merge cost of the template prefix induced by the
+	// arrivals 0..m-1 (prefixCost[F_h] equals templateCost).  Together with
+	// templateCost it yields A(L,n) in O(1) per query: the on-line forest is
+	// s1 = floor(n/F_h) full templates plus one prefix of n mod F_h arrivals.
+	prefixCost []int64
+	// prefixLast[q] is z(q): the last arrival of the template subtree rooted
+	// at offset q, used to produce stream lengths without building trees.
+	prefixLast []int64
 }
 
 // NewServer precomputes the on-line algorithm's static state for media
@@ -75,16 +92,24 @@ func (s *Server) Template() *mergetree.Tree {
 // listens to, from the root of its tree down to its own stream.  This is the
 // O(1) table lookup described in Section 4.2.
 func (s *Server) ProgramFor(slot int64) []int64 {
+	return s.AppendProgramFor(nil, slot)
+}
+
+// AppendProgramFor appends the receiving program for the client arriving at
+// the given slot to dst and returns the extended slice.  Hot loops (schedule
+// builders serving many clients) can reuse one buffer across calls instead
+// of allocating a fresh path per client.
+func (s *Server) AppendProgramFor(dst []int64, slot int64) []int64 {
 	if slot < 0 {
 		panic(fmt.Sprintf("online: negative slot %d", slot))
 	}
 	base := (slot / s.treeSize) * s.treeSize
 	offsets := s.programs[slot%s.treeSize]
-	path := make([]int64, len(offsets))
-	for i, o := range offsets {
-		path[i] = base + o
+	dst = slices.Grow(dst, len(offsets))
+	for _, o := range offsets {
+		dst = append(dst, base+o)
 	}
-	return path
+	return dst
 }
 
 // IsRootSlot reports whether a full stream starts at the given slot.
@@ -115,9 +140,101 @@ func (s *Server) Forest(n int64) *mergetree.Forest {
 
 // Cost returns the total server bandwidth (in slot units) used by the
 // on-line algorithm over a horizon of n slots — the quantity called A(L,n)
-// in Theorem 21.
+// in Theorem 21.  It materializes the whole merge forest and is kept as the
+// reference implementation; use CostClosed for large horizons.
 func (s *Server) Cost(n int64) int64 {
 	return s.Forest(n).FullCost()
+}
+
+// initCostState fills the memoized closed-form cost state: the template
+// merge cost, the prefix-cost table, and the per-offset subtree-last table.
+// Everything is derived in one O(F_h log F_h) pass over the precomputed
+// receiving programs, using the incremental structure of the prefix trees:
+// extending the prefix by the arrival q adds a stream of length q - p(q)
+// (Lemma 1 with z(q) = q) and lengthens the stream of every non-root proper
+// ancestor of q by exactly 2, because each such ancestor's subtree
+// previously ended at q-1 (subtrees of a consecutive-arrival preorder tree
+// span contiguous ranges).
+func (s *Server) initCostState() {
+	s.costOnce.Do(func() {
+		size := s.treeSize
+		pc := make([]int64, size+1)
+		for q := int64(1); q < size; q++ {
+			path := s.programs[q]
+			parent := path[len(path)-2]
+			nonRootAncestors := int64(len(path) - 2)
+			pc[q+1] = pc[q] + (q - parent) + 2*nonRootAncestors
+		}
+		last := make([]int64, size)
+		var fill func(t *mergetree.Tree) int64
+		fill = func(t *mergetree.Tree) int64 {
+			z := t.Arrival
+			for _, c := range t.Children {
+				z = fill(c)
+			}
+			last[t.Arrival] = z
+			return z
+		}
+		fill(s.template)
+		s.prefixCost = pc
+		s.prefixLast = last
+		s.templateCost = pc[size]
+	})
+}
+
+// CostClosed returns A(L,n) like Cost, but in closed form: s1 full-template
+// costs plus one memoized prefix cost, without materializing any forest.
+// The first call fills the O(F_h) memo tables; every subsequent call is
+// O(1).  CostClosed(n) == Cost(n) for every n (property-tested).
+func (s *Server) CostClosed(n int64) int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("online: CostClosed requires n >= 1, got %d", n))
+	}
+	s.initCostState()
+	s1 := n / s.treeSize
+	m := n % s.treeSize
+	cost := s1 * (s.L + s.templateCost)
+	if m > 0 {
+		cost += s.L + s.prefixCost[m]
+	}
+	return cost
+}
+
+// AppendLengths appends the receive-two stream lengths of every node of the
+// on-line forest for horizon n — exactly Forest(n).Lengths() — to dst,
+// without cloning any trees.  Full groups replay the template lengths with a
+// shifted origin; the final partial group truncates each subtree's last
+// arrival at the horizon.
+func (s *Server) AppendLengths(dst []mergetree.NodeLength, n int64) []mergetree.NodeLength {
+	if n < 1 {
+		panic(fmt.Sprintf("online: AppendLengths requires n >= 1, got %d", n))
+	}
+	s.initCostState()
+	dst = slices.Grow(dst, int(n))
+	for base := int64(0); base < n; base += s.treeSize {
+		m := s.treeSize
+		if n-base < m {
+			m = n - base
+		}
+		for q := int64(0); q < m; q++ {
+			z := s.prefixLast[q]
+			if z > m-1 {
+				z = m - 1
+			}
+			nl := mergetree.NodeLength{Arrival: base + q, Last: base + z}
+			if q == 0 {
+				nl.Root = true
+				nl.Length = s.L
+			} else {
+				path := s.programs[q]
+				parent := path[len(path)-2]
+				nl.Parent = base + parent
+				nl.Length = 2*z - q - parent
+			}
+			dst = append(dst, nl)
+		}
+	}
+	return dst
 }
 
 // shiftTree returns a copy of t with every arrival shifted by delta.
@@ -146,9 +263,10 @@ func prefixTree(t *mergetree.Tree, m int64) *mergetree.Tree {
 }
 
 // Cost returns A(L,n), the total bandwidth of the on-line delay-guaranteed
-// algorithm for media length L and horizon n, in slot units.
+// algorithm for media length L and horizon n, in slot units, using the
+// closed form (no forest is materialized).
 func Cost(L, n int64) int64 {
-	return NewServer(L).Cost(n)
+	return NewServer(L).CostClosed(n)
 }
 
 // NormalizedCost returns A(L,n)/L: the on-line algorithm's bandwidth in

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -254,5 +255,119 @@ func BenchmarkOnlineForest(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.Forest(10000)
+	}
+}
+
+// TestCostClosedMatchesCost is the property test backing the closed form:
+// for randomized (L, n) pairs — including partial-group horizons, exact
+// multiples of F_h, and tiny horizons — CostClosed must equal the
+// forest-materializing reference Cost.
+func TestCostClosedMatchesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		L := 1 + rng.Int63n(300)
+		s := NewServer(L)
+		var n int64
+		switch trial % 4 {
+		case 0: // generic horizon
+			n = 1 + rng.Int63n(5 * L)
+		case 1: // exact multiple of the tree size
+			n = (1 + rng.Int63n(50)) * s.TreeSize()
+		case 2: // partial final group
+			n = (1+rng.Int63n(50))*s.TreeSize() + 1 + rng.Int63n(maxInt64(s.TreeSize()-1, 1))
+		case 3: // shorter than a single group
+			n = 1 + rng.Int63n(s.TreeSize())
+		}
+		if got, want := s.CostClosed(n), s.Cost(n); got != want {
+			t.Fatalf("CostClosed(L=%d, n=%d) = %d, want Cost = %d (treeSize %d)",
+				L, n, got, want, s.TreeSize())
+		}
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestCostClosedSmallExhaustive sweeps every horizon up to several template
+// periods for a few media lengths.
+func TestCostClosedSmallExhaustive(t *testing.T) {
+	for _, L := range []int64{1, 2, 3, 7, 15, 20, 54} {
+		s := NewServer(L)
+		for n := int64(1); n <= 4*s.TreeSize()+3; n++ {
+			if got, want := s.CostClosed(n), s.Cost(n); got != want {
+				t.Fatalf("CostClosed(L=%d, n=%d) = %d, want %d", L, n, got, want)
+			}
+		}
+	}
+}
+
+func TestCostClosedMatchesUpperBoundStructure(t *testing.T) {
+	// At exact multiples of F_h the closed form is s1 (L + M(F_h)).
+	s := NewServer(100)
+	size := s.TreeSize()
+	for s1 := int64(1); s1 <= 5; s1++ {
+		want := s1 * (100 + core.MergeCost(size))
+		if got := s.CostClosed(s1 * size); got != want {
+			t.Errorf("CostClosed(%d) = %d, want %d", s1*size, got, want)
+		}
+	}
+}
+
+func TestCostClosedPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("CostClosed(0) should panic")
+		}
+	}()
+	NewServer(10).CostClosed(0)
+}
+
+// TestAppendLengthsMatchesForest checks that the closed-form length stream
+// equals the materialized forest's lengths, node for node.
+func TestAppendLengthsMatchesForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		L := 1 + rng.Int63n(120)
+		s := NewServer(L)
+		n := 1 + rng.Int63n(4*s.TreeSize()+5)
+		got := s.AppendLengths(nil, n)
+		want := s.Forest(n).Lengths()
+		if len(got) != len(want) {
+			t.Fatalf("L=%d n=%d: %d lengths, want %d", L, n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("L=%d n=%d: lengths[%d] = %+v, want %+v", L, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAppendProgramForReusesBuffer checks the append-into-buffer variant
+// agrees with ProgramFor and does not allocate once the buffer is warm.
+func TestAppendProgramForReusesBuffer(t *testing.T) {
+	s := NewServer(54)
+	buf := make([]int64, 0, 16)
+	for slot := int64(0); slot < 200; slot++ {
+		buf = s.AppendProgramFor(buf[:0], slot)
+		want := s.ProgramFor(slot)
+		if len(buf) != len(want) {
+			t.Fatalf("slot %d: AppendProgramFor len %d, want %d", slot, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("slot %d: AppendProgramFor = %v, want %v", slot, buf, want)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendProgramFor(buf[:0], 12345)
+	})
+	if allocs != 0 {
+		t.Errorf("warm AppendProgramFor allocates %.0f times per call, want 0", allocs)
 	}
 }

@@ -10,6 +10,8 @@ package policy
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/arrivals"
 	"repro/internal/batching"
@@ -50,7 +52,11 @@ func (p delayGuaranteed) Serve(trace arrivals.Trace, horizon float64) (float64, 
 		return 0, err
 	}
 	L := slotsPerMedia(p.mediaLength, p.delay)
-	n := int64(math.Ceil(horizon / p.delay))
+	// Round, not ceil: the repo-wide horizon-slot convention shared with
+	// the Figs. 11-12 sweep (experiments.comparisonFigure) and cmd/modsim,
+	// so the policy reproduces those figures' delay-guaranteed points
+	// exactly when the delay does not divide the horizon.
+	n := int64(math.Round(horizon / p.delay))
 	if n < 1 {
 		n = 1
 	}
@@ -157,13 +163,27 @@ func (p hybridPolicy) Serve(trace arrivals.Trace, horizon float64) (float64, err
 	return res.TotalCost, nil
 }
 
+// defaultOfflineArrivalCap bounds the trace size the exact off-line DP will
+// accept.  The banded flat tables of internal/offline store 12 bytes per
+// (group-feasible) interval, so the memory is 12 n W bytes where W is the
+// largest number of arrivals inside one media length — measured 287 MB at
+// n = 50000 for the Figs. 11-12 setting (horizon 100 media lengths), versus
+// the ~16 n^2 bytes (40 GB) the old full [][] tables would have needed.
+// Adversarial traces that pack everything into one window are still caught
+// by maxOfflineTableBytes below.
+const defaultOfflineArrivalCap = 50000
+
+// maxOfflineTableBytes refuses DP instances whose banded tables would
+// exceed ~1.5 GiB regardless of the arrival count.
+const maxOfflineTableBytes = int64(1) << 30 * 3 / 2
+
 // OfflineOptimal returns the exact off-line optimum for general arrivals
-// (the interval dynamic program of internal/offline).  Because the DP is
-// quadratic in the number of arrivals it refuses traces larger than
-// maxArrivals (use 0 for the default of 5000).
+// (the interval dynamic program of internal/offline).  It refuses traces
+// larger than maxArrivals (use 0 for the default of 50000) and traces whose
+// banded DP tables would exceed maxOfflineTableBytes.
 func OfflineOptimal(mediaLength float64, maxArrivals int) Policy {
 	if maxArrivals <= 0 {
-		maxArrivals = 5000
+		maxArrivals = defaultOfflineArrivalCap
 	}
 	return offlineOptimal{mediaLength: mediaLength, maxArrivals: maxArrivals}
 }
@@ -186,11 +206,24 @@ func (p offlineOptimal) Serve(trace arrivals.Trace, horizon float64) (float64, e
 	if len(clipped) == 0 {
 		return 0, nil
 	}
+	if err := checkOfflineTableMemory(clipped, p.mediaLength); err != nil {
+		return 0, err
+	}
 	res, err := offline.OptimalForest(clipped, p.mediaLength, offline.ReceiveTwo)
 	if err != nil {
 		return 0, err
 	}
 	return res.NormalizedCost(), nil
+}
+
+// checkOfflineTableMemory estimates (in O(n)) the banded DP footprint and
+// refuses instances that would exceed maxOfflineTableBytes.
+func checkOfflineTableMemory(times []float64, L float64) error {
+	if bytes := offline.BandBytes(times, L); bytes > maxOfflineTableBytes {
+		return fmt.Errorf("policy: offline optimal DP would need %d MB of tables for %d arrivals (limit %d MB)",
+			bytes>>20, len(times), maxOfflineTableBytes>>20)
+	}
+	return nil
 }
 
 // OfflineOptimalBatched returns the exact off-line optimum when every client
@@ -201,7 +234,7 @@ func (p offlineOptimal) Serve(trace arrivals.Trace, horizon float64) (float64, e
 // immediate-service policies.
 func OfflineOptimalBatched(mediaLength, delay float64, maxArrivals int) Policy {
 	if maxArrivals <= 0 {
-		maxArrivals = 5000
+		maxArrivals = defaultOfflineArrivalCap
 	}
 	return offlineOptimalBatched{mediaLength: mediaLength, delay: delay, maxArrivals: maxArrivals}
 }
@@ -226,6 +259,9 @@ func (p offlineOptimalBatched) Serve(trace arrivals.Trace, horizon float64) (flo
 	}
 	if len(batched) == 0 {
 		return 0, nil
+	}
+	if err := checkOfflineTableMemory(batched, p.mediaLength); err != nil {
+		return 0, err
 	}
 	res, err := offline.OptimalForest(batched, p.mediaLength, offline.ReceiveTwo)
 	if err != nil {
@@ -255,7 +291,7 @@ func Standard(mediaLength, delay float64, poisson bool) []Policy {
 }
 
 // Compare serves the trace with every policy and returns the costs keyed by
-// policy name.
+// policy name, stopping at the first policy that fails.
 func Compare(policies []Policy, trace arrivals.Trace, horizon float64) (map[string]float64, error) {
 	out := make(map[string]float64, len(policies))
 	for _, p := range policies {
@@ -264,6 +300,51 @@ func Compare(policies []Policy, trace arrivals.Trace, horizon float64) (map[stri
 			return nil, fmt.Errorf("policy %q: %w", p.Name(), err)
 		}
 		out[p.Name()] = c
+	}
+	return out, nil
+}
+
+// CompareParallel is Compare with the per-policy Serve calls spread across a
+// worker pool of the given size (0 means GOMAXPROCS; <= 1 delegates to the
+// serial Compare).  Every policy computes its own cost independently of the
+// others, so the costs are identical to Compare's.  The one behavioral
+// difference is error handling: the pool runs all policies and then reports
+// the first failing one in slice order, whereas Compare stops at the first
+// failure.
+func CompareParallel(policies []Policy, trace arrivals.Trace, horizon float64, workers int) (map[string]float64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(policies) {
+		workers = len(policies)
+	}
+	if workers <= 1 {
+		return Compare(policies, trace, horizon)
+	}
+	costs := make([]float64, len(policies))
+	errs := make([]error, len(policies))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				costs[i], errs[i] = policies[i].Serve(trace, horizon)
+			}
+		}()
+	}
+	for i := range policies {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	out := make(map[string]float64, len(policies))
+	for i, p := range policies {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("policy %q: %w", p.Name(), errs[i])
+		}
+		out[p.Name()] = costs[i]
 	}
 	return out, nil
 }

@@ -190,3 +190,42 @@ func TestStandardConstantRateParams(t *testing.T) {
 		t.Errorf("expected %d costs, got %d", len(ps), len(costs))
 	}
 }
+
+func TestCompareParallelMatchesSerial(t *testing.T) {
+	trace := arrivals.Poisson(0.01, 3, 5)
+	policies := Standard(1.0, 0.01, true)
+	serial, err := Compare(policies, trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		parallel, err := CompareParallel(policies, trace, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(parallel), len(serial))
+		}
+		for name, want := range serial {
+			if got := parallel[name]; got != want {
+				t.Errorf("workers=%d: policy %q = %v, want %v (must be bit-identical)", workers, name, got, want)
+			}
+		}
+	}
+}
+
+func TestOfflineOptimalDefaultCapRaised(t *testing.T) {
+	// The banded DP accepts traces an order of magnitude beyond the old
+	// 5000-arrival cap; 6000 arrivals over 100 media lengths stays tiny.
+	trace := arrivals.Constant(100.0/6000, 100)
+	if len(trace) <= 5000 {
+		t.Fatalf("trace has only %d arrivals; want > 5000 to exercise the raised cap", len(trace))
+	}
+	cost, err := OfflineOptimal(1.0, 0).Serve(trace, 100)
+	if err != nil {
+		t.Fatalf("offline optimal refused a %d-arrival trace: %v", len(trace), err)
+	}
+	if cost <= 0 {
+		t.Fatalf("offline optimal cost = %v, want > 0", cost)
+	}
+}

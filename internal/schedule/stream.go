@@ -53,6 +53,7 @@ func Build(f *mergetree.Forest) (*ForestSchedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	var buf []int64 // reused path buffer; BuildProgram copies what it keeps
 	for _, t := range f.Trees {
 		tree := t
 		var walkErr error
@@ -60,8 +61,8 @@ func Build(f *mergetree.Forest) (*ForestSchedule, error) {
 			if walkErr != nil {
 				return
 			}
-			path := tree.PathTo(node.Arrival)
-			prog, err := BuildProgram(path, f.L)
+			buf = tree.AppendPathTo(buf[:0], node.Arrival)
+			prog, err := BuildProgram(buf, f.L)
 			if err != nil {
 				walkErr = fmt.Errorf("client %d: %w", node.Arrival, err)
 				return
@@ -85,6 +86,7 @@ func BuildClients(f *mergetree.Forest, clients []int64) (*ForestSchedule, error)
 	if err != nil {
 		return nil, err
 	}
+	var buf []int64 // reused path buffer; BuildProgram copies what it keeps
 	for _, c := range clients {
 		if _, ok := fs.Programs[c]; ok {
 			continue
@@ -93,7 +95,11 @@ func BuildClients(f *mergetree.Forest, clients []int64) (*ForestSchedule, error)
 		if tree == nil {
 			return nil, fmt.Errorf("schedule: no tree contains client %d", c)
 		}
-		prog, err := BuildProgram(tree.PathTo(c), f.L)
+		buf = tree.AppendPathTo(buf[:0], c)
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("schedule: no tree contains client %d", c)
+		}
+		prog, err := BuildProgram(buf, f.L)
 		if err != nil {
 			return nil, fmt.Errorf("client %d: %w", c, err)
 		}
