@@ -1,0 +1,182 @@
+// Command modserve runs the live Media-on-Demand admission server and its
+// closed-loop load generator.
+//
+// In "serve" mode it starts the sharded admission server (internal/serve)
+// over a Zipf catalog and exposes the HTTP JSON API — POST /request,
+// GET /stats, GET /objects/{name}, GET /healthz, GET /metrics — shutting
+// down gracefully on SIGINT/SIGTERM.  In "load" mode it replays a
+// deterministic Poisson/constant/ramp request trace against a running
+// server over HTTP and reports latency, admission, and delay histograms.
+// In "bench" mode it does the same in-process with virtual time — the
+// deterministic path the equivalence tests pin against sim.RunWorkload.
+// In "smoke" mode it starts a server on a random port, fires the load
+// driver at it, and exits cleanly (the CI smoke step).
+//
+// The -seed flag fixes the request trace, so every published number is
+// reproducible from the command line.
+//
+// Usage:
+//
+//	modserve -mode serve -addr :8377 -objects 100 -zipf 1 -delay 2 -cap 200
+//	modserve -mode load -addr http://localhost:8377 -lambda 0.5 -horizon 20 -arrivals poisson -seed 7
+//	modserve -mode bench -objects 50 -lambda 0.5 -horizon 20 -arrivals ramp -seed 7
+//	modserve -mode smoke
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/multiobject"
+	"repro/internal/serve"
+)
+
+func main() {
+	mode := flag.String("mode", "serve", "serve | load | bench | smoke")
+	addr := flag.String("addr", ":8377", "listen address (serve) or target base URL (load)")
+	objects := flag.Int("objects", 20, "catalog size")
+	zipf := flag.Float64("zipf", 1.0, "Zipf popularity exponent")
+	length := flag.Float64("length", 1.0, "media length in time units")
+	delayPct := flag.Float64("delay", 2.0, "guaranteed start-up delay as %% of media length")
+	capacity := flag.Int("cap", 0, "channel cap for the admission controller (0 = unlimited)")
+	shards := flag.Int("shards", 0, "scheduler shards (0 = GOMAXPROCS)")
+	step := flag.Float64("step", 1.25, "delay scale step on degradation")
+	maxScale := flag.Float64("maxscale", 8, "maximum delay scale before rejecting")
+	horizon := flag.Float64("horizon", 20, "load horizon in media lengths (load/bench/smoke)")
+	lambdaPct := flag.Float64("lambda", 0.5, "aggregate mean inter-arrival time as %% of media length")
+	arrKind := flag.String("arrivals", "poisson", "arrival process: constant | poisson | ramp")
+	rampFactor := flag.Float64("ramp", 4, "final/initial rate ratio for -arrivals ramp")
+	seed := flag.Int64("seed", 1, "random seed for the request trace (fixed seed = reproducible run)")
+	conc := flag.Int("conc", 8, "concurrent connections for -mode load")
+	timeUnit := flag.Duration("timeunit", time.Second, "wall-clock duration of one catalog time unit (serve)")
+	flag.Parse()
+
+	cat := multiobject.ZipfCatalog(*objects, *length, *length**delayPct/100, *zipf)
+	cfg := serve.Config{
+		Catalog:       cat,
+		Shards:        *shards,
+		MaxChannels:   *capacity,
+		DegradeStep:   *step,
+		MaxDelayScale: *maxScale,
+		TimeUnit:      *timeUnit,
+	}
+	load := serve.LoadConfig{
+		Horizon:          *horizon,
+		MeanInterArrival: *length * *lambdaPct / 100,
+		RampFactor:       *rampFactor,
+		Seed:             *seed,
+	}
+	switch *arrKind {
+	case "constant":
+		load.Kind = serve.ConstantArrivals
+	case "poisson":
+		load.Kind = serve.PoissonArrivals
+	case "ramp":
+		load.Kind = serve.RampArrivals
+	default:
+		fmt.Fprintf(os.Stderr, "modserve: unknown arrival kind %q\n", *arrKind)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "serve":
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		s, err := serve.New(cfg)
+		exitOn(err)
+		err = serve.ListenAndServe(ctx, *addr, s, func(bound string) {
+			fmt.Printf("modserve: serving %d objects on %s (cap %d, %s per time unit)\n",
+				len(cat), bound, *capacity, *timeUnit)
+		})
+		exitOn(err)
+		fmt.Println("modserve: shut down cleanly")
+	case "load":
+		base := *addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		reqs, err := serve.GenerateRequests(cat, load)
+		exitOn(err)
+		fmt.Printf("modserve: replaying %d requests (%s, seed %d) against %s with %d connections\n",
+			len(reqs), load.Kind, *seed, base, *conc)
+		rep, err := serve.RunHTTPDriver(base, reqs, *conc)
+		exitOn(err)
+		rep.Render(os.Stdout)
+	case "bench":
+		s, err := serve.New(cfg)
+		exitOn(err)
+		defer s.Close()
+		reqs, err := serve.GenerateRequests(cat, load)
+		exitOn(err)
+		fmt.Printf("modserve: in-process replay of %d requests (%s, seed %d) over %d objects\n",
+			len(reqs), load.Kind, *seed, len(cat))
+		rep, err := serve.RunDriver(s, reqs, *horizon)
+		exitOn(err)
+		rep.Render(os.Stdout)
+	case "smoke":
+		exitOn(smoke(cfg, load, *conc))
+		fmt.Println("modserve: smoke ok")
+	default:
+		fmt.Fprintf(os.Stderr, "modserve: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// smoke starts the server on a random local port, replays a small load
+// over HTTP, checks /healthz, and shuts everything down cleanly — the CI
+// end-to-end check for the live serving path.
+func smoke(cfg serve.Config, load serve.LoadConfig, conc int) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bound := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve.ListenAndServe(ctx, "127.0.0.1:0", s, func(b string) { bound <- b })
+	}()
+	base := "http://" + <-bound
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		cancel()
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		return fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	reqs, err := serve.GenerateRequests(cfg.Catalog, load)
+	if err != nil {
+		cancel()
+		return err
+	}
+	rep, err := serve.RunHTTPDriver(base, reqs, conc)
+	if err != nil {
+		cancel()
+		return err
+	}
+	if served := rep.Admitted + rep.Degraded; served+rep.Rejected != len(reqs) {
+		cancel()
+		return fmt.Errorf("served %d + rejected %d of %d requests", served, rep.Rejected, len(reqs))
+	}
+	fmt.Printf("modserve: %d requests served over HTTP (admitted %d, degraded %d, rejected %d)\n",
+		len(reqs), rep.Admitted, rep.Degraded, rep.Rejected)
+	cancel()
+	return <-done
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modserve:", err)
+		os.Exit(1)
+	}
+}

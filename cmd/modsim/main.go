@@ -16,7 +16,11 @@
 //	modsim -mode offline -L 100 -n 1000
 //	modsim -mode online  -L 100 -n 1000
 //	modsim -mode compare -delay 1 -lambda 0.5 -horizon 100 -poisson
-//	modsim -mode workload -objects 10 -zipf 1 -delay 2 -lambda 0.5 -horizon 20 -poisson
+//	modsim -mode workload -objects 10 -zipf 1 -delay 2 -lambda 0.5 -horizon 20 -poisson -seed 1
+//
+// The -seed flag fixes the generated arrival traces (object i of a
+// workload uses seed+i), so every published number is reproducible from
+// the command line; modserve's load generator accepts the same flag.
 package main
 
 import (
@@ -44,7 +48,7 @@ func main() {
 	lambdaPct := flag.Float64("lambda", 0.5, "mean inter-arrival time as %% of media length (compare/workload modes)")
 	horizon := flag.Float64("horizon", 100, "time horizon in media lengths (compare/workload modes)")
 	poisson := flag.Bool("poisson", false, "use Poisson instead of constant-rate arrivals (compare/workload modes)")
-	seed := flag.Int64("seed", 1, "random seed for Poisson arrivals")
+	seed := flag.Int64("seed", 1, "random seed for the arrival traces (compare/workload modes; a fixed seed makes the run reproducible)")
 	objects := flag.Int("objects", 10, "catalog size (workload mode)")
 	zipf := flag.Float64("zipf", 1.0, "Zipf popularity exponent (workload mode)")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")

@@ -1,0 +1,100 @@
+package repro
+
+// Smoke tests for the cmd/ binaries: each main path is compiled and run
+// with tiny flags so a CLI regression (flag rename, broken mode, panic on
+// startup) is caught by `go test ./...` rather than by a user.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles cmd/<name> into the test's temp dir and returns the
+// binary path.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCommandSmoke(t *testing.T) {
+	cases := []struct {
+		cmd  string
+		args []string
+		want []string // substrings the output must contain
+	}{
+		{"modsim", []string{"-mode", "online", "-L", "15", "-n", "40"},
+			[]string{"algorithm:            online", "playback stalls:      0"}},
+		{"modsim", []string{"-mode", "offline", "-L", "15", "-n", "20"},
+			[]string{"algorithm:            offline", "playback stalls:      0"}},
+		{"modsim", []string{"-mode", "workload", "-objects", "2", "-delay", "10", "-lambda", "5",
+			"-horizon", "2", "-poisson", "-seed", "7"},
+			[]string{"server peak:", "playback stalls:      0"}},
+		{"modsim", []string{"-mode", "compare", "-delay", "2", "-lambda", "4", "-horizon", "5", "-seed", "3"},
+			[]string{"delay-guaranteed:", "offline optimum:"}},
+		{"modexp", []string{"-list"},
+			[]string{"fig11", "workload-sim"}},
+		{"modtables", []string{"-max", "8"},
+			[]string{"M(n)"}},
+		{"modtables", []string{"-fullcost", "-L", "15", "-n", "8"},
+			[]string{"Theorem 12", "full_cost"}},
+		{"modtree", []string{"-n", "5", "-L", "8", "-diagram"},
+			[]string{"optimal merge tree", "schedule verified"}},
+		{"modserve", []string{"-mode", "bench", "-objects", "3", "-delay", "5", "-lambda", "2",
+			"-horizon", "2", "-seed", "5"},
+			[]string{"requests:", "server peak:"}},
+		{"modserve", []string{"-mode", "smoke", "-objects", "3", "-delay", "5", "-lambda", "2", "-horizon", "2"},
+			[]string{"served over HTTP", "smoke ok"}},
+	}
+	// Build each needed binary once, under the parent test so the temp dirs
+	// outlive the subtests.
+	bins := map[string]string{}
+	for _, tc := range cases {
+		if _, ok := bins[tc.cmd]; !ok {
+			bins[tc.cmd] = buildCmd(t, tc.cmd)
+		}
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.cmd+"_"+strings.Join(tc.args, "_"), func(t *testing.T) {
+			out, err := exec.Command(bins[tc.cmd], tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", tc.cmd, tc.args, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s %v output missing %q:\n%s", tc.cmd, tc.args, want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestCommandSmokeBadFlags pins non-zero exits for invalid invocations so
+// scripts can rely on the exit code.
+func TestCommandSmokeBadFlags(t *testing.T) {
+	bins := map[string]string{}
+	for _, tc := range []struct {
+		cmd  string
+		args []string
+	}{
+		{"modsim", []string{"-mode", "nope"}},
+		{"modserve", []string{"-mode", "nope"}},
+		{"modserve", []string{"-mode", "bench", "-arrivals", "nope"}},
+	} {
+		bin, ok := bins[tc.cmd]
+		if !ok {
+			bin = buildCmd(t, tc.cmd)
+			bins[tc.cmd] = bin
+		}
+		if out, err := exec.Command(bin, tc.args...).CombinedOutput(); err == nil {
+			t.Errorf("%s %v exited 0, want failure:\n%s", tc.cmd, tc.args, out)
+		}
+	}
+}

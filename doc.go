@@ -6,8 +6,9 @@
 //	Discrete Algorithms 4 (2006) 72-105).
 //
 // The library lives under internal/ (core algorithms, baselines, delivery
-// simulator, experiment harness), executables under cmd/, runnable scenarios
-// under examples/, and the benchmark harness that regenerates every table
-// and figure of the paper in bench_test.go.  See README.md, DESIGN.md, and
-// EXPERIMENTS.md for the system inventory and the paper-vs-measured record.
+// simulator, live serving layer, experiment harness), executables under
+// cmd/, runnable scenarios under examples/, and the benchmark harness that
+// regenerates every table and figure of the paper in bench_test.go.  See
+// README.md for the system inventory and measured results, and DESIGN.md
+// for the layer-by-layer architecture.
 package repro

@@ -57,6 +57,39 @@ func Poisson(lambda, horizon float64, seed int64) Trace {
 	return tr
 }
 
+// Ramp returns a nonhomogeneous Poisson arrival process over [0, horizon)
+// whose instantaneous rate ramps linearly from 1/lambda0 at time 0 to
+// 1/lambda1 at the horizon (so the expected arrival count is
+// horizon*(1/lambda0+1/lambda1)/2; the mean inter-arrival time itself does
+// not ramp linearly), generated deterministically from the seed by
+// thinning a homogeneous process at the peak rate.  It models the
+// prime-time ramp-up of a live Media-on-Demand evening.  It panics if
+// lambda0 <= 0, lambda1 <= 0, or horizon < 0.
+func Ramp(lambda0, lambda1, horizon float64, seed int64) Trace {
+	if lambda0 <= 0 || lambda1 <= 0 {
+		panic(fmt.Sprintf("arrivals: Ramp requires positive lambdas, got %g and %g", lambda0, lambda1))
+	}
+	if horizon < 0 {
+		panic(fmt.Sprintf("arrivals: Ramp requires horizon >= 0, got %g", horizon))
+	}
+	r0, r1 := 1/lambda0, 1/lambda1
+	rmax := math.Max(r0, r1)
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rmax
+		if t >= horizon {
+			break
+		}
+		rate := r0 + (r1-r0)*t/horizon
+		if rng.Float64()*rmax <= rate {
+			tr = append(tr, t)
+		}
+	}
+	return tr
+}
+
 // Validate checks that the trace is sorted, non-negative, and finite.
 func (tr Trace) Validate() error {
 	for i, t := range tr {

@@ -134,3 +134,79 @@ func TestPeakFig3Example(t *testing.T) {
 		t.Errorf("Average = %v, want 2.4", got)
 	}
 }
+
+// Edge cases: an empty usage, zero-width query windows, and non-positive
+// sample counts must all degrade gracefully rather than divide by zero or
+// panic — the live serving layer calls these on freshly started servers.
+
+func TestEmptyUsageEdgeCases(t *testing.T) {
+	u := New()
+	if got := u.Peak(); got != 0 {
+		t.Errorf("empty Peak = %d, want 0", got)
+	}
+	if got := u.Total(); got != 0 {
+		t.Errorf("empty Total = %g, want 0", got)
+	}
+	if got := u.Average(0, 10); got != 0 {
+		t.Errorf("empty Average = %g, want 0", got)
+	}
+	if got := u.Profile(0, 10, 4); len(got) != 4 {
+		t.Fatalf("empty Profile length = %d, want 4", len(got))
+	} else {
+		for i, c := range got {
+			if c != 0 {
+				t.Errorf("empty Profile[%d] = %d, want 0", i, c)
+			}
+		}
+	}
+	if got := u.Streams(); got != 0 {
+		t.Errorf("empty Streams = %d, want 0", got)
+	}
+	if got := u.Intervals(); len(got) != 0 {
+		t.Errorf("empty Intervals = %v, want none", got)
+	}
+}
+
+func TestZeroWidthWindows(t *testing.T) {
+	u := New()
+	u.Add(0, 10)
+	u.Add(2, 5)
+	if got := u.Average(3, 3); got != 0 {
+		t.Errorf("Average over [3,3) = %g, want 0", got)
+	}
+	if got := u.Average(5, 3); got != 0 {
+		t.Errorf("Average over inverted window = %g, want 0", got)
+	}
+	if got := u.Profile(3, 3, 5); got != nil {
+		t.Errorf("Profile over [3,3) = %v, want nil", got)
+	}
+	if got := u.Profile(5, 3, 5); got != nil {
+		t.Errorf("Profile over inverted window = %v, want nil", got)
+	}
+}
+
+func TestProfileNonPositiveSamples(t *testing.T) {
+	u := New()
+	u.Add(0, 10)
+	for _, samples := range []int{0, -1, -100} {
+		if got := u.Profile(0, 10, samples); got != nil {
+			t.Errorf("Profile with samples=%d = %v, want nil", samples, got)
+		}
+	}
+}
+
+func TestZeroWidthIntervalsIgnoredEverywhere(t *testing.T) {
+	u := New()
+	u.Add(4, 4)       // empty
+	u.AddLength(7, 0) // empty
+	u.Add(0, 2)
+	if got := u.Streams(); got != 1 {
+		t.Errorf("Streams = %d, want 1 (empty intervals dropped)", got)
+	}
+	if got := u.Peak(); got != 1 {
+		t.Errorf("Peak = %d, want 1", got)
+	}
+	if got := u.Total(); got != 2 {
+		t.Errorf("Total = %g, want 2", got)
+	}
+}

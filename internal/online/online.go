@@ -216,23 +216,46 @@ func (s *Server) AppendLengths(dst []mergetree.NodeLength, n int64) []mergetree.
 		if n-base < m {
 			m = n - base
 		}
-		for q := int64(0); q < m; q++ {
-			z := s.prefixLast[q]
-			if z > m-1 {
-				z = m - 1
-			}
-			nl := mergetree.NodeLength{Arrival: base + q, Last: base + z}
-			if q == 0 {
-				nl.Root = true
-				nl.Length = s.L
-			} else {
-				path := s.programs[q]
-				parent := path[len(path)-2]
-				nl.Parent = base + parent
-				nl.Length = 2*z - q - parent
-			}
-			dst = append(dst, nl)
+		dst = s.appendGroup(dst, base, m)
+	}
+	return dst
+}
+
+// AppendGroupLengths appends the stream lengths of a single merge group of
+// final size m (1 <= m <= TreeSize), with group-relative arrivals 0..m-1.
+// For m == TreeSize this is the untruncated template group every full F_h
+// slots replay; for m < TreeSize it is the truncated final group of a
+// horizon with n mod F_h == m.  Incremental consumers (the live serving
+// shards) account full groups as they complete and call this once more at
+// drain time for the trailing partial group, reproducing AppendLengths(n)
+// group by group.
+func (s *Server) AppendGroupLengths(dst []mergetree.NodeLength, m int64) []mergetree.NodeLength {
+	if m < 1 || m > s.treeSize {
+		panic(fmt.Sprintf("online: AppendGroupLengths requires 1 <= m <= %d, got %d", s.treeSize, m))
+	}
+	s.initCostState()
+	return s.appendGroup(dst, 0, m)
+}
+
+// appendGroup appends one merge group of final size m starting at arrival
+// `base`, truncating each subtree's last arrival at the group's end.
+func (s *Server) appendGroup(dst []mergetree.NodeLength, base, m int64) []mergetree.NodeLength {
+	for q := int64(0); q < m; q++ {
+		z := s.prefixLast[q]
+		if z > m-1 {
+			z = m - 1
 		}
+		nl := mergetree.NodeLength{Arrival: base + q, Last: base + z}
+		if q == 0 {
+			nl.Root = true
+			nl.Length = s.L
+		} else {
+			path := s.programs[q]
+			parent := path[len(path)-2]
+			nl.Parent = base + parent
+			nl.Length = 2*z - q - parent
+		}
+		dst = append(dst, nl)
 	}
 	return dst
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fib"
+	"repro/internal/mergetree"
 	"repro/internal/schedule"
 )
 
@@ -369,5 +370,66 @@ func TestAppendProgramForReusesBuffer(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("warm AppendProgramFor allocates %.0f times per call, want 0", allocs)
+	}
+}
+
+// TestAppendGroupLengthsComposes checks that rebuilding a horizon group by
+// group — full template groups plus one truncated trailing group, the way
+// the live serving shards account streams incrementally — reproduces
+// AppendLengths(n) exactly.
+func TestAppendGroupLengthsComposes(t *testing.T) {
+	for _, L := range []int64{1, 2, 7, 13, 100} {
+		s := NewServer(L)
+		size := s.TreeSize()
+		for _, n := range []int64{1, 2, size, size + 1, 3*size - 1, 3 * size, 3*size + size/2} {
+			if n < 1 {
+				continue
+			}
+			want := s.AppendLengths(nil, n)
+			var got []mergetree.NodeLength
+			var base int64
+			for base = 0; base+size <= n; base += size {
+				for _, nl := range s.AppendGroupLengths(nil, size) {
+					nl.Arrival += base
+					nl.Last += base
+					if !nl.Root {
+						nl.Parent += base
+					}
+					got = append(got, nl)
+				}
+			}
+			if m := n - base; m > 0 {
+				for _, nl := range s.AppendGroupLengths(nil, m) {
+					nl.Arrival += base
+					nl.Last += base
+					if !nl.Root {
+						nl.Parent += base
+					}
+					got = append(got, nl)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("L=%d n=%d: %d nodes, want %d", L, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("L=%d n=%d node %d: %+v, want %+v", L, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAppendGroupLengthsPanicsOutOfRange(t *testing.T) {
+	s := NewServer(20)
+	for _, m := range []int64{0, -1, s.TreeSize() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AppendGroupLengths(%d) did not panic", m)
+				}
+			}()
+			s.AppendGroupLengths(nil, m)
+		}()
 	}
 }

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler returns the HTTP JSON API for the server:
+//
+//	POST /request        {"object":"name","t":12.5}  -> Ticket
+//	GET  /stats          -> Stats
+//	GET  /objects/{name} -> ObjectStats
+//	GET  /healthz        -> "ok"
+//	GET  /metrics        -> expvar-style flat JSON counter map
+//
+// A request body without "t" (or with a negative one) is stamped with the
+// wall clock in Config.TimeUnit units since the server started, which is
+// how a live deployment runs; the load driver sends explicit virtual
+// timestamps instead for deterministic replay.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/request", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		req := Request{T: -1}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+			return
+		}
+		ticket, err := s.Submit(req)
+		switch {
+		case errors.Is(err, ErrUnknownObject):
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		case errors.Is(err, ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		status := http.StatusOK
+		if ticket.Decision == Rejected {
+			// The catalog object exists but the admission controller
+			// declined: overloaded, try again later (or elsewhere).
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, ticket)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/objects/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/objects/")
+		if name == "" {
+			http.Error(w, "missing object name", http.StatusBadRequest)
+			return
+		}
+		os, err := s.Object(name)
+		switch {
+		case errors.Is(err, ErrUnknownObject):
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusOK, os)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Flat expvar-style counter map, cheap enough to poll: counters are
+		// atomics and the gauge is a single load (no shard round-trips).
+		writeJSON(w, http.StatusOK, map[string]int64{
+			"serve.admitted":      s.admitted.Load(),
+			"serve.degraded":      s.degraded.Load(),
+			"serve.rejected":      s.rejected.Load(),
+			"serve.unknown":       s.unknown.Load(),
+			"serve.live_channels": s.gauge.Load(),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Serve runs the HTTP API on the listener until ctx is cancelled, then
+// shuts the HTTP server down gracefully (letting in-flight requests
+// finish) and closes the admission server.  It returns the first serve
+// error other than http.ErrServerClosed.
+func Serve(ctx context.Context, ln net.Listener, s *Server) error {
+	hs := &http.Server{Handler: Handler(s)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := hs.Shutdown(shutCtx)
+		s.Close()
+		<-errc // reap the Serve goroutine
+		return err
+	case err := <-errc:
+		s.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.  An addr ending in ":0"
+// picks a free port; the bound address is reported through onReady (when
+// non-nil) before serving starts.
+func ListenAndServe(ctx context.Context, addr string, s *Server, onReady func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+	return Serve(ctx, ln, s)
+}

@@ -1,0 +1,163 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/multiobject"
+	"repro/internal/serve"
+)
+
+func newHTTPServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	cat := multiobject.ZipfCatalog(4, 1.0, 0.1, 1.0)
+	s, err := serve.New(serve.Config{Catalog: cat, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(serve.Handler(s))
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, hs
+}
+
+func TestHTTPRequestStatsObjects(t *testing.T) {
+	_, hs := newHTTPServer(t)
+
+	resp, err := http.Post(hs.URL+"/request", "application/json",
+		strings.NewReader(`{"object":"object-01","t":0.42}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /request = %d, want 200", resp.StatusCode)
+	}
+	var tk serve.Ticket
+	if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Decision != serve.Admitted || tk.Slot != 4 {
+		t.Fatalf("ticket = %+v, want admitted slot 4", tk)
+	}
+
+	resp, err = http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 1 || len(st.Objects) != 4 {
+		t.Fatalf("stats = %+v, want 1 admitted over 4 objects", st)
+	}
+
+	resp, err = http.Get(hs.URL + "/objects/object-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var os serve.ObjectStats
+	if err := json.NewDecoder(resp.Body).Decode(&os); err != nil {
+		t.Fatal(err)
+	}
+	if os.Name != "object-01" || os.Arrivals != 1 {
+		t.Fatalf("object stats = %+v", os)
+	}
+}
+
+func TestHTTPErrorsAndHealth(t *testing.T) {
+	_, hs := newHTTPServer(t)
+
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/request", `{"object":"missing"}`, http.StatusNotFound},
+		{"POST", "/request", `{bad json`, http.StatusBadRequest},
+		{"GET", "/request", "", http.StatusMethodNotAllowed},
+		{"GET", "/objects/none", "", http.StatusNotFound},
+		{"GET", "/healthz", "", http.StatusOK},
+		{"GET", "/metrics", "", http.StatusOK},
+	} {
+		req, err := http.NewRequest(tc.method, hs.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestHTTPMetricsShape(t *testing.T) {
+	_, hs := newHTTPServer(t)
+	if _, err := http.Post(hs.URL+"/request", "application/json",
+		strings.NewReader(`{"object":"object-02","t":0.1}`)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m["serve.admitted"] != 1 {
+		t.Errorf("metrics = %v, want serve.admitted=1", m)
+	}
+	for _, key := range []string{"serve.degraded", "serve.rejected", "serve.unknown", "serve.live_channels"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+}
+
+// TestHTTPDriver runs the closed-loop HTTP load generator against a live
+// endpoint and checks the report agrees with the server's own counters.
+func TestHTTPDriver(t *testing.T) {
+	s, hs := newHTTPServer(t)
+	reqs, err := serve.GenerateRequests(
+		multiobject.ZipfCatalog(4, 1.0, 0.1, 1.0),
+		serve.LoadConfig{Horizon: 3, MeanInterArrival: 0.05, Kind: serve.PoissonArrivals, Seed: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := serve.RunHTTPDriver(hs.URL, reqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != len(reqs) {
+		t.Fatalf("admitted %d of %d requests", rep.Admitted, len(reqs))
+	}
+	if rep.Latency.N != len(reqs) {
+		t.Fatalf("measured %d latencies, want %d", rep.Latency.N, len(reqs))
+	}
+	if rep.Stats == nil || rep.Stats.Admitted != int64(len(reqs)) {
+		t.Fatalf("server stats = %+v, want %d admitted", rep.Stats, len(reqs))
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != int64(len(reqs)) {
+		t.Fatalf("server-side admitted = %d, want %d", st.Admitted, len(reqs))
+	}
+	var out strings.Builder
+	rep.Render(&out)
+	if !strings.Contains(out.String(), "requests:") {
+		t.Error("report rendering missing request count")
+	}
+}

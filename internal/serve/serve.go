@@ -1,0 +1,436 @@
+// Package serve is the live serving layer: a long-running, sharded
+// Media-on-Demand admission server built on the on-line delay-guaranteed
+// algorithm of Section 4.
+//
+// Everything else in the repository is batch — traces are generated up
+// front, schedules are built whole, and results are summarized after the
+// fact.  This package serves requests as they arrive, the setting the
+// on-line algorithm was designed for:
+//
+//   - A catalog router hashes object names onto a fixed set of scheduler
+//     shards, so a Zipf catalog of thousands of objects spreads across CPUs.
+//   - Each shard runs a single-goroutine event loop that owns the
+//     online.Server state of its objects; all mutation happens inside the
+//     loop, fed by channels, so no per-object locks exist anywhere.
+//   - Time advances in slots of each object's guaranteed start-up delay,
+//     driven either by virtual request timestamps (deterministic replay,
+//     used by the load driver and the equivalence tests) or by the wall
+//     clock (the HTTP API stamps requests that carry no timestamp).
+//   - The broadcast plan is the paper's oblivious one: a (possibly
+//     truncated) stream starts at every slot of every object, whether or
+//     not a request arrived.  Shards account streams incrementally — a
+//     merge group is finalized the moment it completes, and the trailing
+//     partial group is truncated exactly like the batch plan when the
+//     server drains — so a drained live run reproduces sim.RunWorkload's
+//     per-object stream counts and bandwidth totals bit for bit.
+//   - An admission controller watches the live channel gauge.  When a
+//     configured channel cap would be exceeded it degrades the offered
+//     delay of the requested object (the Section 5 trade: scale the delay
+//     up, never decline) or, past a maximum scale, rejects — with counters
+//     for every outcome.
+//
+// The HTTP front end lives in http.go, the closed-loop load generator in
+// driver.go, and cmd/modserve wires both into a binary.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bandwidth"
+	"repro/internal/multiobject"
+)
+
+// Config describes a live admission server.
+type Config struct {
+	// Catalog is the set of media objects served.  Object delays are the
+	// offered guaranteed start-up delays at scale 1.
+	Catalog multiobject.Catalog
+	// Shards is the number of scheduler shards (event loops).  <= 0 selects
+	// GOMAXPROCS; the count is clamped to the catalog size.
+	Shards int
+	// MaxChannels caps the number of simultaneously transmitting streams
+	// across all shards as seen by the live gauge; 0 means unlimited.  When
+	// a request would be admitted while the gauge is at or above the cap,
+	// the admission controller degrades the object's delay by DegradeStep
+	// (up to MaxDelayScale) instead of declining, and rejects beyond that.
+	MaxChannels int
+	// DegradeStep is the factor by which an object's delay is scaled on
+	// degradation (default 1.25, the multiobject.FitDelays step).
+	DegradeStep float64
+	// MaxDelayScale bounds the cumulative delay scale per object before the
+	// controller starts rejecting (default 8).
+	MaxDelayScale float64
+	// QueueDepth is the per-shard request channel buffer (default 256).
+	QueueDepth int
+	// MaxSlotJump bounds how many slots (measured in a shard's smallest
+	// object delay) a single request may advance the virtual clock
+	// (default 2^22).  The oblivious plan starts a stream every slot, so
+	// without a bound one request stamped absurdly far in the future would
+	// wedge its shard's event loop starting streams; such requests are
+	// rejected instead.  Wall-clock deployments that can sit idle longer
+	// than MaxSlotJump small-delay slots should raise this.
+	MaxSlotJump int64
+	// TimeUnit is the wall-clock duration of one catalog time unit, used
+	// only to stamp HTTP requests that carry no explicit timestamp
+	// (default time.Second).
+	TimeUnit time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = runtime.GOMAXPROCS(0)
+	}
+	if out.Shards > len(out.Catalog) {
+		out.Shards = len(out.Catalog)
+	}
+	if out.Shards < 1 {
+		out.Shards = 1
+	}
+	if out.DegradeStep <= 1 {
+		out.DegradeStep = 1.25
+	}
+	if out.MaxDelayScale < 1 {
+		out.MaxDelayScale = 8
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 256
+	}
+	if out.MaxSlotJump <= 0 {
+		out.MaxSlotJump = 1 << 22
+	}
+	if out.TimeUnit <= 0 {
+		out.TimeUnit = time.Second
+	}
+	return out
+}
+
+// Decision is the admission controller's outcome for one request.
+type Decision string
+
+const (
+	// Admitted: served at the object's current delay.
+	Admitted Decision = "admitted"
+	// Degraded: served, but the object's delay was scaled up first because
+	// the live channel gauge was at the configured cap.
+	Degraded Decision = "degraded"
+	// Rejected: the gauge was at the cap and the object is already at the
+	// maximum delay scale.
+	Rejected Decision = "rejected"
+)
+
+// Request is one client request for an object.
+type Request struct {
+	// Object is the catalog name of the requested object.
+	Object string `json:"object"`
+	// T is the virtual arrival time in catalog time units.  The HTTP layer
+	// stamps wall-clock time (in Config.TimeUnit units since the server
+	// started) when T is negative or absent.
+	T float64 `json:"t"`
+}
+
+// Ticket is the server's answer to a request.
+type Ticket struct {
+	Object   string   `json:"object"`
+	Decision Decision `json:"decision"`
+	// T is the request time after the shard's monotone clamp.
+	T float64 `json:"t"`
+	// Epoch identifies the object's delay epoch (it increments on each
+	// degradation); Slot and Program are epoch-relative.
+	Epoch int `json:"epoch"`
+	// Slot is the arrival slot within the epoch.
+	Slot int64 `json:"slot"`
+	// Delay is the effective guaranteed start-up delay (the slot length).
+	Delay float64 `json:"delay"`
+	// StartAt is the absolute time at which playback starts: the end of the
+	// arrival slot, at most Delay after T.
+	StartAt float64 `json:"start_at"`
+	// Program is the receiving program: the epoch-relative start slots of
+	// the streams to listen to, from the root stream down to the client's
+	// own.  Empty for rejected requests.
+	Program []int64 `json:"program,omitempty"`
+}
+
+// ObjectStats is the live accounting snapshot for one object.
+type ObjectStats struct {
+	Name  string  `json:"name"`
+	Shard int     `json:"shard"`
+	L     int64   `json:"L"`
+	Delay float64 `json:"delay"`
+	Scale float64 `json:"scale"`
+	Epoch int     `json:"epoch"`
+	// Arrivals counts requests routed to the object (admitted or degraded);
+	// Clients counts distinct occupied slots (batched imaginary clients).
+	Arrivals int64 `json:"arrivals"`
+	Clients  int64 `json:"clients"`
+	Rejected int64 `json:"rejected"`
+	// Streams counts streams started, including the current (unfinalized)
+	// merge group; FinalizedStreams and SlotUnits cover only completed
+	// groups, whose lengths are final.
+	Streams          int64 `json:"streams"`
+	FinalizedStreams int64 `json:"finalized_streams"`
+	// SlotUnits is the finalized bandwidth in slot units of the object's
+	// epochs (exactly sim.Result.TotalBandwidth after a drain with no
+	// degradations).
+	SlotUnits int64 `json:"slot_units"`
+	// BusyTime is the finalized bandwidth in catalog time units.
+	BusyTime float64 `json:"busy_time"`
+}
+
+// Stats is a server-wide snapshot.
+type Stats struct {
+	Admitted     int64         `json:"admitted"`
+	Degraded     int64         `json:"degraded"`
+	Rejected     int64         `json:"rejected"`
+	Unknown      int64         `json:"unknown"`
+	LiveChannels int64         `json:"live_channels"`
+	Peak         int           `json:"peak"`
+	BusyTime     float64       `json:"busy_time"`
+	Objects      []ObjectStats `json:"objects"`
+}
+
+// Server is the live admission server: a catalog router in front of a set
+// of scheduler shards.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	byName map[string]*shard
+
+	start time.Time
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// gauge is the live channel count: streams started whose (estimated)
+	// end lies in the future.  Shard loops maintain it; the admission
+	// controller reads it.
+	gauge    atomic.Int64
+	admitted atomic.Int64
+	degraded atomic.Int64
+	rejected atomic.Int64
+	unknown  atomic.Int64
+}
+
+// New builds a Server and starts its shard event loops.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Catalog) == 0 {
+		return nil, fmt.Errorf("serve: catalog is empty")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		byName: make(map[string]*shard, len(cfg.Catalog)),
+		start:  time.Now(),
+		quit:   make(chan struct{}),
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i, s)
+	}
+	for i, o := range cfg.Catalog {
+		sh := s.shards[shardIndex(o.Name, cfg.Shards)]
+		sh.addObject(o, i)
+		s.byName[o.Name] = sh
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.loop()
+	}
+	return s, nil
+}
+
+// shardIndex routes an object name to a shard by FNV-1a hash.
+func shardIndex(name string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// ErrClosed is returned by operations on a closed server.
+var ErrClosed = fmt.Errorf("serve: server is closed")
+
+// ErrUnknownObject is returned for requests naming no catalog object.
+var ErrUnknownObject = fmt.Errorf("serve: unknown object")
+
+// Now returns the wall-clock virtual time: Config.TimeUnit units since the
+// server started.
+func (s *Server) Now() float64 {
+	return float64(time.Since(s.start)) / float64(s.cfg.TimeUnit)
+}
+
+// Submit routes one request to its object's shard and waits for the
+// admission decision.  A negative or NaN T is stamped with the wall clock.
+// Submit is safe for concurrent use; requests for the same object are
+// serialized by its shard's event loop in channel order.
+func (s *Server) Submit(req Request) (Ticket, error) {
+	if math.IsNaN(req.T) || math.IsInf(req.T, 0) || req.T < 0 {
+		req.T = s.Now()
+	}
+	sh, ok := s.byName[req.Object]
+	if !ok {
+		s.unknown.Add(1)
+		return Ticket{}, fmt.Errorf("%w %q", ErrUnknownObject, req.Object)
+	}
+	reply := make(chan Ticket, 1)
+	select {
+	case sh.msgs <- submitMsg{req: req, reply: reply}:
+	case <-s.quit:
+		return Ticket{}, ErrClosed
+	}
+	select {
+	case t := <-reply:
+		return t, nil
+	case <-s.quit:
+		return Ticket{}, ErrClosed
+	}
+}
+
+// Stats snapshots the server-wide counters and per-object accounting.  The
+// historical Peak and BusyTime cover finalized streams only.
+func (s *Server) Stats() (Stats, error) {
+	snaps, err := s.gather(func(reply chan shardSnapshot) any { return statsMsg{reply: reply} })
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.assemble(snaps), nil
+}
+
+// Object returns the live accounting snapshot for one object.
+func (s *Server) Object(name string) (ObjectStats, error) {
+	sh, ok := s.byName[name]
+	if !ok {
+		return ObjectStats{}, fmt.Errorf("%w %q", ErrUnknownObject, name)
+	}
+	reply := make(chan shardSnapshot, 1)
+	select {
+	case sh.msgs <- statsMsg{reply: reply}:
+	case <-s.quit:
+		return ObjectStats{}, ErrClosed
+	}
+	select {
+	case snap := <-reply:
+		for _, os := range snap.objects {
+			if os.Name == name {
+				return os, nil
+			}
+		}
+		return ObjectStats{}, fmt.Errorf("%w %q", ErrUnknownObject, name)
+	case <-s.quit:
+		return ObjectStats{}, ErrClosed
+	}
+}
+
+// DrainResult is the final accounting of a drained server.
+type DrainResult struct {
+	// Horizon is the drain horizon in catalog time units.
+	Horizon float64
+	// Objects holds per-object stats in catalog order, fully finalized.
+	Objects []ObjectStats
+	// Usage holds every finalized stream interval in real time, across all
+	// objects; its Peak and Total match the batch plan's.
+	Usage *bandwidth.Usage
+	Stats Stats
+}
+
+// AverageChannels returns the time-average number of busy channels.
+func (r *DrainResult) AverageChannels() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return r.Usage.Total() / r.Horizon
+}
+
+// Drain advances every object to the horizon (in catalog time units),
+// starts and finalizes the oblivious plan's remaining streams — including
+// the truncated trailing partial group of each object's current epoch —
+// and returns the final accounting.  Drain is terminal: it is meant for
+// virtual-clock runs, after which the server should be Closed.
+func (s *Server) Drain(horizon float64) (*DrainResult, error) {
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("serve: drain horizon must be positive and finite, got %g", horizon)
+	}
+	snaps, err := s.gather(func(reply chan shardSnapshot) any { return drainMsg{horizon: horizon, reply: reply} })
+	if err != nil {
+		return nil, err
+	}
+	st := s.assemble(snaps)
+	usage := bandwidth.New()
+	for _, snap := range snaps {
+		for _, iv := range snap.intervals {
+			usage.Add(iv.Start, iv.End)
+		}
+	}
+	return &DrainResult{Horizon: horizon, Objects: st.Objects, Usage: usage, Stats: st}, nil
+}
+
+// gather sends one message per shard and collects the snapshots.
+func (s *Server) gather(mk func(chan shardSnapshot) any) ([]shardSnapshot, error) {
+	snaps := make([]shardSnapshot, 0, len(s.shards))
+	for _, sh := range s.shards {
+		reply := make(chan shardSnapshot, 1)
+		select {
+		case sh.msgs <- mk(reply):
+		case <-s.quit:
+			return nil, ErrClosed
+		}
+		select {
+		case snap := <-reply:
+			snaps = append(snaps, snap)
+		case <-s.quit:
+			return nil, ErrClosed
+		}
+	}
+	return snaps, nil
+}
+
+// assemble merges shard snapshots into a Stats with objects in catalog
+// order and a historical peak over all finalized streams.
+func (s *Server) assemble(snaps []shardSnapshot) Stats {
+	st := Stats{
+		Admitted:     s.admitted.Load(),
+		Degraded:     s.degraded.Load(),
+		Rejected:     s.rejected.Load(),
+		Unknown:      s.unknown.Load(),
+		LiveChannels: s.gauge.Load(),
+	}
+	usage := bandwidth.New()
+	for _, snap := range snaps {
+		st.Objects = append(st.Objects, snap.objects...)
+		for _, iv := range snap.intervals {
+			usage.Add(iv.Start, iv.End)
+		}
+	}
+	sortObjects(st.Objects, s.cfg.Catalog)
+	st.Peak = usage.Peak()
+	st.BusyTime = usage.Total()
+	return st
+}
+
+// sortObjects orders stats in catalog order.
+func sortObjects(objs []ObjectStats, cat multiobject.Catalog) {
+	rank := make(map[string]int, len(cat))
+	for i, o := range cat {
+		rank[o.Name] = i
+	}
+	sort.Slice(objs, func(a, b int) bool { return rank[objs[a].Name] < rank[objs[b].Name] })
+}
+
+// Close stops every shard event loop.  In-flight Submits return ErrClosed.
+func (s *Server) Close() {
+	select {
+	case <-s.quit:
+		return
+	default:
+	}
+	close(s.quit)
+	s.wg.Wait()
+}

@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/bandwidth"
+	"repro/internal/mergetree"
+	"repro/internal/multiobject"
+	"repro/internal/online"
+)
+
+// submitMsg asks the shard to admit one request.
+type submitMsg struct {
+	req   Request
+	reply chan Ticket
+}
+
+// statsMsg asks the shard for a snapshot of its objects.
+type statsMsg struct {
+	reply chan shardSnapshot
+}
+
+// drainMsg asks the shard to finalize every object at the horizon.
+type drainMsg struct {
+	horizon float64
+	reply   chan shardSnapshot
+}
+
+// shardSnapshot is a shard's answer to statsMsg/drainMsg.
+type shardSnapshot struct {
+	objects   []ObjectStats
+	intervals []bandwidth.Interval
+}
+
+// plan is the cached static state of the on-line algorithm for one media
+// length: the precomputed server, the untruncated template-group stream
+// lengths, and the template group's total bandwidth in slot units.  Shards
+// cache plans by L so a thousand-object Zipf catalog with a shared delay
+// builds the merge template once per shard, not once per object.
+type plan struct {
+	onl *online.Server
+	// tmplLens are the lengths of a full (untruncated) merge group, indexed
+	// by group-relative arrival.
+	tmplLens []mergetree.NodeLength
+	// tmplUnits is the sum of tmplLens lengths.
+	tmplUnits int64
+}
+
+// objectState is all per-object state, owned exclusively by one shard's
+// event loop.
+type objectState struct {
+	obj   multiobject.Object
+	index int // catalog position, for stable reporting order
+
+	// Current delay epoch.  A degradation finalizes the epoch and starts a
+	// new one with a larger delay; Slot/Program labels are epoch-relative.
+	epoch     int
+	scale     float64
+	delay     float64
+	L         int64
+	plan      *plan
+	epochBase float64 // absolute time of the epoch's slot 0
+	// started is the number of streams started in this epoch (stream q
+	// starts at epochBase + q*delay); finalized is the number of slots
+	// whose stream lengths are final (a multiple of the group size during
+	// live operation).
+	started   int64
+	finalized int64
+	// lastArrival is the largest occupied arrival slot of the epoch
+	// (-1: none); each newly occupied slot is one batched imaginary client.
+	lastArrival int64
+
+	// Totals across epochs.
+	arrivals         int64
+	clients          int64
+	rejected         int64
+	streams          int64
+	finalizedStreams int64
+	slotUnits        int64
+	busyTime         float64
+}
+
+// shard is one scheduler shard: a single-goroutine event loop owning the
+// admission state of the objects routed to it.
+type shard struct {
+	id   int
+	srv  *Server
+	msgs chan any
+
+	objects []*objectState
+	byName  map[string]*objectState
+	plans   map[int64]*plan
+
+	// usage records every finalized stream interval in real time.
+	usage *bandwidth.Usage
+	// ends is a min-heap of gauge events: each started stream contributes a
+	// -1 at its (estimated) end time, and an epoch truncation contributes a
+	// corrective -1 at the true end plus a cancelling +1 at the stale
+	// estimate, so the live gauge never overcounts streams a degradation
+	// has already cut short.  Events are applied as time passes them.
+	ends []endEvent
+	// now is the shard's monotone virtual clock.
+	now float64
+	// minDelay is the smallest initial object delay on the shard (delays
+	// only grow under degradation), the slot unit of the MaxSlotJump guard.
+	minDelay float64
+
+	// scratch buffer for partial-group finalization.
+	buf []mergetree.NodeLength
+}
+
+func newShard(id int, srv *Server) *shard {
+	return &shard{
+		id:     id,
+		srv:    srv,
+		msgs:   make(chan any, srv.cfg.QueueDepth),
+		byName: make(map[string]*objectState),
+		plans:  make(map[int64]*plan),
+		usage:  bandwidth.New(),
+	}
+}
+
+// addObject registers a catalog object with the shard (before loop start).
+func (sh *shard) addObject(o multiobject.Object, index int) {
+	st := &objectState{obj: o, index: index, scale: 1, lastArrival: -1}
+	sh.resetEpoch(st, o.Delay, 0)
+	st.epoch = 0
+	sh.objects = append(sh.objects, st)
+	sh.byName[o.Name] = st
+	if sh.minDelay == 0 || o.Delay < sh.minDelay {
+		sh.minDelay = o.Delay
+	}
+}
+
+// planFor returns the cached static plan for media length L.
+func (sh *shard) planFor(L int64) *plan {
+	if p, ok := sh.plans[L]; ok {
+		return p
+	}
+	onl := online.NewServer(L)
+	lens := onl.AppendGroupLengths(nil, onl.TreeSize())
+	var units int64
+	for _, nl := range lens {
+		units += nl.Length
+	}
+	p := &plan{onl: onl, tmplLens: lens, tmplUnits: units}
+	sh.plans[L] = p
+	return p
+}
+
+// resetEpoch points the object at a fresh epoch with the given delay,
+// starting at absolute time base.
+func (sh *shard) resetEpoch(st *objectState, delay, base float64) {
+	scaled := st.obj
+	scaled.Delay = delay
+	st.delay = delay
+	st.L = scaled.Slots()
+	st.plan = sh.planFor(st.L)
+	st.epochBase = base
+	st.started = 0
+	st.finalized = 0
+	st.lastArrival = -1
+	st.epoch++
+}
+
+// loop is the shard's event loop; all object state is confined to it.
+func (sh *shard) loop() {
+	defer sh.srv.wg.Done()
+	for {
+		select {
+		case m := <-sh.msgs:
+			switch msg := m.(type) {
+			case submitMsg:
+				msg.reply <- sh.handleSubmit(msg.req)
+			case statsMsg:
+				msg.reply <- sh.snapshot()
+			case drainMsg:
+				sh.drain(msg.horizon)
+				msg.reply <- sh.snapshot()
+			}
+		case <-sh.srv.quit:
+			return
+		}
+	}
+}
+
+// handleSubmit advances the shard clock, runs the admission controller,
+// and issues the ticket.
+func (sh *shard) handleSubmit(req Request) Ticket {
+	st := sh.byName[req.Object]
+	if st == nil {
+		// The router should never send a foreign object here; answer a
+		// rejection rather than wedging the caller.
+		sh.srv.unknown.Add(1)
+		return Ticket{Object: req.Object, Decision: Rejected, T: req.T}
+	}
+	// The shard clock is monotone: a request stamped earlier than the
+	// latest event is served as if it arrived now.
+	t := req.T
+	if t < sh.now {
+		t = sh.now
+	}
+	// Guard the event loop: a timestamp absurdly far in the future would
+	// make the oblivious plan start an unbounded number of streams before
+	// this request could be answered.  Reject it without advancing.
+	if (t-sh.now)/sh.minDelay > float64(sh.srv.cfg.MaxSlotJump) {
+		st.rejected++
+		sh.srv.rejected.Add(1)
+		return Ticket{Object: st.obj.Name, Decision: Rejected, T: req.T, Epoch: st.epoch, Delay: st.delay}
+	}
+	sh.now = t
+	sh.advanceAll(t)
+	sh.popEnds(t)
+
+	decision := sh.admit(st, t)
+	if decision == Rejected {
+		st.rejected++
+		sh.srv.rejected.Add(1)
+		return Ticket{Object: st.obj.Name, Decision: Rejected, T: t, Epoch: st.epoch, Delay: st.delay}
+	}
+
+	// Slot the request into the current epoch and make sure its stream has
+	// started (a degraded request can land before its new epoch's base).
+	slot := int64(math.Floor((t - st.epochBase) / st.delay))
+	if slot < 0 {
+		slot = 0
+	}
+	if slot < st.lastArrival {
+		// Out-of-order timestamp within the epoch: batch into the latest
+		// occupied slot, like a request arriving now.
+		slot = st.lastArrival
+	}
+	sh.startStreamsTo(st, slot)
+	st.arrivals++
+	if slot > st.lastArrival {
+		st.lastArrival = slot
+		st.clients++
+	}
+	if decision == Degraded {
+		sh.srv.degraded.Add(1)
+	} else {
+		sh.srv.admitted.Add(1)
+	}
+	return Ticket{
+		Object:   st.obj.Name,
+		Decision: decision,
+		T:        t,
+		Epoch:    st.epoch,
+		Slot:     slot,
+		Delay:    st.delay,
+		StartAt:  st.epochBase + float64(slot+1)*st.delay,
+		Program:  st.plan.onl.ProgramFor(slot),
+	}
+}
+
+// advanceAll advances every object of the shard to time t, starting the
+// oblivious plan's streams whose slots have begun.  The scan is linear in
+// the shard's object count, but the per-object no-op costs one division
+// and compare (~20k requests over a 2000-object catalog replay in well
+// under a second on one core); if catalogs grow by another order of
+// magnitude, replace the scan with a min-heap keyed on each object's next
+// slot start.
+func (sh *shard) advanceAll(t float64) {
+	for _, st := range sh.objects {
+		target := int64(math.Floor((t - st.epochBase) / st.delay))
+		sh.startStreamsTo(st, target)
+	}
+}
+
+// startStreamsTo starts every stream of st's epoch up to and including
+// slot, finalizing each merge group the moment it completes.
+func (sh *shard) startStreamsTo(st *objectState, slot int64) {
+	size := st.plan.onl.TreeSize()
+	for st.started <= slot {
+		q := st.started % size
+		ln := st.plan.tmplLens[q].Length
+		start := st.epochBase + float64(st.started)*st.delay
+		sh.pushEnd(start+float64(ln)*st.delay, -1)
+		sh.srv.gauge.Add(1)
+		st.streams++
+		st.started++
+		if st.started%size == 0 {
+			sh.finalizeFullGroup(st)
+		}
+	}
+}
+
+// finalizeFullGroup finalizes the group [finalized, finalized+size): once
+// the next group's first stream exists the horizon is at least the group
+// end, so its lengths are the untruncated template lengths.
+func (sh *shard) finalizeFullGroup(st *objectState) {
+	base := st.finalized
+	for _, nl := range st.plan.tmplLens {
+		start := st.epochBase + float64(base+nl.Arrival)*st.delay
+		sh.usage.AddLength(start, float64(nl.Length)*st.delay)
+	}
+	st.finalized = base + int64(len(st.plan.tmplLens))
+	st.finalizedStreams += int64(len(st.plan.tmplLens))
+	st.slotUnits += st.plan.tmplUnits
+	st.busyTime += float64(st.plan.tmplUnits) * st.delay
+}
+
+// finalizeEpoch closes the object's current epoch at a horizon of n slots
+// (starting any not-yet-started streams), truncating the trailing partial
+// group exactly like the batch plan's final group.  It returns the final
+// horizon after widening — occupied slots and already-started streams can
+// only extend it, mirroring sim.RunWorkload.
+func (sh *shard) finalizeEpoch(st *objectState, n int64) int64 {
+	if n < 1 {
+		n = 1
+	}
+	if last := st.lastArrival; last+1 > n {
+		n = last + 1
+	}
+	if st.started > n {
+		n = st.started
+	}
+	sh.startStreamsTo(st, n-1)
+	if st.finalized == n {
+		return n
+	}
+	m := n - st.finalized
+	sh.buf = st.plan.onl.AppendGroupLengths(sh.buf[:0], m)
+	base := st.finalized
+	for _, nl := range sh.buf {
+		start := st.epochBase + float64(base+nl.Arrival)*st.delay
+		sh.usage.AddLength(start, float64(nl.Length)*st.delay)
+		st.slotUnits += nl.Length
+		st.busyTime += float64(nl.Length) * st.delay
+		// The stream was started with the untruncated template length; if
+		// truncation cut it short, correct the gauge: retire the stream at
+		// its true end and cancel the stale event at the estimate, so a
+		// degradation's freed channels are visible to admission
+		// immediately rather than when the estimates expire.
+		if prov := st.plan.tmplLens[nl.Arrival].Length; nl.Length < prov {
+			sh.pushEnd(start+float64(nl.Length)*st.delay, -1)
+			sh.pushEnd(start+float64(prov)*st.delay, +1)
+		}
+	}
+	st.finalized = n
+	st.finalizedStreams += m
+	return n
+}
+
+// drain finalizes every object of the shard at the horizon.
+func (sh *shard) drain(horizon float64) {
+	if horizon > sh.now {
+		sh.now = horizon
+	}
+	for _, st := range sh.objects {
+		n := int64(math.Ceil((horizon - st.epochBase) / st.delay))
+		sh.finalizeEpoch(st, n)
+	}
+	sh.popEnds(sh.now)
+}
+
+// snapshot reports the shard's per-object stats and finalized intervals.
+func (sh *shard) snapshot() shardSnapshot {
+	snap := shardSnapshot{
+		objects:   make([]ObjectStats, 0, len(sh.objects)),
+		intervals: sh.usage.Intervals(),
+	}
+	for _, st := range sh.objects {
+		snap.objects = append(snap.objects, ObjectStats{
+			Name:             st.obj.Name,
+			Shard:            sh.id,
+			L:                st.L,
+			Delay:            st.delay,
+			Scale:            st.scale,
+			Epoch:            st.epoch,
+			Arrivals:         st.arrivals,
+			Clients:          st.clients,
+			Rejected:         st.rejected,
+			Streams:          st.streams,
+			FinalizedStreams: st.finalizedStreams,
+			SlotUnits:        st.slotUnits,
+			BusyTime:         st.busyTime,
+		})
+	}
+	return snap
+}
+
+// endEvent is one deferred gauge adjustment: apply delta once time passes t.
+type endEvent struct {
+	t     float64
+	delta int32
+}
+
+// pushEnd pushes a gauge event onto the min-heap (ordered by time).
+func (sh *shard) pushEnd(t float64, delta int32) {
+	sh.ends = append(sh.ends, endEvent{t: t, delta: delta})
+	i := len(sh.ends) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if sh.ends[parent].t <= sh.ends[i].t {
+			break
+		}
+		sh.ends[parent], sh.ends[i] = sh.ends[i], sh.ends[parent]
+		i = parent
+	}
+}
+
+// popEnds applies every gauge event whose time has passed; stream ends
+// decrement the live channel gauge, truncation corrections cancel out.
+func (sh *shard) popEnds(t float64) {
+	for len(sh.ends) > 0 && sh.ends[0].t <= t {
+		sh.srv.gauge.Add(int64(sh.ends[0].delta))
+		last := len(sh.ends) - 1
+		sh.ends[0] = sh.ends[last]
+		sh.ends = sh.ends[:last]
+		// Sift down.
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(sh.ends) && sh.ends[l].t < sh.ends[small].t {
+				small = l
+			}
+			if r < len(sh.ends) && sh.ends[r].t < sh.ends[small].t {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			sh.ends[i], sh.ends[small] = sh.ends[small], sh.ends[i]
+			i = small
+		}
+	}
+}

@@ -48,6 +48,9 @@ type ObjectResult struct {
 	Clients int
 	// Sim is the indexed engine's result for this object's schedule.
 	Sim *Result
+	// StreamCount is the number of streams the broadcast plan starts for
+	// this object (one per slot of the widened horizon).
+	StreamCount int
 	// Streams is the measured total bandwidth in complete copies of the
 	// object.
 	Streams float64
@@ -182,6 +185,7 @@ func runWorkloadObject(o multiobject.Object, tr arrivals.Trace, horizon float64,
 		Arrivals:      len(tr),
 		Clients:       len(fs.Programs),
 		Sim:           res,
+		StreamCount:   len(fs.Streams),
 		Streams:       float64(res.TotalBandwidth) / float64(L),
 	}, nil
 }
