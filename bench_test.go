@@ -13,6 +13,7 @@ package repro
 // paper's numbers.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -151,7 +152,7 @@ func BenchmarkFig11ConstantRate(b *testing.B) {
 	var res experiments.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.Fig11(cfg)
+		res, err = experiments.Fig11(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func BenchmarkFig12Poisson(b *testing.B) {
 	var res experiments.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.Fig12(cfg)
+		res, err = experiments.Fig12(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,7 +259,7 @@ func BenchmarkExtDyadicVsOptimal(b *testing.B) {
 	cfg := experiments.DefaultDyadicVsOptimal()
 	cfg.Replications = 1
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.DyadicVsOptimal(cfg); err != nil {
+		if _, err := experiments.DyadicVsOptimal(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -328,7 +329,7 @@ func BenchmarkSimWorkload(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.RunWorkload(cfg)
+		res, err := sim.RunWorkload(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -400,7 +401,7 @@ func BenchmarkOfflineDP(b *testing.B) {
 	b.Run("flat-parallel", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := offline.ComputeTables(times, offline.ReceiveTwo, 0, 0); err != nil {
+			if _, err := offline.ComputeTables(context.Background(), times, offline.ReceiveTwo, 0, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -427,7 +428,7 @@ func BenchmarkOfflineForest(b *testing.B) {
 	b.ReportAllocs()
 	b.ReportMetric(float64(offline.BandBytes(times, window))/(1<<20), "table-MB")
 	for i := 0; i < b.N; i++ {
-		if _, err := offline.OptimalForestWorkers(times, window, offline.ReceiveTwo, 0); err != nil {
+		if _, err := offline.OptimalForestWorkers(context.Background(), times, window, offline.ReceiveTwo, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -500,7 +501,7 @@ func BenchmarkComparisonSweepWorkers(b *testing.B) {
 			c := cfg
 			c.Workers = workers
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.Fig12(c); err != nil {
+				if _, err := experiments.Fig12(context.Background(), c); err != nil {
 					b.Fatal(err)
 				}
 			}

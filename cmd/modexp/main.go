@@ -18,11 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 )
@@ -36,7 +39,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for replication sweeps (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
-	results, err := experiments.AllWithWorkers(*workers)
+	// SIGINT/SIGTERM cancel the sweeps mid-flight (the grids observe the
+	// context between cells).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	results, err := experiments.AllWithWorkers(ctx, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "modexp:", err)
 		os.Exit(1)

@@ -1,10 +1,12 @@
 // Command modserve runs the live Media-on-Demand admission server and its
 // closed-loop load generator.
 //
-// In "serve" mode it starts the sharded admission server (internal/serve)
-// over a Zipf catalog and exposes the HTTP JSON API — POST /request,
-// GET /stats, GET /objects/{name}, GET /healthz, GET /metrics — shutting
-// down gracefully on SIGINT/SIGTERM.  In "load" mode it replays a
+// In "serve" mode it starts the sharded admission server (via the public
+// mod facade) over a Zipf catalog and exposes the versioned HTTP JSON API
+// — POST /v1/request, POST /v1/requests (batch), GET /v1/stats,
+// GET /v1/objects/{name}, GET /v1/healthz, GET /v1/metrics, with the
+// unversioned routes kept as deprecated aliases — shutting down gracefully
+// on SIGINT/SIGTERM.  In "load" mode it replays a
 // deterministic Poisson/constant/ramp request trace against a running
 // server over HTTP and reports latency, admission, and delay histograms.
 // In "bench" mode it does the same in-process with virtual time — the
@@ -34,8 +36,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/multiobject"
-	"repro/internal/serve"
+	"repro/mod"
 )
 
 func main() {
@@ -58,8 +59,8 @@ func main() {
 	timeUnit := flag.Duration("timeunit", time.Second, "wall-clock duration of one catalog time unit (serve)")
 	flag.Parse()
 
-	cat := multiobject.ZipfCatalog(*objects, *length, *length**delayPct/100, *zipf)
-	cfg := serve.Config{
+	cat := mod.ZipfCatalog(*objects, *length, *length**delayPct/100, *zipf)
+	cfg := mod.ServeConfig{
 		Catalog:       cat,
 		Shards:        *shards,
 		MaxChannels:   *capacity,
@@ -67,7 +68,7 @@ func main() {
 		MaxDelayScale: *maxScale,
 		TimeUnit:      *timeUnit,
 	}
-	load := serve.LoadConfig{
+	load := mod.LoadConfig{
 		Horizon:          *horizon,
 		MeanInterArrival: *length * *lambdaPct / 100,
 		RampFactor:       *rampFactor,
@@ -75,11 +76,11 @@ func main() {
 	}
 	switch *arrKind {
 	case "constant":
-		load.Kind = serve.ConstantArrivals
+		load.Kind = mod.ConstantArrivals
 	case "poisson":
-		load.Kind = serve.PoissonArrivals
+		load.Kind = mod.PoissonArrivals
 	case "ramp":
-		load.Kind = serve.RampArrivals
+		load.Kind = mod.RampArrivals
 	default:
 		fmt.Fprintf(os.Stderr, "modserve: unknown arrival kind %q\n", *arrKind)
 		os.Exit(2)
@@ -89,9 +90,9 @@ func main() {
 	case "serve":
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()
-		s, err := serve.New(cfg)
+		s, err := mod.NewServer(cfg)
 		exitOn(err)
-		err = serve.ListenAndServe(ctx, *addr, s, func(bound string) {
+		err = mod.ListenAndServe(ctx, *addr, s, func(bound string) {
 			fmt.Printf("modserve: serving %d objects on %s (cap %d, %s per time unit)\n",
 				len(cat), bound, *capacity, *timeUnit)
 		})
@@ -102,22 +103,22 @@ func main() {
 		if !strings.Contains(base, "://") {
 			base = "http://" + base
 		}
-		reqs, err := serve.GenerateRequests(cat, load)
+		reqs, err := mod.GenerateRequests(cat, load)
 		exitOn(err)
 		fmt.Printf("modserve: replaying %d requests (%s, seed %d) against %s with %d connections\n",
 			len(reqs), load.Kind, *seed, base, *conc)
-		rep, err := serve.RunHTTPDriver(base, reqs, *conc)
+		rep, err := mod.RunHTTPDriver(base, reqs, *conc)
 		exitOn(err)
 		rep.Render(os.Stdout)
 	case "bench":
-		s, err := serve.New(cfg)
+		s, err := mod.NewServer(cfg)
 		exitOn(err)
 		defer s.Close()
-		reqs, err := serve.GenerateRequests(cat, load)
+		reqs, err := mod.GenerateRequests(cat, load)
 		exitOn(err)
 		fmt.Printf("modserve: in-process replay of %d requests (%s, seed %d) over %d objects\n",
 			len(reqs), load.Kind, *seed, len(cat))
-		rep, err := serve.RunDriver(s, reqs, *horizon)
+		rep, err := mod.RunDriver(s, reqs, *horizon)
 		exitOn(err)
 		rep.Render(os.Stdout)
 	case "smoke":
@@ -132,8 +133,8 @@ func main() {
 // smoke starts the server on a random local port, replays a small load
 // over HTTP, checks /healthz, and shuts everything down cleanly — the CI
 // end-to-end check for the live serving path.
-func smoke(cfg serve.Config, load serve.LoadConfig, conc int) error {
-	s, err := serve.New(cfg)
+func smoke(cfg mod.ServeConfig, load mod.LoadConfig, conc int) error {
+	s, err := mod.NewServer(cfg)
 	if err != nil {
 		return err
 	}
@@ -141,10 +142,10 @@ func smoke(cfg serve.Config, load serve.LoadConfig, conc int) error {
 	bound := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- serve.ListenAndServe(ctx, "127.0.0.1:0", s, func(b string) { bound <- b })
+		done <- mod.ListenAndServe(ctx, "127.0.0.1:0", s, func(b string) { bound <- b })
 	}()
 	base := "http://" + <-bound
-	resp, err := http.Get(base + "/healthz")
+	resp, err := http.Get(base + mod.APIVersion + "/healthz")
 	if err != nil {
 		cancel()
 		return err
@@ -154,12 +155,12 @@ func smoke(cfg serve.Config, load serve.LoadConfig, conc int) error {
 		cancel()
 		return fmt.Errorf("healthz returned %d", resp.StatusCode)
 	}
-	reqs, err := serve.GenerateRequests(cfg.Catalog, load)
+	reqs, err := mod.GenerateRequests(cfg.Catalog, load)
 	if err != nil {
 		cancel()
 		return err
 	}
-	rep, err := serve.RunHTTPDriver(base, reqs, conc)
+	rep, err := mod.RunHTTPDriver(base, reqs, conc)
 	if err != nil {
 		cancel()
 		return err

@@ -11,6 +11,11 @@
 // (Zipf popularities, Poisson or constant-rate arrival mixes) on the indexed
 // parallel engine and reports per-object and server-wide channel usage.
 //
+// Everything is reached through the public facade (repro/mod): forests and
+// schedules via the slotted wrappers, policies via the planner registry,
+// and the workload simulator via mod.RunWorkload.  SIGINT/SIGTERM cancel
+// the run (the off-line DP and the sweeps abort mid-flight).
+//
 // Usage:
 //
 //	modsim -mode offline -L 100 -n 1000
@@ -24,19 +29,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/arrivals"
-	"repro/internal/core"
-	"repro/internal/mergetree"
-	"repro/internal/multiobject"
-	"repro/internal/online"
-	"repro/internal/policy"
-	"repro/internal/schedule"
-	"repro/internal/sim"
+	"repro/mod"
 )
 
 func main() {
@@ -54,28 +55,25 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	switch *mode {
 	case "offline", "online":
-		var forest *mergetree.Forest
+		var forest *mod.Forest
 		if *mode == "offline" {
 			if *buffer > 0 {
-				forest = core.OptimalForestBuffered(*L, *buffer, *n)
+				forest = mod.OfflineForestBuffered(*L, *buffer, *n)
 			} else {
-				forest = core.OptimalForest(*L, *n)
+				forest = mod.OfflineForest(*L, *n)
 			}
 		} else {
-			forest = online.NewServer(*L).Forest(*n)
+			forest = mod.OnlineForest(*L, *n)
 		}
-		fs, err := schedule.Build(forest)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "modsim:", err)
-			os.Exit(1)
-		}
-		res, err := sim.RunScheduleWorkers(fs, *workers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "modsim:", err)
-			os.Exit(1)
-		}
+		fs, err := mod.BuildSchedule(forest)
+		exitOn(err)
+		res, err := mod.Simulate(fs, *workers)
+		exitOn(err)
 		fmt.Printf("algorithm:            %s\n", *mode)
 		fmt.Printf("media length L:       %d slots\n", *L)
 		fmt.Printf("horizon n:            %d slots (%d clients)\n", *n, len(res.Clients))
@@ -87,7 +85,7 @@ func main() {
 		fmt.Printf("playback stalls:      %d\n", res.Stalls)
 		if *mode == "online" {
 			fmt.Printf("optimal offline cost: %d slot-units (ratio %.4f)\n",
-				core.FullCost(*L, *n), float64(res.TotalBandwidth)/float64(core.FullCost(*L, *n)))
+				mod.OfflineCost(*L, *n), float64(res.TotalBandwidth)/float64(mod.OfflineCost(*L, *n)))
 		}
 		if res.Stalls > 0 {
 			fmt.Fprintln(os.Stderr, "modsim: schedule produced playback interruptions")
@@ -101,23 +99,28 @@ func main() {
 			os.Exit(2)
 		}
 		slotsPerMedia := int64(math.Round(1 / delay))
-		var tr arrivals.Trace
+		var tr []float64
 		if *poisson {
-			tr = arrivals.Poisson(lambda, *horizon, *seed)
+			tr = mod.Poisson(lambda, *horizon, *seed)
 		} else {
-			tr = arrivals.Constant(lambda, *horizon)
+			tr = mod.Constant(lambda, *horizon)
 		}
-		// The Figs. 11-12 policy set, served across the worker pool; costs
-		// are identical to a serial run.
-		costs, err := policy.CompareParallel(policy.Standard(1.0, delay, *poisson), tr, *horizon, *workers)
+		// The Figs. 11-12 planner set from the registry, served across the
+		// worker pool; costs are identical to a serial run.
+		inst := mod.Instance{Arrivals: tr, Horizon: *horizon}
+		opts := []mod.Option{
+			mod.WithMediaLength(1), mod.WithDelay(delay),
+			mod.WithPoisson(*poisson), mod.WithWorkers(*workers),
+		}
+		costs, err := mod.Compare(ctx, mod.StandardNames(), inst, opts...)
 		exitOn(err)
 		fmt.Printf("arrivals:             %d (%s, lambda = %.2f%% of media length)\n", len(tr), kind(*poisson), *lambdaPct)
 		fmt.Printf("delay:                %.2f%% of media length (L = %d slots)\n", *delayPct, slotsPerMedia)
 		fmt.Printf("horizon:              %.0f media lengths\n", *horizon)
 		fmt.Println()
-		fmt.Printf("immediate dyadic:     %10.2f media streams\n", costs["immediate dyadic"])
-		fmt.Printf("batched dyadic:       %10.2f media streams\n", costs["batched dyadic"])
-		fmt.Printf("delay-guaranteed:     %10.2f media streams\n", costs["delay-guaranteed"])
+		fmt.Printf("immediate dyadic:     %10.2f media streams\n", costs["dyadic"])
+		fmt.Printf("batched dyadic:       %10.2f media streams\n", costs["dyadic-batched"])
+		fmt.Printf("delay-guaranteed:     %10.2f media streams\n", costs["online"])
 		fmt.Printf("hybrid (Section 5):   %10.2f media streams\n", costs["hybrid"])
 		fmt.Printf("pure batching:        %10.2f media streams\n", costs["batching"])
 		fmt.Printf("unicast (no sharing): %10.2f media streams\n", costs["unicast"])
@@ -125,10 +128,10 @@ func main() {
 		// lower bound for delay-permitted service.  The banded flat DP of
 		// internal/offline accepts an order of magnitude more arrivals than
 		// the old full-table implementation.
-		if batchedTimes := tr.BatchTimes(delay); len(batchedTimes) <= 40000 {
-			opt, err := policy.OfflineOptimalBatched(1.0, delay, 40000).Serve(tr, *horizon)
+		if batched := mod.BatchTimes(tr, delay); len(batched) <= 40000 {
+			plan, err := mod.MustNew("offline-batched", opts...).Plan(ctx, inst, mod.WithMaxArrivals(40000))
 			exitOn(err)
-			fmt.Printf("offline optimum:      %10.2f media streams (exact lower bound with this delay)\n", opt)
+			fmt.Printf("offline optimum:      %10.2f media streams (exact lower bound with this delay)\n", plan.Cost)
 		}
 	case "workload":
 		delay := *delayPct / 100
@@ -137,8 +140,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "modsim: -delay, -lambda, -horizon and -objects must be positive")
 			os.Exit(2)
 		}
-		res, err := sim.RunWorkload(sim.WorkloadConfig{
-			Catalog:          multiobject.ZipfCatalog(*objects, 1.0, delay, *zipf),
+		res, err := mod.RunWorkload(ctx, mod.WorkloadConfig{
+			Catalog:          mod.ZipfCatalog(*objects, 1.0, delay, *zipf),
 			Horizon:          *horizon,
 			MeanInterArrival: lambda,
 			Poisson:          *poisson,

@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/textplot"
+	"repro/mod"
 )
 
 func main() {
@@ -58,8 +58,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "modtables: -L and -n must be positive")
 			os.Exit(2)
 		}
-		s := core.OptimalStreamCount(*L, *n)
-		c := core.FullCost(*L, *n)
+		s := mod.OfflineStreamCount(*L, *n)
+		c := mod.OfflineCost(*L, *n)
 		tab.AddRow(*L, *n, s, c, float64(c)/float64(*n), float64(c)/float64(*L))
 		fmt.Println("# Optimal full cost for the requested L and n")
 		if *csv {

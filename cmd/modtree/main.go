@@ -15,9 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/mergetree"
-	"repro/internal/schedule"
+	"repro/mod"
 )
 
 func main() {
@@ -40,7 +38,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "modtree: -all enumerates all trees; use n <= 14")
 			os.Exit(2)
 		}
-		opt, cost := mergetree.EnumerateOptimal(0, int(*n))
+		opt, cost := mod.EnumerateOptimalTrees(0, int(*n))
 		fmt.Printf("n=%d: %d optimal merge tree(s), merge cost %d\n\n", *n, len(opt), cost)
 		for i, tr := range opt {
 			fmt.Printf("optimal tree %d: %s\n%s\n", i+1, tr, tr.Render())
@@ -48,12 +46,12 @@ func main() {
 		return
 	}
 
-	var f *mergetree.Forest
+	var f *mod.Forest
 	if *forest {
 		if *receiveAll {
-			f = core.OptimalForestAll(*L, *n)
+			f = mod.OfflineForestAll(*L, *n)
 		} else {
-			f = core.OptimalForest(*L, *n)
+			f = mod.OfflineForest(*L, *n)
 		}
 		fmt.Printf("optimal merge forest for L=%d, n=%d: %d full stream(s), full cost %d\n\n",
 			*L, *n, f.Streams(), chooseCost(f, *receiveAll))
@@ -61,17 +59,17 @@ func main() {
 			fmt.Printf("tree %d (root %d, %d arrivals): %s\n", i+1, tr.Arrival, tr.Size(), tr)
 		}
 	} else {
-		var tr *mergetree.Tree
+		var tr *mod.Tree
 		if *receiveAll {
-			tr = core.OptimalTreeAll(*n)
+			tr = mod.OptimalTreeAll(*n)
 			fmt.Printf("optimal receive-all merge tree for n=%d (merge cost %d):\n\n", *n, tr.MergeCostAll())
 		} else {
-			tr = core.OptimalTree(*n)
+			tr = mod.OptimalTree(*n)
 			fmt.Printf("optimal merge tree for n=%d (merge cost %d):\n\n", *n, tr.MergeCost())
 		}
 		fmt.Println(tr)
 		fmt.Print(tr.Render())
-		f = mergetree.NewForest(*L)
+		f = mod.NewForest(*L)
 		f.Add(tr)
 	}
 
@@ -80,7 +78,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "modtree: a tree over %d arrivals needs L >= %d\n", *n, f.Trees[0].RequiredRootLength())
 			os.Exit(2)
 		}
-		fs, err := schedule.Build(f)
+		fs, err := mod.BuildSchedule(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "modtree:", err)
 			os.Exit(1)
@@ -106,14 +104,14 @@ func main() {
 	}
 }
 
-func chooseCost(f *mergetree.Forest, receiveAll bool) int64 {
+func chooseCost(f *mod.Forest, receiveAll bool) int64 {
 	if receiveAll {
 		return f.FullCostAll()
 	}
 	return f.FullCost()
 }
 
-func sortedKeys(m map[int64]*schedule.Program) []int64 {
+func sortedKeys(m map[int64]*mod.ClientProgram) []int64 {
 	keys := make([]int64, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

@@ -5,10 +5,12 @@
 //	with stream merging."  SPAA 2003 (extended version: Journal of
 //	Discrete Algorithms 4 (2006) 72-105).
 //
-// The library lives under internal/ (core algorithms, baselines, delivery
-// simulator, live serving layer, experiment harness), executables under
-// cmd/, runnable scenarios under examples/, and the benchmark harness that
-// regenerates every table and figure of the paper in bench_test.go.  See
-// README.md for the system inventory and measured results, and DESIGN.md
-// for the layer-by-layer architecture.
+// The public API is the mod package (planner registry, functional options,
+// context-aware planning, and wrappers over every other subsystem); the
+// implementation lives under internal/ (core algorithms, baselines,
+// delivery simulator, live serving layer, experiment harness), executables
+// under cmd/, runnable scenarios under examples/, and the benchmark harness
+// that regenerates every table and figure of the paper in bench_test.go.
+// See README.md for the system inventory and measured results, and
+// DESIGN.md for the layer-by-layer architecture.
 package repro

@@ -18,11 +18,8 @@ import (
 	"log"
 	"math"
 
-	"repro/internal/batching"
-	"repro/internal/core"
-	"repro/internal/online"
-	"repro/internal/schedule"
 	"repro/internal/textplot"
+	"repro/mod"
 )
 
 func main() {
@@ -34,8 +31,8 @@ func main() {
 	for _, pct := range delays {
 		L := int64(math.Round(100 / pct))
 		n := int64(math.Round(horizonMedia * float64(L)))
-		forest := core.OptimalForest(L, n)
-		fs, err := schedule.Build(forest)
+		forest := mod.OfflineForest(L, n)
+		fs, err := mod.BuildSchedule(forest)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,8 +43,8 @@ func main() {
 			pct,
 			L,
 			forest.NormalizedCost(),
-			online.NormalizedCost(L, n),
-			float64(batching.DelayGuaranteedCost(L, n))/float64(L),
+			mod.OnlineCost(L, n),
+			float64(mod.SlottedBatchingCost(L, n))/float64(L),
 			fs.PeakBandwidth(),
 			forest.MaxBufferRequirement(),
 		)

@@ -25,8 +25,7 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/multiobject"
-	"repro/internal/serve"
+	"repro/mod"
 )
 
 func main() {
@@ -37,8 +36,8 @@ func main() {
 		budget  = 35   // channel cap
 		seed    = 2026
 	)
-	cat := multiobject.ZipfCatalog(titles, 1.0, delay, 1.0)
-	srv, err := serve.New(serve.Config{
+	cat := mod.ZipfCatalog(titles, 1.0, delay, 1.0)
+	srv, err := mod.NewServer(mod.ServeConfig{
 		Catalog:       cat,
 		MaxChannels:   budget,
 		DegradeStep:   1.25,
@@ -49,10 +48,10 @@ func main() {
 	}
 	defer srv.Close()
 
-	reqs, err := serve.GenerateRequests(cat, serve.LoadConfig{
+	reqs, err := mod.GenerateRequests(cat, mod.LoadConfig{
 		Horizon:          horizon,
 		MeanInterArrival: 0.01, // aggregate: one request every 1% of a media length
-		Kind:             serve.RampArrivals,
+		Kind:             mod.RampArrivals,
 		RampFactor:       4,
 		Seed:             seed,
 	})
@@ -62,7 +61,7 @@ func main() {
 	fmt.Printf("Serving %d titles under a %d-channel budget; %d requests over %.0f media lengths.\n\n",
 		titles, budget, len(reqs), horizon)
 
-	rep, err := serve.RunDriver(srv, reqs, horizon)
+	rep, err := mod.RunDriver(srv, reqs, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,10 +8,11 @@
 // It also suggests a hybrid server that falls back to an opportunistic
 // merging algorithm when load is low.
 //
-// This example exercises both extensions: it plans a 12-title catalog with
-// Zipf popularity against a hard channel budget, compares uniform versus
-// popularity-aware delay assignments, and runs the hybrid policy over a
-// bursty evening for the most popular title.
+// This example exercises both extensions through the public facade: it
+// plans a 12-title catalog with Zipf popularity against a hard channel
+// budget, compares uniform versus popularity-aware delay assignments, and
+// runs the hybrid planner (mod.New("hybrid")) over a bursty evening for
+// the most popular title.
 //
 // Run with:
 //
@@ -19,13 +20,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/arrivals"
-	"repro/internal/hybrid"
-	"repro/internal/multiobject"
 	"repro/internal/textplot"
+	"repro/mod"
 )
 
 func main() {
@@ -37,13 +37,13 @@ func main() {
 		budget      = 90   // channels available on the head-end
 	)
 
-	catalog := multiobject.ZipfCatalog(titles, mediaLength, baseDelay, 1.0)
+	catalog := mod.ZipfCatalog(titles, mediaLength, baseDelay, 1.0)
 
 	fmt.Printf("Catalog of %d titles, base delay %.0f%%, %d-channel budget, %.0fh horizon.\n\n",
 		titles, baseDelay*100, budget, horizon)
 
 	// 1. Everything at the base delay: what does the peak look like?
-	basePlan, err := multiobject.Build(catalog, horizon)
+	basePlan, err := mod.PlanCatalog(catalog, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func main() {
 		baseDelay*100, basePlan.Peak, basePlan.AverageChannels())
 
 	// 2. Scale the delay uniformly until the budget is met.
-	fit, err := multiobject.FitDelays(catalog, horizon, budget, 1.25, 64)
+	fit, err := mod.FitDelays(catalog, horizon, budget, 1.25, 64)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,8 +60,8 @@ func main() {
 
 	// 3. Popularity-aware delays: popular titles keep the 1% promise,
 	// unpopular ones degrade gracefully.
-	aware := multiobject.PopularityAwareDelays(catalog, baseDelay, 8)
-	awarePlan, err := multiobject.Build(aware, horizon)
+	aware := mod.PopularityAwareDelays(catalog, baseDelay, 8)
+	awarePlan, err := mod.PlanCatalog(aware, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,20 +75,21 @@ func main() {
 	fmt.Print(tab.String())
 
 	// 4. Hybrid serving of the most popular title over a bursty evening.
-	quiet := arrivals.Poisson(0.06, 4, 7)
-	var busy arrivals.Trace
-	for _, t := range arrivals.Poisson(0.002, 4, 8) {
+	quiet := mod.Poisson(0.06, 4, 7)
+	var busy []float64
+	for _, t := range mod.Poisson(0.002, 4, 8) {
 		busy = append(busy, 4+t)
 	}
-	trace := arrivals.Merge(quiet, busy)
-	hres, err := hybrid.Run(trace, 8, hybrid.DefaultConfig(mediaLength, baseDelay))
+	trace := mod.MergeTraces(quiet, busy)
+	hplan, err := mod.MustNew("hybrid", mod.WithMediaLength(mediaLength), mod.WithDelay(baseDelay)).
+		Plan(context.Background(), mod.Instance{Arrivals: trace, Horizon: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nhybrid serving of %s over a quiet-then-busy evening (%d requests):\n",
 		catalog[0].Name, len(trace))
 	fmt.Printf("  hybrid:                %.1f movie streams (%.0f%% of the evening in delay-guaranteed mode)\n",
-		hres.TotalCost, hres.LoadedFraction*100)
-	fmt.Printf("  pure delay-guaranteed: %.1f movie streams\n", hres.PureDelayGuaranteedCost)
-	fmt.Printf("  pure batched dyadic:   %.1f movie streams\n", hres.PureDyadicCost)
+		hplan.Cost, hplan.Aux["loaded_fraction"]*100)
+	fmt.Printf("  pure delay-guaranteed: %.1f movie streams\n", hplan.Aux["pure_delay_guaranteed"])
+	fmt.Printf("  pure batched dyadic:   %.1f movie streams\n", hplan.Aux["pure_dyadic"])
 }

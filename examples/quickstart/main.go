@@ -16,9 +16,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/batching"
-	"repro/internal/core"
-	"repro/internal/schedule"
+	"repro/mod"
 )
 
 func main() {
@@ -29,11 +27,11 @@ func main() {
 
 	fmt.Println("== Optimal merge cost (Eq. 6) ==")
 	for i := int64(1); i <= n; i++ {
-		fmt.Printf("  M(%d) = %d\n", i, core.MergeCost(i))
+		fmt.Printf("  M(%d) = %d\n", i, mod.SlottedMergeCost(i))
 	}
 
 	fmt.Println("\n== Optimal merge forest (Theorems 7, 10, 12) ==")
-	forest := core.OptimalForest(L, n)
+	forest := mod.OfflineForest(L, n)
 	fmt.Printf("  full streams: %d\n", forest.Streams())
 	fmt.Printf("  full cost:    %d slot-units (%.2f complete media streams)\n",
 		forest.FullCost(), forest.NormalizedCost())
@@ -43,7 +41,7 @@ func main() {
 	}
 
 	fmt.Println("\n== Concrete broadcast schedule (Fig. 3) ==")
-	fs, err := schedule.Build(forest)
+	fs, err := mod.BuildSchedule(forest)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +52,7 @@ func main() {
 	fmt.Println("schedule verified: every client plays back without interruption")
 
 	fmt.Println("\n== Savings vs. plain batching (Theorem 14) ==")
-	b := batching.DelayGuaranteedCost(L, n)
+	b := mod.SlottedBatchingCost(L, n)
 	fmt.Printf("  batching alone:        %d slot-units\n", b)
 	fmt.Printf("  batching + merging:    %d slot-units\n", forest.FullCost())
 	fmt.Printf("  bandwidth reduction:   %.1fx\n", float64(b)/float64(forest.FullCost()))

@@ -18,9 +18,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/schedule"
-	"repro/internal/sim"
+	"repro/mod"
 )
 
 func main() {
@@ -35,13 +33,13 @@ func main() {
 	fmt.Printf("Lecture of %d minutes, guaranteed start within %d minutes (L = %d slots),\n", mediaMinutes, delayMinutes, L)
 	fmt.Printf("%d reserved start windows, client buffer capped at %d slots.\n\n", n, bufferSlots)
 
-	forest := core.OptimalForestBuffered(L, bufferSlots, n)
-	unbounded := core.FullCost(L, n)
+	forest := mod.OfflineForestBuffered(L, bufferSlots, n)
+	unbounded := mod.OfflineCost(L, n)
 	fmt.Printf("optimal plan: %d full streams, total bandwidth %d slot-units (%.2f lecture streams)\n",
 		forest.Streams(), forest.FullCost(), forest.NormalizedCost())
 	fmt.Printf("cost of the unbounded-buffer optimum for comparison: %d slot-units\n\n", unbounded)
 
-	fs, err := schedule.Build(forest)
+	fs, err := mod.BuildSchedule(forest)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +61,7 @@ func main() {
 		}
 	}
 
-	res, err := sim.RunForest(forest)
+	res, err := mod.SimulateForest(forest)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,7 +7,9 @@
 // request trace against four strategies — the paper's on-line
 // delay-guaranteed algorithm, immediate-service dyadic merging, batched
 // dyadic merging, and plain batching — and reports the bandwidth each one
-// would have used, phase by phase.
+// would have used, phase by phase.  Every strategy is obtained from the
+// public planner registry (mod.New); nothing touches the algorithm
+// packages directly.
 //
 // Run with:
 //
@@ -15,15 +17,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"repro/internal/arrivals"
-	"repro/internal/batching"
-	"repro/internal/dyadic"
-	"repro/internal/online"
 	"repro/internal/textplot"
+	"repro/mod"
 )
 
 func main() {
@@ -32,6 +32,13 @@ func main() {
 		seed  = 2026
 	)
 	slotsPerMedia := int64(math.Round(1 / delay))
+
+	// The four on-line strategies, by registry name, in presentation order.
+	strategies := []string{"online", "dyadic", "dyadic-batched", "batching"}
+	planners := make(map[string]mod.Planner, len(strategies))
+	for _, name := range strategies {
+		planners[name] = mod.MustNew(name, mod.WithDelay(delay), mod.WithPoisson(true))
+	}
 
 	// Three phases of the evening, each 20 movie-lengths long, with mean
 	// inter-arrival times of 4%, 1%, and 0.2% of the movie length.
@@ -45,32 +52,24 @@ func main() {
 		{"prime time (busy)", 0.002, 20},
 	}
 
+	ctx := context.Background()
 	tab := textplot.NewTable("phase", "arrivals", "delay_guaranteed", "immediate_dyadic", "batched_dyadic", "pure_batching")
-	var offset float64
-	totalDG, totalImm, totalBat, totalPure := 0.0, 0.0, 0.0, 0.0
+	totals := map[string]float64{}
 	for i, ph := range phases {
-		tr := arrivals.Poisson(ph.lambda, ph.span, seed+int64(i))
-		horizonSlots := int64(math.Round(ph.span / delay))
-
-		dg := online.NormalizedCost(slotsPerMedia, horizonSlots)
-		imm, err := dyadic.TotalCost(tr, 1.0, dyadic.GoldenPoisson())
-		if err != nil {
-			log.Fatal(err)
+		tr := mod.Poisson(ph.lambda, ph.span, seed+int64(i))
+		inst := mod.Instance{Arrivals: tr, Horizon: ph.span}
+		costs := map[string]float64{}
+		for _, name := range strategies {
+			plan, err := planners[name].Plan(ctx, inst)
+			if err != nil {
+				log.Fatal(err)
+			}
+			costs[name] = plan.Cost
+			totals[name] += plan.Cost
 		}
-		bat, err := dyadic.TotalBatchedCost(tr, 1.0, delay, dyadic.GoldenPoisson())
-		if err != nil {
-			log.Fatal(err)
-		}
-		pure := batching.BatchedCost(tr, delay)
-
-		tab.AddRow(ph.name, len(tr), dg, imm, bat, pure)
-		totalDG += dg
-		totalImm += imm
-		totalBat += bat
-		totalPure += pure
-		offset += ph.span
+		tab.AddRow(ph.name, len(tr), costs["online"], costs["dyadic"], costs["dyadic-batched"], costs["batching"])
 	}
-	tab.AddRow("TOTAL", "", totalDG, totalImm, totalBat, totalPure)
+	tab.AddRow("TOTAL", "", totals["online"], totals["dyadic"], totals["dyadic-batched"], totals["batching"])
 
 	fmt.Printf("Movie with a %.0f%% guaranteed start-up delay (L = %d slots); bandwidth in\n", delay*100, slotsPerMedia)
 	fmt.Println("complete movie streams per phase (lower is better):")

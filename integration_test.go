@@ -6,6 +6,7 @@ package repro
 // programs and the experiment harness use the library.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestIntegrationOnlineVsOfflineEndToEnd(t *testing.T) {
 func TestIntegrationPolicyComparisonConsistency(t *testing.T) {
 	trace := arrivals.Poisson(0.004, 8, 42)
 	const mediaLen, delay, horizon = 1.0, 0.01, 8.0
-	costs, err := policy.Compare(policy.Standard(mediaLen, delay, true), trace, horizon)
+	costs, err := policy.Compare(context.Background(), policy.Standard(mediaLen, delay, true), trace, horizon)
 	if err != nil {
 		t.Fatal(err)
 	}

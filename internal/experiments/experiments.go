@@ -6,17 +6,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/arrivals"
 	"repro/internal/batching"
 	"repro/internal/core"
-	"repro/internal/dyadic"
 	"repro/internal/fib"
 	"repro/internal/online"
 	"repro/internal/stats"
 	"repro/internal/textplot"
+	"repro/mod"
 )
 
 // Result is the output of one experiment.
@@ -302,48 +302,39 @@ func DefaultComparison() ComparisonConfig {
 	}
 }
 
-// comparisonPoint computes the three algorithms' normalized bandwidth for
-// one arrival trace.
-func comparisonPoint(tr arrivals.Trace, delay float64, slotsPerMedia int64, p dyadic.Params, onlineStreams float64) (imm, bat, dg float64, err error) {
-	imm, err = dyadic.TotalCost(tr, 1.0, p)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	bat, err = dyadic.TotalBatchedCost(tr, 1.0, delay, p)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	return imm, bat, onlineStreams, nil
-}
-
 // Fig11 regenerates Fig. 11: constant-rate arrivals, delay fixed at
 // cfg.DelayPct of the media length, comparing immediate-service dyadic,
 // batched dyadic, and the delay-guaranteed on-line algorithm.
-func Fig11(cfg ComparisonConfig) (Result, error) {
-	return comparisonFigure(cfg, false)
+func Fig11(ctx context.Context, cfg ComparisonConfig) (Result, error) {
+	return comparisonFigure(ctx, cfg, false)
 }
 
 // Fig12 regenerates Fig. 12: the same comparison with Poisson arrivals.
-func Fig12(cfg ComparisonConfig) (Result, error) {
-	return comparisonFigure(cfg, true)
+func Fig12(ctx context.Context, cfg ComparisonConfig) (Result, error) {
+	return comparisonFigure(ctx, cfg, true)
 }
 
-func comparisonFigure(cfg ComparisonConfig, poisson bool) (Result, error) {
+// comparisonFigure obtains its per-trace algorithm costs exclusively
+// through the public mod facade — the same planners any downstream user
+// gets from mod.New — so the published figures are, by construction, what
+// the public API produces.  The facade planners are thin adapters over the
+// policy layer with no arithmetic of their own, which keeps the sweep
+// bit-identical to the historical direct-call implementation.
+func comparisonFigure(ctx context.Context, cfg ComparisonConfig, poisson bool) (Result, error) {
 	delay := cfg.DelayPct / 100.0
-	slotsPerMedia := int64(math.Round(1 / delay))
 	horizonSlots := int64(math.Round(cfg.HorizonMedia / delay))
+	slotsPerMedia := int64(math.Round(1 / delay))
 	// The delay-guaranteed algorithm starts a stream every slot regardless
 	// of arrivals, so its bandwidth is independent of lambda.
 	dgStreams := online.NormalizedCost(slotsPerMedia, horizonSlots)
 
-	var params dyadic.Params
 	arrivalKind := "constant-rate"
 	if poisson {
-		params = dyadic.GoldenPoisson()
 		arrivalKind = "Poisson"
-	} else {
-		params = dyadic.GoldenConstantRate(slotsPerMedia)
 	}
+	planOpts := []mod.Option{mod.WithMediaLength(1), mod.WithDelay(delay), mod.WithPoisson(poisson)}
+	immediate := mod.MustNew("dyadic", planOpts...)
+	batched := mod.MustNew("dyadic-batched", planOpts...)
 
 	reps := 1
 	if poisson {
@@ -366,16 +357,30 @@ func comparisonFigure(cfg ComparisonConfig, poisson bool) (Result, error) {
 	runCell := func(li, r int) {
 		lp := cfg.LambdaPcts[li]
 		lambda := lp / 100.0
-		var tr arrivals.Trace
+		var tr []float64
 		if poisson {
-			tr = arrivals.Poisson(lambda, cfg.HorizonMedia, cfg.Seed+int64(r)*101+int64(lp*1000))
+			tr = mod.Poisson(lambda, cfg.HorizonMedia, cfg.Seed+int64(r)*101+int64(lp*1000))
 		} else {
-			tr = arrivals.Constant(lambda, cfg.HorizonMedia)
+			tr = mod.Constant(lambda, cfg.HorizonMedia)
 		}
 		c := &grid[li][r]
-		c.imm, c.bat, _, c.err = comparisonPoint(tr, delay, slotsPerMedia, params, dgStreams)
+		inst := mod.Instance{Arrivals: tr, Horizon: cfg.HorizonMedia}
+		immPlan, err := immediate.Plan(ctx, inst)
+		if err != nil {
+			c.err = err
+			return
+		}
+		batPlan, err := batched.Plan(ctx, inst)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.imm, c.bat = immPlan.Cost, batPlan.Cost
 	}
-	forEachGridCell(len(cfg.LambdaPcts), reps, cfg.Workers, runCell)
+	forEachGridCell(ctx, len(cfg.LambdaPcts), reps, cfg.Workers, runCell)
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("experiments: %s sweep canceled: %w", arrivalKind, err)
+	}
 
 	tab := textplot.NewTable("lambda_pct", "immediate_dyadic", "batched_dyadic", "delay_guaranteed")
 	var xs, immS, batS, dgS []float64
@@ -497,15 +502,16 @@ func staticTreeCost(L, n, size int64) int64 {
 // All runs every experiment with its default configuration, using all CPUs
 // for the sweeps that support worker pools.
 func All() ([]Result, error) {
-	return AllWithWorkers(0)
+	return AllWithWorkers(context.Background(), 0)
 }
 
 // AllWithWorkers runs every experiment, spreading the replication grids of
 // the Figs. 11-12 sweeps, the dyadic-vs-optimal extension, and the workload
 // simulation across `workers` goroutines (0 means GOMAXPROCS, 1 means
 // serial).  Per-replication seeds depend only on grid coordinates, so the
-// output is bit-identical for every worker count.
-func AllWithWorkers(workers int) ([]Result, error) {
+// output is bit-identical for every worker count.  Cancelling ctx aborts
+// the sweep in flight with an error wrapping ctx.Err().
+func AllWithWorkers(ctx context.Context, workers int) ([]Result, error) {
 	out := []Result{
 		Fig1(DefaultFig1()),
 		TableM(16),
@@ -520,11 +526,11 @@ func AllWithWorkers(workers int) ([]Result, error) {
 	}
 	cmp := DefaultComparison()
 	cmp.Workers = workers
-	f11, err := Fig11(cmp)
+	f11, err := Fig11(ctx, cmp)
 	if err != nil {
 		return nil, err
 	}
-	f12, err := Fig12(cmp)
+	f12, err := Fig12(ctx, cmp)
 	if err != nil {
 		return nil, err
 	}
@@ -539,13 +545,13 @@ func AllWithWorkers(workers int) ([]Result, error) {
 	}
 	dvo := DefaultDyadicVsOptimal()
 	dvo.Workers = workers
-	ext3, err := DyadicVsOptimal(dvo)
+	ext3, err := DyadicVsOptimal(ctx, dvo)
 	if err != nil {
 		return nil, err
 	}
 	wl := DefaultWorkloadSim()
 	wl.Workers = workers
-	ext4, err := MultiObjectSim(wl)
+	ext4, err := MultiObjectSim(ctx, wl)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -153,7 +154,7 @@ func TestFig11QualitativeShape(t *testing.T) {
 		Replications: 1,
 		Seed:         7,
 	}
-	res, err := Fig11(cfg)
+	res, err := Fig11(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestFig12QualitativeShape(t *testing.T) {
 		Replications: 2,
 		Seed:         3,
 	}
-	res, err := Fig12(cfg)
+	res, err := Fig12(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,13 +316,13 @@ func TestComparisonSweepBitIdenticalAcrossWorkers(t *testing.T) {
 		Seed:         1,
 		Workers:      1,
 	}
-	serial, err := Fig12(cfg)
+	serial, err := Fig12(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 7} {
 		cfg.Workers = workers
-		par, err := Fig12(cfg)
+		par, err := Fig12(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -346,12 +347,12 @@ func TestDyadicVsOptimalBitIdenticalAcrossWorkers(t *testing.T) {
 		Seed:         23,
 		Workers:      1,
 	}
-	serial, err := DyadicVsOptimal(cfg)
+	serial, err := DyadicVsOptimal(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 4
-	par, err := DyadicVsOptimal(cfg)
+	par, err := DyadicVsOptimal(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arrivals"
-	"repro/internal/dyadic"
 	"repro/internal/hybrid"
 	"repro/internal/multiobject"
-	"repro/internal/offline"
 	"repro/internal/stats"
 	"repro/internal/textplot"
+	"repro/mod"
 )
 
 // The experiments in this file go beyond the paper's evaluation section and
@@ -197,8 +197,9 @@ func DefaultDyadicVsOptimal() DyadicVsOptimalConfig {
 // exact off-line optimum for general (Poisson) arrivals, using the
 // general-arrivals dynamic program of internal/offline.  It contextualizes
 // the Figs. 11-12 comparison: the dyadic curve there is itself within a
-// modest factor of the unconstrained optimum.
-func DyadicVsOptimal(cfg DyadicVsOptimalConfig) (Result, error) {
+// modest factor of the unconstrained optimum.  Both costs are obtained
+// through the public mod facade's "dyadic" and "offline" planners.
+func DyadicVsOptimal(ctx context.Context, cfg DyadicVsOptimalConfig) (Result, error) {
 	reps := cfg.Replications
 	if reps < 1 {
 		reps = 1
@@ -219,7 +220,9 @@ func DyadicVsOptimal(cfg DyadicVsOptimalConfig) (Result, error) {
 	if cfg.Workers == 1 {
 		dpWorkers = 0
 	}
-	forEachGridCell(len(cfg.LambdaPcts), reps, cfg.Workers, func(li, r int) {
+	dyadicPlanner := mod.MustNew("dyadic", mod.WithMediaLength(1), mod.WithPoisson(true))
+	optimalPlanner := mod.MustNew("offline", mod.WithMediaLength(1), mod.WithWorkers(dpWorkers))
+	forEachGridCell(ctx, len(cfg.LambdaPcts), reps, cfg.Workers, func(li, r int) {
 		lp := cfg.LambdaPcts[li]
 		lambda := lp / 100
 		c := &grid[li][r]
@@ -228,18 +231,22 @@ func DyadicVsOptimal(cfg DyadicVsOptimalConfig) (Result, error) {
 			c.skipped = true
 			return
 		}
-		dy, err := dyadic.TotalCost(tr, 1.0, dyadic.GoldenPoisson())
+		inst := mod.Instance{Arrivals: tr, Horizon: cfg.HorizonMedia}
+		dy, err := dyadicPlanner.Plan(ctx, inst)
 		if err != nil {
 			c.err = err
 			return
 		}
-		opt, err := offline.OptimalForestWorkers(tr, 1.0, offline.ReceiveTwo, dpWorkers)
+		opt, err := optimalPlanner.Plan(ctx, inst)
 		if err != nil {
 			c.err = err
 			return
 		}
-		c.dy, c.opt, c.count = dy, opt.NormalizedCost(), float64(len(tr))
+		c.dy, c.opt, c.count = dy.Cost, opt.Cost, float64(len(tr))
 	})
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("experiments: dyadic-vs-optimal sweep canceled: %w", err)
+	}
 
 	tab := textplot.NewTable("lambda_pct", "arrivals", "dyadic_streams", "optimal_streams", "ratio")
 	var xs, ratios []float64

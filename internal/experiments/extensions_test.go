@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -62,7 +63,7 @@ func TestDyadicVsOptimalExperiment(t *testing.T) {
 		Replications: 2,
 		Seed:         9,
 	}
-	res, err := DyadicVsOptimal(cfg)
+	res, err := DyadicVsOptimal(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

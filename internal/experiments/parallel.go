@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,7 +12,12 @@ import (
 // cells must be independent; callers write results into per-cell slots and
 // reduce them in grid order afterwards, which keeps parallel sweeps
 // bit-identical to serial ones.
-func forEachGridCell(nI, nJ, workers int, run func(i, j int)) {
+//
+// Cancelling ctx stops the sweep between cells (one cell is the work
+// unit): no new cells start, in-flight cells finish, and the function
+// returns only after every worker has been joined.  Callers detect the
+// partial sweep via ctx.Err().
+func forEachGridCell(ctx context.Context, nI, nJ, workers int, run func(i, j int)) {
 	total := nI * nJ
 	if total <= 0 {
 		return
@@ -25,6 +31,9 @@ func forEachGridCell(nI, nJ, workers int, run func(i, j int)) {
 	if workers <= 1 {
 		for i := 0; i < nI; i++ {
 			for j := 0; j < nJ; j++ {
+				if ctx.Err() != nil {
+					return
+				}
 				run(i, j)
 			}
 		}
@@ -37,6 +46,9 @@ func forEachGridCell(nI, nJ, workers int, run func(i, j int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				k := int(atomic.AddInt64(&next, 1))
 				if k >= total {
 					return

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/multiobject"
@@ -51,9 +52,9 @@ func DefaultWorkloadSim() WorkloadSimConfig {
 // by slot under its arrival mix, and the measured per-object bandwidth and
 // server-wide peak are tabulated next to the analytic plan of
 // multiobject.Build, which they must confirm.
-func MultiObjectSim(cfg WorkloadSimConfig) (Result, error) {
+func MultiObjectSim(ctx context.Context, cfg WorkloadSimConfig) (Result, error) {
 	cat := multiobject.ZipfCatalog(cfg.Objects, cfg.MediaLength, cfg.Delay, cfg.ZipfExponent)
-	res, err := sim.RunWorkload(sim.WorkloadConfig{
+	res, err := sim.RunWorkload(ctx, sim.WorkloadConfig{
 		Catalog:          cat,
 		Horizon:          cfg.Horizon,
 		MeanInterArrival: cfg.MeanInterArrival,

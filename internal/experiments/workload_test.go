@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestMultiObjectSim(t *testing.T) {
 	cfg := DefaultWorkloadSim()
 	cfg.Horizon = 4
-	res, err := MultiObjectSim(cfg)
+	res, err := MultiObjectSim(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestMultiObjectSimConstantRate(t *testing.T) {
 	cfg := DefaultWorkloadSim()
 	cfg.Horizon = 3
 	cfg.Poisson = false
-	res, err := MultiObjectSim(cfg)
+	res, err := MultiObjectSim(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestMultiObjectSimConstantRate(t *testing.T) {
 func TestMultiObjectSimRejectsBadConfig(t *testing.T) {
 	cfg := DefaultWorkloadSim()
 	cfg.MeanInterArrival = 0
-	if _, err := MultiObjectSim(cfg); err == nil {
+	if _, err := MultiObjectSim(context.Background(), cfg); err == nil {
 		t.Error("expected an error for a zero mean inter-arrival time")
 	}
 }

@@ -25,6 +25,7 @@
 package multiobject
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -32,6 +33,12 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/online"
 )
+
+// ErrCapacity marks channel-budget failures: the requested peak-bandwidth
+// budget cannot be met even at the maximum allowed delay scale.  It is
+// re-exported as the public facade's ErrCapacity so callers can test for
+// it with errors.Is across the API boundary.
+var ErrCapacity = errors.New("multiobject: channel budget cannot be met")
 
 // Object is one media object served by the system.
 type Object struct {
@@ -231,8 +238,8 @@ func FitDelays(cat Catalog, horizon float64, maxChannels int, step, maxScale flo
 			return &FitResult{Scale: scale, Plan: plan}, nil
 		}
 		if scale >= maxScale {
-			return nil, fmt.Errorf("multiobject: cannot meet a budget of %d channels even with delay scale %.2f (peak %d)",
-				maxChannels, scale, plan.Peak)
+			return nil, fmt.Errorf("%w: budget %d channels unreachable even with delay scale %.2f (peak %d)",
+				ErrCapacity, maxChannels, scale, plan.Peak)
 		}
 		scale *= step
 		if scale > maxScale {

@@ -28,6 +28,7 @@
 package offline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -173,7 +174,7 @@ func MergeCost(times []float64, model Model) (float64, error) {
 	if len(times) == 0 {
 		return 0, nil
 	}
-	t, err := ComputeTables(times, model, 0, 0)
+	t, err := ComputeTables(context.Background(), times, model, 0, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -199,7 +200,7 @@ func OptimalTree(times []float64, model Model) (*mergetree.RTree, float64, error
 	if len(times) == 0 {
 		return nil, 0, fmt.Errorf("offline: no arrivals")
 	}
-	t, err := ComputeTables(times, model, 0, 0)
+	t, err := ComputeTables(context.Background(), times, model, 0, 0)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -227,16 +228,18 @@ type Forest struct {
 // j only while times[j] - times[i] < L (later clients could not receive the
 // root's data otherwise).
 func OptimalForest(times []float64, L float64, model Model) (*Forest, error) {
-	return OptimalForestWorkers(times, L, model, 0)
+	return OptimalForestWorkers(context.Background(), times, L, model, 0)
 }
 
-// OptimalForestWorkers is OptimalForest with an explicit DP worker count
-// (0 means GOMAXPROCS).  The interval DP is computed in banded flat storage:
-// a group rooted at arrival i can only extend while times[j] - times[i] < L,
-// so only the O(n * W) intervals inside an L-window are materialized, where
-// W is the largest number of arrivals in any such window — the reason the
-// arrival cap of policy.OfflineOptimal could be raised 10x.
-func OptimalForestWorkers(times []float64, L float64, model Model, workers int) (*Forest, error) {
+// OptimalForestWorkers is OptimalForest with an explicit context and DP
+// worker count (0 means GOMAXPROCS).  The interval DP is computed in banded
+// flat storage: a group rooted at arrival i can only extend while
+// times[j] - times[i] < L, so only the O(n * W) intervals inside an L-window
+// are materialized, where W is the largest number of arrivals in any such
+// window — the reason the arrival cap of policy.OfflineOptimal could be
+// raised 10x.  Cancelling ctx aborts the underlying DP within one work unit
+// and returns an error wrapping ctx.Err().
+func OptimalForestWorkers(ctx context.Context, times []float64, L float64, model Model, workers int) (*Forest, error) {
 	if err := validateTimes(times); err != nil {
 		return nil, err
 	}
@@ -247,7 +250,7 @@ func OptimalForestWorkers(times []float64, L float64, model Model, workers int) 
 	if n == 0 {
 		return &Forest{Forest: mergetree.NewRForest(L)}, nil
 	}
-	t, err := ComputeTables(times, model, L, workers)
+	t, err := ComputeTables(ctx, times, model, L, workers)
 	if err != nil {
 		return nil, err
 	}

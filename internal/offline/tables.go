@@ -1,6 +1,8 @@
 package offline
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -119,9 +121,18 @@ func BandBytes(times []float64, window float64) int64 {
 // by exactly the same float operations in the same order as the serial
 // algorithm, so the resulting mc and split tables are bit-identical to
 // MergeCostTableFast for every in-band cell regardless of worker count.
-func ComputeTables(times []float64, model Model, window float64, workers int) (*Tables, error) {
+//
+// The DP can run for seconds at large n, so it honors ctx: cancellation is
+// observed within one work unit (one row of the serial driver, one diagonal
+// chunk of the parallel one), every pool goroutine is joined before the
+// call returns, and the error wraps ctx.Err() so callers can test it with
+// errors.Is(err, context.Canceled).
+func ComputeTables(ctx context.Context, times []float64, model Model, window float64, workers int) (*Tables, error) {
 	if err := validateTimes(times); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
 	}
 	n := len(times)
 	t := &Tables{n: n, model: model}
@@ -161,6 +172,11 @@ func ComputeTables(times []float64, model Model, window float64, workers int) (*
 	// sharded across a persistent pool.
 	if workers <= 1 || n-2 < minParallelRows {
 		for i := n - 2; i >= 0; i-- {
+			// One row is the serial work unit: cancellation is observed
+			// between rows, never mid-row, so the filled prefix stays valid.
+			if err := ctx.Err(); err != nil {
+				return nil, canceled(err)
+			}
 			if lim := int(t.limit[i]); lim >= i+2 {
 				t.fillRange(times, i, i+2, lim)
 			}
@@ -174,7 +190,11 @@ func ComputeTables(times []float64, model Model, window float64, workers int) (*
 	for w := 0; w < workers; w++ {
 		go func() {
 			for jb := range jobs {
-				t.computeDiagonal(times, jb.length, jb.lo, jb.hi)
+				// A dispatched chunk is the parallel work unit; after a
+				// cancel the pool drains the queue without computing.
+				if ctx.Err() == nil {
+					t.computeDiagonal(times, jb.length, jb.lo, jb.hi)
+				}
 				wg.Done()
 			}
 		}()
@@ -184,6 +204,10 @@ func ComputeTables(times []float64, model Model, window float64, workers int) (*
 	for length := 3; length <= n; length++ {
 		rows := n - length + 1 // candidate start rows 0 .. rows-1
 		if rows < minParallelRows {
+			if err := ctx.Err(); err != nil {
+				wg.Wait()
+				return nil, canceled(err)
+			}
 			t.computeDiagonal(times, length, 0, rows)
 			continue
 		}
@@ -194,11 +218,27 @@ func ComputeTables(times []float64, model Model, window float64, workers int) (*
 				hi = rows
 			}
 			wg.Add(1)
-			jobs <- job{length, lo, hi}
+			select {
+			case jobs <- job{length, lo, hi}:
+			case <-ctx.Done():
+				wg.Done() // the job was never dispatched
+				wg.Wait()
+				return nil, canceled(ctx.Err())
+			}
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
 	}
 	return t, nil
+}
+
+// canceled wraps a context error so every cancellation path out of the DP
+// reports the same shape while staying errors.Is-compatible with
+// context.Canceled / context.DeadlineExceeded.
+func canceled(err error) error {
+	return fmt.Errorf("offline: interval DP canceled: %w", err)
 }
 
 // minParallelRows is the diagonal size below which the sync overhead of

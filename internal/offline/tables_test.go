@@ -1,6 +1,7 @@
 package offline
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -20,7 +21,7 @@ func TestTablesMatchFastExactly(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 4} {
-				tab, err := ComputeTables(times, model, 0, workers)
+				tab, err := ComputeTables(context.Background(), times, model, 0, workers)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -50,7 +51,7 @@ func TestTablesParallelPoolExactly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := ComputeTables(times, ReceiveTwo, 0, 3)
+	tab, err := ComputeTables(context.Background(), times, ReceiveTwo, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func TestTablesBandedMatchesFull(t *testing.T) {
 		n := 2 + rng.Intn(80)
 		times := randomTimes(rng, n, 30)
 		window := 1 + rng.Float64()*10
-		full, err := ComputeTables(times, ReceiveTwo, 0, 1)
+		full, err := ComputeTables(context.Background(), times, ReceiveTwo, 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		banded, err := ComputeTables(times, ReceiveTwo, window, 1)
+		banded, err := ComputeTables(context.Background(), times, ReceiveTwo, window, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,11 +110,11 @@ func TestOptimalForestWorkersDeterministic(t *testing.T) {
 		n := 2 + rng.Intn(120)
 		times := randomTimes(rng, n, 20)
 		L := 2 + rng.Float64()*6
-		serial, err := OptimalForestWorkers(times, L, ReceiveTwo, 1)
+		serial, err := OptimalForestWorkers(context.Background(), times, L, ReceiveTwo, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := OptimalForestWorkers(times, L, ReceiveTwo, 5)
+		parallel, err := OptimalForestWorkers(context.Background(), times, L, ReceiveTwo, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func TestOptimalForestWorkersDeterministic(t *testing.T) {
 // used by policy.OfflineOptimal to refuse over-sized instances.
 func TestMemoryBytesAccounting(t *testing.T) {
 	times := randomTimes(rand.New(rand.NewSource(1)), 100, 10)
-	tab, err := ComputeTables(times, ReceiveTwo, 0, 1)
+	tab, err := ComputeTables(context.Background(), times, ReceiveTwo, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/arrivals"
+)
+
+// slowTrace is dense enough that the offline DP runs for a long time
+// relative to the cancellation latency (tens of thousands of arrivals in
+// one media-length window).
+func slowTrace() arrivals.Trace {
+	return arrivals.Constant(100.0/40000, 100)
+}
+
+// TestCompareParallelCancel cancels a CompareParallel run while its
+// offline-optimal policies are mid-DP and asserts a prompt return carrying
+// ctx.Err(), with every pool goroutine joined (the -race CI pass runs this
+// package, so a leaked worker racing the test teardown would be caught).
+func TestCompareParallelCancel(t *testing.T) {
+	trace := slowTrace()
+	ps := []Policy{
+		OfflineOptimal(1.0, 100000),
+		OfflineOptimalBatched(1.0, 0.001, 100000),
+		DelayGuaranteed(1, 0.01),
+		Unicast(),
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		costs map[string]float64
+		err   error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		costs, err := CompareParallel(ctx, ps, trace, 100, 4)
+		resc <- result{costs, err}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-resc:
+		if res.err == nil {
+			t.Fatalf("CompareParallel returned %d costs after cancel, want error", len(res.costs))
+		}
+		if !errors.Is(res.err, context.Canceled) {
+			t.Fatalf("CompareParallel error %v does not wrap context.Canceled", res.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("CompareParallel did not return after cancel")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("%d goroutines before, %d after cancel (pool leaked)", before, got)
+	}
+}
+
+// TestCompareSerialCancel pins the serial path: a pre-canceled context
+// fails before any policy runs.
+func TestCompareSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Compare(ctx, Standard(1, 0.01, true), arrivals.Trace{0.5}, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Compare error = %v, want context.Canceled", err)
+	}
+}
+
+// TestOfflinePolicyCancelMidDP proves an individual offline policy aborts a
+// running DP: the acceptance property surfaced at the policy layer.
+func TestOfflinePolicyCancelMidDP(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := OfflineOptimal(1.0, 100000).Serve(ctx, slowTrace(), 100)
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("offline optimal error %v does not wrap context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("offline optimal did not return after cancel")
+	}
+}
+
+// TestSentinelClassification pins the sentinel wrapping the facade depends
+// on: size and validation failures must classify with errors.Is.
+func TestSentinelClassification(t *testing.T) {
+	ctx := context.Background()
+	if _, err := OfflineOptimal(1, 2).Serve(ctx, arrivals.Trace{0.1, 0.2, 0.3}, 5); !errors.Is(err, ErrInstanceTooLarge) {
+		t.Errorf("arrival-cap error %v does not wrap ErrInstanceTooLarge", err)
+	}
+	if _, err := OfflineOptimalBatchedOpts(1, 0.01, OfflineOptions{MaxTableBytes: 1}).Serve(ctx, arrivals.Constant(0.01, 5), 5); !errors.Is(err, ErrInstanceTooLarge) {
+		t.Errorf("memory-budget error %v does not wrap ErrInstanceTooLarge", err)
+	}
+	if _, err := DelayGuaranteed(1, 0).Serve(ctx, arrivals.Trace{}, 5); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("bad-delay error %v does not wrap ErrBadInstance", err)
+	}
+	if _, err := Unicast().Serve(ctx, arrivals.Trace{0.5, 0.2}, 5); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("unsorted-trace error %v does not wrap ErrBadInstance", err)
+	}
+}

@@ -1,6 +1,7 @@
 package policy_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,7 +13,7 @@ func ExampleCompare() {
 	// A deterministic constant-rate trace: one request every 0.4% of the
 	// movie length, for 10 movie lengths, with a 1% guaranteed delay.
 	trace := arrivals.Constant(0.004, 10)
-	costs, _ := policy.Compare(policy.Standard(1, 0.01, false), trace, 10)
+	costs, _ := policy.Compare(context.Background(), policy.Standard(1, 0.01, false), trace, 10)
 	names := make([]string, 0, len(costs))
 	for name := range costs {
 		names = append(names, name)

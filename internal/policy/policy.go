@@ -5,9 +5,19 @@
 // compare algorithms by name on a common footing: give each policy an
 // arrival trace and a horizon, get back the total server bandwidth in
 // complete media streams.
+//
+// Every Serve call takes a context.Context: policies whose cost is a closed
+// form return immediately, while the off-line optimal policies run a
+// multi-second interval DP at large n and abort within one DP work unit of
+// ctx being done.  Validation and capacity failures wrap the sentinel
+// errors ErrBadInstance and ErrInstanceTooLarge, so callers (in particular
+// the public mod facade) can classify failures with errors.Is across the
+// package boundary.
 package policy
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -21,13 +31,25 @@ import (
 	"repro/internal/online"
 )
 
+// ErrBadInstance marks validation failures of the (trace, horizon,
+// parameters) instance handed to a policy: non-positive horizon or delay,
+// a delay exceeding the media length, an unsorted trace.
+var ErrBadInstance = errors.New("policy: invalid instance")
+
+// ErrInstanceTooLarge marks instances the exact off-line DP refuses up
+// front: more arrivals than the configured cap, or banded DP tables that
+// would exceed the configured memory budget.
+var ErrInstanceTooLarge = errors.New("policy: instance too large")
+
 // Policy is one serving strategy for a single media object.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Serve returns the total server bandwidth, in complete media streams,
 	// needed to serve the given arrival trace over the horizon [0, horizon).
-	Serve(trace arrivals.Trace, horizon float64) (float64, error)
+	// Long-running policies honor ctx and return an error wrapping
+	// ctx.Err() when canceled.
+	Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error)
 }
 
 // DelayGuaranteed returns the paper's on-line delay-guaranteed policy: a
@@ -44,11 +66,11 @@ type delayGuaranteed struct {
 
 func (p delayGuaranteed) Name() string { return "delay-guaranteed" }
 
-func (p delayGuaranteed) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+func (p delayGuaranteed) Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error) {
 	if err := validate(p.mediaLength, p.delay, horizon); err != nil {
 		return 0, err
 	}
-	if err := trace.Validate(); err != nil {
+	if err := validateTrace(trace); err != nil {
 		return 0, err
 	}
 	L := slotsPerMedia(p.mediaLength, p.delay)
@@ -76,9 +98,9 @@ type immediateDyadic struct {
 
 func (p immediateDyadic) Name() string { return "immediate dyadic" }
 
-func (p immediateDyadic) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+func (p immediateDyadic) Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error) {
 	if p.mediaLength <= 0 || horizon <= 0 {
-		return 0, fmt.Errorf("policy: media length and horizon must be positive")
+		return 0, fmt.Errorf("%w: media length and horizon must be positive", ErrBadInstance)
 	}
 	return dyadic.TotalCost(trace.Clip(horizon), p.mediaLength, p.params)
 }
@@ -96,7 +118,7 @@ type batchedDyadic struct {
 
 func (p batchedDyadic) Name() string { return "batched dyadic" }
 
-func (p batchedDyadic) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+func (p batchedDyadic) Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error) {
 	if err := validate(p.mediaLength, p.delay, horizon); err != nil {
 		return 0, err
 	}
@@ -115,11 +137,11 @@ type pureBatching struct {
 
 func (p pureBatching) Name() string { return "batching" }
 
-func (p pureBatching) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+func (p pureBatching) Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error) {
 	if err := validate(p.mediaLength, p.delay, horizon); err != nil {
 		return 0, err
 	}
-	if err := trace.Validate(); err != nil {
+	if err := validateTrace(trace); err != nil {
 		return 0, err
 	}
 	return batching.BatchedCost(trace.Clip(horizon), p.delay), nil
@@ -134,11 +156,11 @@ type unicast struct{}
 
 func (unicast) Name() string { return "unicast" }
 
-func (unicast) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+func (unicast) Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error) {
 	if horizon <= 0 {
-		return 0, fmt.Errorf("policy: horizon must be positive")
+		return 0, fmt.Errorf("%w: horizon must be positive", ErrBadInstance)
 	}
-	if err := trace.Validate(); err != nil {
+	if err := validateTrace(trace); err != nil {
 		return 0, err
 	}
 	return batching.ImmediateUnicastCost(trace.Clip(horizon)), nil
@@ -155,7 +177,7 @@ type hybridPolicy struct {
 
 func (p hybridPolicy) Name() string { return "hybrid" }
 
-func (p hybridPolicy) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+func (p hybridPolicy) Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error) {
 	res, err := hybrid.Run(trace.Clip(horizon), horizon, p.cfg)
 	if err != nil {
 		return 0, err
@@ -170,46 +192,77 @@ func (p hybridPolicy) Serve(trace arrivals.Trace, horizon float64) (float64, err
 // n = 50000 for the Figs. 11-12 setting (horizon 100 media lengths), versus
 // the ~16 n^2 bytes (40 GB) the old full [][] tables would have needed.
 // Adversarial traces that pack everything into one window are still caught
-// by maxOfflineTableBytes below.
+// by defaultOfflineTableBytes below.
 const defaultOfflineArrivalCap = 50000
 
-// maxOfflineTableBytes refuses DP instances whose banded tables would
+// defaultOfflineTableBytes refuses DP instances whose banded tables would
 // exceed ~1.5 GiB regardless of the arrival count.
-const maxOfflineTableBytes = int64(1) << 30 * 3 / 2
+const defaultOfflineTableBytes = int64(1) << 30 * 3 / 2
+
+// OfflineOptions configures the exact off-line optimal policies.  The zero
+// value selects the defaults: a 50000-arrival cap, a ~1.5 GiB table memory
+// budget, and GOMAXPROCS DP workers.
+type OfflineOptions struct {
+	// MaxArrivals caps the (clipped, possibly batched) trace size; <= 0
+	// selects the 50000 default.
+	MaxArrivals int
+	// MaxTableBytes caps the banded DP table footprint in bytes; <= 0
+	// selects the ~1.5 GiB default.
+	MaxTableBytes int64
+	// Workers is the DP worker count (0 means GOMAXPROCS, 1 means serial).
+	Workers int
+}
+
+func (o OfflineOptions) withDefaults() OfflineOptions {
+	if o.MaxArrivals <= 0 {
+		o.MaxArrivals = defaultOfflineArrivalCap
+	}
+	if o.MaxTableBytes <= 0 {
+		o.MaxTableBytes = defaultOfflineTableBytes
+	}
+	return o
+}
 
 // OfflineOptimal returns the exact off-line optimum for general arrivals
-// (the interval dynamic program of internal/offline).  It refuses traces
-// larger than maxArrivals (use 0 for the default of 50000) and traces whose
-// banded DP tables would exceed maxOfflineTableBytes.
+// (the interval dynamic program of internal/offline) with the default
+// instance caps.  Use 0 for the default 50000-arrival cap.
 func OfflineOptimal(mediaLength float64, maxArrivals int) Policy {
-	if maxArrivals <= 0 {
-		maxArrivals = defaultOfflineArrivalCap
-	}
-	return offlineOptimal{mediaLength: mediaLength, maxArrivals: maxArrivals}
+	return OfflineOptimalOpts(mediaLength, OfflineOptions{MaxArrivals: maxArrivals})
+}
+
+// OfflineOptimalOpts is OfflineOptimal with explicit caps and DP worker
+// count.  Instances over the caps are refused with an error wrapping
+// ErrInstanceTooLarge before any table is allocated.
+func OfflineOptimalOpts(mediaLength float64, opt OfflineOptions) Policy {
+	return offlineOptimal{mediaLength: mediaLength, opt: opt.withDefaults()}
 }
 
 type offlineOptimal struct {
 	mediaLength float64
-	maxArrivals int
+	opt         OfflineOptions
 }
 
 func (p offlineOptimal) Name() string { return "offline optimal" }
 
-func (p offlineOptimal) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+func (p offlineOptimal) Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error) {
 	if p.mediaLength <= 0 || horizon <= 0 {
-		return 0, fmt.Errorf("policy: media length and horizon must be positive")
+		return 0, fmt.Errorf("%w: media length and horizon must be positive", ErrBadInstance)
+	}
+	if err := validateTrace(trace); err != nil {
+		return 0, err
 	}
 	clipped := trace.Clip(horizon)
-	if len(clipped) > p.maxArrivals {
-		return 0, fmt.Errorf("policy: offline optimal limited to %d arrivals, trace has %d", p.maxArrivals, len(clipped))
+	if len(clipped) > p.opt.MaxArrivals {
+		return 0, fmt.Errorf("%w: offline optimal limited to %d arrivals, trace has %d",
+			ErrInstanceTooLarge, p.opt.MaxArrivals, len(clipped))
 	}
 	if len(clipped) == 0 {
 		return 0, nil
 	}
-	if err := checkOfflineTableMemory(clipped, p.mediaLength); err != nil {
+	if err := checkOfflineTableMemory(clipped, p.mediaLength, p.opt.MaxTableBytes); err != nil {
 		return 0, err
 	}
-	res, err := offline.OptimalForest(clipped, p.mediaLength, offline.ReceiveTwo)
+	res, err := offline.OptimalForestWorkers(ctx, clipped, p.mediaLength, offline.ReceiveTwo, p.opt.Workers)
 	if err != nil {
 		return 0, err
 	}
@@ -217,11 +270,11 @@ func (p offlineOptimal) Serve(trace arrivals.Trace, horizon float64) (float64, e
 }
 
 // checkOfflineTableMemory estimates (in O(n)) the banded DP footprint and
-// refuses instances that would exceed maxOfflineTableBytes.
-func checkOfflineTableMemory(times []float64, L float64) error {
-	if bytes := offline.BandBytes(times, L); bytes > maxOfflineTableBytes {
-		return fmt.Errorf("policy: offline optimal DP would need %d MB of tables for %d arrivals (limit %d MB)",
-			bytes>>20, len(times), maxOfflineTableBytes>>20)
+// refuses instances that would exceed the byte budget.
+func checkOfflineTableMemory(times []float64, L float64, budget int64) error {
+	if bytes := offline.BandBytes(times, L); bytes > budget {
+		return fmt.Errorf("%w: offline optimal DP would need %d MB of tables for %d arrivals (budget %d MB)",
+			ErrInstanceTooLarge, bytes>>20, len(times), budget>>20)
 	}
 	return nil
 }
@@ -233,37 +286,41 @@ func checkOfflineTableMemory(times []float64, L float64) error {
 // dyadic, batching), whereas OfflineOptimal is the lower bound for the
 // immediate-service policies.
 func OfflineOptimalBatched(mediaLength, delay float64, maxArrivals int) Policy {
-	if maxArrivals <= 0 {
-		maxArrivals = defaultOfflineArrivalCap
-	}
-	return offlineOptimalBatched{mediaLength: mediaLength, delay: delay, maxArrivals: maxArrivals}
+	return OfflineOptimalBatchedOpts(mediaLength, delay, OfflineOptions{MaxArrivals: maxArrivals})
+}
+
+// OfflineOptimalBatchedOpts is OfflineOptimalBatched with explicit caps and
+// DP worker count.
+func OfflineOptimalBatchedOpts(mediaLength, delay float64, opt OfflineOptions) Policy {
+	return offlineOptimalBatched{mediaLength: mediaLength, delay: delay, opt: opt.withDefaults()}
 }
 
 type offlineOptimalBatched struct {
 	mediaLength, delay float64
-	maxArrivals        int
+	opt                OfflineOptions
 }
 
 func (p offlineOptimalBatched) Name() string { return "offline optimal (batched)" }
 
-func (p offlineOptimalBatched) Serve(trace arrivals.Trace, horizon float64) (float64, error) {
+func (p offlineOptimalBatched) Serve(ctx context.Context, trace arrivals.Trace, horizon float64) (float64, error) {
 	if err := validate(p.mediaLength, p.delay, horizon); err != nil {
 		return 0, err
 	}
-	if err := trace.Validate(); err != nil {
+	if err := validateTrace(trace); err != nil {
 		return 0, err
 	}
 	batched := trace.Clip(horizon).BatchTimes(p.delay)
-	if len(batched) > p.maxArrivals {
-		return 0, fmt.Errorf("policy: offline optimal limited to %d arrivals, batched trace has %d", p.maxArrivals, len(batched))
+	if len(batched) > p.opt.MaxArrivals {
+		return 0, fmt.Errorf("%w: offline optimal limited to %d arrivals, batched trace has %d",
+			ErrInstanceTooLarge, p.opt.MaxArrivals, len(batched))
 	}
 	if len(batched) == 0 {
 		return 0, nil
 	}
-	if err := checkOfflineTableMemory(batched, p.mediaLength); err != nil {
+	if err := checkOfflineTableMemory(batched, p.mediaLength, p.opt.MaxTableBytes); err != nil {
 		return 0, err
 	}
-	res, err := offline.OptimalForest(batched, p.mediaLength, offline.ReceiveTwo)
+	res, err := offline.OptimalForestWorkers(ctx, batched, p.mediaLength, offline.ReceiveTwo, p.opt.Workers)
 	if err != nil {
 		return 0, err
 	}
@@ -291,11 +348,15 @@ func Standard(mediaLength, delay float64, poisson bool) []Policy {
 }
 
 // Compare serves the trace with every policy and returns the costs keyed by
-// policy name, stopping at the first policy that fails.
-func Compare(policies []Policy, trace arrivals.Trace, horizon float64) (map[string]float64, error) {
+// policy name, stopping at the first policy that fails (a canceled ctx
+// counts as a failure of the policy it interrupted).
+func Compare(ctx context.Context, policies []Policy, trace arrivals.Trace, horizon float64) (map[string]float64, error) {
 	out := make(map[string]float64, len(policies))
 	for _, p := range policies {
-		c, err := p.Serve(trace, horizon)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("policy: compare canceled: %w", err)
+		}
+		c, err := p.Serve(ctx, trace, horizon)
 		if err != nil {
 			return nil, fmt.Errorf("policy %q: %w", p.Name(), err)
 		}
@@ -310,8 +371,10 @@ func Compare(policies []Policy, trace arrivals.Trace, horizon float64) (map[stri
 // others, so the costs are identical to Compare's.  The one behavioral
 // difference is error handling: the pool runs all policies and then reports
 // the first failing one in slice order, whereas Compare stops at the first
-// failure.
-func CompareParallel(policies []Policy, trace arrivals.Trace, horizon float64, workers int) (map[string]float64, error) {
+// failure.  Cancelling ctx stops dispatching, aborts the in-flight policies
+// that honor ctx (one Serve per worker at most keeps running), and returns
+// an error wrapping ctx.Err() once every worker has been joined.
+func CompareParallel(ctx context.Context, policies []Policy, trace arrivals.Trace, horizon float64, workers int) (map[string]float64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -319,7 +382,7 @@ func CompareParallel(policies []Policy, trace arrivals.Trace, horizon float64, w
 		workers = len(policies)
 	}
 	if workers <= 1 {
-		return Compare(policies, trace, horizon)
+		return Compare(ctx, policies, trace, horizon)
 	}
 	costs := make([]float64, len(policies))
 	errs := make([]error, len(policies))
@@ -330,15 +393,27 @@ func CompareParallel(policies []Policy, trace arrivals.Trace, horizon float64, w
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				costs[i], errs[i] = policies[i].Serve(trace, horizon)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				costs[i], errs[i] = policies[i].Serve(ctx, trace, horizon)
 			}
 		}()
 	}
+dispatch:
 	for i := range policies {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("policy: compare canceled: %w", err)
+	}
 	out := make(map[string]float64, len(policies))
 	for i, p := range policies {
 		if errs[i] != nil {
@@ -351,8 +426,17 @@ func CompareParallel(policies []Policy, trace arrivals.Trace, horizon float64, w
 
 func validate(mediaLength, delay, horizon float64) error {
 	if mediaLength <= 0 || delay <= 0 || delay > mediaLength || horizon <= 0 {
-		return fmt.Errorf("policy: need 0 < delay <= media length and horizon > 0 (got media=%g delay=%g horizon=%g)",
-			mediaLength, delay, horizon)
+		return fmt.Errorf("%w: need 0 < delay <= media length and horizon > 0 (got media=%g delay=%g horizon=%g)",
+			ErrBadInstance, mediaLength, delay, horizon)
+	}
+	return nil
+}
+
+// validateTrace wraps trace validation failures in ErrBadInstance so they
+// classify uniformly through the facade.
+func validateTrace(trace arrivals.Trace) error {
+	if err := trace.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadInstance, err)
 	}
 	return nil
 }

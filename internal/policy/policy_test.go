@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestPolicyNames(t *testing.T) {
 
 func TestDelayGuaranteedMatchesOnlinePackage(t *testing.T) {
 	p := DelayGuaranteed(1, 0.01)
-	got, err := p.Serve(arrivals.Trace{}, 10)
+	got, err := p.Serve(context.Background(), arrivals.Trace{}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestDelayGuaranteedMatchesOnlinePackage(t *testing.T) {
 		t.Errorf("Serve = %v, want %v", got, want)
 	}
 	// The delay-guaranteed cost is independent of the trace.
-	got2, err := p.Serve(arrivals.Poisson(0.001, 10, 1), 10)
+	got2, err := p.Serve(context.Background(), arrivals.Poisson(0.001, 10, 1), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,23 +68,23 @@ func TestPolicyErrorPropagation(t *testing.T) {
 		Hybrid(hybrid.DefaultConfig(1, 0.01)),
 		OfflineOptimal(1, 0),
 	} {
-		if _, err := p.Serve(bad, horizon); err == nil {
+		if _, err := p.Serve(context.Background(), bad, horizon); err == nil {
 			t.Errorf("policy %q accepted an unsorted trace", p.Name())
 		}
 	}
-	if _, err := DelayGuaranteed(1, 0).Serve(arrivals.Trace{}, 5); err == nil {
+	if _, err := DelayGuaranteed(1, 0).Serve(context.Background(), arrivals.Trace{}, 5); err == nil {
 		t.Errorf("invalid delay should fail")
 	}
-	if _, err := PureBatching(1, 0.01).Serve(arrivals.Trace{0.1}, 0); err == nil {
+	if _, err := PureBatching(1, 0.01).Serve(context.Background(), arrivals.Trace{0.1}, 0); err == nil {
 		t.Errorf("invalid horizon should fail")
 	}
-	if _, err := Unicast().Serve(arrivals.Trace{0.1}, 0); err == nil {
+	if _, err := Unicast().Serve(context.Background(), arrivals.Trace{0.1}, 0); err == nil {
 		t.Errorf("invalid horizon should fail for unicast")
 	}
-	if _, err := ImmediateDyadic(0, dyadic.GoldenPoisson()).Serve(arrivals.Trace{0.1}, 5); err == nil {
+	if _, err := ImmediateDyadic(0, dyadic.GoldenPoisson()).Serve(context.Background(), arrivals.Trace{0.1}, 5); err == nil {
 		t.Errorf("invalid media length should fail")
 	}
-	if _, err := OfflineOptimal(0, 0).Serve(arrivals.Trace{0.1}, 5); err == nil {
+	if _, err := OfflineOptimal(0, 0).Serve(context.Background(), arrivals.Trace{0.1}, 5); err == nil {
 		t.Errorf("invalid media length should fail for offline optimal")
 	}
 }
@@ -97,7 +98,7 @@ func TestCompareOrderingOnDenseTrace(t *testing.T) {
 	trace := arrivals.Poisson(0.002, 4, 3)
 	horizon := 4.0
 	ps := append(Standard(1, 0.01, true), OfflineOptimal(1, 0), OfflineOptimalBatched(1, 0.01, 0))
-	costs, err := Compare(ps, trace, horizon)
+	costs, err := Compare(context.Background(), ps, trace, horizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestCompareSparseTraceFavorsDyadic(t *testing.T) {
 	// Sparse arrivals: the delay-guaranteed policy is the most expensive of
 	// the merging policies (it starts streams for empty slots).
 	trace := arrivals.Poisson(0.05, 10, 7)
-	costs, err := Compare(Standard(1, 0.01, true), trace, 10)
+	costs, err := Compare(context.Background(), Standard(1, 0.01, true), trace, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,10 +148,10 @@ func TestCompareSparseTraceFavorsDyadic(t *testing.T) {
 func TestCompareStopsOnError(t *testing.T) {
 	ps := []Policy{DelayGuaranteed(1, 0.01), OfflineOptimal(1, 2)}
 	trace := arrivals.Poisson(0.01, 5, 1) // far more than 2 arrivals
-	if _, err := Compare(ps, trace, 5); err == nil {
+	if _, err := Compare(context.Background(), ps, trace, 5); err == nil {
 		t.Errorf("Compare should propagate the offline-optimal size error")
 	}
-	if !strings.Contains(err2str(Compare(ps, trace, 5)), "offline optimal") {
+	if !strings.Contains(err2str(Compare(context.Background(), ps, trace, 5)), "offline optimal") {
 		t.Errorf("error should identify the failing policy")
 	}
 }
@@ -163,7 +164,7 @@ func err2str(_ map[string]float64, err error) string {
 }
 
 func TestOfflineOptimalEmptyTrace(t *testing.T) {
-	c, err := OfflineOptimal(1, 0).Serve(arrivals.Trace{}, 5)
+	c, err := OfflineOptimal(1, 0).Serve(context.Background(), arrivals.Trace{}, 5)
 	if err != nil || c != 0 {
 		t.Errorf("empty trace should cost 0, got %v, %v", c, err)
 	}
@@ -182,7 +183,7 @@ func TestStandardConstantRateParams(t *testing.T) {
 	// The constant-rate variant must use beta = F_h/L per Section 4.2; just
 	// check it produces a valid, distinct policy set.
 	ps := Standard(1, 0.01, false)
-	costs, err := Compare(ps, arrivals.Constant(0.005, 5), 5)
+	costs, err := Compare(context.Background(), ps, arrivals.Constant(0.005, 5), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,12 +195,12 @@ func TestStandardConstantRateParams(t *testing.T) {
 func TestCompareParallelMatchesSerial(t *testing.T) {
 	trace := arrivals.Poisson(0.01, 3, 5)
 	policies := Standard(1.0, 0.01, true)
-	serial, err := Compare(policies, trace, 3)
+	serial, err := Compare(context.Background(), policies, trace, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 8} {
-		parallel, err := CompareParallel(policies, trace, 3, workers)
+		parallel, err := CompareParallel(context.Background(), policies, trace, 3, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +222,7 @@ func TestOfflineOptimalDefaultCapRaised(t *testing.T) {
 	if len(trace) <= 5000 {
 		t.Fatalf("trace has only %d arrivals; want > 5000 to exercise the raised cap", len(trace))
 	}
-	cost, err := OfflineOptimal(1.0, 0).Serve(trace, 100)
+	cost, err := OfflineOptimal(1.0, 0).Serve(context.Background(), trace, 100)
 	if err != nil {
 		t.Fatalf("offline optimal refused a %d-arrival trace: %v", len(trace), err)
 	}

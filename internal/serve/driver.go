@@ -71,10 +71,10 @@ func GenerateRequests(cat multiobject.Catalog, cfg LoadConfig) ([]Request, error
 		return nil, err
 	}
 	if cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("serve: load horizon must be positive, got %g", cfg.Horizon)
+		return nil, fmt.Errorf("%w: load horizon must be positive, got %g", ErrBadConfig, cfg.Horizon)
 	}
 	if cfg.MeanInterArrival <= 0 {
-		return nil, fmt.Errorf("serve: load mean inter-arrival must be positive, got %g", cfg.MeanInterArrival)
+		return nil, fmt.Errorf("%w: load mean inter-arrival must be positive, got %g", ErrBadConfig, cfg.MeanInterArrival)
 	}
 	ramp := cfg.RampFactor
 	if ramp <= 0 {
@@ -107,7 +107,7 @@ func GenerateRequests(cat multiobject.Catalog, cfg LoadConfig) ([]Request, error
 		case RampArrivals:
 			tr = arrivals.Ramp(mean, mean/ramp, cfg.Horizon, cfg.Seed+int64(i))
 		default:
-			return nil, fmt.Errorf("serve: unknown arrival kind %d", int(cfg.Kind))
+			return nil, fmt.Errorf("%w: unknown arrival kind %d", ErrBadConfig, int(cfg.Kind))
 		}
 		for _, t := range tr {
 			all = append(all, timed{t: t, obj: i})
@@ -195,7 +195,7 @@ func RunHTTPDriver(baseURL string, reqs []Request, concurrency int) (*Report, er
 			for req := range work {
 				body, _ := json.Marshal(req)
 				t0 := time.Now()
-				resp, err := client.Post(baseURL+"/request", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(baseURL+APIVersion+"/request", "application/json", bytes.NewReader(body))
 				lat := time.Since(t0).Seconds()
 				if err != nil {
 					mu.Lock()
@@ -230,7 +230,7 @@ func RunHTTPDriver(baseURL string, reqs []Request, concurrency int) (*Report, er
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	resp, err := client.Get(baseURL + "/stats")
+	resp, err := client.Get(baseURL + APIVersion + "/stats")
 	if err == nil {
 		var st Stats
 		if json.NewDecoder(resp.Body).Decode(&st) == nil {

@@ -10,6 +10,7 @@ package serve_test
 // groups incrementally as virtual time passes.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestLiveMatchesBatchWorkload(t *testing.T) {
 	for _, wl := range workloads() {
 		wl := wl
 		t.Run(wl.name, func(t *testing.T) {
-			batch, err := sim.RunWorkload(sim.WorkloadConfig{
+			batch, err := sim.RunWorkload(context.Background(), sim.WorkloadConfig{
 				Catalog:          wl.cat,
 				Horizon:          wl.horizon,
 				MeanInterArrival: wl.mean,

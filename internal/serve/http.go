@@ -11,13 +11,45 @@ import (
 	"time"
 )
 
-// Handler returns the HTTP JSON API for the server:
+// APIVersion is the current HTTP API version prefix.
+const APIVersion = "/v1"
+
+// maxRequestBody bounds the body of the single-request route; a Request
+// is a name and a timestamp, so 1 MiB is already generous.
+const maxRequestBody = 1 << 20
+
+// maxBatchBody and maxBatchRequests bound the batch-admission route so a
+// single POST cannot exhaust server memory: the body is capped before
+// decoding and the decoded array is capped before any Submit runs.
+const (
+	maxBatchBody     = 8 << 20
+	maxBatchRequests = 10000
+)
+
+// BatchResult is one entry of the /v1/requests batch-admission response:
+// either a ticket or a per-request error (the batch itself still returns
+// 200 so one bad object name cannot fail the whole batch).
+type BatchResult struct {
+	Ticket *Ticket `json:"ticket,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// Handler returns the HTTP JSON API for the server.  The canonical routes
+// are versioned:
 //
-//	POST /request        {"object":"name","t":12.5}  -> Ticket
-//	GET  /stats          -> Stats
-//	GET  /objects/{name} -> ObjectStats
-//	GET  /healthz        -> "ok"
-//	GET  /metrics        -> expvar-style flat JSON counter map
+//	POST /v1/request         {"object":"name","t":12.5}    -> Ticket
+//	POST /v1/requests        [{"object":"a"},{...}, ...]   -> []BatchResult
+//	GET  /v1/stats           -> Stats
+//	GET  /v1/objects/{name}  -> ObjectStats
+//	GET  /v1/healthz         -> "ok"
+//	GET  /v1/metrics         -> expvar-style flat JSON counter map
+//
+// The original unversioned routes (/request, /stats, /objects/{name},
+// /healthz, /metrics) are kept as deprecated aliases: they run the exact
+// same handlers and return byte-identical bodies, but mark themselves with
+// a "Deprecation: true" header and a Link header pointing at the /v1
+// successor.  New clients should use /v1 only; the aliases exist so
+// pre-/v1 deployments keep working.
 //
 // A request body without "t" (or with a negative one) is stamped with the
 // wall clock in Config.TimeUnit units since the server started, which is
@@ -25,77 +57,143 @@ import (
 // timestamps instead for deterministic replay.
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/request", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		req := Request{T: -1}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
-			return
+	route := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc(APIVersion+path, h)
+		mux.HandleFunc(path, deprecated(APIVersion+path, h))
+	}
+	route("/request", s.handleRequest)
+	route("/stats", s.handleStats)
+	route("/objects/", s.handleObject)
+	route("/healthz", handleHealthz)
+	route("/metrics", s.handleMetrics)
+	// The batch-admission endpoint is new in /v1; it has no legacy alias.
+	mux.HandleFunc(APIVersion+"/requests", s.handleBatch)
+	return mux
+}
+
+// deprecated wraps a legacy route handler so responses advertise the /v1
+// successor (RFC 8594 style) while keeping the body identical.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req := Request{T: -1}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	ticket, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrUnknownObject):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	status := http.StatusOK
+	if ticket.Decision == Rejected {
+		// The catalog object exists but the admission controller
+		// declined: overloaded, try again later (or elsewhere).
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ticket)
+}
+
+// handleBatch admits an array of requests in order through the same Submit
+// path as the single-request route, answering one BatchResult per input.
+// Requests for the same object are therefore processed in array order, so a
+// deterministic virtual-time batch replays exactly like the same sequence
+// of single requests.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var raw []json.RawMessage
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&raw); err != nil {
+		http.Error(w, fmt.Sprintf("bad batch body (want a JSON array of requests, at most %d MiB): %v",
+			maxBatchBody>>20, err), http.StatusBadRequest)
+		return
+	}
+	if len(raw) > maxBatchRequests {
+		http.Error(w, fmt.Sprintf("batch of %d requests exceeds the %d-request limit", len(raw), maxBatchRequests),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	out := make([]BatchResult, len(raw))
+	for i, msg := range raw {
+		req := Request{T: -1} // absent "t" means wall-clock stamping, like /v1/request
+		if err := json.Unmarshal(msg, &req); err != nil {
+			out[i] = BatchResult{Error: fmt.Sprintf("bad request %d: %v", i, err)}
+			continue
 		}
 		ticket, err := s.Submit(req)
-		switch {
-		case errors.Is(err, ErrUnknownObject):
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		case errors.Is(err, ErrClosed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		status := http.StatusOK
-		if ticket.Decision == Rejected {
-			// The catalog object exists but the admission controller
-			// declined: overloaded, try again later (or elsewhere).
-			status = http.StatusServiceUnavailable
-		}
-		writeJSON(w, status, ticket)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.Stats()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
+			out[i] = BatchResult{Error: err.Error()}
+			continue
 		}
-		writeJSON(w, http.StatusOK, st)
+		out[i] = BatchResult{Ticket: &ticket}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Path
+	name = strings.TrimPrefix(name, APIVersion)
+	name = strings.TrimPrefix(name, "/objects/")
+	if name == "" {
+		http.Error(w, "missing object name", http.StatusBadRequest)
+		return
+	}
+	os, err := s.Object(name)
+	switch {
+	case errors.Is(err, ErrUnknownObject):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, os)
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Flat expvar-style counter map, cheap enough to poll: counters are
+	// atomics and the gauge is a single load (no shard round-trips).
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"serve.admitted":      s.admitted.Load(),
+		"serve.degraded":      s.degraded.Load(),
+		"serve.rejected":      s.rejected.Load(),
+		"serve.unknown":       s.unknown.Load(),
+		"serve.live_channels": s.gauge.Load(),
 	})
-	mux.HandleFunc("/objects/", func(w http.ResponseWriter, r *http.Request) {
-		name := strings.TrimPrefix(r.URL.Path, "/objects/")
-		if name == "" {
-			http.Error(w, "missing object name", http.StatusBadRequest)
-			return
-		}
-		os, err := s.Object(name)
-		switch {
-		case errors.Is(err, ErrUnknownObject):
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		writeJSON(w, http.StatusOK, os)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		// Flat expvar-style counter map, cheap enough to poll: counters are
-		// atomics and the gauge is a single load (no shard round-trips).
-		writeJSON(w, http.StatusOK, map[string]int64{
-			"serve.admitted":      s.admitted.Load(),
-			"serve.degraded":      s.degraded.Load(),
-			"serve.rejected":      s.rejected.Load(),
-			"serve.unknown":       s.unknown.Load(),
-			"serve.live_channels": s.gauge.Load(),
-		})
-	})
-	return mux
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -34,6 +34,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -223,7 +224,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	if len(cfg.Catalog) == 0 {
-		return nil, fmt.Errorf("serve: catalog is empty")
+		return nil, fmt.Errorf("%w: catalog is empty", ErrBadConfig)
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -256,10 +257,20 @@ func shardIndex(name string, shards int) int {
 }
 
 // ErrClosed is returned by operations on a closed server.
-var ErrClosed = fmt.Errorf("serve: server is closed")
+var ErrClosed = errors.New("serve: server is closed")
 
 // ErrUnknownObject is returned for requests naming no catalog object.
-var ErrUnknownObject = fmt.Errorf("serve: unknown object")
+var ErrUnknownObject = errors.New("serve: unknown object")
+
+// ErrBadConfig marks invalid server or load-generator configuration
+// (empty catalog, non-positive horizon or inter-arrival time, unknown
+// arrival kind), so callers can classify setup failures with errors.Is
+// through the public facade.
+var ErrBadConfig = errors.New("serve: invalid configuration")
+
+// ErrBadRequest marks invalid runtime arguments to a live server (e.g. a
+// non-positive drain horizon).
+var ErrBadRequest = errors.New("serve: invalid request")
 
 // Now returns the wall-clock virtual time: Config.TimeUnit units since the
 // server started.
@@ -356,7 +367,7 @@ func (r *DrainResult) AverageChannels() float64 {
 // virtual-clock runs, after which the server should be Closed.
 func (s *Server) Drain(horizon float64) (*DrainResult, error) {
 	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
-		return nil, fmt.Errorf("serve: drain horizon must be positive and finite, got %g", horizon)
+		return nil, fmt.Errorf("%w: drain horizon must be positive and finite, got %g", ErrBadRequest, horizon)
 	}
 	snaps, err := s.gather(func(reply chan shardSnapshot) any { return drainMsg{horizon: horizon, reply: reply} })
 	if err != nil {

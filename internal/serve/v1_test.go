@@ -1,0 +1,173 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/multiobject"
+	"repro/internal/serve"
+)
+
+// fetch performs one request and returns status, headers, and body.
+func fetch(t *testing.T, method, url, body string) (int, http.Header, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+// TestV1LegacyRouteParity pins the satellite requirement: every legacy
+// unversioned route is a thin alias of its /v1 successor — same status,
+// byte-identical body — and the legacy variant (and only it) advertises its
+// deprecation and successor.
+func TestV1LegacyRouteParity(t *testing.T) {
+	// Mutating routes are compared across two identically-configured
+	// servers replaying the same virtual-time request, which is
+	// deterministic; read-only routes are compared on one server.
+	newServer := func() *httptest.Server {
+		s, err := serve.New(serve.Config{Catalog: multiobject.ZipfCatalog(4, 1.0, 0.1, 1.0), Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(serve.Handler(s))
+		t.Cleanup(func() { hs.Close(); s.Close() })
+		return hs
+	}
+	hsV1, hsLegacy := newServer(), newServer()
+	const reqBody = `{"object":"object-01","t":0.42}`
+
+	cases := []struct {
+		method, path, body string
+		splitServers       bool // POST mutates: replay against separate servers
+	}{
+		{"POST", "/request", reqBody, true},
+		{"GET", "/stats", "", false},
+		{"GET", "/objects/object-01", "", false},
+		{"GET", "/objects/none", "", false},
+		{"GET", "/healthz", "", false},
+		{"GET", "/metrics", "", false},
+	}
+	for _, tc := range cases {
+		legacyHost := hsV1
+		if tc.splitServers {
+			legacyHost = hsLegacy
+		}
+		v1Status, v1Hdr, v1Body := fetch(t, tc.method, hsV1.URL+serve.APIVersion+tc.path, tc.body)
+		lgStatus, lgHdr, lgBody := fetch(t, tc.method, legacyHost.URL+tc.path, tc.body)
+		if v1Status != lgStatus {
+			t.Errorf("%s %s: status v1=%d legacy=%d", tc.method, tc.path, v1Status, lgStatus)
+		}
+		if v1Body != lgBody {
+			t.Errorf("%s %s: bodies differ\nv1:     %s\nlegacy: %s", tc.method, tc.path, v1Body, lgBody)
+		}
+		if got := lgHdr.Get("Deprecation"); got != "true" {
+			t.Errorf("%s %s: legacy Deprecation header = %q, want \"true\"", tc.method, tc.path, got)
+		}
+		if link := lgHdr.Get("Link"); !strings.Contains(link, serve.APIVersion) || !strings.Contains(link, `rel="successor-version"`) {
+			t.Errorf("%s %s: legacy Link header = %q, want /v1 successor-version", tc.method, tc.path, link)
+		}
+		if got := v1Hdr.Get("Deprecation"); got != "" {
+			t.Errorf("%s %s: /v1 route carries Deprecation header %q", tc.method, tc.path, got)
+		}
+	}
+}
+
+// TestV1BatchAdmission exercises the new /v1/requests endpoint: an array of
+// requests is admitted in order through the same path as single requests,
+// per-item failures don't fail the batch, and the resulting tickets are
+// identical to sequential single-request submissions on an identical
+// server.
+func TestV1BatchAdmission(t *testing.T) {
+	cat := multiobject.ZipfCatalog(4, 1.0, 0.1, 1.0)
+	mk := func() *httptest.Server {
+		s, err := serve.New(serve.Config{Catalog: cat, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(serve.Handler(s))
+		t.Cleanup(func() { hs.Close(); s.Close() })
+		return hs
+	}
+	batchHost, singleHost := mk(), mk()
+
+	reqs := []serve.Request{
+		{Object: "object-01", T: 0.1},
+		{Object: "object-02", T: 0.2},
+		{Object: "no-such-object", T: 0.3},
+		{Object: "object-01", T: 0.4},
+	}
+	body, _ := json.Marshal(reqs)
+	status, _, out := fetch(t, "POST", batchHost.URL+serve.APIVersion+"/requests", string(body))
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200 (body %s)", status, out)
+	}
+	var results []serve.BatchResult
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("batch response: %v\n%s", err, out)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(results), len(reqs))
+	}
+	for i, req := range reqs {
+		single, _ := json.Marshal(req)
+		st, _, one := fetch(t, "POST", singleHost.URL+serve.APIVersion+"/request", string(single))
+		if req.Object == "no-such-object" {
+			if results[i].Error == "" || results[i].Ticket != nil {
+				t.Errorf("batch[%d]: want per-item error for unknown object, got %+v", i, results[i])
+			}
+			if st != http.StatusNotFound {
+				t.Errorf("single unknown object status = %d, want 404", st)
+			}
+			continue
+		}
+		if results[i].Ticket == nil {
+			t.Fatalf("batch[%d]: missing ticket: %+v", i, results[i])
+		}
+		got, _ := json.Marshal(results[i].Ticket)
+		var want serve.Ticket
+		if err := json.Unmarshal([]byte(one), &want); err != nil {
+			t.Fatalf("single ticket: %v", err)
+		}
+		wantJSON, _ := json.Marshal(want)
+		if string(got) != string(wantJSON) {
+			t.Errorf("batch[%d] ticket = %s, want %s (must equal the single-request path)", i, got, wantJSON)
+		}
+	}
+
+	// Malformed bodies and wrong methods are rejected up front.
+	if st, _, _ := fetch(t, "POST", batchHost.URL+serve.APIVersion+"/requests", `{"object":"x"}`); st != http.StatusBadRequest {
+		t.Errorf("non-array batch body status = %d, want 400", st)
+	}
+	if st, _, _ := fetch(t, "GET", batchHost.URL+serve.APIVersion+"/requests", ""); st != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch status = %d, want 405", st)
+	}
+	// The batch endpoint is /v1-only: no deprecated alias exists.
+	if st, _, _ := fetch(t, "POST", batchHost.URL+"/requests", string(body)); st != http.StatusNotFound {
+		t.Errorf("legacy /requests status = %d, want 404 (new endpoints are versioned only)", st)
+	}
+	// Oversized batches are refused before any request is admitted.
+	huge := make([]serve.Request, 10001)
+	for i := range huge {
+		huge[i] = serve.Request{Object: "object-01", T: float64(i)}
+	}
+	hugeBody, _ := json.Marshal(huge)
+	if st, _, _ := fetch(t, "POST", batchHost.URL+serve.APIVersion+"/requests", string(hugeBody)); st != http.StatusRequestEntityTooLarge {
+		t.Errorf("10001-entry batch status = %d, want 413", st)
+	}
+}
+

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -89,7 +90,11 @@ func (r *WorkloadResult) AverageChannels() float64 {
 // have no client to simulate — the broadcast plan, and therefore the
 // bandwidth, is that of the on-line algorithm either way, which is what
 // makes the delay-guaranteed server's cost workload-oblivious (Section 4.2).
-func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
+//
+// Large catalogs can take seconds, so RunWorkload honors ctx: cancellation
+// is observed between objects (one object's simulation is the work unit)
+// and the error wraps ctx.Err().
+func RunWorkload(ctx context.Context, cfg WorkloadConfig) (*WorkloadResult, error) {
 	if err := cfg.Catalog.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,6 +114,9 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	usage := bandwidth.New()
 	out := &WorkloadResult{Horizon: cfg.Horizon}
 	for i, o := range cfg.Catalog {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: workload canceled: %w", err)
+		}
 		// Object i's share of the aggregate request rate.
 		share := 1 / float64(len(cfg.Catalog))
 		if popTotal > 0 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -20,7 +21,7 @@ func testWorkloadConfig() WorkloadConfig {
 }
 
 func TestRunWorkloadPoissonZipf(t *testing.T) {
-	res, err := RunWorkload(testWorkloadConfig())
+	res, err := RunWorkload(context.Background(), testWorkloadConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +62,11 @@ func TestRunWorkloadPoissonZipf(t *testing.T) {
 }
 
 func TestRunWorkloadDeterministic(t *testing.T) {
-	a, err := RunWorkload(testWorkloadConfig())
+	a, err := RunWorkload(context.Background(), testWorkloadConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunWorkload(testWorkloadConfig())
+	b, err := RunWorkload(context.Background(), testWorkloadConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRunWorkloadDeterministic(t *testing.T) {
 func TestRunWorkloadConstantRate(t *testing.T) {
 	cfg := testWorkloadConfig()
 	cfg.Poisson = false
-	res, err := RunWorkload(cfg)
+	res, err := RunWorkload(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestRunWorkloadValidation(t *testing.T) {
 	for _, tc := range cases {
 		cfg := testWorkloadConfig()
 		tc.mut(&cfg)
-		if _, err := RunWorkload(cfg); err == nil {
+		if _, err := RunWorkload(context.Background(), cfg); err == nil {
 			t.Errorf("%s: expected an error", tc.name)
 		}
 	}

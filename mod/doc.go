@@ -1,0 +1,59 @@
+// Package mod is the public facade of the Media-on-Demand stream-merging
+// system: one stable, composable API over every algorithm family in the
+// repository — the paper's on-line delay-guaranteed algorithm, the exact
+// off-line optimum (immediate and batched service), the dyadic baselines,
+// pure batching, the Section 5 hybrid, and the unicast strawman — plus the
+// trace generators, the slotted broadcast planner, the multi-object
+// catalog planner, the discrete-event simulator, and the live admission
+// server.  Everything under internal/ is reachable through this package;
+// cmd/ binaries and examples/ compile against it exclusively (a CI test
+// pins that).
+//
+// # Planners
+//
+// The core abstraction is the Planner: give it a problem Instance (client
+// arrival times and a horizon), get back a Plan (the total server
+// bandwidth in complete media streams, plus planner-specific detail).
+// Planners are obtained from a string-keyed registry:
+//
+//	p, err := mod.New("online", mod.WithDelay(0.01))
+//	plan, err := p.Plan(ctx, mod.Instance{Arrivals: trace, Horizon: 100})
+//
+// The built-in planner names are stable (a golden-list test pins them):
+//
+//	online           the paper's delay-guaranteed on-line algorithm
+//	offline          exact off-line optimum, immediate service (interval DP)
+//	offline-batched  exact off-line optimum with batched (delayed) service
+//	dyadic           immediate-service dyadic stream merging
+//	dyadic-batched   batched dyadic stream merging
+//	batching         merging-free batching (one full stream per busy slot)
+//	hybrid           Section 5 hybrid (delay-guaranteed when loaded, dyadic when idle)
+//	unicast          no sharing: a private full stream per client
+//
+// Third parties can Register additional planners under new names.
+//
+// Behavior is configured with functional options (WithDelay, WithWorkers,
+// WithChannelCap, WithMemoryBudget, WithHorizon, ...), applied at New time
+// and overridable per Plan call.  Every Plan takes a context.Context;
+// long-running planners (the off-line DP can run for seconds at large n)
+// abort within one DP work unit of the context being done.
+//
+// # Errors
+//
+// Failures wrap stable sentinel errors, testable with errors.Is through
+// every layer: ErrUnknownPlanner, ErrBadInstance, ErrInstanceTooLarge,
+// ErrCapacity, and ErrCanceled.
+//
+// # Beyond planners
+//
+// The facade also surfaces, as thin wrappers and type aliases over the
+// internal packages:
+//
+//   - trace generation (Poisson, Constant, Ramp, MergeTraces),
+//   - the slotted broadcast planner and simulator (OnlineForest,
+//     OfflineForest, BuildSchedule, Simulate, ...),
+//   - multi-object catalog planning (ZipfCatalog, PlanCatalog, FitDelays,
+//     PopularityAwareDelays) and the workload simulator (RunWorkload),
+//   - the live sharded admission server and its versioned /v1 HTTP API
+//     (NewServer, ListenAndServe, GenerateRequests, RunDriver, ...).
+package mod

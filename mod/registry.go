@@ -1,0 +1,69 @@
+package mod
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds a Planner configured with the given base options.  It is
+// called once per New; the returned Planner may be used concurrently.
+type Factory func(opts ...Option) (Planner, error)
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: map[string]Factory{}}
+
+// Register adds a planner factory under a name.  It panics on an empty
+// name, a nil factory, or a duplicate registration — planner names are
+// part of the public API surface (a golden test pins the built-in list),
+// so collisions are programming errors, not runtime conditions.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("mod: Register with empty planner name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("mod: Register(%q) with nil factory", name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("mod: planner %q registered twice", name))
+	}
+	registry.m[name] = f
+}
+
+// New builds the named planner with the given base options.  Unknown names
+// fail with an error wrapping ErrUnknownPlanner (the message lists the
+// registered names).
+func New(name string, opts ...Option) (Planner, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownPlanner, name, Planners())
+	}
+	return f(opts...)
+}
+
+// MustNew is New for registration-time-known names; it panics on error.
+func MustNew(name string, opts ...Option) Planner {
+	p, err := New(name, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Planners returns the sorted names of every registered planner.
+func Planners() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,64 @@
+package mod_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/mod"
+)
+
+// TestRegistryStable is the registry-stability golden test: the built-in
+// planner names are public API and may only ever grow.  If this test
+// fails, a planner was renamed or removed — that is a breaking change;
+// update the golden list only for additions.
+func TestRegistryStable(t *testing.T) {
+	golden := []string{
+		"batching",
+		"dyadic",
+		"dyadic-batched",
+		"hybrid",
+		"offline",
+		"offline-batched",
+		"online",
+		"unicast",
+	}
+	got := mod.Planners()
+	if !reflect.DeepEqual(got, golden) {
+		t.Fatalf("registered planners = %v, want the golden list %v", got, golden)
+	}
+	for _, name := range golden {
+		p, err := mod.New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+}
+
+func TestNewUnknownPlanner(t *testing.T) {
+	_, err := mod.New("no-such-planner")
+	if !errors.Is(err, mod.ErrUnknownPlanner) {
+		t.Fatalf("New(no-such-planner) error = %v, want ErrUnknownPlanner", err)
+	}
+}
+
+func TestRegisterGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { mod.Register("", func(...mod.Option) (mod.Planner, error) { return nil, nil }) })
+	mustPanic("nil factory", func() { mod.Register("x-nil-factory", nil) })
+	mustPanic("duplicate", func() {
+		mod.Register("online", func(...mod.Option) (mod.Planner, error) { return nil, nil })
+	})
+}

@@ -1,0 +1,100 @@
+package mod
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// The live layer: the long-running, sharded Media-on-Demand admission
+// server and its closed-loop load generator, re-exported so deployments
+// wire everything through the facade.
+
+// ServeConfig configures a live admission server (catalog, shards,
+// channel cap, degradation policy, clock).
+type ServeConfig = serve.Config
+
+// Server is the live sharded admission server.
+type Server = serve.Server
+
+// Request is one client request for a catalog object.
+type Request = serve.Request
+
+// Ticket is the server's answer to a request.
+type Ticket = serve.Ticket
+
+// Decision is the admission outcome recorded on a Ticket.
+type Decision = serve.Decision
+
+// Admission outcomes.
+const (
+	Admitted = serve.Admitted
+	Degraded = serve.Degraded
+	Rejected = serve.Rejected
+)
+
+// ServerStats is a server-wide counter snapshot.
+type ServerStats = serve.Stats
+
+// ObjectStats is the live accounting snapshot for one object.
+type ObjectStats = serve.ObjectStats
+
+// DrainResult is the final accounting of a drained server.
+type DrainResult = serve.DrainResult
+
+// LoadConfig describes a deterministic request load.
+type LoadConfig = serve.LoadConfig
+
+// ArrivalKind selects the load generator's arrival process.
+type ArrivalKind = serve.ArrivalKind
+
+// Load-generator arrival processes.
+const (
+	ConstantArrivals = serve.ConstantArrivals
+	PoissonArrivals  = serve.PoissonArrivals
+	RampArrivals     = serve.RampArrivals
+)
+
+// LoadReport is the closed-loop load generator's outcome.
+type LoadReport = serve.Report
+
+// APIVersion is the live server's HTTP API version prefix ("/v1").  The
+// canonical routes are POST /v1/request, POST /v1/requests (batch),
+// GET /v1/stats, GET /v1/objects/{name}, GET /v1/healthz, and
+// GET /v1/metrics; the unversioned spellings remain as deprecated aliases.
+const APIVersion = serve.APIVersion
+
+// NewServer builds a live admission server over the catalog and starts its
+// shard event loops.  Close it when done.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// Handler returns the server's versioned HTTP JSON API.
+func Handler(s *Server) http.Handler { return serve.Handler(s) }
+
+// ListenAndServe binds addr, reports the bound address through onReady
+// (useful with ":0"), and serves the HTTP API until ctx is cancelled, then
+// shuts down gracefully.
+func ListenAndServe(ctx context.Context, addr string, s *Server, onReady func(boundAddr string)) error {
+	return serve.ListenAndServe(ctx, addr, s, onReady)
+}
+
+// GenerateRequests builds the deterministic, time-sorted request sequence
+// for a catalog under a load configuration (fixed seed = identical
+// replay).
+func GenerateRequests(cat Catalog, cfg LoadConfig) ([]Request, error) {
+	return serve.GenerateRequests(cat, cfg)
+}
+
+// RunDriver replays a request sequence against an in-process server in
+// strict time order and drains it at the horizon — the deterministic path
+// the equivalence tests pin against the batch simulator.
+func RunDriver(s *Server, reqs []Request, horizon float64) (*LoadReport, error) {
+	return serve.RunDriver(s, reqs, horizon)
+}
+
+// RunHTTPDriver replays a request sequence against a live HTTP endpoint
+// with the given concurrency, measuring round-trip latencies.
+func RunHTTPDriver(baseURL string, reqs []Request, concurrency int) (*LoadReport, error) {
+	return serve.RunHTTPDriver(baseURL, reqs, concurrency)
+}

@@ -1,0 +1,102 @@
+package mod
+
+import (
+	"repro/internal/batching"
+	"repro/internal/core"
+	"repro/internal/mergetree"
+	"repro/internal/online"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// The slotted layer: the paper's combinatorial objects for the case where
+// clients arrive at slot boundaries (one slot = one guaranteed start-up
+// delay).  These are aliases and thin wrappers so that callers can build,
+// print, and simulate concrete broadcast plans through the facade alone.
+
+// Forest is a merge forest: which slots start full streams and how the
+// remaining slots' streams merge into them.
+type Forest = mergetree.Forest
+
+// Tree is one merge tree of a forest.
+type Tree = mergetree.Tree
+
+// Schedule is a concrete broadcast schedule compiled from a Forest: the
+// per-stream transmission windows and the per-client receiving programs.
+type Schedule = schedule.ForestSchedule
+
+// ClientProgram is one client's receiving program.
+type ClientProgram = schedule.Program
+
+// SimResult is the discrete-event simulator's outcome for a Schedule.
+type SimResult = sim.Result
+
+// SlottedMergeCost returns M(n), the optimal merge cost of one tree over n
+// consecutive slot arrivals (Eq. 6 of the paper).
+func SlottedMergeCost(n int64) int64 { return core.MergeCost(n) }
+
+// OfflineCost returns F(L, n), the optimal off-line full cost (in
+// slot-units) of serving one arrival per slot over horizon n with media
+// length L slots.
+func OfflineCost(L, n int64) int64 { return core.FullCost(L, n) }
+
+// OfflineStreamCount returns the number of full streams an optimal
+// off-line plan uses.
+func OfflineStreamCount(L, n int64) int64 { return core.OptimalStreamCount(L, n) }
+
+// OnlineCost returns the on-line delay-guaranteed algorithm's total
+// bandwidth in complete media streams for media length L slots over
+// horizon n slots.
+func OnlineCost(L, n int64) float64 { return online.NormalizedCost(L, n) }
+
+// SlottedBatchingCost returns the merging-free batching cost (in
+// slot-units) for the same setting: n full streams of length L.
+func SlottedBatchingCost(L, n int64) int64 { return batching.DelayGuaranteedCost(L, n) }
+
+// OfflineForest builds the optimal off-line merge forest for media length
+// L slots over horizon n slots (Theorems 7, 10, 12).
+func OfflineForest(L, n int64) *Forest { return core.OptimalForest(L, n) }
+
+// OfflineForestBuffered is OfflineForest under a client buffer bound of B
+// slots (Section 3.3).
+func OfflineForestBuffered(L, B, n int64) *Forest { return core.OptimalForestBuffered(L, B, n) }
+
+// OfflineForestAll is OfflineForest in the receive-all client model
+// (Section 3.4).
+func OfflineForestAll(L, n int64) *Forest { return core.OptimalForestAll(L, n) }
+
+// OnlineForest builds the on-line delay-guaranteed algorithm's oblivious
+// broadcast plan: the static F_h merge-tree template repeated over n slots.
+func OnlineForest(L, n int64) *Forest { return online.NewServer(L).Forest(n) }
+
+// OptimalTree returns an optimal merge tree over n slot arrivals.
+func OptimalTree(n int64) *Tree { return core.OptimalTree(n) }
+
+// OptimalTreeAll is OptimalTree in the receive-all model.
+func OptimalTreeAll(n int64) *Tree { return core.OptimalTreeAll(n) }
+
+// EnumerateOptimalTrees returns every optimal merge tree over n arrivals
+// starting at slot `first`, with their common merge cost (small n only —
+// the count grows like the Catalan numbers).
+func EnumerateOptimalTrees(first int64, n int) ([]*Tree, int64) {
+	return mergetree.EnumerateOptimal(first, n)
+}
+
+// NewForest returns an empty merge forest for media length L slots; add
+// trees with its Add method.
+func NewForest(L int64) *Forest { return mergetree.NewForest(L) }
+
+// BuildSchedule compiles a merge forest into a concrete broadcast
+// schedule with per-client receiving programs (Fig. 3).
+func BuildSchedule(f *Forest) (*Schedule, error) { return schedule.Build(f) }
+
+// Simulate executes a schedule slot by slot on the indexed discrete-event
+// engine (workers <= 0 uses all CPUs) and reports bandwidth, peak, client
+// buffer occupancy, and playback stalls.
+func Simulate(fs *Schedule, workers int) (*SimResult, error) {
+	return sim.RunScheduleWorkers(fs, workers)
+}
+
+// SimulateForest builds the schedule for a forest and simulates it in one
+// step.
+func SimulateForest(f *Forest) (*SimResult, error) { return sim.RunForest(f) }

@@ -1,0 +1,39 @@
+package mod
+
+import "repro/internal/arrivals"
+
+// Trace generators.  All return strictly increasing arrival times in
+// [0, span), directly usable as Instance.Arrivals.  The generators are
+// deterministic in their seed: a fixed seed replays the identical trace,
+// which is how every published number in this repository stays
+// reproducible from the command line.
+
+// Poisson returns a Poisson arrival trace with the given mean
+// inter-arrival time over [0, span).
+func Poisson(meanInterArrival, span float64, seed int64) []float64 {
+	return arrivals.Poisson(meanInterArrival, span, seed)
+}
+
+// Constant returns a deterministic constant-rate trace: one arrival every
+// meanInterArrival time units over [0, span).
+func Constant(meanInterArrival, span float64) []float64 {
+	return arrivals.Constant(meanInterArrival, span)
+}
+
+// Ramp returns a nonhomogeneous Poisson trace whose rate ramps linearly
+// from 1/startMean to 1/endMean over [0, span) — a prime-time evening.
+func Ramp(startMean, endMean, span float64, seed int64) []float64 {
+	return arrivals.Ramp(startMean, endMean, span, seed)
+}
+
+// MergeTraces merges two sorted traces into one sorted trace.
+func MergeTraces(a, b []float64) []float64 {
+	return arrivals.Merge(arrivals.Trace(a), arrivals.Trace(b))
+}
+
+// BatchTimes batches a trace into service slots of the given length: each
+// slot with at least one arrival contributes one service time at the slot
+// boundary.  This is the trace the batched planners effectively serve.
+func BatchTimes(trace []float64, slot float64) []float64 {
+	return arrivals.Trace(trace).BatchTimes(slot)
+}

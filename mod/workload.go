@@ -1,0 +1,67 @@
+package mod
+
+import (
+	"context"
+
+	"repro/internal/multiobject"
+	"repro/internal/sim"
+)
+
+// The multi-object layer: planning and simulating a whole catalog served
+// by one delay-guaranteed server (the Section 5 extension).
+
+// Object is one media object of a catalog.
+type Object = multiobject.Object
+
+// Catalog is the set of objects a server carries.
+type Catalog = multiobject.Catalog
+
+// CatalogPlan is the analytic delay-guaranteed plan for a catalog:
+// per-object streams and peaks plus the server-wide peak.
+type CatalogPlan = multiobject.Plan
+
+// FitResult is the outcome of FitDelays.
+type FitResult = multiobject.FitResult
+
+// WorkloadConfig describes a simulated multi-object workload.
+type WorkloadConfig = sim.WorkloadConfig
+
+// WorkloadResult is the simulator's aggregate outcome for a workload.
+type WorkloadResult = sim.WorkloadResult
+
+// ZipfCatalog builds a catalog of k objects of the given length whose
+// popularities follow a Zipf distribution with exponent s, all offered the
+// same start-up delay.
+func ZipfCatalog(k int, length, delay, s float64) Catalog {
+	return multiobject.ZipfCatalog(k, length, delay, s)
+}
+
+// PlanCatalog computes the analytic delay-guaranteed plan for a catalog
+// over the given horizon: every object runs the on-line algorithm with its
+// own delay.
+func PlanCatalog(cat Catalog, horizon float64) (*CatalogPlan, error) {
+	return multiobject.Build(cat, horizon)
+}
+
+// FitDelays finds the smallest uniform delay scaling (>= 1, widening by
+// `step` up to maxScale) for which the catalog's server-wide peak stays
+// within maxChannels — the Section 5 "never decline a request" knob.  An
+// unreachable budget fails with an error wrapping ErrCapacity.
+func FitDelays(cat Catalog, horizon float64, maxChannels int, step, maxScale float64) (*FitResult, error) {
+	return multiobject.FitDelays(cat, horizon, maxChannels, step, maxScale)
+}
+
+// PopularityAwareDelays returns a copy of the catalog with per-object
+// delays assigned by popularity rank: popular objects keep baseDelay,
+// unpopular ones degrade up to maxFactor times it.
+func PopularityAwareDelays(cat Catalog, baseDelay, maxFactor float64) Catalog {
+	return multiobject.PopularityAwareDelays(cat, baseDelay, maxFactor)
+}
+
+// RunWorkload simulates every object of a catalog on the indexed engine
+// under the configured arrival mix and merges the per-object channel usage
+// into a server-wide real-time profile.  Cancelling ctx aborts between
+// objects with an error wrapping ctx.Err().
+func RunWorkload(ctx context.Context, cfg WorkloadConfig) (*WorkloadResult, error) {
+	return sim.RunWorkload(ctx, cfg)
+}
