@@ -6,32 +6,39 @@
 // — POST /v1/request, POST /v1/requests (batch), GET /v1/stats,
 // GET /v1/objects/{name}, GET /v1/healthz, GET /v1/metrics, with the
 // unversioned routes kept as deprecated aliases — shutting down gracefully
-// on SIGINT/SIGTERM.  In "load" mode it replays a
-// deterministic Poisson/constant/ramp request trace against a running
-// server over HTTP and reports latency, admission, and delay histograms.
-// In "bench" mode it does the same in-process with virtual time — the
-// deterministic path the equivalence tests pin against sim.RunWorkload.
-// In "smoke" mode it starts a server on a random port, fires the load
-// driver at it, and exits cleanly (the CI smoke step).
+// on SIGINT/SIGTERM.  Every object is served live by the planner family
+// named with -strategy (any name in mod.LivePlanners(): the natively
+// incremental "online" forest, or epoch-replanned "offline", "dyadic",
+// "batching", "hybrid", ...).  In "load" mode it replays a deterministic
+// Poisson/constant/ramp request trace against a running server over HTTP
+// and reports latency, admission, and delay histograms.  In "bench" mode
+// it replays the trace in-process with virtual time once per strategy in
+// -strategies, measuring throughput and per-request admission latency,
+// and writes the machine-readable results to -out (BENCH_serve.json by
+// default) so the repository's serving performance is tracked across
+// changes.  In "smoke" mode it starts a server on a random port, fires
+// the load driver at it, and exits cleanly (the CI smoke step).
 //
 // The -seed flag fixes the request trace, so every published number is
 // reproducible from the command line.
 //
 // Usage:
 //
-//	modserve -mode serve -addr :8377 -objects 100 -zipf 1 -delay 2 -cap 200
+//	modserve -mode serve -addr :8377 -objects 100 -zipf 1 -delay 2 -cap 200 -strategy online
 //	modserve -mode load -addr http://localhost:8377 -lambda 0.5 -horizon 20 -arrivals poisson -seed 7
-//	modserve -mode bench -objects 50 -lambda 0.5 -horizon 20 -arrivals ramp -seed 7
+//	modserve -mode bench -objects 50 -lambda 0.5 -horizon 20 -strategies online,dyadic,batching -out BENCH_serve.json
 //	modserve -mode smoke
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +57,10 @@ func main() {
 	shards := flag.Int("shards", 0, "scheduler shards (0 = GOMAXPROCS)")
 	step := flag.Float64("step", 1.25, "delay scale step on degradation")
 	maxScale := flag.Float64("maxscale", 8, "maximum delay scale before rejecting")
+	strategy := flag.String("strategy", "online", "live serving strategy (a mod.LivePlanners() name)")
+	epoch := flag.Int("epoch", 0, "epoch replanning period in slots for batch strategies (0 = server default)")
+	strategies := flag.String("strategies", "all", "bench: comma-separated strategies, or \"all\"")
+	out := flag.String("out", "BENCH_serve.json", "bench: machine-readable output file (empty = none)")
 	horizon := flag.Float64("horizon", 20, "load horizon in media lengths (load/bench/smoke)")
 	lambdaPct := flag.Float64("lambda", 0.5, "aggregate mean inter-arrival time as %% of media length")
 	arrKind := flag.String("arrivals", "poisson", "arrival process: constant | poisson | ramp")
@@ -61,12 +72,14 @@ func main() {
 
 	cat := mod.ZipfCatalog(*objects, *length, *length**delayPct/100, *zipf)
 	cfg := mod.ServeConfig{
-		Catalog:       cat,
-		Shards:        *shards,
-		MaxChannels:   *capacity,
-		DegradeStep:   *step,
-		MaxDelayScale: *maxScale,
-		TimeUnit:      *timeUnit,
+		Catalog:         cat,
+		Shards:          *shards,
+		MaxChannels:     *capacity,
+		DegradeStep:     *step,
+		MaxDelayScale:   *maxScale,
+		TimeUnit:        *timeUnit,
+		DefaultStrategy: *strategy,
+		EpochSlots:      *epoch,
 	}
 	load := mod.LoadConfig{
 		Horizon:          *horizon,
@@ -93,8 +106,8 @@ func main() {
 		s, err := mod.NewServer(cfg)
 		exitOn(err)
 		err = mod.ListenAndServe(ctx, *addr, s, func(bound string) {
-			fmt.Printf("modserve: serving %d objects on %s (cap %d, %s per time unit)\n",
-				len(cat), bound, *capacity, *timeUnit)
+			fmt.Printf("modserve: serving %d objects on %s (strategy %s, cap %d, %s per time unit)\n",
+				len(cat), bound, *strategy, *capacity, *timeUnit)
 		})
 		exitOn(err)
 		fmt.Println("modserve: shut down cleanly")
@@ -107,20 +120,11 @@ func main() {
 		exitOn(err)
 		fmt.Printf("modserve: replaying %d requests (%s, seed %d) against %s with %d connections\n",
 			len(reqs), load.Kind, *seed, base, *conc)
-		rep, err := mod.RunHTTPDriver(base, reqs, *conc)
+		rep, err := mod.RunHTTPDriver(context.Background(), base, reqs, *conc)
 		exitOn(err)
 		rep.Render(os.Stdout)
 	case "bench":
-		s, err := mod.NewServer(cfg)
-		exitOn(err)
-		defer s.Close()
-		reqs, err := mod.GenerateRequests(cat, load)
-		exitOn(err)
-		fmt.Printf("modserve: in-process replay of %d requests (%s, seed %d) over %d objects\n",
-			len(reqs), load.Kind, *seed, len(cat))
-		rep, err := mod.RunDriver(s, reqs, *horizon)
-		exitOn(err)
-		rep.Render(os.Stdout)
+		exitOn(bench(cfg, load, benchList(*strategies), *out))
 	case "smoke":
 		exitOn(smoke(cfg, load, *conc))
 		fmt.Println("modserve: smoke ok")
@@ -128,6 +132,143 @@ func main() {
 		fmt.Fprintf(os.Stderr, "modserve: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// benchList resolves the -strategies flag.
+func benchList(s string) []string {
+	if s == "" || s == "all" {
+		return mod.LivePlanners()
+	}
+	return strings.Split(s, ",")
+}
+
+// benchResult is one strategy's row in BENCH_serve.json.
+type benchResult struct {
+	Strategy     string  `json:"strategy"`
+	Requests     int     `json:"requests"`
+	Admitted     int     `json:"admitted"`
+	Degraded     int     `json:"degraded"`
+	Rejected     int     `json:"rejected"`
+	ReqsPerSec   float64 `json:"reqs_per_sec"`
+	P50LatencyUS float64 `json:"p50_admission_latency_us"`
+	P99LatencyUS float64 `json:"p99_admission_latency_us"`
+	CostStreams  float64 `json:"cost_streams"`
+	BusyTime     float64 `json:"busy_time"`
+	Peak         int     `json:"peak"`
+}
+
+// benchOutput is the machine-readable bench report: enough context to
+// reproduce the run plus one row per strategy, so the repository's
+// serving-performance trajectory can be tracked across changes.
+type benchOutput struct {
+	Objects    int           `json:"objects"`
+	Shards     int           `json:"shards"`
+	Horizon    float64       `json:"horizon"`
+	Arrivals   string        `json:"arrivals"`
+	Seed       int64         `json:"seed"`
+	EpochSlots int           `json:"epoch_slots"`
+	Results    []benchResult `json:"results"`
+}
+
+// bench replays the same deterministic request trace in-process once per
+// strategy, measuring per-Submit admission latency and end-to-end
+// throughput, drains each server, and writes the JSON report.
+func bench(cfg mod.ServeConfig, load mod.LoadConfig, strategies []string, outPath string) error {
+	reqs, err := mod.GenerateRequests(cfg.Catalog, load)
+	if err != nil {
+		return err
+	}
+	report := benchOutput{
+		Objects:    len(cfg.Catalog),
+		Horizon:    load.Horizon,
+		Arrivals:   load.Kind.String(),
+		Seed:       load.Seed,
+		EpochSlots: cfg.EpochSlots,
+	}
+	for _, strategy := range strategies {
+		cfg := cfg
+		cfg.DefaultStrategy = strategy
+		s, err := mod.NewServer(cfg)
+		if err != nil {
+			return err
+		}
+		// Record the effective shard count (defaulted and clamped), not the
+		// configured one, so runs on different machines compare honestly.
+		report.Shards = s.Shards()
+		fmt.Printf("=== strategy %s: in-process replay of %d requests (%s, seed %d) over %d objects, %d shards ===\n",
+			strategy, len(reqs), load.Kind, load.Seed, len(cfg.Catalog), s.Shards())
+		res, rep, err := benchStrategy(s, reqs, load.Horizon)
+		s.Close()
+		if err != nil {
+			return err
+		}
+		res.Strategy = strategy
+		report.Results = append(report.Results, res)
+		rep.Render(os.Stdout)
+		fmt.Printf("\nthroughput:           %.0f reqs/s (p50 %.1f us, p99 %.1f us per admission)\n\n",
+			res.ReqsPerSec, res.P50LatencyUS, res.P99LatencyUS)
+	}
+	if outPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("modserve: wrote %s (%d strategies)\n", outPath, len(report.Results))
+	return nil
+}
+
+// benchStrategy replays the trace against one server, timing every Submit.
+// Tickets flow through the report's own Count/Finish accounting, so the
+// rendered output keeps the offered-delay summary and histogram the
+// untimed RunDriver path produces.
+func benchStrategy(s *mod.Server, reqs []mod.Request, horizon float64) (benchResult, *mod.LoadReport, error) {
+	res := benchResult{Requests: len(reqs)}
+	lats := make([]float64, 0, len(reqs))
+	rep := &mod.LoadReport{Requests: len(reqs)}
+	t0 := time.Now()
+	for _, req := range reqs {
+		s0 := time.Now()
+		tk, err := s.Submit(req)
+		if err != nil {
+			return res, nil, err
+		}
+		lats = append(lats, float64(time.Since(s0).Microseconds()))
+		rep.Count(tk)
+	}
+	elapsed := time.Since(t0).Seconds()
+	dr, err := s.Drain(horizon)
+	if err != nil {
+		return res, nil, err
+	}
+	res.Admitted, res.Degraded, res.Rejected = rep.Admitted, rep.Degraded, rep.Rejected
+	rep.Drain = dr
+	rep.Finish()
+	if elapsed > 0 {
+		res.ReqsPerSec = float64(len(reqs)) / elapsed
+	}
+	sort.Float64s(lats)
+	res.P50LatencyUS = percentile(lats, 0.50)
+	res.P99LatencyUS = percentile(lats, 0.99)
+	for _, o := range dr.Objects {
+		res.CostStreams += o.Cost
+	}
+	res.BusyTime = dr.Usage.Total()
+	res.Peak = dr.Usage.Peak()
+	return res, rep, nil
+}
+
+// percentile returns the p-quantile of sorted samples (nearest rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
 }
 
 // smoke starts the server on a random local port, replays a small load
@@ -160,7 +301,7 @@ func smoke(cfg mod.ServeConfig, load mod.LoadConfig, conc int) error {
 		cancel()
 		return err
 	}
-	rep, err := mod.RunHTTPDriver(base, reqs, conc)
+	rep, err := mod.RunHTTPDriver(ctx, base, reqs, conc)
 	if err != nil {
 		cancel()
 		return err

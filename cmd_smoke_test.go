@@ -5,6 +5,8 @@ package repro
 // startup) is caught by `go test ./...` rather than by a user.
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -47,8 +49,11 @@ func TestCommandSmoke(t *testing.T) {
 		{"modtree", []string{"-n", "5", "-L", "8", "-diagram"},
 			[]string{"optimal merge tree", "schedule verified"}},
 		{"modserve", []string{"-mode", "bench", "-objects", "3", "-delay", "5", "-lambda", "2",
-			"-horizon", "2", "-seed", "5"},
-			[]string{"requests:", "server peak:"}},
+			"-horizon", "2", "-seed", "5", "-strategies", "online", "-out", ""},
+			[]string{"requests:", "server peak:", "throughput:"}},
+		{"modserve", []string{"-mode", "bench", "-objects", "3", "-delay", "5", "-lambda", "2",
+			"-horizon", "2", "-seed", "5", "-strategies", "online,dyadic-batched,batching", "-out", "@TMP@/BENCH_serve.json"},
+			[]string{"strategy online", "strategy dyadic-batched", "strategy batching", "BENCH_serve.json (3 strategies)"}},
 		{"modserve", []string{"-mode", "smoke", "-objects", "3", "-delay", "5", "-lambda", "2", "-horizon", "2"},
 			[]string{"served over HTTP", "smoke ok"}},
 	}
@@ -63,13 +68,51 @@ func TestCommandSmoke(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.cmd+"_"+strings.Join(tc.args, "_"), func(t *testing.T) {
-			out, err := exec.Command(bins[tc.cmd], tc.args...).CombinedOutput()
+			// "@TMP@" in an argument is replaced with a per-test temp dir
+			// (used by bench's -out so artifacts never land in the repo).
+			args := make([]string, len(tc.args))
+			var tmp string
+			for i, a := range tc.args {
+				if strings.Contains(a, "@TMP@") {
+					if tmp == "" {
+						tmp = t.TempDir()
+					}
+					a = strings.ReplaceAll(a, "@TMP@", tmp)
+				}
+				args[i] = a
+			}
+			out, err := exec.Command(bins[tc.cmd], args...).CombinedOutput()
 			if err != nil {
-				t.Fatalf("%s %v: %v\n%s", tc.cmd, tc.args, err, out)
+				t.Fatalf("%s %v: %v\n%s", tc.cmd, args, err, out)
 			}
 			for _, want := range tc.want {
 				if !strings.Contains(string(out), want) {
-					t.Errorf("%s %v output missing %q:\n%s", tc.cmd, tc.args, want, out)
+					t.Errorf("%s %v output missing %q:\n%s", tc.cmd, args, want, out)
+				}
+			}
+			if tmp != "" {
+				blob, err := os.ReadFile(filepath.Join(tmp, "BENCH_serve.json"))
+				if err != nil {
+					t.Fatalf("bench JSON missing: %v", err)
+				}
+				var parsed struct {
+					Results []struct {
+						Strategy     string  `json:"strategy"`
+						ReqsPerSec   float64 `json:"reqs_per_sec"`
+						P99LatencyUS float64 `json:"p99_admission_latency_us"`
+						CostStreams  float64 `json:"cost_streams"`
+					} `json:"results"`
+				}
+				if err := json.Unmarshal(blob, &parsed); err != nil {
+					t.Fatalf("bench JSON does not parse: %v\n%s", err, blob)
+				}
+				if len(parsed.Results) != 3 {
+					t.Fatalf("bench JSON has %d results, want 3:\n%s", len(parsed.Results), blob)
+				}
+				for _, r := range parsed.Results {
+					if r.ReqsPerSec <= 0 || r.CostStreams <= 0 {
+						t.Errorf("bench row %+v has non-positive throughput or cost", r)
+					}
 				}
 			}
 		})

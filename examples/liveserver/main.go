@@ -1,4 +1,5 @@
-// Live server: an evening of live admission control.
+// Live server: an evening of live admission control with per-title
+// serving strategies.
 //
 // A Media-on-Demand operator serves a 12-title Zipf catalog from a server
 // with a hard budget of 35 channels.  Requests arrive as a nonhomogeneous
@@ -9,11 +10,15 @@
 // with a slightly longer (but still guaranteed) wait — and only rejects
 // once an object's delay has been stretched to its configured maximum.
 //
-// The example replays the trace in virtual time through the sharded event
-// loops (the same deterministic path the equivalence tests pin against the
-// batch simulator), drains the server, and prints the admission report,
-// the per-object delay scales the evening ended with, and the real-time
-// channel profile.
+// Titles pick their planner family individually: the hottest titles run
+// the paper's oblivious on-line forest (bounded bandwidth regardless of
+// load), the mid-catalog uses the hybrid's mode-switching timeline, and
+// the long tail is served by epoch-replanned batched dyadic merging —
+// empty slots cost nothing there.  The example replays the trace in
+// virtual time through the sharded event loops (the same deterministic
+// path the equivalence tests pin against the batch planners), drains the
+// server, and prints the admission report, the per-title strategies and
+// delay scales the evening ended with, and the real-time channel profile.
 //
 // Run with:
 //
@@ -21,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,12 +42,25 @@ func main() {
 		budget  = 35   // channel cap
 		seed    = 2026
 	)
+	// Strategy routing by popularity rank: the head of the catalog gets
+	// the on-line forest, the middle the hybrid, the tail batched dyadic.
 	cat := mod.ZipfCatalog(titles, 1.0, delay, 1.0)
+	for i := range cat {
+		switch {
+		case i < 4:
+			cat[i].Strategy = "online"
+		case i < 8:
+			cat[i].Strategy = "hybrid"
+		default:
+			cat[i].Strategy = "dyadic-batched"
+		}
+	}
 	srv, err := mod.NewServer(mod.ServeConfig{
 		Catalog:       cat,
 		MaxChannels:   budget,
 		DegradeStep:   1.25,
 		MaxDelayScale: 32,
+		EpochSlots:    250, // tail titles replan every 5 media lengths
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -61,7 +80,7 @@ func main() {
 	fmt.Printf("Serving %d titles under a %d-channel budget; %d requests over %.0f media lengths.\n\n",
 		titles, budget, len(reqs), horizon)
 
-	rep, err := mod.RunDriver(srv, reqs, horizon)
+	rep, err := mod.RunDriver(context.Background(), srv, reqs, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -555,6 +555,10 @@ func AllWithWorkers(ctx context.Context, workers int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, ext1, ext2, ext3, ext4)
+	ext5, err := LiveVsBatch(ctx, DefaultLiveVsBatch())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ext1, ext2, ext3, ext4, ext5)
 	return out, nil
 }

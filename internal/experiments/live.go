@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/textplot"
+	"repro/mod"
+)
+
+// LiveVsBatchConfig parameterizes the live-vs-batch serving comparison.
+type LiveVsBatchConfig struct {
+	// Objects is the catalog size.
+	Objects int
+	// MediaLength and Delay are shared by all objects (time units).
+	MediaLength, Delay float64
+	// Horizon is the load span in time units.
+	Horizon float64
+	// ZipfExponent shapes the popularity distribution.
+	ZipfExponent float64
+	// MeanInterArrival is the aggregate mean inter-arrival time.
+	MeanInterArrival float64
+	// Seed fixes the request trace.
+	Seed int64
+	// EpochSlots is the replanning period of the "live (epoch)" column, in
+	// slots of the delay.
+	EpochSlots int
+	// Strategies are the planner families compared (default: every
+	// live-capable planner).
+	Strategies []string
+}
+
+// DefaultLiveVsBatch returns a small catalog whose delays divide the
+// horizon exactly, so the batch and whole-horizon live numbers agree bit
+// for bit.
+func DefaultLiveVsBatch() LiveVsBatchConfig {
+	return LiveVsBatchConfig{
+		Objects:          4,
+		MediaLength:      1,
+		Delay:            0.125,
+		Horizon:          8,
+		ZipfExponent:     1,
+		MeanInterArrival: 0.1,
+		Seed:             7,
+		EpochSlots:       16,
+	}
+}
+
+// LiveVsBatch compares, per live-capable strategy, the batch planner's
+// cost on a fixed trace with two live serving runs over the same trace:
+// one draining a single whole-horizon epoch (which must reproduce the
+// batch cost exactly — the serving layer's equivalence guarantee) and one
+// replanning every EpochSlots slots (the price or gain of epoch
+// isolation: merging cannot cross a boundary, but neither can a sparse
+// epoch be burdened by a dense one).  Costs are summed over the catalog in
+// complete media streams.
+func LiveVsBatch(ctx context.Context, cfg LiveVsBatchConfig) (Result, error) {
+	cat := mod.ZipfCatalog(cfg.Objects, cfg.MediaLength, cfg.Delay, cfg.ZipfExponent)
+	strategies := cfg.Strategies
+	if len(strategies) == 0 {
+		strategies = mod.LivePlanners()
+	}
+	reqs, err := mod.GenerateRequests(cat, mod.LoadConfig{
+		Horizon:          cfg.Horizon,
+		MeanInterArrival: cfg.MeanInterArrival,
+		Kind:             mod.PoissonArrivals,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	traces := map[string][]float64{}
+	for _, r := range reqs {
+		traces[r.Object] = append(traces[r.Object], r.T)
+	}
+
+	wholeSlots := int(cfg.Horizon/cfg.Delay) + 1
+	tab := textplot.NewTable("strategy", "batch_cost", "live_cost", "live_epoch_cost", "epoch_delta_pct", "live_streams")
+	for _, strategy := range strategies {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("experiments: live-vs-batch canceled: %w", err)
+		}
+		var batch float64
+		planner, err := mod.New(strategy, mod.WithMediaLength(cfg.MediaLength),
+			mod.WithDelay(cfg.Delay), mod.WithHorizon(cfg.Horizon))
+		if err != nil {
+			return Result{}, err
+		}
+		for _, o := range cat {
+			plan, err := planner.Plan(ctx, mod.Instance{Arrivals: traces[o.Name]})
+			if err != nil {
+				return Result{}, err
+			}
+			batch += plan.Cost
+		}
+		liveCost, liveStreams, err := liveRun(ctx, cat, reqs, cfg.Horizon, strategy, wholeSlots)
+		if err != nil {
+			return Result{}, err
+		}
+		epochCost, _, err := liveRun(ctx, cat, reqs, cfg.Horizon, strategy, cfg.EpochSlots)
+		if err != nil {
+			return Result{}, err
+		}
+		if liveCost != batch {
+			return Result{}, fmt.Errorf("experiments: live %s cost %g != batch %g (equivalence broken)",
+				strategy, liveCost, batch)
+		}
+		delta := 0.0
+		if batch > 0 {
+			delta = 100 * (epochCost - batch) / batch
+		}
+		tab.AddRow(strategy, batch, liveCost, epochCost, delta, liveStreams)
+	}
+	return Result{
+		ID:    "ext-live-vs-batch",
+		Title: "Extension: live serving vs batch planning, per strategy",
+		Table: tab,
+		Notes: fmt.Sprintf("%d objects, Zipf(%g), horizon %g, seed %d: live_cost drains one whole-horizon epoch and must equal batch_cost bit for bit; live_epoch_cost replans every %d slots (epoch isolation: merging never crosses a boundary)",
+			cfg.Objects, cfg.ZipfExponent, cfg.Horizon, cfg.Seed, cfg.EpochSlots),
+	}, nil
+}
+
+// liveRun replays the trace through a live server with the given default
+// strategy and epoch length and returns the drained catalog-total cost
+// and stream count.
+func liveRun(ctx context.Context, cat mod.Catalog, reqs []mod.Request, horizon float64, strategy string, epochSlots int) (float64, int64, error) {
+	srv, err := mod.NewLiveServer(cat, mod.WithStrategy(strategy), mod.WithEpoch(epochSlots))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+	rep, err := mod.RunDriver(ctx, srv, reqs, horizon)
+	if err != nil {
+		return 0, 0, err
+	}
+	var cost float64
+	var streams int64
+	for _, o := range rep.Drain.Objects {
+		cost += o.Cost
+		streams += o.Streams
+	}
+	return cost, streams, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestLiveVsBatchEquivalenceColumn runs the live-vs-batch grid and checks
+// its internal invariant held (the function errors out if a whole-horizon
+// live run diverges from the batch cost) and that every live-capable
+// strategy produced a row.
+func TestLiveVsBatchEquivalenceColumn(t *testing.T) {
+	cfg := DefaultLiveVsBatch()
+	res, err := LiveVsBatch(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ext-live-vs-batch" {
+		t.Fatalf("id = %q", res.ID)
+	}
+	if got, want := len(res.Table.Rows), 8; got != want {
+		t.Fatalf("%d strategy rows, want %d", got, want)
+	}
+	csv := res.Table.CSV()
+	for _, strategy := range []string{"online", "offline", "dyadic", "batching", "hybrid", "unicast"} {
+		if !strings.Contains(csv, strategy) {
+			t.Errorf("missing strategy row %q", strategy)
+		}
+	}
+}
+
+// TestLiveVsBatchCanceled pins context propagation through the grid.
+func TestLiveVsBatchCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LiveVsBatch(ctx, DefaultLiveVsBatch()); err == nil {
+		t.Fatal("canceled LiveVsBatch returned no error")
+	}
+}

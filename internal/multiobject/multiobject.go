@@ -52,6 +52,12 @@ type Object struct {
 	// Delay is the guaranteed start-up delay for this object, in the same
 	// time unit as Length.
 	Delay float64
+	// Strategy optionally names the planner family the live serving layer
+	// uses for this object (a public planner registry name, e.g. "online",
+	// "dyadic", "batching").  Empty selects the server's default.  The
+	// batch planning paths ignore it; the serving layer validates it
+	// against its live-capable planners.
+	Strategy string
 }
 
 // Slots returns the object's media length in slots of its start-up delay

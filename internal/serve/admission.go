@@ -13,6 +13,11 @@ package serve
 // object has exhausted MaxDelayScale (or its delay already equals its
 // length, the largest meaningful slot) is a request rejected.  Every
 // outcome is counted.
+//
+// The controller is strategy-agnostic: degradation drains the object's
+// current scheduler (finalizing its plan exactly like a batch horizon
+// there) and opens a fresh one — whatever the planner family — with the
+// scaled delay, spliced in at the drained scheduler's end.
 
 // admit decides the outcome for a request on st at time t, degrading the
 // object's delay epoch as a side effect when the gauge is at the cap.
@@ -30,18 +35,31 @@ func (sh *shard) admit(st *objectState, t float64) Decision {
 	return Degraded
 }
 
-// degrade closes st's current delay epoch — finalizing its streams at the
-// slots already started, with the trailing group truncated exactly like a
-// batch horizon there — and opens a new epoch with the scaled delay,
-// based at the closed epoch's end.  The request that triggered the
-// degradation is then slotted into the new epoch by the caller.
+// degrade closes st's current delay epoch — draining its scheduler at the
+// clock, which finalizes started streams with the trailing unit truncated
+// exactly like a batch horizon there — and opens a new scheduler with the
+// scaled delay, based at the closed epoch's end.  The request that
+// triggered the degradation is then admitted into the new epoch by the
+// caller.
 func (sh *shard) degrade(st *objectState, scale float64) {
-	n := sh.finalizeEpoch(st, st.started)
-	base := st.epochBase + float64(n)*st.delay
 	delay := st.obj.Delay * scale
 	if delay > st.obj.Length {
 		delay = st.obj.Length
 	}
+	base := st.sched.Drain(sh.now)
+	sched, err := sh.newScheduler(st.obj, st.strategy, delay, base)
+	if err != nil {
+		// Construction cannot fail here (New validated the strategy and
+		// the scaled delay stays in (0, Length]); if it somehow does, keep
+		// serving on the drained scheduler rather than wedging the loop.
+		return
+	}
+	st.carry.Accumulate(st.sched.Totals())
+	st.sched = sched
 	st.scale = scale
-	sh.resetEpoch(st, delay, base)
+	st.delay = delay
+	scaled := st.obj
+	scaled.Delay = delay
+	st.L = scaled.Slots()
+	st.epoch++
 }

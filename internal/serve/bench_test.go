@@ -1,0 +1,77 @@
+package serve
+
+// White-box benchmark of the shard admit hot path: clock advance across
+// the shard's schedulers, gauge event processing, admission control, and
+// the scheduler's Admit — everything a request touches inside the event
+// loop except materializing the reply ticket (whose receiving-program
+// copy is the one intentional per-request allocation, made outside the
+// hot path so callers can hold the program).
+//
+// The path must not allocate per request in steady state: the receiving
+// program is appended into a scheduler-owned buffer, gauge events reuse
+// the heap's backing array, and group finalization reuses scratch
+// buffers.  CI runs this benchmark with -benchmem and fails on a nonzero
+// allocs/op, so an accidental per-request allocation (fresh program
+// slices, boxing, map churn) is a build break, not a slow drift.
+
+import (
+	"testing"
+
+	"repro/internal/multiobject"
+)
+
+// benchShard builds a loop-less shard (no goroutines) so the benchmark
+// can drive admitCore directly.
+func benchShard(b *testing.B, strategy string) (*shard, *objectState) {
+	b.Helper()
+	cat := multiobject.Catalog{
+		{Name: "hot", Length: 1, Popularity: 4, Delay: 0.01},
+		{Name: "warm", Length: 1, Popularity: 2, Delay: 0.02},
+		{Name: "mild", Length: 2, Popularity: 1, Delay: 0.05},
+		{Name: "cold", Length: 1, Popularity: 1, Delay: 0.04},
+	}
+	cfg := Config{Catalog: cat, MaxChannels: 0}
+	cfg = cfg.withDefaults()
+	srv := &Server{cfg: cfg, quit: make(chan struct{})}
+	sh := newShard(0, srv)
+	for i, o := range cat {
+		if err := sh.addObject(o, i, strategy); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sh, sh.byName["hot"]
+}
+
+// BenchmarkShardAdmit is the CI allocation guard: one request through the
+// shard admit hot path (online strategy, the latency-critical default).
+func BenchmarkShardAdmit(b *testing.B) {
+	sh, st := benchShard(b, "online")
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += 0.003
+		sh.admitCore(st, t)
+	}
+}
+
+// BenchmarkShardSubmit measures the full public Submit round-trip through
+// a running shard event loop (channel send, admit, ticket with program
+// copy) — the end-to-end per-request cost the HTTP layer pays.
+func BenchmarkShardSubmit(b *testing.B) {
+	cat := multiobject.ZipfCatalog(16, 1.0, 0.01, 1.0)
+	s, err := New(Config{Catalog: cat, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += 0.002
+		if _, err := s.Submit(Request{Object: "object-01", T: t}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package serve_test
+
+// Cancellation behavior of the serving driver, run under -race in CI: a
+// canceled RunDriver must stop replaying with an error wrapping
+// context.Canceled while leaving the server fully functional — its shards
+// still drain and finalize whatever was admitted, and Close leaks no
+// goroutines.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/multiobject"
+	"repro/internal/serve"
+)
+
+// countdownCtx cancels itself after a fixed number of Err observations,
+// so the driver is canceled at a deterministic point mid-replay.
+type countdownCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func TestRunDriverCancelStillDrains(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cat := multiobject.ZipfCatalog(6, 1.0, 0.05, 1.0)
+	// Mixed strategies so cancellation crosses both the native online
+	// scheduler and epoch replanners.
+	cat[1].Strategy = "dyadic-batched"
+	cat[2].Strategy = "batching"
+	s, err := serve.New(serve.Config{Catalog: cat, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := serve.GenerateRequests(cat, serve.LoadConfig{
+		Horizon: 40, MeanInterArrival: 0.01, Kind: serve.PoissonArrivals, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) < 100 {
+		t.Fatalf("load too small to cancel mid-run: %d requests", len(reqs))
+	}
+
+	// Cancel deterministically mid-replay: the driver observes the context
+	// once per request, so the 51st observation reports cancellation after
+	// exactly 50 submissions.
+	const served = 50
+	ctx := &countdownCtx{Context: context.Background(), left: served}
+	_, err = serve.RunDriver(ctx, s, reqs, 40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled RunDriver error = %v, want context.Canceled in chain", err)
+	}
+
+	// The server is still healthy: it drains (finalizing every admitted
+	// arrival's streams) and reports consistent accounting.
+	dr, err := s.Drain(40)
+	if err != nil {
+		t.Fatalf("Drain after cancel: %v", err)
+	}
+	var arrivals int64
+	for _, o := range dr.Objects {
+		arrivals += o.Arrivals
+		if o.FinalizedStreams != o.Streams {
+			t.Errorf("%s: %d of %d streams finalized after post-cancel drain",
+				o.Name, o.FinalizedStreams, o.Streams)
+		}
+	}
+	if got := dr.Stats.Admitted + dr.Stats.Degraded; arrivals != got {
+		t.Errorf("drained arrivals %d != served counter %d", arrivals, got)
+	}
+	if got := dr.Stats.Admitted + dr.Stats.Degraded + dr.Stats.Rejected; got != served {
+		t.Errorf("served %d requests before cancellation, want exactly %d", got, served)
+	}
+
+	// Closing must tear every shard goroutine down; give the runtime a
+	// moment to reap them, then compare against the baseline.
+	s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Errorf("goroutines after Close: %d, baseline %d — leak", n, baseline)
+	}
+}
+
+// TestRunDriverPreCanceled pins the fast path: an already-canceled context
+// submits nothing.
+func TestRunDriverPreCanceled(t *testing.T) {
+	cat := multiobject.ZipfCatalog(2, 1.0, 0.1, 1.0)
+	s, err := serve.New(serve.Config{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := serve.RunDriver(ctx, s, []serve.Request{{Object: "object-01", T: 0}}, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled RunDriver error = %v", err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 0 {
+		t.Errorf("pre-canceled driver admitted %d requests", st.Admitted)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -134,6 +135,9 @@ type Report struct {
 	Requests int
 	// Admitted/Degraded/Rejected count the admission outcomes observed.
 	Admitted, Degraded, Rejected int
+	// Failed counts HTTP requests answered with a JSON error (HTTP mode
+	// only; e.g. unknown objects).
+	Failed int
 	// OfferedDelay summarizes StartAt - T over served requests: the actual
 	// start-up delay each client was offered (degradations raise it).
 	OfferedDelay stats.Summary
@@ -154,22 +158,31 @@ type Report struct {
 // With a fixed-seed sequence from GenerateRequests the entire run —
 // decisions, tickets, drained per-object stream counts and bandwidth
 // totals — is deterministic for any shard count, which is what the
-// equivalence test against sim.RunWorkload asserts.
-func RunDriver(s *Server, reqs []Request, horizon float64) (*Report, error) {
+// equivalence tests against sim.RunWorkload and the batch planners
+// assert.
+//
+// Cancelling ctx stops the replay between requests and returns an error
+// wrapping ctx.Err().  The server itself stays healthy: its shards hold
+// no driver state, so the caller can still Drain it (finalizing whatever
+// was admitted) and must still Close it.
+func RunDriver(ctx context.Context, s *Server, reqs []Request, horizon float64) (*Report, error) {
 	rep := &Report{Requests: len(reqs)}
-	for _, req := range reqs {
+	for i, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("serve: driver canceled after %d of %d requests: %w", i, len(reqs), err)
+		}
 		ticket, err := s.Submit(req)
 		if err != nil {
 			return nil, err
 		}
-		rep.count(ticket)
+		rep.Count(ticket)
 	}
 	dr, err := s.Drain(horizon)
 	if err != nil {
 		return nil, err
 	}
 	rep.Drain = dr
-	rep.finish()
+	rep.Finish()
 	return rep, nil
 }
 
@@ -178,7 +191,8 @@ func RunDriver(s *Server, reqs []Request, horizon float64) (*Report, error) {
 // latencies, then snapshots /stats.  Unlike the in-process driver the
 // interleaving (and therefore any admission degradation) is subject to
 // network scheduling, so this mode measures rather than reproduces.
-func RunHTTPDriver(baseURL string, reqs []Request, concurrency int) (*Report, error) {
+// Cancelling ctx stops dispatching and aborts in-flight requests.
+func RunHTTPDriver(ctx context.Context, baseURL string, reqs []Request, concurrency int) (*Report, error) {
 	if concurrency < 1 {
 		concurrency = 1
 	}
@@ -194,8 +208,16 @@ func RunHTTPDriver(baseURL string, reqs []Request, concurrency int) (*Report, er
 			defer wg.Done()
 			for req := range work {
 				body, _ := json.Marshal(req)
+				hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					baseURL+APIVersion+"/request", bytes.NewReader(body))
+				if err == nil {
+					hreq.Header.Set("Content-Type", "application/json")
+				}
 				t0 := time.Now()
-				resp, err := client.Post(baseURL+APIVersion+"/request", "application/json", bytes.NewReader(body))
+				var resp *http.Response
+				if err == nil {
+					resp, err = client.Do(hreq)
+				}
 				lat := time.Since(t0).Seconds()
 				if err != nil {
 					mu.Lock()
@@ -205,28 +227,44 @@ func RunHTTPDriver(baseURL string, reqs []Request, concurrency int) (*Report, er
 					mu.Unlock()
 					continue
 				}
-				var ticket Ticket
-				decErr := json.NewDecoder(resp.Body).Decode(&ticket)
+				// Error responses are JSON {"error": ...}; decode both
+				// shapes so a per-request failure is counted, not fatal.
+				var out struct {
+					Ticket
+					Error string `json:"error"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				mu.Lock()
-				if decErr != nil {
+				switch {
+				case decErr != nil:
 					if firstErr == nil {
 						firstErr = fmt.Errorf("serve: bad ticket from %s: %w", baseURL, decErr)
 					}
-				} else {
-					rep.count(ticket)
+				case out.Error != "":
+					rep.Failed++
+				default:
+					rep.Count(out.Ticket)
 					rep.latencies = append(rep.latencies, lat)
 				}
 				mu.Unlock()
 			}
 		}()
 	}
+dispatch:
 	for _, req := range reqs {
-		work <- req
+		select {
+		case work <- req:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("serve: HTTP driver canceled: %w", err)
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -238,12 +276,16 @@ func RunHTTPDriver(baseURL string, reqs []Request, concurrency int) (*Report, er
 		}
 		resp.Body.Close()
 	}
-	rep.finish()
+	rep.Finish()
 	return rep, nil
 }
 
-// count tallies one ticket.
-func (r *Report) count(t Ticket) {
+// Count tallies one ticket: the admission decision and, for served
+// requests, the offered start-up delay sample.  Drivers that replay
+// requests themselves (e.g. modserve's bench mode, which times every
+// Submit) feed their tickets through Count and call Finish once done, so
+// their reports carry the same delay summaries as RunDriver's.
+func (r *Report) Count(t Ticket) {
 	switch t.Decision {
 	case Degraded:
 		r.Degraded++
@@ -256,8 +298,8 @@ func (r *Report) count(t Ticket) {
 	r.delays = append(r.delays, t.StartAt-t.T)
 }
 
-// finish summarizes the collected samples.
-func (r *Report) finish() {
+// Finish summarizes the collected delay and latency samples.
+func (r *Report) Finish() {
 	r.OfferedDelay = stats.Summarize(r.delays)
 	r.Latency = stats.Summarize(r.latencies)
 }
@@ -269,6 +311,9 @@ func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "admitted:             %d\n", r.Admitted)
 	fmt.Fprintf(w, "degraded:             %d\n", r.Degraded)
 	fmt.Fprintf(w, "rejected:             %d\n", r.Rejected)
+	if r.Failed > 0 {
+		fmt.Fprintf(w, "failed:               %d\n", r.Failed)
+	}
 	if r.OfferedDelay.N > 0 {
 		fmt.Fprintf(w, "offered delay:        %s\n", r.OfferedDelay)
 	}
@@ -283,9 +328,9 @@ func (r *Report) Render(w io.Writer) {
 	}
 	objs := r.objects()
 	if len(objs) > 0 {
-		tbl := textplot.NewTable("object", "shard", "L", "delay", "scale", "arrivals", "clients", "rejected", "streams", "busy")
+		tbl := textplot.NewTable("object", "strategy", "shard", "L", "delay", "scale", "arrivals", "clients", "rejected", "streams", "cost", "busy")
 		for _, o := range objs {
-			tbl.AddRow(o.Name, o.Shard, o.L, o.Delay, o.Scale, o.Arrivals, o.Clients, o.Rejected, o.Streams, o.BusyTime)
+			tbl.AddRow(o.Name, o.Strategy, o.Shard, o.L, o.Delay, o.Scale, o.Arrivals, o.Clients, o.Rejected, o.Streams, o.Cost, o.BusyTime)
 		}
 		fmt.Fprintf(w, "\n%s", tbl.String())
 	}

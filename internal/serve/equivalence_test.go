@@ -96,7 +96,7 @@ func runLive(t *testing.T, cat multiobject.Catalog, poisson bool, horizon, mean 
 		t.Fatalf("New: %v", err)
 	}
 	defer s.Close()
-	rep, err := serve.RunDriver(s, reqs, horizon)
+	rep, err := serve.RunDriver(context.Background(), s, reqs, horizon)
 	if err != nil {
 		t.Fatalf("RunDriver: %v", err)
 	}

@@ -44,6 +44,10 @@ type BatchResult struct {
 //	GET  /v1/healthz         -> "ok"
 //	GET  /v1/metrics         -> expvar-style flat JSON counter map
 //
+// Every error response, on every route and shard, is a uniform JSON body
+// {"error": "..."} with the appropriate status (unknown objects are
+// always 404) — clients never have to parse plain-text error bodies.
+//
 // The original unversioned routes (/request, /stats, /objects/{name},
 // /healthz, /metrics) are kept as deprecated aliases: they run the exact
 // same handlers and return byte-identical bodies, but mark themselves with
@@ -83,24 +87,24 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 
 func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	req := Request{T: -1}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	ticket, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrUnknownObject):
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, err.Error())
 		return
 	case errors.Is(err, ErrClosed):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	status := http.StatusOK
@@ -119,18 +123,18 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 // of single requests.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var raw []json.RawMessage
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&raw); err != nil {
-		http.Error(w, fmt.Sprintf("bad batch body (want a JSON array of requests, at most %d MiB): %v",
-			maxBatchBody>>20, err), http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body (want a JSON array of requests, at most %d MiB): %v",
+			maxBatchBody>>20, err))
 		return
 	}
 	if len(raw) > maxBatchRequests {
-		http.Error(w, fmt.Sprintf("batch of %d requests exceeds the %d-request limit", len(raw), maxBatchRequests),
-			http.StatusRequestEntityTooLarge)
+		writeJSONError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d requests exceeds the %d-request limit", len(raw), maxBatchRequests))
 		return
 	}
 	out := make([]BatchResult, len(raw))
@@ -153,27 +157,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Stats()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleObject answers GET /v1/objects/{name}.  Unknown objects get a
+// uniform 404 JSON error ({"error": ...}) on every shard — never an empty
+// 200 body — pinned by TestV1ObjectNotFoundJSON.
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Path
 	name = strings.TrimPrefix(name, APIVersion)
 	name = strings.TrimPrefix(name, "/objects/")
 	if name == "" {
-		http.Error(w, "missing object name", http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "missing object name")
 		return
 	}
 	os, err := s.Object(name)
 	switch {
 	case errors.Is(err, ErrUnknownObject):
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, err.Error())
 		return
 	case err != nil:
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, os)
@@ -202,6 +209,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// writeJSONError writes the API's uniform error body: a JSON object with
+// a single "error" message, so clients can parse every non-2xx response
+// the same way (plain-text http.Error bodies are never used).
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
 }
 
 // Serve runs the HTTP API on the listener until ctx is cancelled, then

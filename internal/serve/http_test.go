@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -135,7 +136,7 @@ func TestHTTPDriver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := serve.RunHTTPDriver(hs.URL, reqs, 4)
+	rep, err := serve.RunHTTPDriver(context.Background(), hs.URL, reqs, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

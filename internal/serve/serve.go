@@ -1,33 +1,38 @@
 // Package serve is the live serving layer: a long-running, sharded
-// Media-on-Demand admission server built on the on-line delay-guaranteed
-// algorithm of Section 4.
+// Media-on-Demand admission server over the incremental scheduler core of
+// internal/live, so every planner family in the repository — not just the
+// paper's on-line forest — serves live traffic.
 //
 // Everything else in the repository is batch — traces are generated up
 // front, schedules are built whole, and results are summarized after the
-// fact.  This package serves requests as they arrive, the setting the
-// on-line algorithm was designed for:
+// fact.  This package serves requests as they arrive:
 //
 //   - A catalog router hashes object names onto a fixed set of scheduler
 //     shards, so a Zipf catalog of thousands of objects spreads across CPUs.
-//   - Each shard runs a single-goroutine event loop that owns the
-//     online.Server state of its objects; all mutation happens inside the
-//     loop, fed by channels, so no per-object locks exist anywhere.
+//   - Each shard runs a single-goroutine event loop that owns one
+//     live.Incremental scheduler per object; all mutation happens inside
+//     the loop, fed by channels, so no per-object locks exist anywhere.
+//   - Per-object strategy routing: each catalog entry picks its planner
+//     family by public registry name (Object.Strategy, falling back to
+//     Config.DefaultStrategy).  The "online" strategy is the paper's
+//     natively incremental oblivious plan — merge groups finalized the
+//     moment they complete, trailing group truncated at drain exactly like
+//     the batch horizon, reproducing sim.RunWorkload bit for bit.  Every
+//     other registered planner (offline, dyadic, batching, hybrid, ...)
+//     serves through epoch-based replanning: the batch planner re-runs
+//     over each epoch's arrivals at the boundary, so a drain with
+//     Config.EpochSlots covering the horizon reproduces the batch Plan()
+//     bit for bit — the strategy equivalence tests pin both.
 //   - Time advances in slots of each object's guaranteed start-up delay,
 //     driven either by virtual request timestamps (deterministic replay,
 //     used by the load driver and the equivalence tests) or by the wall
 //     clock (the HTTP API stamps requests that carry no timestamp).
-//   - The broadcast plan is the paper's oblivious one: a (possibly
-//     truncated) stream starts at every slot of every object, whether or
-//     not a request arrived.  Shards account streams incrementally — a
-//     merge group is finalized the moment it completes, and the trailing
-//     partial group is truncated exactly like the batch plan when the
-//     server drains — so a drained live run reproduces sim.RunWorkload's
-//     per-object stream counts and bandwidth totals bit for bit.
 //   - An admission controller watches the live channel gauge.  When a
 //     configured channel cap would be exceeded it degrades the offered
 //     delay of the requested object (the Section 5 trade: scale the delay
 //     up, never decline) or, past a maximum scale, rejects — with counters
-//     for every outcome.
+//     for every outcome.  Degradation is strategy-agnostic: it drains the
+//     object's scheduler and splices in a fresh one at the scaled delay.
 //
 // The HTTP front end lives in http.go, the closed-loop load generator in
 // driver.go, and cmd/modserve wires both into a binary.
@@ -45,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/bandwidth"
+	"repro/internal/live"
 	"repro/internal/multiobject"
 )
 
@@ -82,6 +88,29 @@ type Config struct {
 	// only to stamp HTTP requests that carry no explicit timestamp
 	// (default time.Second).
 	TimeUnit time.Duration
+
+	// DefaultStrategy is the planner registry name objects without their
+	// own Object.Strategy are served with (default "online", the paper's
+	// on-line delay-guaranteed forest).  Every name in LivePlanners() is
+	// accepted; unknown names fail New with ErrBadConfig.
+	DefaultStrategy string
+	// EpochSlots is the replanning period of epoch-based strategies, in
+	// slots of each object's delay (default 512): arrivals are collected
+	// for an epoch and the object's batch planner is re-run over them when
+	// the boundary passes, splicing the new plan in at the boundary.  Set
+	// it to at least the run's horizon to plan whole traces in one epoch
+	// (the batch-equivalent configuration the equivalence tests pin).  The
+	// native "online" strategy ignores it.
+	EpochSlots int
+	// PlanWorkers sizes the off-line DP worker pool of each epoch replan
+	// (default 1, serial — shards already run in parallel); results are
+	// bit-identical for any count.
+	PlanWorkers int
+	// ConstantRateTuning selects the Section 4.2 constant-rate dyadic
+	// parameters for the dyadic/hybrid strategies; the default (false) is
+	// the Poisson golden-ratio tuning, matching the facade's WithPoisson
+	// default.
+	ConstantRateTuning bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -110,7 +139,23 @@ func (c *Config) withDefaults() Config {
 	if out.TimeUnit <= 0 {
 		out.TimeUnit = time.Second
 	}
+	if out.DefaultStrategy == "" {
+		out.DefaultStrategy = "online"
+	}
+	if out.EpochSlots <= 0 {
+		out.EpochSlots = 512
+	}
+	if out.PlanWorkers <= 0 {
+		out.PlanWorkers = 1
+	}
 	return out
+}
+
+// LivePlanners returns the sorted planner registry names that can serve
+// live traffic — valid values for Config.DefaultStrategy and
+// Object.Strategy.
+func LivePlanners() []string {
+	return live.Planners()
 }
 
 // Decision is the admission controller's outcome for one request.
@@ -141,60 +186,80 @@ type Request struct {
 type Ticket struct {
 	Object   string   `json:"object"`
 	Decision Decision `json:"decision"`
+	// Strategy is the planner family serving the object.
+	Strategy string `json:"strategy"`
 	// T is the request time after the shard's monotone clamp.
 	T float64 `json:"t"`
 	// Epoch identifies the object's delay epoch (it increments on each
 	// degradation); Slot and Program are epoch-relative.
 	Epoch int `json:"epoch"`
-	// Slot is the arrival slot within the epoch.
+	// Slot is the arrival's service slot within the epoch: the arrival
+	// slot for slotted strategies, the client ordinal for
+	// immediate-service ones (dyadic, offline, unicast).
 	Slot int64 `json:"slot"`
 	// Delay is the effective guaranteed start-up delay (the slot length).
 	Delay float64 `json:"delay"`
-	// StartAt is the absolute time at which playback starts: the end of the
-	// arrival slot, at most Delay after T.
+	// StartAt is the absolute time at which playback starts: the end of
+	// the arrival slot for batched strategies (at most Delay after T), the
+	// arrival itself for immediate-service ones.
 	StartAt float64 `json:"start_at"`
 	// Program is the receiving program: the epoch-relative start slots of
 	// the streams to listen to, from the root stream down to the client's
-	// own.  Empty for rejected requests.
+	// own.  Only the "online" strategy can answer it at admission time
+	// (its O(1) table lookup); epoch-replanned strategies decide merges at
+	// epoch close.  Empty for rejected requests.
 	Program []int64 `json:"program,omitempty"`
 }
 
 // ObjectStats is the live accounting snapshot for one object.
 type ObjectStats struct {
-	Name  string  `json:"name"`
-	Shard int     `json:"shard"`
-	L     int64   `json:"L"`
-	Delay float64 `json:"delay"`
-	Scale float64 `json:"scale"`
-	Epoch int     `json:"epoch"`
+	Name string `json:"name"`
+	// Strategy is the planner family serving the object.
+	Strategy string  `json:"strategy"`
+	Shard    int     `json:"shard"`
+	L        int64   `json:"L"`
+	Delay    float64 `json:"delay"`
+	Scale    float64 `json:"scale"`
+	Epoch    int     `json:"epoch"`
 	// Arrivals counts requests routed to the object (admitted or degraded);
-	// Clients counts distinct occupied slots (batched imaginary clients).
+	// Clients counts distinct service instants — occupied slots for
+	// slotted strategies, distinct (for unicast: all) arrival times for
+	// immediate-service ones.
 	Arrivals int64 `json:"arrivals"`
 	Clients  int64 `json:"clients"`
 	Rejected int64 `json:"rejected"`
-	// Streams counts streams started, including the current (unfinalized)
-	// merge group; FinalizedStreams and SlotUnits cover only completed
-	// groups, whose lengths are final.
+	// Streams counts streams started, including the "online" strategy's
+	// current (unfinalized) merge group; FinalizedStreams covers only
+	// streams whose lengths are final.  Epoch-replanned strategies open
+	// their streams at epoch close, so both counters advance then.
 	Streams          int64 `json:"streams"`
 	FinalizedStreams int64 `json:"finalized_streams"`
 	// SlotUnits is the finalized bandwidth in slot units of the object's
 	// epochs (exactly sim.Result.TotalBandwidth after a drain with no
-	// degradations).
+	// degradations); only the slot-metered "online" strategy reports it.
 	SlotUnits int64 `json:"slot_units"`
 	// BusyTime is the finalized bandwidth in catalog time units.
 	BusyTime float64 `json:"busy_time"`
+	// Cost is the finalized bandwidth in complete media streams — after a
+	// whole-horizon drain, bit-identical to the object's batch Plan cost.
+	Cost float64 `json:"cost"`
+	// ReplanFailures counts epoch replans that fell back to unicast
+	// streams (never under normal operation).
+	ReplanFailures int64 `json:"replan_failures,omitempty"`
 }
 
 // Stats is a server-wide snapshot.
 type Stats struct {
-	Admitted     int64         `json:"admitted"`
-	Degraded     int64         `json:"degraded"`
-	Rejected     int64         `json:"rejected"`
-	Unknown      int64         `json:"unknown"`
-	LiveChannels int64         `json:"live_channels"`
-	Peak         int           `json:"peak"`
-	BusyTime     float64       `json:"busy_time"`
-	Objects      []ObjectStats `json:"objects"`
+	Admitted     int64   `json:"admitted"`
+	Degraded     int64   `json:"degraded"`
+	Rejected     int64   `json:"rejected"`
+	Unknown      int64   `json:"unknown"`
+	LiveChannels int64   `json:"live_channels"`
+	Peak         int     `json:"peak"`
+	BusyTime     float64 `json:"busy_time"`
+	// Strategies counts the catalog's objects by serving strategy.
+	Strategies map[string]int64 `json:"strategies,omitempty"`
+	Objects    []ObjectStats    `json:"objects"`
 }
 
 // Server is the live admission server: a catalog router in front of a set
@@ -218,7 +283,10 @@ type Server struct {
 	unknown  atomic.Int64
 }
 
-// New builds a Server and starts its shard event loops.
+// New builds a Server and starts its shard event loops.  Every object is
+// served by its Object.Strategy (falling back to Config.DefaultStrategy,
+// then "online"); a name without a live adapter fails with ErrBadConfig
+// listing LivePlanners().
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Catalog.Validate(); err != nil {
 		return nil, err
@@ -238,8 +306,14 @@ func New(cfg Config) (*Server, error) {
 		s.shards[i] = newShard(i, s)
 	}
 	for i, o := range cfg.Catalog {
+		strategy := o.Strategy
+		if strategy == "" {
+			strategy = cfg.DefaultStrategy
+		}
 		sh := s.shards[shardIndex(o.Name, cfg.Shards)]
-		sh.addObject(o, i)
+		if err := sh.addObject(o, i, strategy); err != nil {
+			return nil, err
+		}
 		s.byName[o.Name] = sh
 	}
 	for _, sh := range s.shards {
@@ -276,6 +350,12 @@ var ErrBadRequest = errors.New("serve: invalid request")
 // server started.
 func (s *Server) Now() float64 {
 	return float64(time.Since(s.start)) / float64(s.cfg.TimeUnit)
+}
+
+// Shards returns the effective scheduler shard count (after defaulting to
+// GOMAXPROCS and clamping to the catalog size).
+func (s *Server) Shards() int {
+	return len(s.shards)
 }
 
 // Submit routes one request to its object's shard and waits for the
@@ -421,6 +501,10 @@ func (s *Server) assemble(snaps []shardSnapshot) Stats {
 		}
 	}
 	sortObjects(st.Objects, s.cfg.Catalog)
+	st.Strategies = make(map[string]int64, 2)
+	for _, o := range st.Objects {
+		st.Strategies[o.Strategy]++
+	}
 	st.Peak = usage.Peak()
 	st.BusyTime = usage.Total()
 	return st

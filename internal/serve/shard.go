@@ -1,12 +1,11 @@
 package serve
 
 import (
-	"math"
+	"fmt"
 
 	"repro/internal/bandwidth"
-	"repro/internal/mergetree"
+	"repro/internal/live"
 	"repro/internal/multiobject"
-	"repro/internal/online"
 )
 
 // submitMsg asks the shard to admit one request.
@@ -32,56 +31,41 @@ type shardSnapshot struct {
 	intervals []bandwidth.Interval
 }
 
-// plan is the cached static state of the on-line algorithm for one media
-// length: the precomputed server, the untruncated template-group stream
-// lengths, and the template group's total bandwidth in slot units.  Shards
-// cache plans by L so a thousand-object Zipf catalog with a shared delay
-// builds the merge template once per shard, not once per object.
-type plan struct {
-	onl *online.Server
-	// tmplLens are the lengths of a full (untruncated) merge group, indexed
-	// by group-relative arrival.
-	tmplLens []mergetree.NodeLength
-	// tmplUnits is the sum of tmplLens lengths.
-	tmplUnits int64
+// objectState is all per-object state, owned exclusively by one shard's
+// event loop.  The scheduling itself lives in the live.Incremental value:
+// the on-line forest natively, every other planner family through
+// epoch-based replanning.
+type objectState struct {
+	obj      multiobject.Object
+	index    int // catalog position, for stable reporting order
+	strategy string
+
+	// Current delay epoch.  A degradation drains the scheduler and starts
+	// a fresh one with a larger delay; Slot/Program labels are
+	// epoch-relative.
+	epoch int
+	scale float64
+	delay float64
+	L     int64
+	sched live.Incremental
+	// carry accumulates the totals of schedulers closed by degradations.
+	carry live.Totals
+
+	arrivals int64
+	rejected int64
 }
 
-// objectState is all per-object state, owned exclusively by one shard's
-// event loop.
-type objectState struct {
-	obj   multiobject.Object
-	index int // catalog position, for stable reporting order
-
-	// Current delay epoch.  A degradation finalizes the epoch and starts a
-	// new one with a larger delay; Slot/Program labels are epoch-relative.
-	epoch     int
-	scale     float64
-	delay     float64
-	L         int64
-	plan      *plan
-	epochBase float64 // absolute time of the epoch's slot 0
-	// started is the number of streams started in this epoch (stream q
-	// starts at epochBase + q*delay); finalized is the number of slots
-	// whose stream lengths are final (a multiple of the group size during
-	// live operation).
-	started   int64
-	finalized int64
-	// lastArrival is the largest occupied arrival slot of the epoch
-	// (-1: none); each newly occupied slot is one batched imaginary client.
-	lastArrival int64
-
-	// Totals across epochs.
-	arrivals         int64
-	clients          int64
-	rejected         int64
-	streams          int64
-	finalizedStreams int64
-	slotUnits        int64
-	busyTime         float64
+// totals folds the closed epochs' accounting with the live scheduler's.
+func (st *objectState) totals() live.Totals {
+	t := st.carry
+	t.Accumulate(st.sched.Totals())
+	return t
 }
 
 // shard is one scheduler shard: a single-goroutine event loop owning the
-// admission state of the objects routed to it.
+// admission state of the objects routed to it.  The shard also implements
+// live.Sink: scheduler stream events become the live channel gauge and
+// the real-time bandwidth record.
 type shard struct {
 	id   int
 	srv  *Server
@@ -89,7 +73,7 @@ type shard struct {
 
 	objects []*objectState
 	byName  map[string]*objectState
-	plans   map[int64]*plan
+	cache   *live.Cache
 
 	// usage records every finalized stream interval in real time.
 	usage *bandwidth.Usage
@@ -104,9 +88,6 @@ type shard struct {
 	// minDelay is the smallest initial object delay on the shard (delays
 	// only grow under degradation), the slot unit of the MaxSlotJump guard.
 	minDelay float64
-
-	// scratch buffer for partial-group finalization.
-	buf []mergetree.NodeLength
 }
 
 func newShard(id int, srv *Server) *shard {
@@ -115,52 +96,72 @@ func newShard(id int, srv *Server) *shard {
 		srv:    srv,
 		msgs:   make(chan any, srv.cfg.QueueDepth),
 		byName: make(map[string]*objectState),
-		plans:  make(map[int64]*plan),
+		cache:  live.NewCache(),
 		usage:  bandwidth.New(),
 	}
 }
 
+// StreamStarted implements live.Sink: a new transmission raises the live
+// channel gauge, with a retirement event at its estimated end.
+func (sh *shard) StreamStarted(estEnd float64) {
+	sh.pushEnd(estEnd, -1)
+	sh.srv.gauge.Add(1)
+}
+
+// ProvisionalStarted implements live.Sink: an epoch strategy's
+// merging-free placeholder counts against the gauge exactly like a
+// stream until its epoch's replan trims it; it never reaches the
+// bandwidth usage.
+func (sh *shard) ProvisionalStarted(estEnd float64) {
+	sh.pushEnd(estEnd, -1)
+	sh.srv.gauge.Add(1)
+}
+
+// StreamFinalized implements live.Sink: a final-length transmission is
+// recorded in the real-time bandwidth usage.
+func (sh *shard) StreamFinalized(start, length float64) {
+	sh.usage.AddLength(start, length)
+}
+
+// StreamTrimmed implements live.Sink: truncation cut a stream short, so
+// retire it at the true end and cancel the stale estimate.
+func (sh *shard) StreamTrimmed(end, staleEnd float64) {
+	sh.pushEnd(end, -1)
+	sh.pushEnd(staleEnd, +1)
+}
+
+// newScheduler builds the live scheduler for a strategy over obj with the
+// given effective delay, based at absolute time base.
+func (sh *shard) newScheduler(obj multiobject.Object, strategy string, delay, base float64) (live.Incremental, error) {
+	obj.Delay = delay
+	return live.New(strategy, live.Config{
+		Object:       obj,
+		Base:         base,
+		EpochSlots:   sh.srv.cfg.EpochSlots,
+		ConstantRate: sh.srv.cfg.ConstantRateTuning,
+		PlanWorkers:  sh.srv.cfg.PlanWorkers,
+		Cache:        sh.cache,
+		Sink:         sh,
+	})
+}
+
 // addObject registers a catalog object with the shard (before loop start).
-func (sh *shard) addObject(o multiobject.Object, index int) {
-	st := &objectState{obj: o, index: index, scale: 1, lastArrival: -1}
-	sh.resetEpoch(st, o.Delay, 0)
-	st.epoch = 0
+// The strategy name was resolved and validated by Server.New.
+func (sh *shard) addObject(o multiobject.Object, index int, strategy string) error {
+	st := &objectState{obj: o, index: index, strategy: strategy, scale: 1}
+	sched, err := sh.newScheduler(o, strategy, o.Delay, 0)
+	if err != nil {
+		return fmt.Errorf("%w: object %q: %w", ErrBadConfig, o.Name, err)
+	}
+	st.sched = sched
+	st.delay = o.Delay
+	st.L = o.Slots()
 	sh.objects = append(sh.objects, st)
 	sh.byName[o.Name] = st
 	if sh.minDelay == 0 || o.Delay < sh.minDelay {
 		sh.minDelay = o.Delay
 	}
-}
-
-// planFor returns the cached static plan for media length L.
-func (sh *shard) planFor(L int64) *plan {
-	if p, ok := sh.plans[L]; ok {
-		return p
-	}
-	onl := online.NewServer(L)
-	lens := onl.AppendGroupLengths(nil, onl.TreeSize())
-	var units int64
-	for _, nl := range lens {
-		units += nl.Length
-	}
-	p := &plan{onl: onl, tmplLens: lens, tmplUnits: units}
-	sh.plans[L] = p
-	return p
-}
-
-// resetEpoch points the object at a fresh epoch with the given delay,
-// starting at absolute time base.
-func (sh *shard) resetEpoch(st *objectState, delay, base float64) {
-	scaled := st.obj
-	scaled.Delay = delay
-	st.delay = delay
-	st.L = scaled.Slots()
-	st.plan = sh.planFor(st.L)
-	st.epochBase = base
-	st.started = 0
-	st.finalized = 0
-	st.lastArrival = -1
-	st.epoch++
+	return nil
 }
 
 // loop is the shard's event loop; all object state is confined to it.
@@ -184,8 +185,10 @@ func (sh *shard) loop() {
 	}
 }
 
-// handleSubmit advances the shard clock, runs the admission controller,
-// and issues the ticket.
+// handleSubmit clamps and guards the request's timestamp, runs the admit
+// hot path, and materializes the ticket (the one step that allocates: the
+// receiving program is copied out of the scheduler's buffer so the caller
+// can hold it).
 func (sh *shard) handleSubmit(req Request) Ticket {
 	st := sh.byName[req.Object]
 	if st == nil {
@@ -206,8 +209,35 @@ func (sh *shard) handleSubmit(req Request) Ticket {
 	if (t-sh.now)/sh.minDelay > float64(sh.srv.cfg.MaxSlotJump) {
 		st.rejected++
 		sh.srv.rejected.Add(1)
-		return Ticket{Object: st.obj.Name, Decision: Rejected, T: req.T, Epoch: st.epoch, Delay: st.delay}
+		return Ticket{Object: st.obj.Name, Decision: Rejected, T: req.T, Epoch: st.epoch, Strategy: st.strategy, Delay: st.delay}
 	}
+	adm, decision := sh.admitCore(st, t)
+	tk := Ticket{
+		Object:   st.obj.Name,
+		Decision: decision,
+		T:        t,
+		Epoch:    st.epoch,
+		Strategy: st.strategy,
+		Delay:    st.delay,
+	}
+	if decision == Rejected {
+		return tk
+	}
+	tk.Slot = adm.Slot
+	tk.Delay = adm.Delay
+	tk.StartAt = adm.StartAt
+	if len(adm.Program) > 0 {
+		tk.Program = append([]int64(nil), adm.Program...)
+	}
+	return tk
+}
+
+// admitCore is the shard admit hot path: advance every scheduler to t,
+// retire elapsed gauge events, run the admission controller, and admit
+// the arrival into its scheduler.  It performs no per-request allocation
+// in steady state (BenchmarkShardAdmit and a CI guard pin this); the
+// Admission's Program references the scheduler's buffer.
+func (sh *shard) admitCore(st *objectState, t float64) (live.Admission, Decision) {
 	sh.now = t
 	sh.advanceAll(t)
 	sh.popEnds(t)
@@ -216,130 +246,26 @@ func (sh *shard) handleSubmit(req Request) Ticket {
 	if decision == Rejected {
 		st.rejected++
 		sh.srv.rejected.Add(1)
-		return Ticket{Object: st.obj.Name, Decision: Rejected, T: t, Epoch: st.epoch, Delay: st.delay}
+		return live.Admission{}, Rejected
 	}
-
-	// Slot the request into the current epoch and make sure its stream has
-	// started (a degraded request can land before its new epoch's base).
-	slot := int64(math.Floor((t - st.epochBase) / st.delay))
-	if slot < 0 {
-		slot = 0
-	}
-	if slot < st.lastArrival {
-		// Out-of-order timestamp within the epoch: batch into the latest
-		// occupied slot, like a request arriving now.
-		slot = st.lastArrival
-	}
-	sh.startStreamsTo(st, slot)
+	adm := st.sched.Admit(t)
 	st.arrivals++
-	if slot > st.lastArrival {
-		st.lastArrival = slot
-		st.clients++
-	}
 	if decision == Degraded {
 		sh.srv.degraded.Add(1)
 	} else {
 		sh.srv.admitted.Add(1)
 	}
-	return Ticket{
-		Object:   st.obj.Name,
-		Decision: decision,
-		T:        t,
-		Epoch:    st.epoch,
-		Slot:     slot,
-		Delay:    st.delay,
-		StartAt:  st.epochBase + float64(slot+1)*st.delay,
-		Program:  st.plan.onl.ProgramFor(slot),
-	}
+	return adm, decision
 }
 
-// advanceAll advances every object of the shard to time t, starting the
-// oblivious plan's streams whose slots have begun.  The scan is linear in
-// the shard's object count, but the per-object no-op costs one division
-// and compare (~20k requests over a 2000-object catalog replay in well
-// under a second on one core); if catalogs grow by another order of
-// magnitude, replace the scan with a min-heap keyed on each object's next
-// slot start.
+// advanceAll advances every object of the shard to time t.  The scan is
+// linear in the shard's object count, but the per-object no-op costs one
+// division and compare; if catalogs grow by another order of magnitude,
+// replace the scan with a min-heap keyed on each object's next slot start.
 func (sh *shard) advanceAll(t float64) {
 	for _, st := range sh.objects {
-		target := int64(math.Floor((t - st.epochBase) / st.delay))
-		sh.startStreamsTo(st, target)
+		st.sched.Advance(t)
 	}
-}
-
-// startStreamsTo starts every stream of st's epoch up to and including
-// slot, finalizing each merge group the moment it completes.
-func (sh *shard) startStreamsTo(st *objectState, slot int64) {
-	size := st.plan.onl.TreeSize()
-	for st.started <= slot {
-		q := st.started % size
-		ln := st.plan.tmplLens[q].Length
-		start := st.epochBase + float64(st.started)*st.delay
-		sh.pushEnd(start+float64(ln)*st.delay, -1)
-		sh.srv.gauge.Add(1)
-		st.streams++
-		st.started++
-		if st.started%size == 0 {
-			sh.finalizeFullGroup(st)
-		}
-	}
-}
-
-// finalizeFullGroup finalizes the group [finalized, finalized+size): once
-// the next group's first stream exists the horizon is at least the group
-// end, so its lengths are the untruncated template lengths.
-func (sh *shard) finalizeFullGroup(st *objectState) {
-	base := st.finalized
-	for _, nl := range st.plan.tmplLens {
-		start := st.epochBase + float64(base+nl.Arrival)*st.delay
-		sh.usage.AddLength(start, float64(nl.Length)*st.delay)
-	}
-	st.finalized = base + int64(len(st.plan.tmplLens))
-	st.finalizedStreams += int64(len(st.plan.tmplLens))
-	st.slotUnits += st.plan.tmplUnits
-	st.busyTime += float64(st.plan.tmplUnits) * st.delay
-}
-
-// finalizeEpoch closes the object's current epoch at a horizon of n slots
-// (starting any not-yet-started streams), truncating the trailing partial
-// group exactly like the batch plan's final group.  It returns the final
-// horizon after widening — occupied slots and already-started streams can
-// only extend it, mirroring sim.RunWorkload.
-func (sh *shard) finalizeEpoch(st *objectState, n int64) int64 {
-	if n < 1 {
-		n = 1
-	}
-	if last := st.lastArrival; last+1 > n {
-		n = last + 1
-	}
-	if st.started > n {
-		n = st.started
-	}
-	sh.startStreamsTo(st, n-1)
-	if st.finalized == n {
-		return n
-	}
-	m := n - st.finalized
-	sh.buf = st.plan.onl.AppendGroupLengths(sh.buf[:0], m)
-	base := st.finalized
-	for _, nl := range sh.buf {
-		start := st.epochBase + float64(base+nl.Arrival)*st.delay
-		sh.usage.AddLength(start, float64(nl.Length)*st.delay)
-		st.slotUnits += nl.Length
-		st.busyTime += float64(nl.Length) * st.delay
-		// The stream was started with the untruncated template length; if
-		// truncation cut it short, correct the gauge: retire the stream at
-		// its true end and cancel the stale event at the estimate, so a
-		// degradation's freed channels are visible to admission
-		// immediately rather than when the estimates expire.
-		if prov := st.plan.tmplLens[nl.Arrival].Length; nl.Length < prov {
-			sh.pushEnd(start+float64(nl.Length)*st.delay, -1)
-			sh.pushEnd(start+float64(prov)*st.delay, +1)
-		}
-	}
-	st.finalized = n
-	st.finalizedStreams += m
-	return n
 }
 
 // drain finalizes every object of the shard at the horizon.
@@ -348,8 +274,7 @@ func (sh *shard) drain(horizon float64) {
 		sh.now = horizon
 	}
 	for _, st := range sh.objects {
-		n := int64(math.Ceil((horizon - st.epochBase) / st.delay))
-		sh.finalizeEpoch(st, n)
+		st.sched.Drain(horizon)
 	}
 	sh.popEnds(sh.now)
 }
@@ -361,20 +286,24 @@ func (sh *shard) snapshot() shardSnapshot {
 		intervals: sh.usage.Intervals(),
 	}
 	for _, st := range sh.objects {
+		tot := st.totals()
 		snap.objects = append(snap.objects, ObjectStats{
 			Name:             st.obj.Name,
 			Shard:            sh.id,
+			Strategy:         st.strategy,
 			L:                st.L,
 			Delay:            st.delay,
 			Scale:            st.scale,
 			Epoch:            st.epoch,
 			Arrivals:         st.arrivals,
-			Clients:          st.clients,
+			Clients:          tot.Clients,
 			Rejected:         st.rejected,
-			Streams:          st.streams,
-			FinalizedStreams: st.finalizedStreams,
-			SlotUnits:        st.slotUnits,
-			BusyTime:         st.busyTime,
+			Streams:          tot.Streams,
+			FinalizedStreams: tot.FinalizedStreams,
+			SlotUnits:        tot.SlotUnits,
+			BusyTime:         tot.BusyTime,
+			Cost:             tot.Cost,
+			ReplanFailures:   tot.ReplanFailures,
 		})
 	}
 	return snap

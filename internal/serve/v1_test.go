@@ -87,6 +87,52 @@ func TestV1LegacyRouteParity(t *testing.T) {
 	}
 }
 
+// TestV1ObjectNotFoundJSON pins the unknown-object contract of
+// /v1/objects/{name}: a uniform 404 with a JSON {"error": ...} body on
+// every shard layout and for every unknown name — never a 200 with an
+// empty body, and never a plain-text error.  The legacy alias must return
+// the byte-identical body.
+func TestV1ObjectNotFoundJSON(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		s, err := serve.New(serve.Config{Catalog: multiobject.ZipfCatalog(5, 1.0, 0.1, 1.0), Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(serve.Handler(s))
+		for _, name := range []string{"none", "object-99", "object-01x", "zzz"} {
+			status, hdr, body := fetch(t, "GET", hs.URL+serve.APIVersion+"/objects/"+name, "")
+			if status != http.StatusNotFound {
+				t.Errorf("shards=%d GET /v1/objects/%s status = %d, want 404", shards, name, status)
+			}
+			if ct := hdr.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("shards=%d /v1/objects/%s Content-Type = %q, want application/json", shards, name, ct)
+			}
+			var errBody struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(body), &errBody); err != nil {
+				t.Errorf("shards=%d /v1/objects/%s body is not a JSON error object: %v\n%s", shards, name, err, body)
+			} else if errBody.Error == "" {
+				t.Errorf("shards=%d /v1/objects/%s: empty error message in %s", shards, name, body)
+			}
+			// The legacy alias answers byte-identically.
+			lgStatus, _, lgBody := fetch(t, "GET", hs.URL+"/objects/"+name, "")
+			if lgStatus != status || lgBody != body {
+				t.Errorf("shards=%d legacy /objects/%s differs: status %d body %q", shards, name, lgStatus, lgBody)
+			}
+		}
+		// Known objects still answer 200 with their stats on every shard.
+		for _, name := range []string{"object-01", "object-02", "object-03", "object-04", "object-05"} {
+			status, _, body := fetch(t, "GET", hs.URL+serve.APIVersion+"/objects/"+name, "")
+			if status != http.StatusOK || body == "" {
+				t.Errorf("shards=%d GET /v1/objects/%s = %d (%d bytes), want 200 with stats", shards, name, status, len(body))
+			}
+		}
+		hs.Close()
+		s.Close()
+	}
+}
+
 // TestV1BatchAdmission exercises the new /v1/requests endpoint: an array of
 // requests is admitted in order through the same path as single requests,
 // per-item failures don't fail the batch, and the resulting tickets are
@@ -170,4 +216,3 @@ func TestV1BatchAdmission(t *testing.T) {
 		t.Errorf("10001-entry batch status = %d, want 413", st)
 	}
 }
-

@@ -55,5 +55,10 @@
 //   - multi-object catalog planning (ZipfCatalog, PlanCatalog, FitDelays,
 //     PopularityAwareDelays) and the workload simulator (RunWorkload),
 //   - the live sharded admission server and its versioned /v1 HTTP API
-//     (NewServer, ListenAndServe, GenerateRequests, RunDriver, ...).
+//     (NewServer, NewLiveServer, ListenAndServe, GenerateRequests,
+//     RunDriver, ...).  Every registered planner can serve live traffic:
+//     LivePlanners lists the capability set, WithStrategy/WithEpoch (or
+//     per-object Object.Strategy entries) route catalog objects onto
+//     planner families, and a drained live run over one whole-horizon
+//     epoch reproduces the batch Plan cost bit for bit.
 package mod

@@ -232,7 +232,7 @@ func TestWorkloadAndServeFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := mod.RunDriver(srv, reqs, 3)
+	rep, err := mod.RunDriver(context.Background(), srv, reqs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,14 @@ type Settings struct {
 	// tuned for Poisson arrivals (default true); false selects the
 	// constant-rate tuning of Section 4.2.
 	Poisson bool
+	// Strategy is the live serving layer's default planner family (a
+	// registry name from LivePlanners()); empty selects "online".  Batch
+	// planning ignores it.
+	Strategy string
+	// EpochSlots is the live layer's replanning period for epoch-based
+	// strategies, in slots of each object's delay; 0 selects the serving
+	// default.  Batch planning ignores it.
+	EpochSlots int
 }
 
 // SlotsPerMedia returns the media length in slots of the start-up delay
@@ -94,3 +102,15 @@ func WithMaxArrivals(n int) Option { return func(s *Settings) { s.MaxArrivals = 
 // WithPoisson selects Poisson-tuned (true) or constant-rate-tuned (false)
 // dyadic parameters.
 func WithPoisson(p bool) Option { return func(s *Settings) { s.Poisson = p } }
+
+// WithStrategy sets the default live serving strategy of NewLiveServer:
+// any planner name in LivePlanners().  Per-object Object.Strategy entries
+// override it.  Batch planning is unaffected.
+func WithStrategy(name string) Option { return func(s *Settings) { s.Strategy = name } }
+
+// WithEpoch sets the live layer's epoch-replanning period in slots: how
+// often an epoch-based strategy (every live planner but "online") re-runs
+// its batch planner over the collected arrivals.  Use a value covering
+// the whole horizon to plan a drained run in one batch — the
+// configuration under which a live run reproduces the batch Plan exactly.
+func WithEpoch(slots int) Option { return func(s *Settings) { s.EpochSlots = slots } }

@@ -69,6 +69,33 @@ const APIVersion = serve.APIVersion
 // shard event loops.  Close it when done.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
+// LivePlanners returns the sorted planner registry names that can serve
+// live traffic — every valid Object.Strategy / WithStrategy value.  The
+// "online" strategy is natively incremental; every other name serves
+// through epoch-based replanning of its batch planner.  All live-capable
+// names are also registered planners (a test pins the subset relation).
+func LivePlanners() []string { return serve.LivePlanners() }
+
+// NewLiveServer builds a live admission server over the catalog using the
+// facade's options: WithStrategy sets the default serving strategy
+// (per-object Object.Strategy entries override it), WithEpoch the
+// replanning period of epoch-based strategies in slots, WithChannelCap
+// the admission controller's channel budget, WithWorkers the shard
+// count, and WithPoisson(false) the constant-rate dyadic tuning.  For
+// knobs beyond the options (degradation ladder, queue depths, wall-clock
+// time unit), build a ServeConfig and call NewServer directly.
+func NewLiveServer(cat Catalog, opts ...Option) (*Server, error) {
+	st := ResolveSettings(opts...)
+	return serve.New(ServeConfig{
+		Catalog:            cat,
+		Shards:             st.Workers,
+		MaxChannels:        st.ChannelCap,
+		DefaultStrategy:    st.Strategy,
+		EpochSlots:         st.EpochSlots,
+		ConstantRateTuning: !st.Poisson,
+	})
+}
+
 // Handler returns the server's versioned HTTP JSON API.
 func Handler(s *Server) http.Handler { return serve.Handler(s) }
 
@@ -88,13 +115,16 @@ func GenerateRequests(cat Catalog, cfg LoadConfig) ([]Request, error) {
 
 // RunDriver replays a request sequence against an in-process server in
 // strict time order and drains it at the horizon — the deterministic path
-// the equivalence tests pin against the batch simulator.
-func RunDriver(s *Server, reqs []Request, horizon float64) (*LoadReport, error) {
-	return serve.RunDriver(s, reqs, horizon)
+// the equivalence tests pin against the batch simulator and the batch
+// planners.  Cancelling ctx stops the replay with an error wrapping
+// ctx.Err(); the server stays drainable and must still be Closed.
+func RunDriver(ctx context.Context, s *Server, reqs []Request, horizon float64) (*LoadReport, error) {
+	return serve.RunDriver(ctx, s, reqs, horizon)
 }
 
 // RunHTTPDriver replays a request sequence against a live HTTP endpoint
-// with the given concurrency, measuring round-trip latencies.
-func RunHTTPDriver(baseURL string, reqs []Request, concurrency int) (*LoadReport, error) {
-	return serve.RunHTTPDriver(baseURL, reqs, concurrency)
+// with the given concurrency, measuring round-trip latencies.  Cancelling
+// ctx stops dispatching and aborts in-flight requests.
+func RunHTTPDriver(ctx context.Context, baseURL string, reqs []Request, concurrency int) (*LoadReport, error) {
+	return serve.RunHTTPDriver(ctx, baseURL, reqs, concurrency)
 }
