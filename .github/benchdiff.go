@@ -1,0 +1,83 @@
+// benchdiff compares two BENCH_serve.json files (the checked-in baseline
+// and a fresh run) and warns when any strategy's admission throughput
+// regressed by more than 10%.  It lives under .github/ so `go build ./...`
+// ignores it (dot-directories are excluded from package patterns); CI runs
+// it with `go run .github/benchdiff.go BENCH_serve.json /tmp/bench_new.json`.
+//
+// Throughput on shared CI runners is noisy, so a regression emits a
+// GitHub ::warning:: annotation rather than failing the build; the
+// checked-in baseline is the cross-PR perf trajectory, refreshed whenever
+// a PR deliberately moves it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Results []struct {
+		Strategy   string  `json:"strategy"`
+		Requests   int64   `json:"requests"`
+		ReqsPerSec float64 `json:"reqs_per_sec"`
+	} `json:"results"`
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(f.Results))
+	for _, r := range f.Results {
+		out[r.Strategy] = r.ReqsPerSec
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRates, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRates, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	const tolerance = 0.10
+	warned := false
+	for strategy, oldRate := range oldRates {
+		newRate, ok := newRates[strategy]
+		if !ok {
+			fmt.Printf("::warning::benchdiff: strategy %q present in baseline but missing from new run\n", strategy)
+			warned = true
+			continue
+		}
+		delta := (newRate - oldRate) / oldRate
+		fmt.Printf("%-16s %12.0f -> %12.0f reqs/s (%+.1f%%)\n", strategy, oldRate, newRate, 100*delta)
+		if delta < -tolerance {
+			fmt.Printf("::warning::benchdiff: %s admission throughput regressed %.1f%% (%.0f -> %.0f reqs/s)\n",
+				strategy, -100*delta, oldRate, newRate)
+			warned = true
+		}
+	}
+	for strategy := range newRates {
+		if _, ok := oldRates[strategy]; !ok {
+			fmt.Printf("%-16s (new strategy, no baseline)\n", strategy)
+		}
+	}
+	if !warned {
+		fmt.Println("benchdiff: no throughput regression beyond 10%")
+	}
+}

@@ -1,0 +1,181 @@
+// modlint runs the repository's static-analysis suite (internal/analysis):
+// six analyzers that mechanize the architectural invariants of the serving
+// stack — facadeonly, shardloop, ctxflow, errwrap, noalloc, detrand (see
+// DESIGN.md "Invariants" for the invariant each one guards and its escape
+// hatch).
+//
+// It runs two ways:
+//
+//	modlint [packages]          standalone: analyze the packages (default ./...)
+//	go vet -vettool=$(command -v modlint) ./...
+//	                            as a vet tool: modlint speaks the unitchecker
+//	                            protocol (-V=full, -flags, unit.cfg), so the
+//	                            build cache, package enumeration, and test
+//	                            variants all come from the go command
+//
+// Diagnostics print as file:line:col: message [analyzer]; the exit status
+// is non-zero when any are reported.  A finding is silenced — with a
+// recorded reason — by the escape hatch:
+//
+//	//modlint:ignore [analyzer[,analyzer]] reason
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// The go command probes vet tools with -V=full before anything else;
+	// answer before flag parsing so unknown future probe flags next to it
+	// cannot confuse the standalone parser.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			fmt.Printf("modlint version v1 buildID=%s\n", selfID())
+			return
+		}
+		if arg == "-flags" || arg == "--flags" {
+			// No tool-specific flags are exposed to the go command.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fatalf("modlint: unknown analyzer %q (use -list)", n)
+		}
+		suite = filtered
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], suite))
+	}
+	os.Exit(runStandalone(args, suite))
+}
+
+// runStandalone loads packages by pattern and analyzes them.
+func runStandalone(patterns []string, suite []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("modlint: %v", err)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := analysis.LoadPatterns(fset, wd, patterns)
+	if err != nil {
+		fatalf("modlint: %v", err)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(fset, pkg, suite) {
+			fmt.Fprintln(os.Stderr, d)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// vetConfig is the subset of the unitchecker *.cfg file modlint consumes.
+// The go command writes one per compilation unit.
+type vetConfig struct {
+	ID                        string
+	ImportPath                string
+	GoFiles                   []string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit on behalf of go vet.  The
+// protocol requires writing a facts file (empty: the suite is factless)
+// and reporting diagnostics on stderr with a non-zero exit.
+func runVetUnit(cfgFile string, suite []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("modlint: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("modlint: parsing %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("modlint: writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.LoadFiles(fset, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("modlint: %v", err)
+	}
+	exit := 0
+	for _, d := range analysis.Run(fset, pkg, suite) {
+		fmt.Fprintln(os.Stderr, d)
+		exit = 1
+	}
+	return exit
+}
+
+// selfID hashes the executable so the go command's vet result cache is
+// invalidated whenever the analyzers change.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -56,6 +56,12 @@ func TestCommandSmoke(t *testing.T) {
 			[]string{"strategy online", "strategy dyadic-batched", "strategy batching", "BENCH_serve.json (3 strategies)"}},
 		{"modserve", []string{"-mode", "smoke", "-objects", "3", "-delay", "5", "-lambda", "2", "-horizon", "2"},
 			[]string{"served over HTTP", "smoke ok"}},
+		{"modlint", []string{"-list"},
+			[]string{"facadeonly", "shardloop", "ctxflow", "errwrap", "noalloc", "detrand"}},
+		{"modlint", []string{"./mod/..."},
+			[]string{}},
+		{"modlint", []string{"-V=full"},
+			[]string{"modlint version v1 buildID="}},
 	}
 	// Build each needed binary once, under the parent test so the temp dirs
 	// outlive the subtests.
@@ -130,6 +136,7 @@ func TestCommandSmokeBadFlags(t *testing.T) {
 		{"modsim", []string{"-mode", "nope"}},
 		{"modserve", []string{"-mode", "nope"}},
 		{"modserve", []string{"-mode", "bench", "-arrivals", "nope"}},
+		{"modlint", []string{"-run", "nope"}},
 	} {
 		bin, ok := bins[tc.cmd]
 		if !ok {

@@ -1,0 +1,178 @@
+// Package analysis is the repository's static-analysis suite: a small,
+// dependency-free framework in the shape of golang.org/x/tools/go/analysis
+// plus the six analyzers that mechanize the architectural invariants the
+// serving stack's correctness rests on (see DESIGN.md "Invariants").
+//
+// The framework exists because the repository builds with the standard
+// library only (the tier-1 gate runs from a clean module cache), so the
+// x/tools analysis plumbing is reimplemented here at the scale this module
+// needs: purely syntactic passes over parsed files, one Pass per package,
+// diagnostics filtered through the //modlint:ignore escape hatch.  The
+// cmd/modlint binary drives the suite either standalone or as a
+// `go vet -vettool` (it speaks the unitchecker *.cfg protocol).
+//
+// Directives understood by the suite:
+//
+//	//modlint:ignore [analyzer[,analyzer]] reason
+//	    Suppresses diagnostics reported on the same line or the line
+//	    below.  The reason is mandatory; an optional leading analyzer
+//	    list narrows the suppression.
+//	//modlint:noalloc
+//	    On a function's doc comment: the noalloc analyzer scans the body
+//	    for allocation-forcing constructs.
+//	//modlint:loop
+//	    On a type's doc comment: the shardloop analyzer treats the type
+//	    as a single-goroutine event loop and bans sync/atomic state and
+//	    goroutine spawns in its methods.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// An Analyzer is one static check: a name, documentation, and a Run
+// function reporting diagnostics through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant it guards.
+	Doc string
+	// Run inspects a package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A File is one parsed source file of a package.
+type File struct {
+	// Name is the file path as given to the loader.
+	Name string
+	// AST is the parsed file, including comments.
+	AST *ast.File
+}
+
+// A Package is the unit of analysis: the parsed files of one directory,
+// tagged with the import path the build system would give them.
+type Package struct {
+	// Path is the package import path (e.g. "repro/internal/serve").
+	Path string
+	// Files are the parsed files, in load order.
+	Files []*File
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message states the violated invariant.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Fset maps token positions of every file in the package.
+	Fset *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file is a _test.go file, which several
+// analyzers exempt (tests may use context.Background, ad-hoc errors, the
+// global rand source for fixtures, ...).
+func IsTestFile(f *File) bool {
+	return strings.HasSuffix(f.Name, "_test.go")
+}
+
+// Imports maps each import's local name to its path for one file:
+// named imports under their name, plain imports under the last path
+// segment, blank imports under "_" and dot imports under ".".
+func Imports(f *ast.File) map[string]string {
+	m := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// calleePkg resolves a call of the form pkg.Fn(...) to (import path of
+// pkg, Fn).  It returns ok=false for any other call shape (method calls,
+// locals, conversions) or when the qualifier is not an imported package
+// name in this file.
+func calleePkg(imports map[string]string, call *ast.CallExpr) (path, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	path, found := imports[id.Name]
+	if !found {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// Run applies the analyzers to the package and returns the surviving
+// diagnostics (after //modlint:ignore filtering), sorted by position.
+// Malformed ignore directives are themselves reported, attributed to the
+// pseudo-analyzer "modlint".
+func Run(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, diags: &diags})
+	}
+	ig, bad := collectIgnores(fset, pkg, analyzers)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}

@@ -1,0 +1,114 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, in the manner of
+// golang.org/x/tools/go/analysis/analysistest (reimplemented on the
+// repository's dependency-free analysis framework).
+//
+// Fixtures live under testdata/src/<import path>/ — the directory name is
+// the import path the analyzer sees, so path-scoped analyzers (facadeonly,
+// detrand, errwrap) are exercised with realistic paths.  A line expecting
+// a diagnostic carries a trailing comment of the form
+//
+//	code() // want "regexp"
+//
+// with one quoted regexp per expected diagnostic on that line.  Every
+// diagnostic must be matched by a want and every want must fire; the
+// //modlint:ignore escape hatch runs in the same pipeline as the real
+// drivers, so fixtures can (and do) prove that annotated escapes pass.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want patterns may be double-quoted (with escapes) or backquoted, like
+// Go string literals.
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package below testdata/src and applies the
+// analyzer, comparing diagnostics with the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		t.Run(pkgPath, func(t *testing.T) {
+			t.Helper()
+			run(t, testdata, a, pkgPath)
+		})
+	}
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	fset := token.NewFileSet()
+	pkg, err := analysis.LoadDir(fset, dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					text := arg[1]
+					if strings.HasPrefix(arg[0], "`") {
+						text = arg[2]
+					}
+					pat, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, text, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: pat})
+				}
+			}
+		}
+	}
+
+	diags := analysis.Run(fset, pkg, []*analysis.Analyzer{a})
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", relpath(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+func relpath(p string) string {
+	if wd, err := filepath.Abs("."); err == nil {
+		if rel, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+	}
+	return p
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxflowPrefixes are the library trees where context discipline applies:
+// every internal layer plus the public facade.  main packages (cmd/,
+// examples/) own their processes and may root contexts; test files are
+// exempt for the same reason.
+var ctxflowPrefixes = []string{"repro/internal/", "repro/mod"}
+
+// Ctxflow enforces the PR-4 context discipline on library code: a
+// function that takes a context.Context takes it as its first parameter
+// (so long-running entry points compose), and nothing roots a fresh
+// context with context.Background()/context.TODO() — ambient roots are
+// how cancellation silently stops propagating (the bug this suite's
+// dogfooding run found in the epoch replanner).  Deliberate roots — a
+// nil-config default, a shutdown timer — carry a //modlint:ignore with
+// the reason.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "library code takes context.Context as the first parameter and never calls " +
+		"context.Background()/context.TODO(); deliberate roots need //modlint:ignore with a reason",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	applies := false
+	for _, p := range ctxflowPrefixes {
+		if strings.HasPrefix(pass.Pkg.Path, p) {
+			applies = true
+		}
+	}
+	if !applies {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if IsTestFile(f) {
+			continue
+		}
+		imports := Imports(f.AST)
+		ctxName := ""
+		for name, path := range imports {
+			if path == "context" {
+				ctxName = name
+			}
+		}
+		if ctxName == "" {
+			continue
+		}
+		isCtxType := func(e ast.Expr) bool {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Context" {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			return ok && id.Name == ctxName
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				continue
+			}
+			pos := 0
+			for _, field := range fd.Type.Params.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1
+				}
+				if isCtxType(field.Type) && pos > 0 {
+					pass.Reportf(field.Pos(), "%s takes context.Context as parameter %d; contexts go first", fd.Name.Name, pos+1)
+				}
+				pos += n
+			}
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, fn, ok := calleePkg(imports, call); ok && path == "context" && (fn == "Background" || fn == "TODO") {
+				pass.Reportf(call.Pos(), "context.%s roots a fresh context in library code: accept a ctx from the caller", fn)
+			}
+			return true
+		})
+	}
+}

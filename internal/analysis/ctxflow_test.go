@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestCtxflow proves contexts must come first, fresh roots are flagged,
+// and both test files and annotated compatibility wrappers are exempt.
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Ctxflow, "repro/internal/democtx")
+}

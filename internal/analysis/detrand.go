@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// DetrandPackages are the deterministic packages: every run must be a
+// pure function of configuration and seed, because the repository's
+// equivalence tests (serial vs parallel, live vs batch, this PR vs the
+// last) pin their outputs bit for bit.  Wall-clock time and the global
+// math/rand source are the two ambient inputs that silently break that.
+var DetrandPackages = map[string]bool{
+	"repro/internal/sim":         true,
+	"repro/internal/live":        true,
+	"repro/internal/arrivals":    true,
+	"repro/internal/experiments": true,
+}
+
+// detrandAllowed are the math/rand functions that construct seeded
+// generators rather than consuming the global source.
+var detrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Detrand bans ambient nondeterminism in the deterministic packages:
+// time.Now and the global math/rand functions (rand.Intn, rand.Float64,
+// rand.Shuffle, ...).  All randomness must flow from a seeded *rand.Rand
+// handed in by the caller.  Test files are exempt.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "deterministic packages (sim, live, arrivals, experiments) must not read wall-clock time " +
+		"or the global math/rand source; randomness flows from seeded *rand.Rand values only",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *Pass) {
+	if !DetrandPackages[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if IsTestFile(f) {
+			continue
+		}
+		imports := Imports(f.AST)
+		// A dot import of a banned package would defeat call resolution;
+		// flag the import itself.
+		for _, imp := range f.AST.Imports {
+			if imp.Name == nil || imp.Name.Name != "." {
+				continue
+			}
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
+				(path == "time" || path == "math/rand" || path == "math/rand/v2") {
+				pass.Reportf(imp.Pos(), "dot import of %q hides nondeterministic calls from analysis", path)
+			}
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, fn, ok := calleePkg(imports, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && fn == "Now":
+				pass.Reportf(call.Pos(), "time.Now in deterministic package %s: thread the clock through configuration", pass.Pkg.Path)
+			case (path == "math/rand" || path == "math/rand/v2") && !detrandAllowed[fn]:
+				pass.Reportf(call.Pos(), "rand.%s uses the global source in deterministic package %s: use a seeded *rand.Rand", fn, pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

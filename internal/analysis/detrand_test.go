@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDetrand registers the fixture package as deterministic and proves
+// time.Now and global math/rand calls are flagged while seeded
+// *rand.Rand use, test files, and annotated calibration escapes pass.
+func TestDetrand(t *testing.T) {
+	analysis.DetrandPackages["repro/internal/demodet"] = true
+	defer delete(analysis.DetrandPackages, "repro/internal/demodet")
+	analysistest.Run(t, "testdata", analysis.Detrand, "repro/internal/demodet")
+}

@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestErrwrapClassified registers the fixture package as classified and
+// proves naked fmt.Errorf and in-function errors.New are flagged while
+// sentinel declarations, %w wraps, and annotated escapes pass.
+func TestErrwrapClassified(t *testing.T) {
+	analysis.ErrwrapPackages["repro/internal/demowrap"] = true
+	defer delete(analysis.ErrwrapPackages, "repro/internal/demowrap")
+	analysistest.Run(t, "testdata", analysis.Errwrap, "repro/internal/demowrap")
+}
+
+// TestErrwrapFlatten proves the library-wide rule: an err printed under
+// %v instead of %w severs the chain, even outside classified packages.
+func TestErrwrapFlatten(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Errwrap, "repro/internal/demoflatten")
+}

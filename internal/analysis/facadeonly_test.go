@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestFacadeonly proves the boundary check catches plain, renamed, blank,
+// and dot imports, and that allowlisted packages and annotated escapes
+// pass.
+func TestFacadeonly(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Facadeonly,
+		"repro/cmd/demobad",
+		"repro/examples/demookay",
+	)
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //modlint:ignore comment.
+type ignoreDirective struct {
+	// analyzers is nil for an unscoped directive (suppresses every
+	// analyzer); otherwise the set of analyzer names it suppresses.
+	analyzers map[string]bool
+}
+
+// ignoreSet indexes directives by file and by the lines they cover.
+type ignoreSet map[string]map[int]ignoreDirective
+
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	dir, ok := lines[d.Pos.Line]
+	if !ok {
+		return false
+	}
+	return dir.analyzers == nil || dir.analyzers[d.Analyzer]
+}
+
+// collectIgnores parses every //modlint:ignore directive of the package.
+// A directive covers its own line and the line below it, so it works both
+// trailing a statement and as a comment of its own above one.  Directives
+// with no reason, or naming an unknown analyzer, are reported as
+// diagnostics themselves — a silent, unexplained escape hatch is exactly
+// what the suite exists to prevent.
+func collectIgnores(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) (ignoreSet, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Pos: fset.Position(pos), Analyzer: "modlint", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//modlint:ignore")
+				if !ok {
+					continue
+				}
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue // e.g. //modlint:ignoreXXX is not a directive
+				}
+				fields := strings.Fields(text)
+				dir := ignoreDirective{}
+				// An optional first word of comma-separated analyzer names
+				// scopes the directive; everything after it is the reason.
+				if len(fields) > 0 {
+					names := strings.Split(fields[0], ",")
+					all := true
+					for _, n := range names {
+						if !known[n] {
+							all = false
+						}
+					}
+					if all {
+						dir.analyzers = make(map[string]bool, len(names))
+						for _, n := range names {
+							dir.analyzers[n] = true
+						}
+						fields = fields[1:]
+					}
+				}
+				if len(fields) == 0 {
+					report(c.Pos(), "modlint:ignore needs a reason (//modlint:ignore [analyzer[,analyzer]] reason)")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]ignoreDirective)
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = dir
+				lines[pos.Line+1] = dir
+			}
+		}
+	}
+	return set, bad
+}
+
+// docHasDirective reports whether a doc comment group carries the given
+// //modlint:<name> marker (exact comment, e.g. "noalloc" or "loop").
+// The raw comment list is scanned because CommentGroup.Text strips
+// directive comments.
+func docHasDirective(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//modlint:"+marker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFiles parses the given files (with comments) into a Package tagged
+// with the import path.  Parse errors fail the load; the suite analyzes
+// code the compiler accepts.
+func LoadFiles(fset *token.FileSet, pkgPath string, files []string) (*Package, error) {
+	pkg := &Package{Path: pkgPath}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, &File{Name: name, AST: f})
+	}
+	return pkg, nil
+}
+
+// LoadDir parses every .go file of one directory (including _test.go
+// files — analyzers decide per file whether tests are exempt) into a
+// Package.  Directories with no Go files yield a nil package.
+func LoadDir(fset *token.FileSet, dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	sort.Strings(files)
+	return LoadFiles(fset, pkgPath, files)
+}
+
+// ModuleRoot walks up from dir to the directory holding go.mod and
+// returns it along with the module path declared there.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("modlint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("modlint: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// LoadPatterns expands package patterns relative to dir — "./..." style
+// recursion or plain relative directories — into loaded Packages.  Like
+// the build system, it skips testdata directories, hidden directories,
+// and directories without Go files.
+func LoadPatterns(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	root, modPath, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := func(d string) string {
+		rel, err := filepath.Rel(root, d)
+		if err != nil || rel == "." {
+			return modPath
+		}
+		return modPath + "/" + filepath.ToSlash(rel)
+	}
+	seen := make(map[string]bool)
+	var pkgs []*Package
+	add := func(d string) error {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return err
+		}
+		if seen[abs] {
+			return nil
+		}
+		seen[abs] = true
+		pkg, err := LoadDir(fset, abs, pkgPath(abs))
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		base, recursive := pat, false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base, recursive = rest, true
+		}
+		if base == "" || base == "." {
+			base = dir
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		if !recursive {
+			if err := add(base); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return add(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}

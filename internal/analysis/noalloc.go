@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// allocHeavyPkgs are stdlib packages whose calls allocate by contract
+// (formatting, error construction): any call into them from a noalloc
+// function is flagged.
+var allocHeavyPkgs = map[string]bool{
+	"fmt":     true,
+	"errors":  true,
+	"strings": true,
+	"strconv": true,
+	"sort":    true,
+}
+
+// Noalloc statically screens functions annotated //modlint:noalloc for
+// allocation-forcing constructs.  It is the compile-time complement of
+// the BenchmarkShardAdmit 0 allocs/op CI gate: the benchmark proves the
+// steady state doesn't allocate on one workload, the analyzer explains
+// why by construction and catches regressions the benchmark's workload
+// wouldn't exercise.
+//
+// The check is syntactic and intra-procedural.  Flagged constructs:
+// &composite{} and new() (escaping allocations), make of any kind, map
+// and slice composite literals, append not in the amortized
+// x = append(x, ...) self-assign form, closures, go statements, string
+// concatenation involving a string literal, []byte/[]rune conversions,
+// and calls into formatting packages (fmt, errors, strings, strconv,
+// sort).  Plain struct literals (returned or assigned by value) pass;
+// callee bodies are not followed — annotate the callees on the hot path
+// too, as the shard admit path does.  Interface boxing of non-pointer
+// values is type-dependent and left to the benchmark gate.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "functions marked //modlint:noalloc must avoid allocation-forcing constructs " +
+		"(&T{}/new/make, growing append, closures, go, string building, fmt/errors calls)",
+	Run: runNoalloc,
+}
+
+func runNoalloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		imports := Imports(f.AST)
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasDirective(fd.Doc, "noalloc") {
+				continue
+			}
+			checkNoalloc(pass, imports, fd)
+		}
+	}
+}
+
+func checkNoalloc(pass *Pass, imports map[string]string, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// selfAppend reports whether a call is the amortized self-assign
+	// append form x = append(x, ...), which reuses capacity in steady
+	// state (exactly what the allocation benchmark measures).
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		if len(call.Args) > 0 && exprString(call.Args[0]) == exprString(as.Lhs[0]) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "%s is marked noalloc but takes the address of a composite literal", name)
+				}
+			}
+		case *ast.CompositeLit:
+			switch n.Type.(type) {
+			case *ast.MapType:
+				pass.Reportf(n.Pos(), "%s is marked noalloc but builds a map literal", name)
+			case *ast.ArrayType:
+				if at := n.Type.(*ast.ArrayType); at.Len == nil {
+					pass.Reportf(n.Pos(), "%s is marked noalloc but builds a slice literal", name)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "new":
+					pass.Reportf(n.Pos(), "%s is marked noalloc but calls new", name)
+				case "make":
+					pass.Reportf(n.Pos(), "%s is marked noalloc but calls make", name)
+				case "append":
+					if !selfAppend[n] {
+						pass.Reportf(n.Pos(), "%s is marked noalloc but appends outside the amortized x = append(x, ...) form", name)
+					}
+				}
+			}
+			if at, ok := n.Fun.(*ast.ArrayType); ok && at.Len == nil && len(n.Args) == 1 {
+				pass.Reportf(n.Pos(), "%s is marked noalloc but converts to a slice type", name)
+			}
+			if path, _, ok := calleePkg(imports, n); ok && allocHeavyPkgs[path] {
+				pass.Reportf(n.Pos(), "%s is marked noalloc but calls into %s, which allocates", name, path)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is marked noalloc but creates a closure", name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s is marked noalloc but spawns a goroutine", name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && (isStringLit(n.X) || isStringLit(n.Y)) {
+				pass.Reportf(n.Pos(), "%s is marked noalloc but concatenates strings", name)
+			}
+		}
+		return true
+	})
+}
+
+func isStringLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}
+
+// exprString renders simple l-value expressions (identifiers, selector
+// chains, index expressions) to compare append targets; anything more
+// exotic compares unequal.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprString(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		x, i := exprString(e.X), exprString(e.Index)
+		if x != "" && i != "" {
+			return x + "[" + i + "]"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestNoalloc proves //modlint:noalloc functions are screened for
+// allocation-forcing constructs while un-annotated twins, steady-state
+// self-append, value literals, and annotated warmup escapes pass.
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Noalloc, "repro/internal/demonoalloc")
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Shardloop guards the serving layer's concurrency architecture: types
+// marked //modlint:loop are single-goroutine event loops (the serve
+// shard, the live Incremental schedulers).  All their state is confined
+// to one goroutine and all communication is channel messages, so any
+// sync primitive inside one is not defense — it is evidence that state
+// escaped the loop.  Once shard state is snapshotted and handed between
+// nodes (the ROADMAP's durability and cluster items), a mutex or stray
+// goroutine here is a data-loss bug, not a style nit.
+//
+// For a marked type the analyzer bans: struct fields of sync/atomic
+// types (sync.Mutex, sync.RWMutex, sync.Map, sync.WaitGroup, sync.Once,
+// atomic.*), go statements anywhere in its methods (including nested
+// function literals), and calls into the sync or sync/atomic packages
+// from its methods.  Atomic fields on *other* types (the shared Server
+// counters a shard deliberately publishes to) stay legal.
+var Shardloop = &Analyzer{
+	Name: "shardloop",
+	Doc: "types marked //modlint:loop are single-goroutine event loops: no sync/atomic fields, " +
+		"no goroutine spawns in methods, communication stays channel messages",
+	Run: runShardloop,
+}
+
+func runShardloop(pass *Pass) {
+	// Pass 1: find marked types and check their field types.
+	loopTypes := make(map[string]bool)
+	for _, f := range pass.Pkg.Files {
+		imports := Imports(f.AST)
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The marker may sit on the TypeSpec or, for single-spec
+				// declarations, on the GenDecl.
+				if !docHasDirective(ts.Doc, "loop") && !(len(gd.Specs) == 1 && docHasDirective(gd.Doc, "loop")) {
+					continue
+				}
+				loopTypes[ts.Name.Name] = true
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if pkg := syncPkgOf(imports, field.Type); pkg != "" {
+						pass.Reportf(field.Pos(), "loop type %s owns a %s field; single-goroutine state needs no locks — state that does is escaping the loop", ts.Name.Name, pkg)
+					}
+				}
+			}
+		}
+	}
+	if len(loopTypes) == 0 {
+		return
+	}
+	// Pass 2: check the methods of marked types.
+	for _, f := range pass.Pkg.Files {
+		imports := Imports(f.AST)
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := receiverTypeName(fd)
+			if !loopTypes[recv] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(), "method %s.%s spawns a goroutine inside a single-goroutine event loop", recv, fd.Name.Name)
+				case *ast.CallExpr:
+					if path, fn, ok := calleePkg(imports, n); ok && (path == "sync" || path == "sync/atomic") {
+						pass.Reportf(n.Pos(), "method %s.%s calls %s.%s; loop state is single-goroutine and communicates by channel messages", recv, fd.Name.Name, path, fn)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// syncPkgOf reports the sync/atomic package an expression's type refers
+// to ("" when it is neither), looking through pointers and arrays.
+func syncPkgOf(imports map[string]string, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return syncPkgOf(imports, e.X)
+	case *ast.ArrayType:
+		return syncPkgOf(imports, e.Elt)
+	case *ast.SelectorExpr:
+		id, ok := e.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		if path := imports[id.Name]; path == "sync" || path == "sync/atomic" {
+			return path + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// receiverTypeName returns the receiver's type identifier, stripping
+// pointers and generic instantiations.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.IndexListExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestShardloop proves marked event-loop types are screened for
+// sync/atomic fields, goroutine spawns, and sync package calls, while
+// unmarked shared state and annotated escapes pass.
+func TestShardloop(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Shardloop, "repro/internal/demoloop")
+}

@@ -1,0 +1,16 @@
+package analysis
+
+// Suite returns the repository's analyzers in reporting order.  Each one
+// mechanizes an invariant DESIGN.md's "Invariants" section documents; the
+// cmd/modlint binary runs the whole suite, and mod/facade_test.go runs
+// Facadeonly so the test and the vettool cannot disagree.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Facadeonly,
+		Shardloop,
+		Ctxflow,
+		Errwrap,
+		Noalloc,
+		Detrand,
+	}
+}

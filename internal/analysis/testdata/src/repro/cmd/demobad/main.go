@@ -1,0 +1,18 @@
+// Fixture: a cmd/ program reaching around the facade in every import
+// shape the old string-based test could miss.
+package main
+
+import (
+	"fmt"
+
+	. "repro/internal/online"      // want `import of "repro/internal/online"`
+	engine "repro/internal/policy" // want `import of "repro/internal/policy"`
+	_ "repro/internal/serve"       // want `import of "repro/internal/serve"`
+	"repro/internal/sim"           // want `import of "repro/internal/sim": cmd/ and examples/ must reach algorithms through repro/mod only`
+	"repro/internal/textplot"      // allowed: presentation layer
+	"repro/mod"                    // allowed: the facade itself
+)
+
+func main() {
+	fmt.Println(sim.RunWorkload, engine.Standard, Cost, mod.Planners, textplot.Chart)
+}

@@ -1,0 +1,16 @@
+// Fixture: an examples/ program that stays inside the facade boundary,
+// plus one sanctioned exception proving the annotated escape hatch.
+package main
+
+import (
+	"repro/internal/experiments" // allowed: analytics layer
+	"repro/mod"
+
+	bench "repro/internal/stats" //modlint:ignore facadeonly fixture: sanctioned exception with a reason
+)
+
+func main() {
+	_ = mod.Planners
+	_ = experiments.AllWithWorkers
+	_ = bench.Mean
+}

@@ -1,0 +1,32 @@
+// Fixture for the ctxflow analyzer: contexts go first, and library code
+// never roots a fresh context without an annotated reason.
+package democtx
+
+import "context"
+
+// Run is a long-running entry point with the context in the right place.
+func Run(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// Sweep buried its context behind the data.
+func Sweep(n int, ctx context.Context) error { // want `Sweep takes context.Context as parameter 2; contexts go first`
+	return ctx.Err()
+}
+
+// stale roots a fresh context instead of accepting one.
+func stale() context.Context {
+	return context.Background() // want `context.Background roots a fresh context in library code`
+}
+
+// staler does the same with TODO.
+func staler() context.Context {
+	return context.TODO() // want `context.TODO roots a fresh context in library code`
+}
+
+// compat is a ctx-free compatibility wrapper: the sanctioned shape, with
+// the reason recorded where the root happens.
+func compat(n int) error {
+	//modlint:ignore ctxflow fixture: ctx-free compatibility wrapper, callers use Run
+	return Run(context.Background(), n)
+}

@@ -1,0 +1,8 @@
+// Tests may root contexts freely: the exemption under test.
+package democtx
+
+import "context"
+
+func testHelper() error {
+	return Run(context.Background(), 1)
+}

@@ -1,0 +1,35 @@
+// Fixture for the detrand analyzer (the test registers this path in
+// DetrandPackages): deterministic packages take their clock and their
+// randomness from configuration.
+package demodet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() float64 {
+	return float64(time.Now().UnixNano()) // want `time.Now in deterministic package`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `rand.Float64 uses the global source in deterministic package`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `rand.Intn uses the global source`
+}
+
+// seeded is the sanctioned shape: all randomness flows from a seeded
+// *rand.Rand constructed here.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// calibrate is wall-clock timing with a recorded reason.
+func calibrate() time.Duration {
+	//modlint:ignore detrand fixture: benchmark calibration outside any reproducible path
+	start := time.Now()
+	return time.Since(start)
+}

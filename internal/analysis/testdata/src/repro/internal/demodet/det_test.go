@@ -1,0 +1,8 @@
+// Test files may use the global source for fixture construction.
+package demodet
+
+import "math/rand"
+
+func shuffleFixture(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,31 @@
+// Fixture for errwrap's library-wide rule: printing an error under %v
+// severs the chain even in packages outside the classified set.
+package demoflatten
+
+import (
+	"fmt"
+	"os"
+)
+
+func load(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return fmt.Errorf("demoflatten: opening %s: %v", name, err) // want `error value passed to fmt.Errorf under a non-%w verb`
+	}
+	defer f.Close()
+	return nil
+}
+
+func loadRight(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return fmt.Errorf("demoflatten: opening %s: %w", name, err)
+	}
+	defer f.Close()
+	return nil
+}
+
+func describe(n int) string {
+	// Non-error arguments under %v are fine.
+	return fmt.Errorf("count %v", n).Error()
+}

@@ -1,0 +1,75 @@
+// Fixture for the shardloop analyzer: marked event-loop types must stay
+// free of sync/atomic state and goroutine spawns; unmarked types and
+// annotated escapes pass.
+package demoloop
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// badLoop is a single-goroutine event loop that grew locks.
+//
+//modlint:loop
+type badLoop struct {
+	msgs  chan int
+	mu    sync.Mutex   // want `loop type badLoop owns a sync.Mutex field`
+	gauge atomic.Int64 // want `loop type badLoop owns a sync/atomic.Int64 field`
+}
+
+func (l *badLoop) run() {
+	go l.drain() // want `method badLoop.run spawns a goroutine inside a single-goroutine event loop`
+	for range l.msgs {
+		func() {
+			go l.drain() // want `method badLoop.run spawns a goroutine`
+		}()
+	}
+}
+
+func (l *badLoop) drain() {
+	var n int64
+	atomic.AddInt64(&n, 1) // want `method badLoop.drain calls sync/atomic.AddInt64`
+}
+
+// goodLoop communicates by channel messages only.
+//
+//modlint:loop
+type goodLoop struct {
+	msgs chan int
+	done chan struct{}
+}
+
+func (l *goodLoop) run() {
+	for {
+		select {
+		case m := <-l.msgs:
+			_ = m
+		case <-l.done:
+			return
+		}
+	}
+}
+
+// sharedCounters is not a loop type: shared state may use atomics.
+type sharedCounters struct {
+	mu    sync.Mutex
+	gauge atomic.Int64
+}
+
+func (c *sharedCounters) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gauge.Add(1)
+}
+
+// annotatedLoop shows the escape hatch: a sanctioned spawn with a reason.
+//
+//modlint:loop
+type annotatedLoop struct {
+	msgs chan int
+}
+
+func (l *annotatedLoop) run() {
+	//modlint:ignore shardloop fixture: sanctioned one-shot helper, reason recorded
+	go func() { close(l.msgs) }()
+}

@@ -1,0 +1,60 @@
+// Fixture for the noalloc analyzer: annotated functions are screened for
+// allocation-forcing constructs; identical un-annotated code passes.
+package demonoalloc
+
+import "fmt"
+
+type event struct {
+	t     float64
+	delta int32
+}
+
+type loop struct {
+	ends []event
+	now  float64
+}
+
+// hotPath is the annotated admit-style hot path gone wrong in every way
+// the analyzer can see.
+//
+//modlint:noalloc
+func (l *loop) hotPath(t float64) string {
+	l.now = t
+	m := make(map[int]int)                   // want `hotPath is marked noalloc but calls make`
+	p := &event{t: t}                        // want `hotPath is marked noalloc but takes the address of a composite literal`
+	fresh := append([]event(nil), l.ends...) // want `hotPath is marked noalloc but appends outside the amortized` `hotPath is marked noalloc but converts to a slice type`
+	f := func() { l.now = 0 }                // want `hotPath is marked noalloc but creates a closure`
+	s := "t=" + fmt.Sprint(t)                // want `hotPath is marked noalloc but concatenates strings` `hotPath is marked noalloc but calls into fmt`
+	_, _, _, _ = m, p, fresh, f
+	return s
+}
+
+// steadyState is the legal shape: value composite literals, self-assign
+// append, and plain arithmetic.
+//
+//modlint:noalloc
+func (l *loop) steadyState(t float64) event {
+	l.now = t
+	l.ends = append(l.ends, event{t: t, delta: -1})
+	last := len(l.ends) - 1
+	l.ends[0], l.ends[last] = l.ends[last], l.ends[0]
+	l.ends = l.ends[:last]
+	return event{t: t}
+}
+
+// coldPath is the same code as hotPath with no annotation: out of scope.
+func (l *loop) coldPath(t float64) string {
+	m := make(map[int]int)
+	p := &event{t: t}
+	_, _ = m, p
+	return "t=" + fmt.Sprint(t)
+}
+
+// warmup may allocate in its annotated body only where a reason is
+// recorded.
+//
+//modlint:noalloc
+func (l *loop) warmup(n int) {
+	//modlint:ignore noalloc fixture: one-time warmup preallocation, amortized to zero
+	l.ends = make([]event, 0, n)
+}

@@ -1,0 +1,33 @@
+// Fixture for the errwrap analyzer in a classified package (the test
+// registers this path in ErrwrapPackages): every constructed error wraps
+// a sentinel.
+package demowrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a package-level sentinel: the one sanctioned errors.New.
+var ErrBad = errors.New("demowrap: bad input")
+
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("demowrap: negative count %d", n) // want `fmt.Errorf without %w in classified package`
+	}
+	if n == 0 {
+		return errors.New("demowrap: zero count") // want `errors.New constructs an unclassifiable failure`
+	}
+	if n > 100 {
+		return fmt.Errorf("%w: count %d exceeds 100", ErrBad, n) // classified correctly
+	}
+	return nil
+}
+
+func open(name string) error {
+	if name == "" {
+		//modlint:ignore errwrap fixture: diagnostic text is pinned by a golden test, reason recorded
+		return fmt.Errorf("demowrap: empty name")
+	}
+	return nil
+}

@@ -502,6 +502,7 @@ func staticTreeCost(L, n, size int64) int64 {
 // All runs every experiment with its default configuration, using all CPUs
 // for the sweeps that support worker pools.
 func All() ([]Result, error) {
+	//modlint:ignore ctxflow All is the ctx-free compatibility wrapper; callers wanting cancellation use AllWithWorkers
 	return AllWithWorkers(context.Background(), 0)
 }
 

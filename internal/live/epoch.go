@@ -10,6 +10,7 @@ import (
 	"repro/internal/dyadic"
 	"repro/internal/hybrid"
 	"repro/internal/mergetree"
+	"repro/internal/moderr"
 	"repro/internal/multiobject"
 	"repro/internal/offline"
 )
@@ -39,6 +40,9 @@ type PlanParams struct {
 	// Cache supplies the on-line template state the hybrid's
 	// delay-guaranteed segments replay.
 	Cache *Cache
+	// Ctx bounds the off-line DP of a replan; it is never nil after
+	// paramsFor (Config.withDefaults roots the default).
+	Ctx context.Context
 }
 
 // paramsFor derives the replan parameters from a scheduler configuration.
@@ -50,6 +54,7 @@ func paramsFor(cfg Config) PlanParams {
 		ConstantRate:  cfg.ConstantRate,
 		Workers:       cfg.PlanWorkers,
 		Cache:         cfg.Cache,
+		Ctx:           cfg.Ctx,
 	}
 }
 
@@ -123,6 +128,8 @@ func init() {
 // applies to its mode segments — so each epoch's cost is exactly the
 // batch planner's cost on that epoch, and a drain with EpochSlots at
 // least the horizon reproduces the whole batch plan bit for bit.
+//
+//modlint:loop
 type epochSched struct {
 	st    epochStrategy
 	sink  Sink
@@ -391,12 +398,12 @@ func offlineOutcome(times []float64, p PlanParams) (PlanOutcome, error) {
 		return PlanOutcome{}, nil
 	}
 	if len(times) > maxOfflineEpochArrivals {
-		return PlanOutcome{}, fmt.Errorf("live: epoch of %d arrivals exceeds the %d-arrival off-line DP cap",
-			len(times), maxOfflineEpochArrivals)
+		return PlanOutcome{}, fmt.Errorf("%w: live: epoch of %d arrivals exceeds the %d-arrival off-line DP cap",
+			moderr.ErrInstanceTooLarge, len(times), maxOfflineEpochArrivals)
 	}
 	if bytes := offline.BandBytes(times, p.MediaLength); bytes > maxOfflineEpochTableBytes {
-		return PlanOutcome{}, fmt.Errorf("live: epoch DP would need %d MB of tables (cap %d MB)",
-			bytes>>20, maxOfflineEpochTableBytes>>20)
+		return PlanOutcome{}, fmt.Errorf("%w: live: epoch DP would need %d MB of tables (cap %d MB)",
+			moderr.ErrInstanceTooLarge, bytes>>20, maxOfflineEpochTableBytes>>20)
 	}
 	// The DP requires strictly increasing times; clients at identical
 	// instants share a stream trivially, so collapse ties (the dyadic
@@ -414,7 +421,12 @@ func offlineOutcome(times []float64, p PlanParams) (PlanOutcome, error) {
 			break
 		}
 	}
-	res, err := offline.OptimalForestWorkers(context.Background(), deduped, p.MediaLength, offline.ReceiveTwo, p.Workers)
+	ctx := p.Ctx
+	if ctx == nil {
+		//modlint:ignore ctxflow BatchReference builds PlanParams directly without withDefaults; root the never-cancelled default here
+		ctx = context.Background()
+	}
+	res, err := offline.OptimalForestWorkers(ctx, deduped, p.MediaLength, offline.ReceiveTwo, p.Workers)
 	if err != nil {
 		return PlanOutcome{}, err
 	}

@@ -34,6 +34,7 @@
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -183,6 +184,10 @@ type Config struct {
 	Cache *Cache
 	// Sink receives stream events; nil discards them.
 	Sink Sink
+	// Ctx bounds the scheduler's replan DPs: cancelling it aborts an
+	// in-flight epoch DP within one work unit.  nil means Background
+	// (never cancelled) — the batch facade's behaviour.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -194,6 +199,10 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Sink == nil {
 		c.Sink = nopSink{}
+	}
+	if c.Ctx == nil {
+		//modlint:ignore ctxflow nil Ctx means "never cancelled"; this is the one place the default is rooted
+		c.Ctx = context.Background()
 	}
 	return c, nil
 }

@@ -61,6 +61,8 @@ func init() {
 // the moment they complete; the trailing partial group is truncated at
 // drain exactly like the batch horizon, so a drained run reproduces the
 // batch forest's stream counts and bandwidth bit for bit.
+//
+//modlint:loop
 type onlineSched struct {
 	sink  Sink
 	delay float64

@@ -1,0 +1,26 @@
+// Package moderr declares the repository's shared failure sentinels: the
+// leaf of the error taxonomy the public mod facade exposes.
+//
+// The classified layers (policy, multiobject, offline, live, serve) sit
+// at different depths of the import graph — offline cannot import policy,
+// policy cannot import live — yet errors.Is must classify a failure
+// identically whichever layer raised it.  So the sentinel *values* live
+// here, below everything; policy re-exports them under its historical
+// names (the mod facade aliases those in turn), and every layer wraps
+// them with %w.  The errwrap analyzer (internal/analysis) enforces the
+// wrapping discipline; the message texts keep their original "policy:"
+// prefixes so no pinned output changes.
+package moderr
+
+import "errors"
+
+// ErrBadInstance marks validation failures of a problem instance:
+// non-positive horizon, length, or delay, a delay exceeding the media
+// length, an unsorted or non-finite arrival trace, an invalid catalog
+// object.
+var ErrBadInstance = errors.New("policy: invalid instance")
+
+// ErrInstanceTooLarge marks instances the exact off-line DP refuses up
+// front: more arrivals than the configured cap, or banded DP tables that
+// would exceed the configured memory budget.
+var ErrInstanceTooLarge = errors.New("policy: instance too large")

@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"repro/internal/bandwidth"
+	"repro/internal/moderr"
 	"repro/internal/online"
 )
 
@@ -76,16 +77,16 @@ func (o Object) Slots() int64 {
 // Validate checks the object's parameters.
 func (o Object) Validate() error {
 	if o.Length <= 0 {
-		return fmt.Errorf("multiobject: object %q has non-positive length %g", o.Name, o.Length)
+		return fmt.Errorf("%w: multiobject: object %q has non-positive length %g", moderr.ErrBadInstance, o.Name, o.Length)
 	}
 	if o.Delay <= 0 {
-		return fmt.Errorf("multiobject: object %q has non-positive delay %g", o.Name, o.Delay)
+		return fmt.Errorf("%w: multiobject: object %q has non-positive delay %g", moderr.ErrBadInstance, o.Name, o.Delay)
 	}
 	if o.Delay > o.Length {
-		return fmt.Errorf("multiobject: object %q has delay %g larger than its length %g", o.Name, o.Delay, o.Length)
+		return fmt.Errorf("%w: multiobject: object %q has delay %g larger than its length %g", moderr.ErrBadInstance, o.Name, o.Delay, o.Length)
 	}
 	if o.Popularity < 0 || math.IsNaN(o.Popularity) {
-		return fmt.Errorf("multiobject: object %q has invalid popularity %g", o.Name, o.Popularity)
+		return fmt.Errorf("%w: multiobject: object %q has invalid popularity %g", moderr.ErrBadInstance, o.Name, o.Popularity)
 	}
 	return nil
 }
@@ -101,7 +102,7 @@ func (c Catalog) Validate() error {
 			return err
 		}
 		if seen[o.Name] {
-			return fmt.Errorf("multiobject: duplicate object name %q", o.Name)
+			return fmt.Errorf("%w: multiobject: duplicate object name %q", moderr.ErrBadInstance, o.Name)
 		}
 		seen[o.Name] = true
 	}
@@ -161,7 +162,7 @@ func Build(cat Catalog, horizon float64) (*Plan, error) {
 		return nil, err
 	}
 	if horizon <= 0 {
-		return nil, fmt.Errorf("multiobject: horizon must be positive, got %g", horizon)
+		return nil, fmt.Errorf("%w: multiobject: horizon must be positive, got %g", moderr.ErrBadInstance, horizon)
 	}
 	usage := bandwidth.New()
 	plan := &Plan{Horizon: horizon}
@@ -218,7 +219,7 @@ type FitResult struct {
 // is met or the scale exceeds maxScale.
 func FitDelays(cat Catalog, horizon float64, maxChannels int, step, maxScale float64) (*FitResult, error) {
 	if maxChannels < 1 {
-		return nil, fmt.Errorf("multiobject: maxChannels must be at least 1")
+		return nil, fmt.Errorf("%w: multiobject: maxChannels must be at least 1", moderr.ErrBadInstance)
 	}
 	if step <= 1 {
 		step = 1.25

@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/mergetree"
+	"repro/internal/moderr"
 )
 
 // Model selects the client receive capability.
@@ -64,11 +65,11 @@ func (m Model) String() string {
 func validateTimes(times []float64) error {
 	for i, t := range times {
 		if math.IsNaN(t) || math.IsInf(t, 0) {
-			return fmt.Errorf("offline: invalid arrival time %g at index %d", t, i)
+			return fmt.Errorf("%w: offline: invalid arrival time %g at index %d", moderr.ErrBadInstance, t, i)
 		}
 		if i > 0 && t <= times[i-1] {
-			return fmt.Errorf("offline: arrival times must be strictly increasing (index %d: %g after %g)",
-				i, t, times[i-1])
+			return fmt.Errorf("%w: offline: arrival times must be strictly increasing (index %d: %g after %g)",
+				moderr.ErrBadInstance, i, t, times[i-1])
 		}
 	}
 	return nil
@@ -174,6 +175,7 @@ func MergeCost(times []float64, model Model) (float64, error) {
 	if len(times) == 0 {
 		return 0, nil
 	}
+	//modlint:ignore ctxflow MergeCost is the ctx-free compatibility wrapper; callers wanting cancellation use ComputeTables directly
 	t, err := ComputeTables(context.Background(), times, model, 0, 0)
 	if err != nil {
 		return 0, err
@@ -198,8 +200,9 @@ func BuildTree(times []float64, split [][]int, i, j int) *mergetree.RTree {
 // chosen model, together with its merge cost.
 func OptimalTree(times []float64, model Model) (*mergetree.RTree, float64, error) {
 	if len(times) == 0 {
-		return nil, 0, fmt.Errorf("offline: no arrivals")
+		return nil, 0, fmt.Errorf("%w: offline: no arrivals", moderr.ErrBadInstance)
 	}
+	//modlint:ignore ctxflow OptimalTree is the ctx-free compatibility wrapper over ComputeTables
 	t, err := ComputeTables(context.Background(), times, model, 0, 0)
 	if err != nil {
 		return nil, 0, err
@@ -228,6 +231,7 @@ type Forest struct {
 // j only while times[j] - times[i] < L (later clients could not receive the
 // root's data otherwise).
 func OptimalForest(times []float64, L float64, model Model) (*Forest, error) {
+	//modlint:ignore ctxflow OptimalForest is the ctx-free compatibility wrapper over OptimalForestWorkers
 	return OptimalForestWorkers(context.Background(), times, L, model, 0)
 }
 
@@ -244,7 +248,7 @@ func OptimalForestWorkers(ctx context.Context, times []float64, L float64, model
 		return nil, err
 	}
 	if L <= 0 {
-		return nil, fmt.Errorf("offline: media length must be positive, got %g", L)
+		return nil, fmt.Errorf("%w: offline: media length must be positive, got %g", moderr.ErrBadInstance, L)
 	}
 	n := len(times)
 	if n == 0 {
@@ -271,7 +275,7 @@ func OptimalForestWorkers(ctx context.Context, times []float64, L float64, model
 			}
 		}
 		if best[j] == inf {
-			return nil, fmt.Errorf("offline: arrival %d cannot be covered (gap exceeds media length)", j-1)
+			return nil, fmt.Errorf("%w: offline: arrival %d cannot be covered (gap exceeds media length)", moderr.ErrBadInstance, j-1)
 		}
 	}
 	// Reconstruct the groups.

@@ -271,7 +271,7 @@ func TestCostClosedMatchesCost(t *testing.T) {
 		var n int64
 		switch trial % 4 {
 		case 0: // generic horizon
-			n = 1 + rng.Int63n(5 * L)
+			n = 1 + rng.Int63n(5*L)
 		case 1: // exact multiple of the tree size
 			n = (1 + rng.Int63n(50)) * s.TreeSize()
 		case 2: // partial final group

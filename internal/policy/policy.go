@@ -17,7 +17,6 @@ package policy
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -27,19 +26,23 @@ import (
 	"repro/internal/batching"
 	"repro/internal/dyadic"
 	"repro/internal/hybrid"
+	"repro/internal/moderr"
 	"repro/internal/offline"
 	"repro/internal/online"
 )
 
 // ErrBadInstance marks validation failures of the (trace, horizon,
 // parameters) instance handed to a policy: non-positive horizon or delay,
-// a delay exceeding the media length, an unsorted trace.
-var ErrBadInstance = errors.New("policy: invalid instance")
+// a delay exceeding the media length, an unsorted trace.  The value is
+// the shared leaf sentinel internal/moderr.ErrBadInstance, so layers
+// below policy classify failures identically (see moderr's doc).
+var ErrBadInstance = moderr.ErrBadInstance
 
 // ErrInstanceTooLarge marks instances the exact off-line DP refuses up
 // front: more arrivals than the configured cap, or banded DP tables that
-// would exceed the configured memory budget.
-var ErrInstanceTooLarge = errors.New("policy: instance too large")
+// would exceed the configured memory budget.  Alias of
+// internal/moderr.ErrInstanceTooLarge.
+var ErrInstanceTooLarge = moderr.ErrInstanceTooLarge
 
 // Policy is one serving strategy for a single media object.
 type Policy interface {

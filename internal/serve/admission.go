@@ -21,6 +21,8 @@ package serve
 
 // admit decides the outcome for a request on st at time t, degrading the
 // object's delay epoch as a side effect when the gauge is at the cap.
+//
+//modlint:noalloc
 func (sh *shard) admit(st *objectState, t float64) Decision {
 	cap := sh.srv.cfg.MaxChannels
 	if cap <= 0 || sh.srv.gauge.Load() < int64(cap) {

@@ -228,7 +228,7 @@ func Serve(ctx context.Context, ln net.Listener, s *Server) error {
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 		defer cancel()
 		err := hs.Shutdown(shutCtx)
 		s.Close()

@@ -39,6 +39,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -111,6 +112,12 @@ type Config struct {
 	// the Poisson golden-ratio tuning, matching the facade's WithPoisson
 	// default.
 	ConstantRateTuning bool
+
+	// Context is the base context of the server's shard schedulers (the
+	// net/http BaseContext idiom): cancelling it aborts in-flight epoch
+	// replan DPs.  nil means Background.  Close cancels the derived
+	// per-server context either way.
+	Context context.Context
 }
 
 func (c *Config) withDefaults() Config {
@@ -273,6 +280,11 @@ type Server struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
+	// ctx is derived from Config.Context at New; Close cancels it,
+	// aborting any epoch replan DP still running on a shard loop.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	// gauge is the live channel count: streams started whose (estimated)
 	// end lies in the future.  Shard loops maintain it; the admission
 	// controller reads it.
@@ -295,12 +307,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("%w: catalog is empty", ErrBadConfig)
 	}
 	cfg = cfg.withDefaults()
+	base := cfg.Context
+	if base == nil {
+		//modlint:ignore ctxflow nil Config.Context means "never cancelled externally"; the one place the default is rooted
+		base = context.Background()
+	}
 	s := &Server{
 		cfg:    cfg,
 		byName: make(map[string]*shard, len(cfg.Catalog)),
 		start:  time.Now(),
 		quit:   make(chan struct{}),
 	}
+	s.ctx, s.cancel = context.WithCancel(base)
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = newShard(i, s)
@@ -528,4 +546,5 @@ func (s *Server) Close() {
 	}
 	close(s.quit)
 	s.wg.Wait()
+	s.cancel()
 }

@@ -66,6 +66,8 @@ func (st *objectState) totals() live.Totals {
 // admission state of the objects routed to it.  The shard also implements
 // live.Sink: scheduler stream events become the live channel gauge and
 // the real-time bandwidth record.
+//
+//modlint:loop
 type shard struct {
 	id   int
 	srv  *Server
@@ -142,6 +144,7 @@ func (sh *shard) newScheduler(obj multiobject.Object, strategy string, delay, ba
 		PlanWorkers:  sh.srv.cfg.PlanWorkers,
 		Cache:        sh.cache,
 		Sink:         sh,
+		Ctx:          sh.srv.ctx,
 	})
 }
 
@@ -237,6 +240,8 @@ func (sh *shard) handleSubmit(req Request) Ticket {
 // the arrival into its scheduler.  It performs no per-request allocation
 // in steady state (BenchmarkShardAdmit and a CI guard pin this); the
 // Admission's Program references the scheduler's buffer.
+//
+//modlint:noalloc
 func (sh *shard) admitCore(st *objectState, t float64) (live.Admission, Decision) {
 	sh.now = t
 	sh.advanceAll(t)
@@ -262,6 +267,8 @@ func (sh *shard) admitCore(st *objectState, t float64) (live.Admission, Decision
 // linear in the shard's object count, but the per-object no-op costs one
 // division and compare; if catalogs grow by another order of magnitude,
 // replace the scan with a min-heap keyed on each object's next slot start.
+//
+//modlint:noalloc
 func (sh *shard) advanceAll(t float64) {
 	for _, st := range sh.objects {
 		st.sched.Advance(t)
@@ -316,6 +323,8 @@ type endEvent struct {
 }
 
 // pushEnd pushes a gauge event onto the min-heap (ordered by time).
+//
+//modlint:noalloc
 func (sh *shard) pushEnd(t float64, delta int32) {
 	sh.ends = append(sh.ends, endEvent{t: t, delta: delta})
 	i := len(sh.ends) - 1
@@ -331,6 +340,8 @@ func (sh *shard) pushEnd(t float64, delta int32) {
 
 // popEnds applies every gauge event whose time has passed; stream ends
 // decrement the live channel gauge, truncation corrections cancel out.
+//
+//modlint:noalloc
 func (sh *shard) popEnds(t float64) {
 	for len(sh.ends) > 0 && sh.ends[0].t <= t {
 		sh.srv.gauge.Add(int64(sh.ends[0].delta))

@@ -1,53 +1,44 @@
 package mod_test
 
 import (
-	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
-// facadeAllowed is the import allowlist for cmd/ binaries and examples/
-// programs: the public facade, plus the analytics/presentation layers
-// (experiment tables and text charts), which are consumers of the facade
-// themselves rather than algorithm constructors.  Everything algorithmic —
-// policy, online, offline, dyadic, batching, hybrid, core, mergetree,
-// schedule, sim, multiobject, arrivals, serve — must be reached through
-// repro/mod.
-var facadeAllowed = map[string]bool{
-	"repro/mod":                  true,
-	"repro/internal/experiments": true,
-	"repro/internal/textplot":    true,
-}
-
 // TestFacadeOnlyImports enforces the API boundary: no cmd/ or examples/
-// file may import a repro package outside the allowlist.  This is the
-// "compiles against the facade only" CI check.
+// file may import a repro package outside the facade allowlist.  The test
+// is a thin wrapper over the facadeonly analyzer (internal/analysis) —
+// the same code path `go vet -vettool=modlint` runs in CI — so the test
+// and the vettool can never disagree about the allowlist or what counts
+// as an import (renamed, dot, and blank imports included).
 func TestFacadeOnlyImports(t *testing.T) {
 	for _, dir := range []string{"../cmd", "../examples"} {
 		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 			if err != nil {
 				return err
 			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			if !d.IsDir() || strings.HasPrefix(d.Name(), ".") || d.Name() == "testdata" {
 				return nil
 			}
-			fset := token.NewFileSet()
-			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			rel, err := filepath.Rel("..", path)
 			if err != nil {
 				return err
 			}
-			for _, imp := range f.Imports {
-				p, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					return err
-				}
-				if strings.HasPrefix(p, "repro/") && !facadeAllowed[p] {
-					t.Errorf("%s imports %q; cmd/ and examples/ must reach algorithms through repro/mod only", path, p)
-				}
+			fset := token.NewFileSet()
+			pkg, err := analysis.LoadDir(fset, path, "repro/"+filepath.ToSlash(rel))
+			if err != nil {
+				return err
+			}
+			if pkg == nil {
+				return nil // no Go files at this level
+			}
+			for _, diag := range analysis.Run(fset, pkg, []*analysis.Analyzer{analysis.Facadeonly}) {
+				t.Errorf("%s", diag)
 			}
 			return nil
 		})
