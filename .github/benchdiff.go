@@ -1,29 +1,41 @@
 // benchdiff compares two BENCH_serve.json files (the checked-in baseline
-// and a fresh run) and warns when any strategy's admission throughput
+// and a fresh run) and fails when any strategy's admission throughput
 // regressed by more than 10%.  It lives under .github/ so `go build ./...`
 // ignores it (dot-directories are excluded from package patterns); CI runs
 // it with `go run .github/benchdiff.go BENCH_serve.json /tmp/bench_new.json`.
 //
-// Throughput on shared CI runners is noisy, so a regression emits a
-// GitHub ::warning:: annotation rather than failing the build; the
-// checked-in baseline is the cross-PR perf trajectory, refreshed whenever
-// a PR deliberately moves it.
+// Both bench shapes are accepted: the legacy flat file ({"results": [...]})
+// and the version-2 grid ({"grid": [{"results": [...]}, ...]}).  Rates are
+// aggregated per strategy as the mean over every row where the strategy
+// appears, so a baseline and a fresh run with different grid extents still
+// compare on their common strategies.  Throughput on shared CI runners is
+// noisy, which the 10% tolerance and cross-cell averaging absorb; beyond
+// that the build fails (::error::), and the checked-in baseline — the
+// cross-PR perf trajectory — must be deliberately refreshed by any PR
+// that moves it.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
-type benchFile struct {
-	Results []struct {
-		Strategy   string  `json:"strategy"`
-		Requests   int64   `json:"requests"`
-		ReqsPerSec float64 `json:"reqs_per_sec"`
-	} `json:"results"`
+type benchRow struct {
+	Strategy   string  `json:"strategy"`
+	ReqsPerSec float64 `json:"reqs_per_sec"`
 }
 
+// benchFile matches both shapes: flat results and the version-2 grid.
+type benchFile struct {
+	Results []benchRow `json:"results"`
+	Grid    []struct {
+		Results []benchRow `json:"results"`
+	} `json:"grid"`
+}
+
+// load returns each strategy's mean reqs/s across every row of the file.
 func load(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -33,9 +45,22 @@ func load(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]float64, len(f.Results))
-	for _, r := range f.Results {
-		out[r.Strategy] = r.ReqsPerSec
+	rows := f.Results
+	for _, cell := range f.Grid {
+		rows = append(rows, cell.Results...)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no bench rows (neither flat results nor grid cells)", path)
+	}
+	sum := make(map[string]float64)
+	n := make(map[string]float64)
+	for _, r := range rows {
+		sum[r.Strategy] += r.ReqsPerSec
+		n[r.Strategy]++
+	}
+	out := make(map[string]float64, len(sum))
+	for s := range sum {
+		out[s] = sum[s] / n[s]
 	}
 	return out, nil
 }
@@ -56,20 +81,26 @@ func main() {
 		os.Exit(2)
 	}
 	const tolerance = 0.10
-	warned := false
-	for strategy, oldRate := range oldRates {
+	strategies := make([]string, 0, len(oldRates))
+	for s := range oldRates {
+		strategies = append(strategies, s)
+	}
+	sort.Strings(strategies)
+	failed := false
+	for _, strategy := range strategies {
+		oldRate := oldRates[strategy]
 		newRate, ok := newRates[strategy]
 		if !ok {
-			fmt.Printf("::warning::benchdiff: strategy %q present in baseline but missing from new run\n", strategy)
-			warned = true
+			fmt.Printf("::error::benchdiff: strategy %q present in baseline but missing from new run\n", strategy)
+			failed = true
 			continue
 		}
 		delta := (newRate - oldRate) / oldRate
 		fmt.Printf("%-16s %12.0f -> %12.0f reqs/s (%+.1f%%)\n", strategy, oldRate, newRate, 100*delta)
 		if delta < -tolerance {
-			fmt.Printf("::warning::benchdiff: %s admission throughput regressed %.1f%% (%.0f -> %.0f reqs/s)\n",
+			fmt.Printf("::error::benchdiff: %s admission throughput regressed %.1f%% (%.0f -> %.0f reqs/s)\n",
 				strategy, -100*delta, oldRate, newRate)
-			warned = true
+			failed = true
 		}
 	}
 	for strategy := range newRates {
@@ -77,7 +108,8 @@ func main() {
 			fmt.Printf("%-16s (new strategy, no baseline)\n", strategy)
 		}
 	}
-	if !warned {
-		fmt.Println("benchdiff: no throughput regression beyond 10%")
+	if failed {
+		os.Exit(1)
 	}
+	fmt.Println("benchdiff: no throughput regression beyond 10%")
 }

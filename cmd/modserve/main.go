@@ -10,23 +10,30 @@
 // named with -strategy (any name in mod.LivePlanners(): the natively
 // incremental "online" forest, or epoch-replanned "offline", "dyadic",
 // "batching", "hybrid", ...).  In "load" mode it replays a deterministic
-// Poisson/constant/ramp request trace against a running server over HTTP
-// and reports latency, admission, and delay histograms.  In "bench" mode
-// it replays the trace in-process with virtual time once per strategy in
-// -strategies, measuring throughput and per-request admission latency,
-// and writes the machine-readable results to -out (BENCH_serve.json by
+// Poisson/constant/ramp/flash-crowd request trace against a running server
+// over HTTP and reports latency, admission, and delay histograms.  In
+// "bench" mode it sweeps a standard workload benchmark matrix — every
+// -workloads arrival process x -sizes catalog size x -shardgrid shard
+// count, replaying each cell's deterministic trace in-process once per
+// strategy in -strategies — measuring single-submit throughput, batched
+// SubmitBatch throughput (one channel send per shard per 500-entry
+// batch), per-request admission latency, and warm-start epoch replanning
+// (replans, warm hits, DP cells reused vs recomputed, replan latency),
+// and writes the machine-readable grid to -out (BENCH_serve.json by
 // default) so the repository's serving performance is tracked across
 // changes.  In "smoke" mode it starts a server on a random port, fires
 // the load driver at it, and exits cleanly (the CI smoke step).
 //
-// The -seed flag fixes the request trace, so every published number is
-// reproducible from the command line.
+// The -seed flag fixes the request traces: bench cell seeds derive from
+// grid coordinates alone (never shard count, strategy, or scheduling
+// order), so every published number is reproducible from the command
+// line on any machine.
 //
 // Usage:
 //
 //	modserve -mode serve -addr :8377 -objects 100 -zipf 1 -delay 2 -cap 200 -strategy online
 //	modserve -mode load -addr http://localhost:8377 -lambda 0.5 -horizon 20 -arrivals poisson -seed 7
-//	modserve -mode bench -objects 50 -lambda 0.5 -horizon 20 -strategies online,dyadic,batching -out BENCH_serve.json
+//	modserve -mode bench -workloads poisson,flash -sizes 8,16 -shardgrid 1,2 -lambda 0.5 -horizon 20 -strategies online,dyadic,batching -out BENCH_serve.json
 //	modserve -mode smoke
 package main
 
@@ -39,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -60,10 +68,13 @@ func main() {
 	strategy := flag.String("strategy", "online", "live serving strategy (a mod.LivePlanners() name)")
 	epoch := flag.Int("epoch", 0, "epoch replanning period in slots for batch strategies (0 = server default)")
 	strategies := flag.String("strategies", "all", "bench: comma-separated strategies, or \"all\"")
+	workloads := flag.String("workloads", "all", "bench: comma-separated arrival kinds (constant|poisson|ramp|flash), or \"all\"")
+	sizes := flag.String("sizes", "", "bench: comma-separated catalog sizes (empty = -objects)")
+	shardGrid := flag.String("shardgrid", "", "bench: comma-separated shard counts (empty = -shards)")
 	out := flag.String("out", "BENCH_serve.json", "bench: machine-readable output file (empty = none)")
 	horizon := flag.Float64("horizon", 20, "load horizon in media lengths (load/bench/smoke)")
 	lambdaPct := flag.Float64("lambda", 0.5, "aggregate mean inter-arrival time as %% of media length")
-	arrKind := flag.String("arrivals", "poisson", "arrival process: constant | poisson | ramp")
+	arrKind := flag.String("arrivals", "poisson", "arrival process: constant | poisson | ramp | flash (load/smoke; bench uses -workloads)")
 	rampFactor := flag.Float64("ramp", 4, "final/initial rate ratio for -arrivals ramp")
 	seed := flag.Int64("seed", 1, "random seed for the request trace (fixed seed = reproducible run)")
 	conc := flag.Int("conc", 8, "concurrent connections for -mode load")
@@ -87,17 +98,12 @@ func main() {
 		RampFactor:       *rampFactor,
 		Seed:             *seed,
 	}
-	switch *arrKind {
-	case "constant":
-		load.Kind = mod.ConstantArrivals
-	case "poisson":
-		load.Kind = mod.PoissonArrivals
-	case "ramp":
-		load.Kind = mod.RampArrivals
-	default:
-		fmt.Fprintf(os.Stderr, "modserve: unknown arrival kind %q\n", *arrKind)
+	kind, err := arrivalKind(*arrKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modserve:", err)
 		os.Exit(2)
 	}
+	load.Kind = kind
 
 	switch *mode {
 	case "serve":
@@ -124,7 +130,9 @@ func main() {
 		exitOn(err)
 		rep.Render(os.Stdout)
 	case "bench":
-		exitOn(bench(cfg, load, benchList(*strategies), *out))
+		grid, err := benchGridConfig(*workloads, *sizes, *shardGrid, *objects, *shards)
+		exitOn(err)
+		exitOn(bench(cfg, load, grid, benchList(*strategies), *length, *delayPct, *zipf, *out))
 	case "smoke":
 		exitOn(smoke(cfg, load, *conc))
 		fmt.Println("modserve: smoke ok")
@@ -142,71 +150,197 @@ func benchList(s string) []string {
 	return strings.Split(s, ",")
 }
 
-// benchResult is one strategy's row in BENCH_serve.json.
-type benchResult struct {
-	Strategy     string  `json:"strategy"`
-	Requests     int     `json:"requests"`
-	Admitted     int     `json:"admitted"`
-	Degraded     int     `json:"degraded"`
-	Rejected     int     `json:"rejected"`
-	ReqsPerSec   float64 `json:"reqs_per_sec"`
-	P50LatencyUS float64 `json:"p50_admission_latency_us"`
-	P99LatencyUS float64 `json:"p99_admission_latency_us"`
-	CostStreams  float64 `json:"cost_streams"`
-	BusyTime     float64 `json:"busy_time"`
-	Peak         int     `json:"peak"`
-}
-
-// benchOutput is the machine-readable bench report: enough context to
-// reproduce the run plus one row per strategy, so the repository's
-// serving-performance trajectory can be tracked across changes.
-type benchOutput struct {
-	Objects    int           `json:"objects"`
-	Shards     int           `json:"shards"`
-	Horizon    float64       `json:"horizon"`
-	Arrivals   string        `json:"arrivals"`
-	Seed       int64         `json:"seed"`
-	EpochSlots int           `json:"epoch_slots"`
-	Results    []benchResult `json:"results"`
-}
-
-// bench replays the same deterministic request trace in-process once per
-// strategy, measuring per-Submit admission latency and end-to-end
-// throughput, drains each server, and writes the JSON report.
-func bench(cfg mod.ServeConfig, load mod.LoadConfig, strategies []string, outPath string) error {
-	reqs, err := mod.GenerateRequests(cfg.Catalog, load)
-	if err != nil {
-		return err
+// arrivalKind resolves an arrival-process name.
+func arrivalKind(name string) (mod.ArrivalKind, error) {
+	switch name {
+	case "constant":
+		return mod.ConstantArrivals, nil
+	case "poisson":
+		return mod.PoissonArrivals, nil
+	case "ramp":
+		return mod.RampArrivals, nil
+	case "flash":
+		return mod.FlashArrivals, nil
 	}
+	return 0, fmt.Errorf("unknown arrival kind %q", name)
+}
+
+// benchGrid is the benchmark matrix: every workload x catalog size x shard
+// count combination is one cell, and every strategy is replayed inside
+// every cell.
+type benchGrid struct {
+	workloads []mod.ArrivalKind
+	sizes     []int
+	shards    []int
+}
+
+// benchGridConfig resolves the bench grid flags; empty -sizes/-shardgrid
+// collapse those axes to the base -objects/-shards values.
+func benchGridConfig(workloads, sizes, shardGrid string, objects, shards int) (benchGrid, error) {
+	var g benchGrid
+	if workloads == "" || workloads == "all" {
+		workloads = "constant,poisson,ramp,flash"
+	}
+	for _, name := range strings.Split(workloads, ",") {
+		k, err := arrivalKind(name)
+		if err != nil {
+			return g, err
+		}
+		g.workloads = append(g.workloads, k)
+	}
+	var err error
+	if g.sizes, err = parseInts(sizes, objects); err != nil {
+		return g, fmt.Errorf("bad -sizes: %v", err)
+	}
+	if g.shards, err = parseInts(shardGrid, shards); err != nil {
+		return g, fmt.Errorf("bad -shardgrid: %v", err)
+	}
+	return g, nil
+}
+
+// parseInts parses a comma-separated int list, defaulting to [fallback].
+func parseInts(s string, fallback int) ([]int, error) {
+	if s == "" {
+		return []int{fallback}, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// benchResult is one strategy's row inside a grid cell of BENCH_serve.json.
+// reqs_per_sec times the per-request Submit path; batch_reqs_per_sec times
+// the same trace through SubmitBatch in 500-entry batches (one channel
+// send per shard per batch), so the two columns are the single-vs-batched
+// submission comparison.  The replan columns aggregate the per-object
+// ReplanStats of the drained run: every epoch close is one replan, warm
+// ones reused the retained state, and the cell counters split the off-line
+// DP work into band cells carried over versus filled fresh.
+type benchResult struct {
+	Strategy        string  `json:"strategy"`
+	Requests        int     `json:"requests"`
+	Admitted        int     `json:"admitted"`
+	Degraded        int     `json:"degraded"`
+	Rejected        int     `json:"rejected"`
+	ReqsPerSec      float64 `json:"reqs_per_sec"`
+	BatchReqsPerSec float64 `json:"batch_reqs_per_sec"`
+	P50LatencyUS    float64 `json:"p50_admission_latency_us"`
+	P99LatencyUS    float64 `json:"p99_admission_latency_us"`
+	Replans         int64   `json:"replans"`
+	WarmReplans     int64   `json:"warm_replans"`
+	CellsReused     int64   `json:"cells_reused"`
+	CellsRecomputed int64   `json:"cells_recomputed"`
+	ReplanTotalUS   float64 `json:"replan_total_us"`
+	MaxReplanUS     float64 `json:"max_replan_us"`
+	CostStreams     float64 `json:"cost_streams"`
+	BusyTime        float64 `json:"busy_time"`
+	Peak            int     `json:"peak"`
+}
+
+// benchCell is one grid cell: a workload x catalog size x shard count
+// combination with one result row per strategy.  The cell seed derives
+// from the workload and size grid coordinates alone — never from shard
+// count, strategy, or scheduling order — so the same -seed reproduces the
+// identical request trace in every cell however the sweep is arranged.
+type benchCell struct {
+	Workload string        `json:"workload"`
+	Objects  int           `json:"objects"`
+	Shards   int           `json:"shards"`
+	Seed     int64         `json:"seed"`
+	Requests int           `json:"requests"`
+	Results  []benchResult `json:"results"`
+}
+
+// benchOutput is the machine-readable bench report (version 2, the grid
+// shape): enough context to reproduce the sweep plus one cell per grid
+// combination, so the repository's serving-performance trajectory is
+// tracked across changes by .github/benchdiff.go.
+type benchOutput struct {
+	Version    int         `json:"version"`
+	Horizon    float64     `json:"horizon"`
+	Seed       int64       `json:"seed"`
+	EpochSlots int         `json:"epoch_slots"`
+	Grid       []benchCell `json:"grid"`
+}
+
+// cellSeed derives a grid cell's trace seed from its workload and catalog
+// size coordinates (the two axes that change the trace), exactly like the
+// experiments grids derive replication seeds — scheduling order, shard
+// count, and strategy never enter, so -seed 1 is reproducible everywhere.
+func cellSeed(base int64, wi, si int) int64 {
+	return base + int64(wi)*1_000_003 + int64(si)*10_007
+}
+
+// bench sweeps the benchmark matrix: for every workload x catalog size it
+// generates one deterministic request trace, then replays that trace
+// in-process once per shard count x strategy — timing the per-request
+// Submit path, the batched SubmitBatch path, and (via the drained
+// ReplanStats) warm-start epoch replanning — and writes the grid JSON.
+func bench(cfg mod.ServeConfig, load mod.LoadConfig, grid benchGrid, strategies []string, length, delayPct, zipf float64, outPath string) error {
 	report := benchOutput{
-		Objects:    len(cfg.Catalog),
+		Version:    2,
 		Horizon:    load.Horizon,
-		Arrivals:   load.Kind.String(),
 		Seed:       load.Seed,
 		EpochSlots: cfg.EpochSlots,
 	}
-	for _, strategy := range strategies {
-		cfg := cfg
-		cfg.DefaultStrategy = strategy
-		s, err := mod.NewServer(cfg)
-		if err != nil {
-			return err
+	cfg.MeterReplanNanos = true
+	for wi, kind := range grid.workloads {
+		for si, size := range grid.sizes {
+			cat := mod.ZipfCatalog(size, length, length*delayPct/100, zipf)
+			cellLoad := load
+			cellLoad.Kind = kind
+			cellLoad.Seed = cellSeed(load.Seed, wi, si)
+			reqs, err := mod.GenerateRequests(cat, cellLoad)
+			if err != nil {
+				return err
+			}
+			for _, shards := range grid.shards {
+				cellCfg := cfg
+				cellCfg.Catalog = cat
+				cellCfg.Shards = shards
+				cell := benchCell{
+					Workload: kind.String(),
+					Objects:  size,
+					Seed:     cellLoad.Seed,
+					Requests: len(reqs),
+				}
+				for _, strategy := range strategies {
+					cellCfg.DefaultStrategy = strategy
+					s, err := mod.NewServer(cellCfg)
+					if err != nil {
+						return err
+					}
+					// Record the effective shard count (defaulted and
+					// clamped), not the configured one, so runs on
+					// different machines compare honestly.
+					cell.Shards = s.Shards()
+					fmt.Printf("=== workload %s, %d objects, %d shards, strategy %s: in-process replay of %d requests (seed %d) ===\n",
+						cell.Workload, size, cell.Shards, strategy, len(reqs), cellLoad.Seed)
+					res, rep, err := benchStrategy(s, reqs, cellLoad.Horizon)
+					s.Close()
+					if err != nil {
+						return err
+					}
+					if res.BatchReqsPerSec, err = benchBatch(cellCfg, reqs, cellLoad.Horizon); err != nil {
+						return err
+					}
+					res.Strategy = strategy
+					cell.Results = append(cell.Results, res)
+					rep.Render(os.Stdout)
+					fmt.Printf("\nthroughput:           %.0f reqs/s single, %.0f reqs/s batched (p50 %.1f us, p99 %.1f us per admission)\n",
+						res.ReqsPerSec, res.BatchReqsPerSec, res.P50LatencyUS, res.P99LatencyUS)
+					fmt.Printf("replans:              %d (%d warm; %d cells reused, %d recomputed; total %.0f us, max %.0f us)\n\n",
+						res.Replans, res.WarmReplans, res.CellsReused, res.CellsRecomputed, res.ReplanTotalUS, res.MaxReplanUS)
+				}
+				report.Grid = append(report.Grid, cell)
+			}
 		}
-		// Record the effective shard count (defaulted and clamped), not the
-		// configured one, so runs on different machines compare honestly.
-		report.Shards = s.Shards()
-		fmt.Printf("=== strategy %s: in-process replay of %d requests (%s, seed %d) over %d objects, %d shards ===\n",
-			strategy, len(reqs), load.Kind, load.Seed, len(cfg.Catalog), s.Shards())
-		res, rep, err := benchStrategy(s, reqs, load.Horizon)
-		s.Close()
-		if err != nil {
-			return err
-		}
-		res.Strategy = strategy
-		report.Results = append(report.Results, res)
-		rep.Render(os.Stdout)
-		fmt.Printf("\nthroughput:           %.0f reqs/s (p50 %.1f us, p99 %.1f us per admission)\n\n",
-			res.ReqsPerSec, res.P50LatencyUS, res.P99LatencyUS)
 	}
 	if outPath == "" {
 		return nil
@@ -218,7 +352,7 @@ func bench(cfg mod.ServeConfig, load mod.LoadConfig, strategies []string, outPat
 	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("modserve: wrote %s (%d strategies)\n", outPath, len(report.Results))
+	fmt.Printf("modserve: wrote %s (%d cells, %d strategies)\n", outPath, len(report.Grid), len(strategies))
 	return nil
 }
 
@@ -256,10 +390,50 @@ func benchStrategy(s *mod.Server, reqs []mod.Request, horizon float64) (benchRes
 	res.P99LatencyUS = percentile(lats, 0.99)
 	for _, o := range dr.Objects {
 		res.CostStreams += o.Cost
+		res.Replans += o.Replan.Replans
+		res.WarmReplans += o.Replan.WarmReplans
+		res.CellsReused += o.Replan.CellsReused
+		res.CellsRecomputed += o.Replan.CellsRecomputed
+		res.ReplanTotalUS += float64(o.Replan.ReplanNanos) / 1e3
+		if us := float64(o.Replan.MaxReplanNanos) / 1e3; us > res.MaxReplanUS {
+			res.MaxReplanUS = us
+		}
 	}
 	res.BusyTime = dr.Usage.Total()
 	res.Peak = dr.Usage.Peak()
 	return res, rep, nil
+}
+
+// benchBatch replays the same trace through SubmitBatch in 500-entry
+// batches on a fresh server — one channel send per shard per batch — and
+// returns the end-to-end requests-per-second of the batched path.
+func benchBatch(cfg mod.ServeConfig, reqs []mod.Request, horizon float64) (float64, error) {
+	s, err := mod.NewServer(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	const batch = 500
+	t0 := time.Now()
+	for k := 0; k < len(reqs); k += batch {
+		end := k + batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		for _, r := range s.SubmitBatch(reqs[k:end]) {
+			if r.Err != nil {
+				return 0, r.Err
+			}
+		}
+	}
+	elapsed := time.Since(t0).Seconds()
+	if _, err := s.Drain(horizon); err != nil {
+		return 0, err
+	}
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(len(reqs)) / elapsed, nil
 }
 
 // percentile returns the p-quantile of sorted samples (nearest rank).

@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -49,11 +50,13 @@ func TestCommandSmoke(t *testing.T) {
 		{"modtree", []string{"-n", "5", "-L", "8", "-diagram"},
 			[]string{"optimal merge tree", "schedule verified"}},
 		{"modserve", []string{"-mode", "bench", "-objects", "3", "-delay", "5", "-lambda", "2",
-			"-horizon", "2", "-seed", "5", "-strategies", "online", "-out", ""},
-			[]string{"requests:", "server peak:", "throughput:"}},
+			"-horizon", "2", "-seed", "5", "-strategies", "online", "-workloads", "poisson", "-out", ""},
+			[]string{"requests:", "server peak:", "throughput:", "replans:"}},
 		{"modserve", []string{"-mode", "bench", "-objects", "3", "-delay", "5", "-lambda", "2",
-			"-horizon", "2", "-seed", "5", "-strategies", "online,dyadic-batched,batching", "-out", "@TMP@/BENCH_serve.json"},
-			[]string{"strategy online", "strategy dyadic-batched", "strategy batching", "BENCH_serve.json (3 strategies)"}},
+			"-horizon", "2", "-seed", "5", "-strategies", "online,dyadic-batched,batching",
+			"-workloads", "poisson,flash", "-shardgrid", "1,2", "-out", "@TMP@/BENCH_serve.json"},
+			[]string{"strategy online", "strategy dyadic-batched", "strategy batching",
+				"workload Poisson", "workload flash crowd", "BENCH_serve.json (4 cells, 3 strategies)"}},
 		{"modserve", []string{"-mode", "smoke", "-objects", "3", "-delay", "5", "-lambda", "2", "-horizon", "2"},
 			[]string{"served over HTTP", "smoke ok"}},
 		{"modlint", []string{"-list"},
@@ -101,27 +104,104 @@ func TestCommandSmoke(t *testing.T) {
 				if err != nil {
 					t.Fatalf("bench JSON missing: %v", err)
 				}
-				var parsed struct {
-					Results []struct {
-						Strategy     string  `json:"strategy"`
-						ReqsPerSec   float64 `json:"reqs_per_sec"`
-						P99LatencyUS float64 `json:"p99_admission_latency_us"`
-						CostStreams  float64 `json:"cost_streams"`
-					} `json:"results"`
-				}
+				var parsed benchGridFile
 				if err := json.Unmarshal(blob, &parsed); err != nil {
 					t.Fatalf("bench JSON does not parse: %v\n%s", err, blob)
 				}
-				if len(parsed.Results) != 3 {
-					t.Fatalf("bench JSON has %d results, want 3:\n%s", len(parsed.Results), blob)
+				if parsed.Version != 2 {
+					t.Fatalf("bench JSON version %d, want 2:\n%s", parsed.Version, blob)
 				}
-				for _, r := range parsed.Results {
-					if r.ReqsPerSec <= 0 || r.CostStreams <= 0 {
-						t.Errorf("bench row %+v has non-positive throughput or cost", r)
+				if len(parsed.Grid) != 4 { // 2 workloads x 1 size x 2 shard counts
+					t.Fatalf("bench JSON has %d grid cells, want 4:\n%s", len(parsed.Grid), blob)
+				}
+				for _, cell := range parsed.Grid {
+					if len(cell.Results) != 3 {
+						t.Fatalf("cell %s/%d-shard has %d results, want 3:\n%s",
+							cell.Workload, cell.Shards, len(cell.Results), blob)
+					}
+					for _, r := range cell.Results {
+						if r.ReqsPerSec <= 0 || r.BatchReqsPerSec <= 0 || r.CostStreams <= 0 {
+							t.Errorf("bench row %+v has non-positive throughput or cost", r)
+						}
+						if r.Strategy != "online" {
+							// Epoch-based strategies replan at least at drain,
+							// and warm-start replanning is the default.
+							if r.Replans <= 0 || r.WarmReplans != r.Replans {
+								t.Errorf("%s row %+v: want warm_replans == replans > 0", cell.Workload, r)
+							}
+						}
 					}
 				}
 			}
 		})
+	}
+}
+
+// benchGridFile mirrors the version-2 BENCH_serve.json grid shape, with
+// every field the smoke tests assert on.
+type benchGridFile struct {
+	Version int `json:"version"`
+	Grid    []struct {
+		Workload string `json:"workload"`
+		Objects  int    `json:"objects"`
+		Shards   int    `json:"shards"`
+		Seed     int64  `json:"seed"`
+		Requests int    `json:"requests"`
+		Results  []struct {
+			Strategy        string  `json:"strategy"`
+			Requests        int     `json:"requests"`
+			Admitted        int     `json:"admitted"`
+			ReqsPerSec      float64 `json:"reqs_per_sec"`
+			BatchReqsPerSec float64 `json:"batch_reqs_per_sec"`
+			P99LatencyUS    float64 `json:"p99_admission_latency_us"`
+			Replans         int64   `json:"replans"`
+			WarmReplans     int64   `json:"warm_replans"`
+			CellsReused     int64   `json:"cells_reused"`
+			CellsRecomputed int64   `json:"cells_recomputed"`
+			CostStreams     float64 `json:"cost_streams"`
+			Peak            int     `json:"peak"`
+		} `json:"results"`
+	} `json:"grid"`
+}
+
+// TestBenchGridDeterminism pins the bench matrix's reproducibility: two
+// runs with the same -seed produce byte-identical grids once the timing
+// columns (throughput, latency, replan clocks) are scrubbed — cell seeds
+// derive from grid coordinates only, never shard count or scheduling
+// order.
+func TestBenchGridDeterminism(t *testing.T) {
+	bin := buildCmd(t, "modserve")
+	run := func(out string) benchGridFile {
+		t.Helper()
+		args := []string{"-mode", "bench", "-objects", "3", "-delay", "5", "-lambda", "2",
+			"-horizon", "2", "-seed", "9", "-strategies", "online,offline,batching",
+			"-workloads", "poisson,flash", "-shardgrid", "1,2", "-out", out}
+		if o, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("modserve %v: %v\n%s", args, err, o)
+		}
+		blob, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parsed benchGridFile
+		if err := json.Unmarshal(blob, &parsed); err != nil {
+			t.Fatalf("bench JSON does not parse: %v\n%s", err, blob)
+		}
+		// Scrub wall-clock-derived columns; everything left must replay
+		// identically.
+		for gi := range parsed.Grid {
+			for ri := range parsed.Grid[gi].Results {
+				r := &parsed.Grid[gi].Results[ri]
+				r.ReqsPerSec, r.BatchReqsPerSec, r.P99LatencyUS = 0, 0, 0
+			}
+		}
+		return parsed
+	}
+	tmp := t.TempDir()
+	a := run(filepath.Join(tmp, "a.json"))
+	b := run(filepath.Join(tmp, "b.json"))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("bench grid is not deterministic across identical runs:\nfirst  %+v\nsecond %+v", a, b)
 	}
 }
 
@@ -136,6 +216,8 @@ func TestCommandSmokeBadFlags(t *testing.T) {
 		{"modsim", []string{"-mode", "nope"}},
 		{"modserve", []string{"-mode", "nope"}},
 		{"modserve", []string{"-mode", "bench", "-arrivals", "nope"}},
+		{"modserve", []string{"-mode", "bench", "-workloads", "nope"}},
+		{"modserve", []string{"-mode", "bench", "-shardgrid", "1,x"}},
 		{"modlint", []string{"-run", "nope"}},
 	} {
 		bin, ok := bins[tc.cmd]

@@ -90,6 +90,47 @@ func Ramp(lambda0, lambda1, horizon float64, seed int64) Trace {
 	return tr
 }
 
+// Flash returns a Poisson arrival process over [0, horizon) whose rate is
+// 1/lambda except inside the flash window [start, start+duration), where it
+// jumps to factor/lambda — a flash crowd (a premiere, a breaking-news spike)
+// superimposed on steady background demand.  Like Ramp it is generated
+// deterministically from the seed by thinning a homogeneous process at the
+// peak rate.  It panics if lambda <= 0, factor < 1, duration < 0, or
+// horizon < 0.
+func Flash(lambda, factor, start, duration, horizon float64, seed int64) Trace {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("arrivals: Flash requires lambda > 0, got %g", lambda))
+	}
+	if factor < 1 {
+		panic(fmt.Sprintf("arrivals: Flash requires factor >= 1, got %g", factor))
+	}
+	if duration < 0 {
+		panic(fmt.Sprintf("arrivals: Flash requires duration >= 0, got %g", duration))
+	}
+	if horizon < 0 {
+		panic(fmt.Sprintf("arrivals: Flash requires horizon >= 0, got %g", horizon))
+	}
+	base := 1 / lambda
+	rmax := factor * base
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rmax
+		if t >= horizon {
+			break
+		}
+		rate := base
+		if t >= start && t < start+duration {
+			rate = rmax
+		}
+		if rng.Float64()*rmax <= rate {
+			tr = append(tr, t)
+		}
+	}
+	return tr
+}
+
 // Validate checks that the trace is sorted, non-negative, and finite.
 func (tr Trace) Validate() error {
 	for i, t := range tr {

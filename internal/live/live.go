@@ -123,6 +123,44 @@ type Totals struct {
 	// ReplanFailures counts epoch replans that fell back to unicast
 	// because the batch planner failed (never under normal operation).
 	ReplanFailures int64
+	// Replan summarizes the epoch replans behind the numbers above; the
+	// native on-line scheduler never replans and leaves it zero.
+	Replan ReplanStats
+}
+
+// ReplanStats summarizes epoch replanning for one scheduler.  Warm-start
+// replanning absorbs an epoch's arrivals into resumable DP state as they
+// are admitted, so the close pays only for the un-absorbed tail; these
+// counters expose how much of each close was served from that state.
+type ReplanStats struct {
+	// Replans counts epoch closes that ran a batch replan.
+	Replans int64 `json:"replans"`
+	// WarmReplans counts replans answered from warm per-epoch state
+	// (resumable banded tables or batched-start prefixes) instead of a
+	// cold batch-planner run.
+	WarmReplans int64 `json:"warm_replans"`
+	// CellsReused and CellsRecomputed count off-line DP cells at warm
+	// closes: cells carried over from mid-epoch absorption versus cells
+	// the close itself had to fill.
+	CellsReused     int64 `json:"cells_reused"`
+	CellsRecomputed int64 `json:"cells_recomputed"`
+	// ReplanNanos and MaxReplanNanos meter replan wall time (total, and
+	// the worst single replan); both stay zero unless Config.NowNanos is
+	// set, keeping deterministic paths clock-free.
+	ReplanNanos    int64 `json:"replan_nanos"`
+	MaxReplanNanos int64 `json:"max_replan_nanos"`
+}
+
+// accumulate folds another scheduler's replan stats into r.
+func (r *ReplanStats) accumulate(o ReplanStats) {
+	r.Replans += o.Replans
+	r.WarmReplans += o.WarmReplans
+	r.CellsReused += o.CellsReused
+	r.CellsRecomputed += o.CellsRecomputed
+	r.ReplanNanos += o.ReplanNanos
+	if o.MaxReplanNanos > r.MaxReplanNanos {
+		r.MaxReplanNanos = o.MaxReplanNanos
+	}
 }
 
 // Accumulate folds another scheduler's totals into t (used by the serving
@@ -135,6 +173,7 @@ func (t *Totals) Accumulate(o Totals) {
 	t.BusyTime += o.BusyTime
 	t.Cost += o.Cost
 	t.ReplanFailures += o.ReplanFailures
+	t.Replan.accumulate(o.Replan)
 }
 
 // Incremental is one object's live scheduler: the incremental form of a
@@ -188,6 +227,17 @@ type Config struct {
 	// in-flight epoch DP within one work unit.  nil means Background
 	// (never cancelled) — the batch facade's behaviour.
 	Ctx context.Context
+	// ColdReplan disables warm-start epoch replanning: epoch strategies
+	// then re-run their batch planner from scratch at every close instead
+	// of absorbing arrivals into resumable state mid-epoch.  Plans and
+	// accounting are bit-identical either way (pinned by tests); the flag
+	// exists for benchmarking and bisection.
+	ColdReplan bool
+	// NowNanos, when non-nil, supplies a monotonic clock reading used only
+	// to meter replan latency into Totals.Replan.  The serving layer
+	// injects it; deterministic simulation paths leave it nil — this
+	// package never reads wall clocks itself.
+	NowNanos func() int64
 }
 
 func (c Config) withDefaults() (Config, error) {

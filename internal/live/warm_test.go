@@ -1,0 +1,210 @@
+package live
+
+// Warm-start replanning tests: a scheduler with warm state enabled must
+// be observationally identical — every sink event, every total — to the
+// same scheduler replanning cold, across strategies, epoch shapes, ties,
+// pressure closes, and drains.  The only permitted difference is the
+// ReplanStats reuse accounting itself.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sinkEvent is one recorded Sink call; floats are compared exactly, so
+// equality here is bit-identity of the schedule.
+type sinkEvent struct {
+	kind string
+	a, b float64
+}
+
+type recordSink struct{ events []sinkEvent }
+
+func (r *recordSink) StreamStarted(estEnd float64) {
+	r.events = append(r.events, sinkEvent{"started", estEnd, 0})
+}
+func (r *recordSink) ProvisionalStarted(estEnd float64) {
+	r.events = append(r.events, sinkEvent{"provisional", estEnd, 0})
+}
+func (r *recordSink) StreamFinalized(start, length float64) {
+	r.events = append(r.events, sinkEvent{"finalized", start, length})
+}
+func (r *recordSink) StreamTrimmed(end, staleEnd float64) {
+	r.events = append(r.events, sinkEvent{"trimmed", end, staleEnd})
+}
+
+// warmTrace builds a nondecreasing arrival trace with deliberate ties and
+// same-slot clusters — the cases the warm dedupe must mirror exactly.
+func warmTrace(rng *rand.Rand, n int, horizon float64) []float64 {
+	out := make([]float64, 0, n)
+	at := 0.0
+	for len(out) < n && at < horizon*0.95 {
+		switch rng.Intn(4) {
+		case 0: // exact tie
+		case 1: // same-slot cluster
+			at += rng.Float64() * 0.01
+		default:
+			at += rng.Float64() * horizon / float64(n) * 4
+		}
+		out = append(out, at)
+	}
+	return out
+}
+
+func runWarmCase(t *testing.T, name string, cold bool, times []float64, epochSlots int, horizon float64) (*recordSink, float64, Totals) {
+	t.Helper()
+	sink := &recordSink{}
+	s, err := New(name, Config{Object: testObject(0.125), EpochSlots: epochSlots, Sink: sink, ColdReplan: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range times {
+		if i%7 == 3 {
+			s.Advance(at)
+		}
+		s.Admit(at)
+	}
+	end := s.Drain(horizon)
+	return sink, end, s.Totals()
+}
+
+// TestWarmReplanBitIdentical is the warm-start contract for every live
+// strategy: with warm replanning on (the default), every sink event and
+// every total matches the cold run exactly; only the ReplanStats reuse
+// counters may differ.
+func TestWarmReplanBitIdentical(t *testing.T) {
+	warmCapable := map[string]bool{
+		"offline": true, "offline-batched": true,
+		"dyadic": true, "dyadic-batched": true, "batching": true,
+	}
+	for _, st := range epochStrategies {
+		st := st
+		t.Run(st.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 6; trial++ {
+				horizon := 2 + rng.Float64()*4
+				n := 20 + rng.Intn(180)
+				epochSlots := []int{4, 16, 1 << 20}[trial%3]
+				times := warmTrace(rng, n, horizon)
+
+				warmSink, warmEnd, warmTot := runWarmCase(t, st.name, false, times, epochSlots, horizon)
+				coldSink, coldEnd, coldTot := runWarmCase(t, st.name, true, times, epochSlots, horizon)
+
+				if warmEnd != coldEnd {
+					t.Fatalf("trial %d: drain end %v (warm) != %v (cold)", trial, warmEnd, coldEnd)
+				}
+				if !reflect.DeepEqual(warmSink.events, coldSink.events) {
+					t.Fatalf("trial %d: sink event streams diverge (%d warm vs %d cold events)",
+						trial, len(warmSink.events), len(coldSink.events))
+				}
+				if warmTot.Replan.Replans != coldTot.Replan.Replans {
+					t.Fatalf("trial %d: replan count %d (warm) != %d (cold)",
+						trial, warmTot.Replan.Replans, coldTot.Replan.Replans)
+				}
+				if warmCapable[st.name] && warmTot.Replan.WarmReplans != warmTot.Replan.Replans {
+					t.Fatalf("trial %d: only %d of %d replans were warm",
+						trial, warmTot.Replan.WarmReplans, warmTot.Replan.Replans)
+				}
+				if coldTot.Replan.WarmReplans != 0 || !warmCapable[st.name] && warmTot.Replan.WarmReplans != 0 {
+					t.Fatalf("trial %d: unexpected warm replans (warm %d, cold %d)",
+						trial, warmTot.Replan.WarmReplans, coldTot.Replan.WarmReplans)
+				}
+				warmTot.Replan, coldTot.Replan = ReplanStats{}, ReplanStats{}
+				if warmTot != coldTot {
+					t.Fatalf("trial %d: totals diverge:\nwarm %+v\ncold %+v", trial, warmTot, coldTot)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmReplanPressureClose drives the pressure-close path (ties that
+// never advance the clock) with warm state on and off.
+func TestWarmReplanPressureClose(t *testing.T) {
+	old := maxEpochArrivals
+	maxEpochArrivals = 16
+	defer func() { maxEpochArrivals = old }()
+	times := make([]float64, 0, 100)
+	for i := 0; i < 100; i++ {
+		times = append(times, 0.3+float64(i/25)*0.05) // 4 bursts of 25 ties
+	}
+	for _, name := range []string{"offline", "offline-batched", "batching", "dyadic"} {
+		warmSink, _, warmTot := runWarmCase(t, name, false, times, 1<<20, 1)
+		coldSink, _, coldTot := runWarmCase(t, name, true, times, 1<<20, 1)
+		if !reflect.DeepEqual(warmSink.events, coldSink.events) {
+			t.Fatalf("%s: pressure-close event streams diverge", name)
+		}
+		warmTot.Replan, coldTot.Replan = ReplanStats{}, ReplanStats{}
+		if warmTot != coldTot {
+			t.Fatalf("%s: pressure-close totals diverge:\nwarm %+v\ncold %+v", name, warmTot, coldTot)
+		}
+	}
+}
+
+// TestWarmAbsorbsMidEpoch checks the tentpole actually engages: a long
+// single epoch must absorb arrivals into the retained table before the
+// close, so the close reports reused cells alongside the recomputed tail.
+func TestWarmAbsorbsMidEpoch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	times := warmTrace(rng, 400, 40)
+	for _, name := range []string{"offline", "offline-batched"} {
+		_, _, tot := runWarmCase(t, name, false, times, 1<<20, 41)
+		if tot.Replan.WarmReplans == 0 {
+			t.Fatalf("%s: no warm replans", name)
+		}
+		if tot.Replan.CellsReused == 0 {
+			t.Fatalf("%s: close reused no cells — mid-epoch absorption never ran (stats %+v)", name, tot.Replan)
+		}
+		if tot.Replan.CellsRecomputed == 0 {
+			t.Fatalf("%s: close recomputed no cells (stats %+v)", name, tot.Replan)
+		}
+	}
+}
+
+// TestReplanLatencyMetering: an injected NowNanos clock meters replan
+// wall time into the totals; without one the counters stay zero.
+func TestReplanLatencyMetering(t *testing.T) {
+	var clock int64
+	s, err := New("offline", Config{
+		Object:     testObject(0.125),
+		EpochSlots: 4,
+		NowNanos:   func() int64 { clock += 7; return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Admit(0.05)
+	s.Admit(0.07)
+	s.Drain(1.0)
+	tot := s.Totals()
+	if tot.Replan.Replans != 1 {
+		t.Fatalf("replans = %d, want 1", tot.Replan.Replans)
+	}
+	if tot.Replan.ReplanNanos != 7 || tot.Replan.MaxReplanNanos != 7 {
+		t.Fatalf("metered nanos = %d/%d, want 7/7 (one close, +7 per clock read)",
+			tot.Replan.ReplanNanos, tot.Replan.MaxReplanNanos)
+	}
+
+	unmetered, err := New("offline", Config{Object: testObject(0.125), EpochSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmetered.Admit(0.05)
+	unmetered.Drain(1.0)
+	if rp := unmetered.Totals().Replan; rp.ReplanNanos != 0 || rp.MaxReplanNanos != 0 {
+		t.Fatalf("clockless run metered nanos: %+v", rp)
+	}
+}
+
+// TestReplanStatsAccumulate pins the fold: sums everywhere except
+// MaxReplanNanos, which takes the maximum.
+func TestReplanStatsAccumulate(t *testing.T) {
+	a := Totals{Replan: ReplanStats{Replans: 2, WarmReplans: 1, CellsReused: 10, CellsRecomputed: 5, ReplanNanos: 100, MaxReplanNanos: 80}}
+	b := Totals{Replan: ReplanStats{Replans: 3, WarmReplans: 3, CellsReused: 7, CellsRecomputed: 2, ReplanNanos: 50, MaxReplanNanos: 40}}
+	a.Accumulate(b)
+	want := ReplanStats{Replans: 5, WarmReplans: 4, CellsReused: 17, CellsRecomputed: 7, ReplanNanos: 150, MaxReplanNanos: 80}
+	if a.Replan != want {
+		t.Fatalf("accumulated replan stats = %+v, want %+v", a.Replan, want)
+	}
+}

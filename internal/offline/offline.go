@@ -21,10 +21,15 @@
 // and the production path ComputeTables, which runs the same accelerated
 // recurrence in flat banded triangular storage — 12 bytes per cell instead
 // of 32 — either row-major serially or with each DP diagonal sharded across
-// a worker pool.  The test suite cross-validates all three cell for cell on
-// random instances and against the closed forms of the slotted case.  The
-// package is used as the exact-optimum baseline for evaluating the on-line
-// algorithms on general arrival sequences.
+// a worker pool.  The tables are resumable: Tables.Extend appends an
+// arrival suffix to an existing solve, filling only the band cells whose
+// interval touches the new arrivals, bit-identical to a cold ComputeTables
+// over the concatenation — the warm-start substrate of the live layer's
+// epoch replanning (AdvancePartition and SolveForest resume the forest
+// partition the same way).  The test suite cross-validates all variants
+// cell for cell on random instances and against the closed forms of the
+// slotted case.  The package is used as the exact-optimum baseline for
+// evaluating the on-line algorithms on general arrival sequences.
 package offline
 
 import (
@@ -250,38 +255,98 @@ func OptimalForestWorkers(ctx context.Context, times []float64, L float64, model
 	if L <= 0 {
 		return nil, fmt.Errorf("%w: offline: media length must be positive, got %g", moderr.ErrBadInstance, L)
 	}
-	n := len(times)
-	if n == 0 {
+	if len(times) == 0 {
 		return &Forest{Forest: mergetree.NewRForest(L)}, nil
 	}
 	t, err := ComputeTables(ctx, times, model, L, workers)
 	if err != nil {
 		return nil, err
 	}
+	return t.SolveForest(L)
+}
+
+// AdvancePartition runs the resumable group-partition prefix DP up to the
+// table's current arrival count without reconstructing the forest.  best[j]
+// depends only on earlier prefixes, so after an Extend only the appended
+// suffix is solved; a warm replanner calls this during absorption so the
+// final SolveForest pays only for the un-absorbed tail.  The table's band
+// must cover the L-window — it does whenever the table was built with
+// window L or unbanded.
+func (t *Tables) AdvancePartition(L float64) error {
+	if L <= 0 {
+		return fmt.Errorf("%w: offline: media length must be positive, got %g", moderr.ErrBadInstance, L)
+	}
+	if t.window > 0 && !math.IsInf(t.window, 1) && L > t.window {
+		return fmt.Errorf("%w: offline: partition window %g exceeds the table band %g", moderr.ErrBadInstance, L, t.window)
+	}
+	n := t.n
+	if t.solvedL != L {
+		t.solved = 0
+		t.solvedL = L
+	}
+	if t.solved >= n {
+		return nil
+	}
+	if cap(t.best) < n+1 {
+		nb := make([]float64, len(t.best), n+1+(n+1)/2)
+		copy(nb, t.best)
+		nc := make([]int32, len(t.choice), cap(nb))
+		copy(nc, t.choice)
+		t.best, t.choice = nb, nc
+	}
+	t.best = t.best[:n+1]
+	t.choice = t.choice[:n+1]
+	t.best[0] = 0
+	t.choice[0] = 0
 	const inf = math.MaxFloat64
+	times := t.times
 	// best[j] = minimum cost of serving arrivals 0..j-1.
-	best := make([]float64, n+1)
-	choice := make([]int, n+1) // start index of the last group
-	for j := 1; j <= n; j++ {
-		best[j] = inf
+	for j := t.solved + 1; j <= n; j++ {
+		best := inf
+		pick := 0
 		for i := j - 1; i >= 0; i-- {
 			if times[j-1]-times[i] >= L {
 				break
 			}
-			c := best[i] + L + t.MC(i, j-1)
-			if c < best[j] {
-				best[j] = c
-				choice[j] = i
+			c := t.best[i] + L + t.MC(i, j-1)
+			if c < best {
+				best = c
+				pick = i
 			}
 		}
-		if best[j] == inf {
-			return nil, fmt.Errorf("%w: offline: arrival %d cannot be covered (gap exceeds media length)", moderr.ErrBadInstance, j-1)
+		if best == inf {
+			t.solved = j - 1
+			return fmt.Errorf("%w: offline: arrival %d cannot be covered (gap exceeds media length)", moderr.ErrBadInstance, j-1)
 		}
+		t.best[j] = best
+		t.choice[j] = int32(pick)
 	}
+	t.solved = n
+	return nil
+}
+
+// SolveForest runs the group-partition DP over the table's arrivals:
+// partition them into consecutive groups, give each group's first arrival a
+// full stream of length L, and merge the rest optimally (the same
+// optimization as OptimalForest, on tables the caller may have built
+// incrementally with Extend).  Thanks to AdvancePartition's resumable
+// prefix DP, repeated SolveForest calls with the same L cost O(new
+// arrivals) plus the reconstruction, not O(n * window).  The result is
+// bit-identical to a cold OptimalForestWorkers run over the same arrivals,
+// whichever sequence of Extend calls produced the table.
+func (t *Tables) SolveForest(L float64) (*Forest, error) {
+	if err := t.AdvancePartition(L); err != nil {
+		return nil, err
+	}
+	n := t.n
+	if n == 0 {
+		return &Forest{Forest: mergetree.NewRForest(L)}, nil
+	}
+	times := t.times
 	// Reconstruct the groups.
 	var roots []int
-	for j := n; j > 0; j = choice[j] {
-		roots = append(roots, choice[j])
+	for j := n; j > 0; j = int(t.choice[j]) {
+		roots = append(roots, int(t.choice[j]))
 	}
 	sort.Ints(roots)
 	forest := mergetree.NewRForest(L)
@@ -292,7 +357,7 @@ func OptimalForestWorkers(ctx context.Context, times []float64, L float64, model
 		}
 		forest.Add(t.BuildTree(times, start, end))
 	}
-	return &Forest{Forest: forest, Cost: best[n], Roots: roots}, nil
+	return &Forest{Forest: forest, Cost: t.best[n], Roots: roots}, nil
 }
 
 // NormalizedCost returns the forest cost in units of complete media streams.

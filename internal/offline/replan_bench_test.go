@@ -1,0 +1,94 @@
+package offline
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// replanArrivals builds a deterministic Poisson-like epoch trace: n
+// arrivals with exponential spacing at the given mean.
+func replanArrivals(n int, mean float64) []float64 {
+	rng := rand.New(rand.NewSource(31))
+	out := make([]float64, n)
+	at := 0.0
+	for i := range out {
+		at += rng.ExpFloat64() * mean
+		out[i] = at
+	}
+	return out
+}
+
+// Epoch-replan benchmark shape: one epoch's worth of arrivals, a media
+// window short enough to band the DP, and a warm handle that has already
+// absorbed `overlap` percent of the epoch when the replan fires.
+const (
+	replanN    = 4000
+	replanMean = 0.005
+	replanL    = 2.0
+)
+
+// BenchmarkEpochReplanCold is the status-quo epoch boundary: the full
+// banded Knuth DP plus the partition DP, from scratch, every epoch.
+func BenchmarkEpochReplanCold(b *testing.B) {
+	times := replanArrivals(replanN, replanMean)
+	ctx := context.Background()
+	for _, overlap := range []int{50, 90, 99} {
+		b.Run(fmt.Sprintf("overlap=%d%%", overlap), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f, err := OptimalForestWorkers(ctx, times, replanL, ReceiveTwo, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = f.Cost
+			}
+		})
+	}
+}
+
+// BenchmarkEpochReplanWarm measures the same replan when a retained table
+// has already absorbed overlap% of the epoch's arrivals: the boundary pays
+// only for extending the tables and partition over the un-absorbed tail.
+// The acceptance bar is >= 5x over cold at 90% overlap.
+func BenchmarkEpochReplanWarm(b *testing.B) {
+	times := replanArrivals(replanN, replanMean)
+	ctx := context.Background()
+	for _, overlap := range []int{50, 90, 99} {
+		b.Run(fmt.Sprintf("overlap=%d%%", overlap), func(b *testing.B) {
+			k := replanN * overlap / 100
+			base, err := ComputeTables(ctx, nil, ReceiveTwo, replanL, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Absorb the shared prefix in two steps so the handle carries
+			// the capacity headroom a live mid-epoch handle would have.
+			if err := base.Extend(ctx, times[:k/2], 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := base.Extend(ctx, times[k/2:k], 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := base.AdvancePartition(replanL); err != nil {
+				b.Fatal(err)
+			}
+			tail := times[k:]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				warm := base.Clone()
+				b.StartTimer()
+				if err := warm.Extend(ctx, tail, 1); err != nil {
+					b.Fatal(err)
+				}
+				f, err := warm.SolveForest(replanL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = f.Cost
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/mergetree"
+	"repro/internal/moderr"
 )
 
 // Tables is the interval merge-cost dynamic program in flat storage: one
@@ -29,15 +30,34 @@ import (
 // the set of intervals OptimalForest can ever use, because a merge tree
 // rooted at arrival i can only span clients that arrive while the root's
 // full stream is still transmitting.
+//
+// Tables are resumable: Extend appends arrivals to an already-solved table
+// and fills only the cells whose interval touches the appended suffix, so
+// an epoch replanner can absorb arrivals incrementally instead of re-running
+// the whole DP (see Extend and SolveForest).  A Tables value is not safe for
+// concurrent use.
 type Tables struct {
-	n     int
-	model Model
+	n      int
+	model  Model
+	window float64
+	// times is the table's own copy of the covered arrival times (Extend
+	// appends to it; callers keep ownership of the slices they pass in).
+	times []float64
 	// limit[i] is the largest j such that (i, j) is stored.
 	limit []int32
 	// off[i] is the flat index of cell (i, i); off[n] is the cell count.
 	off   []int64
 	mc    []float64
 	split []int32
+
+	// Resumable forest-partition state (SolveForest): best[j] is the optimal
+	// cost of serving arrivals 0..j-1 with full streams of length solvedL,
+	// choice[j] the start of its last group, valid for j <= solved.  The
+	// prefix DP only ever reads earlier prefixes, so Extend keeps it valid.
+	best    []float64
+	choice  []int32
+	solved  int
+	solvedL float64
 }
 
 // N returns the number of arrivals the tables cover.
@@ -63,7 +83,9 @@ func (t *Tables) Split(i, j int) int { return int(t.split[t.off[i]+int64(j-i)]) 
 func (t *Tables) Cells() int64 { return int64(len(t.mc)) }
 
 // MemoryBytes returns the size of the flat backing arrays in bytes
-// (cellBytes per cell: a float64 cost and an int32 split).
+// (cellBytes per cell: a float64 cost and an int32 split).  Extended tables
+// reserve up to 50% capacity headroom beyond this so follow-up extends can
+// grow in place.
 func (t *Tables) MemoryBytes() int64 { return t.Cells() * cellBytes }
 
 // cellBytes is the storage cost of one DP cell: a float64 cost plus an
@@ -134,31 +156,187 @@ func ComputeTables(ctx context.Context, times []float64, model Model, window flo
 	if err := ctx.Err(); err != nil {
 		return nil, canceled(err)
 	}
-	n := len(times)
-	t := &Tables{n: n, model: model}
-	if n == 0 {
+	t := &Tables{model: model, window: window}
+	if len(times) == 0 {
 		return t, nil
 	}
+	if err := t.grow(ctx, times, workers); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Extend appends newTimes to the table's arrivals and fills only the cells
+// whose interval touches the appended suffix, reusing every previously
+// computed cell.  The result is bit-identical, cell for cell, to a cold
+// ComputeTables run over the concatenated arrivals: old cells are never
+// recomputed (a cell (i, j) depends only on times[i..j]), and new cells run
+// the same fillRange float operations in a dependency-respecting order.
+// newTimes must be strictly increasing and start after the table's last
+// arrival.
+//
+// On error — cancellation included — the table may be partially updated and
+// must be discarded; on success it is ready for further Extend calls.
+func (t *Tables) Extend(ctx context.Context, newTimes []float64, workers int) error {
+	if len(newTimes) == 0 {
+		return nil
+	}
+	if err := validateTimes(newTimes); err != nil {
+		return err
+	}
+	if t.n > 0 && newTimes[0] <= t.times[t.n-1] {
+		return fmt.Errorf("%w: offline: Extend arrivals must continue the table (%g after %g)",
+			moderr.ErrBadInstance, newTimes[0], t.times[t.n-1])
+	}
+	if err := ctx.Err(); err != nil {
+		return canceled(err)
+	}
+	return t.grow(ctx, newTimes, workers)
+}
+
+// Clone returns a deep copy of the table sharing no storage with t, so a
+// benchmark or test can Extend the copy while keeping the original intact.
+// Capacity headroom is preserved, so a clone extends in place exactly like
+// its original would.
+func (t *Tables) Clone() *Tables {
+	c := *t
+	c.times = cloneCap(t.times)
+	c.limit = cloneCap(t.limit)
+	c.off = cloneCap(t.off)
+	c.mc = cloneCap(t.mc)
+	c.split = cloneCap(t.split)
+	c.best = cloneCap(t.best)
+	c.choice = cloneCap(t.choice)
+	return &c
+}
+
+// cloneCap copies a slice preserving both length and capacity.
+func cloneCap[E any](s []E) []E {
+	if s == nil {
+		return nil
+	}
+	out := make([]E, len(s), cap(s))
+	copy(out, s)
+	return out
+}
+
+// growCap returns the allocation size for need cells: exact for a cold
+// build (headroom false), 1.5x for an extend so the next few extends can
+// slide rows in place instead of reallocating.
+func growCap(need int64, headroom bool) int64 {
+	if !headroom {
+		return need
+	}
+	return need + need/2
+}
+
+// grow appends newTimes (already validated as continuing t.times) and fills
+// the new in-band cells.  It is the single driver behind both ComputeTables
+// (growing an empty table) and Extend (growing a solved one), which is what
+// makes warm and cold results bit-identical by construction.
+func (t *Tables) grow(ctx context.Context, newTimes []float64, workers int) error {
+	m := t.n
+	n := m + len(newTimes)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	t.times = append(t.times, newTimes...)
+	times := t.times
 
-	t.limit = make([]int32, n)
-	forEachBandLimit(times, window, func(i, lim int) {
-		t.limit[i] = int32(lim)
-	})
-	t.off = make([]int64, n+1)
-	for i := 0; i < n; i++ {
-		t.off[i+1] = t.off[i] + int64(t.limit[i]) - int64(i) + 1
+	// Re-derive the band limits.  Rows whose band does not reach the suffix
+	// keep their limit — a row's limit for j < m depends only on the old
+	// times — so the rows whose cells must move form a tail [firstChanged, m)
+	// (band contiguity: a row can only grow into the suffix if it already
+	// reached the previous last arrival).
+	firstChanged := m
+	limit := t.limit
+	if cap(limit) < n {
+		nl := make([]int32, m, growCap(int64(n), m > 0))
+		copy(nl, limit)
+		limit = nl
 	}
-	t.mc = make([]float64, t.off[n])
-	t.split = make([]int32, t.off[n])
+	limit = limit[:n]
+	forEachBandLimit(times, t.window, func(i, lim int) {
+		if i < m && firstChanged == m && int32(lim) != limit[i] {
+			firstChanged = i
+		}
+		limit[i] = int32(lim)
+	})
+	t.limit = limit
 
-	// Seed the length-2 diagonal (split[i][i+1] = i+1, like the serial code).
-	for i := 0; i+1 < n; i++ {
-		if int(t.limit[i]) >= i+1 {
-			idx := t.off[i] + 1
-			t.mc[idx] = edgeCost(times, i, i+1, i+1, model)
+	// Save the displaced rows' old offsets before re-deriving the offsets;
+	// offsets of rows before firstChanged are unchanged.
+	var oldOff []int64
+	if firstChanged < m {
+		oldOff = append(oldOff, t.off[firstChanged:m+1]...)
+	}
+	off := t.off
+	if off == nil {
+		off = make([]int64, 1, n+1)
+	}
+	if cap(off) < n+1 {
+		no := make([]int64, len(off), growCap(int64(n+1), m > 0))
+		copy(no, off)
+		off = no
+	}
+	off = off[:n+1]
+	for i := firstChanged; i < n; i++ {
+		off[i+1] = off[i] + int64(limit[i]) - int64(i) + 1
+	}
+	t.off = off
+	newCells := off[n]
+
+	if m > 0 && int64(cap(t.mc)) >= newCells && int64(cap(t.split)) >= newCells {
+		// In place: slide the displaced rows right, highest row first so a
+		// destination never overwrites a pending source, and zero the gap
+		// cells each displaced row gained.  Cells past the old length were
+		// never written (lengths only grow), so they are still zero.
+		mc := t.mc[:newCells]
+		split := t.split[:newCells]
+		for i := m - 1; i >= firstChanged; i-- {
+			w := int(oldOff[i-firstChanged+1] - oldOff[i-firstChanged])
+			src, dst := int(oldOff[i-firstChanged]), int(off[i])
+			if src != dst {
+				copy(mc[dst:dst+w], mc[src:src+w])
+				copy(split[dst:dst+w], split[src:src+w])
+			}
+			for k := dst + w; k < int(off[i+1]); k++ {
+				mc[k] = 0
+				split[k] = 0
+			}
+		}
+		t.mc, t.split = mc, split
+	} else {
+		// Fresh storage: one bulk copy moves the unchanged prefix, then the
+		// displaced tail rows land at their new offsets.  Extends reserve
+		// headroom so the next ones take the in-place path above.
+		hc := growCap(newCells, m > 0)
+		mc := make([]float64, newCells, hc)
+		split := make([]int32, newCells, hc)
+		if p := off[firstChanged]; p > 0 {
+			copy(mc[:p], t.mc[:p])
+			copy(split[:p], t.split[:p])
+		}
+		for i := firstChanged; i < m; i++ {
+			w := int(oldOff[i-firstChanged+1] - oldOff[i-firstChanged])
+			src, dst := int(oldOff[i-firstChanged]), int(off[i])
+			copy(mc[dst:dst+w], t.mc[src:src+w])
+			copy(split[dst:dst+w], t.split[src:src+w])
+		}
+		t.mc, t.split = mc, split
+	}
+	t.n = n
+
+	// Seed the new length-2 cells (split[i][i+1] = i+1, like the serial
+	// code); seeds wholly inside the old table are already final.
+	i0 := 0
+	if m > 0 {
+		i0 = m - 1
+	}
+	for i := i0; i+1 < n; i++ {
+		if int(limit[i]) >= i+1 {
+			idx := off[i] + 1
+			t.mc[idx] = edgeCost(times, i, i+1, i+1, t.model)
 			t.split[idx] = int32(i + 1)
 		}
 	}
@@ -169,19 +347,24 @@ func ComputeTables(ctx context.Context, times []float64, model Model, window flo
 	// keeps reads and writes of the current and next row cache-resident —
 	// measurably faster than the diagonal order of the [][] reference.  With
 	// workers, cells of one diagonal are independent, so each diagonal is
-	// sharded across a persistent pool.
+	// sharded across a persistent pool.  Rows before firstChanged have no
+	// new cells (their band never reaches the suffix) and are skipped.
 	if workers <= 1 || n-2 < minParallelRows {
-		for i := n - 2; i >= 0; i-- {
+		for i := n - 2; i >= firstChanged; i-- {
 			// One row is the serial work unit: cancellation is observed
-			// between rows, never mid-row, so the filled prefix stays valid.
+			// between rows, never mid-row.
 			if err := ctx.Err(); err != nil {
-				return nil, canceled(err)
+				return canceled(err)
 			}
-			if lim := int(t.limit[i]); lim >= i+2 {
-				t.fillRange(times, i, i+2, lim)
+			jLo := i + 2
+			if jLo < m {
+				jLo = m
+			}
+			if lim := int(limit[i]); lim >= jLo {
+				t.fillRange(times, i, jLo, lim)
 			}
 		}
-		return t, nil
+		return nil
 	}
 
 	type job struct{ length, lo, hi int }
@@ -202,20 +385,31 @@ func ComputeTables(ctx context.Context, times []float64, model Model, window flo
 	defer close(jobs)
 
 	for length := 3; length <= n; length++ {
-		rows := n - length + 1 // candidate start rows 0 .. rows-1
+		// Only rows whose cell (i, i+length-1) can be new: the cell's end
+		// must reach the suffix (i > m-length) and the row must have new
+		// cells at all (i >= firstChanged).
+		lo0 := m - length + 1
+		if lo0 < firstChanged {
+			lo0 = firstChanged
+		}
+		hi0 := n - length + 1
+		rows := hi0 - lo0
+		if rows <= 0 {
+			continue
+		}
 		if rows < minParallelRows {
 			if err := ctx.Err(); err != nil {
 				wg.Wait()
-				return nil, canceled(err)
+				return canceled(err)
 			}
-			t.computeDiagonal(times, length, 0, rows)
+			t.computeDiagonal(times, length, lo0, hi0)
 			continue
 		}
 		chunk := (rows + workers - 1) / workers
-		for lo := 0; lo < rows; lo += chunk {
+		for lo := lo0; lo < hi0; lo += chunk {
 			hi := lo + chunk
-			if hi > rows {
-				hi = rows
+			if hi > hi0 {
+				hi = hi0
 			}
 			wg.Add(1)
 			select {
@@ -223,15 +417,15 @@ func ComputeTables(ctx context.Context, times []float64, model Model, window flo
 			case <-ctx.Done():
 				wg.Done() // the job was never dispatched
 				wg.Wait()
-				return nil, canceled(ctx.Err())
+				return canceled(ctx.Err())
 			}
 		}
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
-			return nil, canceled(err)
+			return canceled(err)
 		}
 	}
-	return t, nil
+	return nil
 }
 
 // canceled wraps a context error so every cancellation path out of the DP

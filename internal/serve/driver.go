@@ -28,6 +28,10 @@ const (
 	// RampArrivals: a nonhomogeneous Poisson process whose rate ramps up
 	// linearly to RampFactor times the initial rate (prime-time evening).
 	RampArrivals
+	// FlashArrivals: Poisson background traffic with a flash crowd —
+	// RampFactor times the baseline rate — over the middle fifth of the
+	// horizon (a premiere or breaking-news spike).
+	FlashArrivals
 )
 
 func (k ArrivalKind) String() string {
@@ -38,6 +42,8 @@ func (k ArrivalKind) String() string {
 		return "Poisson"
 	case RampArrivals:
 		return "ramp"
+	case FlashArrivals:
+		return "flash crowd"
 	default:
 		return fmt.Sprintf("ArrivalKind(%d)", int(k))
 	}
@@ -53,8 +59,8 @@ type LoadConfig struct {
 	MeanInterArrival float64
 	// Kind selects the arrival process.
 	Kind ArrivalKind
-	// RampFactor is the final-to-initial rate ratio for RampArrivals
-	// (default 4).
+	// RampFactor is the final-to-initial rate ratio for RampArrivals and
+	// the flash-crowd rate multiplier for FlashArrivals (default 4).
 	RampFactor float64
 	// Seed seeds the per-object generators (object i uses Seed+i), so a
 	// fixed seed replays the identical request sequence — the published
@@ -107,6 +113,8 @@ func GenerateRequests(cat multiobject.Catalog, cfg LoadConfig) ([]Request, error
 			tr = arrivals.Poisson(mean, cfg.Horizon, cfg.Seed+int64(i))
 		case RampArrivals:
 			tr = arrivals.Ramp(mean, mean/ramp, cfg.Horizon, cfg.Seed+int64(i))
+		case FlashArrivals:
+			tr = arrivals.Flash(mean, ramp, 0.4*cfg.Horizon, 0.2*cfg.Horizon, cfg.Horizon, cfg.Seed+int64(i))
 		default:
 			return nil, fmt.Errorf("%w: unknown arrival kind %d", ErrBadConfig, int(cfg.Kind))
 		}

@@ -116,11 +116,12 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, ticket)
 }
 
-// handleBatch admits an array of requests in order through the same Submit
-// path as the single-request route, answering one BatchResult per input.
-// Requests for the same object are therefore processed in array order, so a
+// handleBatch admits an array of requests through Server.SubmitBatch,
+// answering one BatchResult per input.  Requests for the same object are
+// processed in array order (SubmitBatch preserves per-shard order), so a
 // deterministic virtual-time batch replays exactly like the same sequence
-// of single requests.
+// of single requests — but the whole batch crosses each shard's message
+// channel once instead of once per entry.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
@@ -138,18 +139,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := make([]BatchResult, len(raw))
+	reqs := make([]Request, 0, len(raw))
+	idx := make([]int, 0, len(raw))
 	for i, msg := range raw {
 		req := Request{T: -1} // absent "t" means wall-clock stamping, like /v1/request
 		if err := json.Unmarshal(msg, &req); err != nil {
 			out[i] = BatchResult{Error: fmt.Sprintf("bad request %d: %v", i, err)}
 			continue
 		}
-		ticket, err := s.Submit(req)
-		if err != nil {
-			out[i] = BatchResult{Error: err.Error()}
+		reqs = append(reqs, req)
+		idx = append(idx, i)
+	}
+	for k, res := range s.SubmitBatch(reqs) {
+		if res.Err != nil {
+			out[idx[k]] = BatchResult{Error: res.Err.Error()}
 			continue
 		}
-		out[i] = BatchResult{Ticket: &ticket}
+		tk := res.Ticket
+		out[idx[k]] = BatchResult{Ticket: &tk}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -112,6 +112,16 @@ type Config struct {
 	// the Poisson golden-ratio tuning, matching the facade's WithPoisson
 	// default.
 	ConstantRateTuning bool
+	// ColdReplanning disables warm-start epoch replanning for every
+	// object: epoch strategies then re-run their batch planner from
+	// scratch at each close instead of absorbing arrivals into resumable
+	// DP state mid-epoch.  Schedules and accounting are bit-identical
+	// either way; the flag exists for benchmarking and bisection.
+	ColdReplanning bool
+	// MeterReplanNanos injects a monotonic wall clock into each object's
+	// scheduler so ObjectStats.Replan reports replan latency.  Off by
+	// default, keeping deterministic virtual-time replays clock-free.
+	MeterReplanNanos bool
 
 	// Context is the base context of the server's shard schedulers (the
 	// net/http BaseContext idiom): cancelling it aborts in-flight epoch
@@ -253,7 +263,16 @@ type ObjectStats struct {
 	// ReplanFailures counts epoch replans that fell back to unicast
 	// streams (never under normal operation).
 	ReplanFailures int64 `json:"replan_failures,omitempty"`
+	// Replan summarizes the object's epoch replans: how many closes were
+	// answered from warm per-epoch state, the DP cells reused versus
+	// recomputed, and replan wall time (metered only when
+	// Config.MeterReplanNanos is set).
+	Replan ReplanStats `json:"replan"`
 }
+
+// ReplanStats is the per-object epoch replanning summary (see
+// live.ReplanStats for field semantics).
+type ReplanStats = live.ReplanStats
 
 // Stats is a server-wide snapshot.
 type Stats struct {
@@ -370,6 +389,12 @@ func (s *Server) Now() float64 {
 	return float64(time.Since(s.start)) / float64(s.cfg.TimeUnit)
 }
 
+// replanClock is the monotonic clock injected into schedulers when
+// Config.MeterReplanNanos is set: nanoseconds since the server started.
+func (s *Server) replanClock() int64 {
+	return int64(time.Since(s.start))
+}
+
 // Shards returns the effective scheduler shard count (after defaulting to
 // GOMAXPROCS and clamping to the catalog size).
 func (s *Server) Shards() int {
@@ -401,6 +426,78 @@ func (s *Server) Submit(req Request) (Ticket, error) {
 	case <-s.quit:
 		return Ticket{}, ErrClosed
 	}
+}
+
+// SubmitResult is one entry of a SubmitBatch answer: the ticket, or the
+// error the same request would have gotten from Submit.
+type SubmitResult struct {
+	Ticket Ticket
+	Err    error
+}
+
+// SubmitBatch admits a batch of requests, crossing each shard's message
+// channel once for the whole batch instead of once per entry.  Entries
+// keep their submission order within each shard (and hence per object),
+// and every ticket and error matches what sequential Submit calls would
+// return; shards process their portions concurrently.  The result has
+// one entry per request, in request order.
+func (s *Server) SubmitBatch(reqs []Request) []SubmitResult {
+	out := make([]SubmitResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	// Partition by shard, preserving order; wall-clock stamping and
+	// unknown-object errors are resolved here exactly like Submit.
+	perReq := make([][]Request, len(s.shards))
+	perIdx := make([][]int, len(s.shards))
+	for i, req := range reqs {
+		if math.IsNaN(req.T) || math.IsInf(req.T, 0) || req.T < 0 {
+			req.T = s.Now()
+		}
+		sh, ok := s.byName[req.Object]
+		if !ok {
+			s.unknown.Add(1)
+			out[i].Err = fmt.Errorf("%w %q", ErrUnknownObject, req.Object)
+			continue
+		}
+		perReq[sh.id] = append(perReq[sh.id], req)
+		perIdx[sh.id] = append(perIdx[sh.id], i)
+	}
+	// One send per shard with work; gather only after every send, so the
+	// shard loops run their portions concurrently.
+	type pending struct {
+		id   int
+		tks  []Ticket
+		done chan struct{}
+	}
+	sent := make([]pending, 0, len(s.shards))
+	for id, batch := range perReq {
+		if len(batch) == 0 {
+			continue
+		}
+		p := pending{id: id, tks: make([]Ticket, len(batch)), done: make(chan struct{}, 1)}
+		select {
+		case s.shards[id].msgs <- submitBatchMsg{reqs: batch, out: p.tks, done: p.done}:
+			sent = append(sent, p)
+		case <-s.quit:
+			for _, i := range perIdx[id] {
+				out[i].Err = ErrClosed
+			}
+		}
+	}
+	for _, p := range sent {
+		select {
+		case <-p.done:
+			for k, i := range perIdx[p.id] {
+				out[i].Ticket = p.tks[k]
+			}
+		case <-s.quit:
+			for _, i := range perIdx[p.id] {
+				out[i].Err = ErrClosed
+			}
+		}
+	}
+	return out
 }
 
 // Stats snapshots the server-wide counters and per-object accounting.  The

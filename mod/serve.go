@@ -40,6 +40,11 @@ type ServerStats = serve.Stats
 // ObjectStats is the live accounting snapshot for one object.
 type ObjectStats = serve.ObjectStats
 
+// ReplanStats is the epoch-replanning accounting inside ObjectStats: how
+// many epoch closes replanned, how many of those warm-started from the
+// previous state, and the DP-cell reuse and latency totals behind them.
+type ReplanStats = serve.ReplanStats
+
 // DrainResult is the final accounting of a drained server.
 type DrainResult = serve.DrainResult
 
@@ -54,6 +59,7 @@ const (
 	ConstantArrivals = serve.ConstantArrivals
 	PoissonArrivals  = serve.PoissonArrivals
 	RampArrivals     = serve.RampArrivals
+	FlashArrivals    = serve.FlashArrivals
 )
 
 // LoadReport is the closed-loop load generator's outcome.
@@ -81,9 +87,10 @@ func LivePlanners() []string { return serve.LivePlanners() }
 // (per-object Object.Strategy entries override it), WithEpoch the
 // replanning period of epoch-based strategies in slots, WithChannelCap
 // the admission controller's channel budget, WithWorkers the shard
-// count, and WithPoisson(false) the constant-rate dyadic tuning.  For
-// knobs beyond the options (degradation ladder, queue depths, wall-clock
-// time unit), build a ServeConfig and call NewServer directly.
+// count, WithPoisson(false) the constant-rate dyadic tuning, and
+// WithWarmReplanning(false) cold whole-epoch replanning.  For knobs
+// beyond the options (degradation ladder, queue depths, wall-clock time
+// unit), build a ServeConfig and call NewServer directly.
 func NewLiveServer(cat Catalog, opts ...Option) (*Server, error) {
 	st := ResolveSettings(opts...)
 	return serve.New(ServeConfig{
@@ -93,6 +100,7 @@ func NewLiveServer(cat Catalog, opts ...Option) (*Server, error) {
 		DefaultStrategy:    st.Strategy,
 		EpochSlots:         st.EpochSlots,
 		ConstantRateTuning: !st.Poisson,
+		ColdReplanning:     !st.WarmReplanning,
 	})
 }
 
