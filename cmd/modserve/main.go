@@ -4,9 +4,15 @@
 // In "serve" mode it starts the sharded admission server (via the public
 // mod facade) over a Zipf catalog and exposes the versioned HTTP JSON API
 // — POST /v1/request, POST /v1/requests (batch), GET /v1/stats,
-// GET /v1/objects/{name}, GET /v1/healthz, GET /v1/metrics, with the
-// unversioned routes kept as deprecated aliases — shutting down gracefully
-// on SIGINT/SIGTERM.  Every object is served live by the planner family
+// GET /v1/objects/{name}, GET /v1/healthz, and GET /v1/metrics in the
+// Prometheus text exposition format (the unversioned routes remain as
+// deprecated aliases; legacy /metrics keeps the JSON counter map) —
+// shutting down gracefully on SIGINT/SIGTERM.  Stage metering is on by
+// default (-meter=false disables it): every admission records queue wait,
+// planning, epoch-replanning, and respond durations into the /v1/metrics
+// histograms.  -pressure N turns on queue-depth backpressure: submits
+// routed to a shard holding more than N queued requests answer 429 with a
+// Retry-After derived from the shard's drain rate.  Every object is served live by the planner family
 // named with -strategy (any name in mod.LivePlanners(): the natively
 // incremental "online" forest, or epoch-replanned "offline", "dyadic",
 // "batching", "hybrid", ...).  In "load" mode it replays a deterministic
@@ -19,10 +25,14 @@
 // SubmitBatch throughput (one channel send per shard per 500-entry
 // batch), per-request admission latency, and warm-start epoch replanning
 // (replans, warm hits, DP cells reused vs recomputed, replan latency),
-// and writes the machine-readable grid to -out (BENCH_serve.json by
-// default) so the repository's serving performance is tracked across
-// changes.  In "smoke" mode it starts a server on a random port, fires
-// the load driver at it, and exits cleanly (the CI smoke step).
+// plus the per-stage latency decomposition (queue/plan/replan p50 and p99
+// from the server's histograms), and writes the machine-readable grid to
+// -out (BENCH_serve.json by default, version 3) so the repository's
+// serving performance is tracked across changes; -csv FILE additionally
+// dumps one row per replayed request (grid coordinates, ticket, and
+// per-stage nanosecond timings) for offline analysis.  In "smoke" mode it
+// starts a server on a random port, fires the load driver at it, scrapes
+// /v1/metrics, and exits cleanly (the CI smoke step).
 //
 // The -seed flag fixes the request traces: bench cell seeds derive from
 // grid coordinates alone (never shard count, strategy, or scheduling
@@ -38,10 +48,12 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -67,6 +79,9 @@ func main() {
 	maxScale := flag.Float64("maxscale", 8, "maximum delay scale before rejecting")
 	strategy := flag.String("strategy", "online", "live serving strategy (a mod.LivePlanners() name)")
 	epoch := flag.Int("epoch", 0, "epoch replanning period in slots for batch strategies (0 = server default)")
+	pressure := flag.Int("pressure", 0, "per-shard queue high-water mark for 429 backpressure (0 = off)")
+	meter := flag.Bool("meter", true, "record per-request stage latency histograms (GET /v1/metrics)")
+	csvPath := flag.String("csv", "", "bench: per-request CSV dump file (empty = none)")
 	strategies := flag.String("strategies", "all", "bench: comma-separated strategies, or \"all\"")
 	workloads := flag.String("workloads", "all", "bench: comma-separated arrival kinds (constant|poisson|ramp|flash), or \"all\"")
 	sizes := flag.String("sizes", "", "bench: comma-separated catalog sizes (empty = -objects)")
@@ -83,14 +98,16 @@ func main() {
 
 	cat := mod.ZipfCatalog(*objects, *length, *length**delayPct/100, *zipf)
 	cfg := mod.ServeConfig{
-		Catalog:         cat,
-		Shards:          *shards,
-		MaxChannels:     *capacity,
-		DegradeStep:     *step,
-		MaxDelayScale:   *maxScale,
-		TimeUnit:        *timeUnit,
-		DefaultStrategy: *strategy,
-		EpochSlots:      *epoch,
+		Catalog:           cat,
+		Shards:            *shards,
+		MaxChannels:       *capacity,
+		DegradeStep:       *step,
+		MaxDelayScale:     *maxScale,
+		TimeUnit:          *timeUnit,
+		DefaultStrategy:   *strategy,
+		EpochSlots:        *epoch,
+		PressureHighWater: *pressure,
+		MeterStages:       *meter,
 	}
 	load := mod.LoadConfig{
 		Horizon:          *horizon,
@@ -132,7 +149,7 @@ func main() {
 	case "bench":
 		grid, err := benchGridConfig(*workloads, *sizes, *shardGrid, *objects, *shards)
 		exitOn(err)
-		exitOn(bench(cfg, load, grid, benchList(*strategies), *length, *delayPct, *zipf, *out))
+		exitOn(bench(cfg, load, grid, benchList(*strategies), *length, *delayPct, *zipf, *out, *csvPath))
 	case "smoke":
 		exitOn(smoke(cfg, load, *conc))
 		fmt.Println("modserve: smoke ok")
@@ -222,25 +239,35 @@ func parseInts(s string, fallback int) ([]int, error) {
 // ReplanStats of the drained run: every epoch close is one replan, warm
 // ones reused the retained state, and the cell counters split the off-line
 // DP work into band cells carried over versus filled fresh.
+// The stage columns come from the server's own latency decomposition
+// (Config.MeterStages): per-admission queue wait, planning, and
+// epoch-replan share, as p50/p99 of the merged stage histograms.
 type benchResult struct {
-	Strategy        string  `json:"strategy"`
-	Requests        int     `json:"requests"`
-	Admitted        int     `json:"admitted"`
-	Degraded        int     `json:"degraded"`
-	Rejected        int     `json:"rejected"`
-	ReqsPerSec      float64 `json:"reqs_per_sec"`
-	BatchReqsPerSec float64 `json:"batch_reqs_per_sec"`
-	P50LatencyUS    float64 `json:"p50_admission_latency_us"`
-	P99LatencyUS    float64 `json:"p99_admission_latency_us"`
-	Replans         int64   `json:"replans"`
-	WarmReplans     int64   `json:"warm_replans"`
-	CellsReused     int64   `json:"cells_reused"`
-	CellsRecomputed int64   `json:"cells_recomputed"`
-	ReplanTotalUS   float64 `json:"replan_total_us"`
-	MaxReplanUS     float64 `json:"max_replan_us"`
-	CostStreams     float64 `json:"cost_streams"`
-	BusyTime        float64 `json:"busy_time"`
-	Peak            int     `json:"peak"`
+	Strategy         string  `json:"strategy"`
+	Requests         int     `json:"requests"`
+	Admitted         int     `json:"admitted"`
+	Degraded         int     `json:"degraded"`
+	Rejected         int     `json:"rejected"`
+	RejectedPressure int64   `json:"rejected_pressure"`
+	ReqsPerSec       float64 `json:"reqs_per_sec"`
+	BatchReqsPerSec  float64 `json:"batch_reqs_per_sec"`
+	P50LatencyUS     float64 `json:"p50_admission_latency_us"`
+	P99LatencyUS     float64 `json:"p99_admission_latency_us"`
+	QueueP50US       float64 `json:"queue_p50_us"`
+	QueueP99US       float64 `json:"queue_p99_us"`
+	PlanP50US        float64 `json:"plan_p50_us"`
+	PlanP99US        float64 `json:"plan_p99_us"`
+	ReplanP50US      float64 `json:"replan_p50_us"`
+	ReplanP99US      float64 `json:"replan_p99_us"`
+	Replans          int64   `json:"replans"`
+	WarmReplans      int64   `json:"warm_replans"`
+	CellsReused      int64   `json:"cells_reused"`
+	CellsRecomputed  int64   `json:"cells_recomputed"`
+	ReplanTotalUS    float64 `json:"replan_total_us"`
+	MaxReplanUS      float64 `json:"max_replan_us"`
+	CostStreams      float64 `json:"cost_streams"`
+	BusyTime         float64 `json:"busy_time"`
+	Peak             int     `json:"peak"`
 }
 
 // benchCell is one grid cell: a workload x catalog size x shard count
@@ -257,8 +284,9 @@ type benchCell struct {
 	Results  []benchResult `json:"results"`
 }
 
-// benchOutput is the machine-readable bench report (version 2, the grid
-// shape): enough context to reproduce the sweep plus one cell per grid
+// benchOutput is the machine-readable bench report (version 3: the
+// version-2 grid shape plus rejected_pressure and the per-stage latency
+// columns): enough context to reproduce the sweep plus one cell per grid
 // combination, so the repository's serving-performance trajectory is
 // tracked across changes by .github/benchdiff.go.
 type benchOutput struct {
@@ -282,14 +310,26 @@ func cellSeed(base int64, wi, si int) int64 {
 // in-process once per shard count x strategy — timing the per-request
 // Submit path, the batched SubmitBatch path, and (via the drained
 // ReplanStats) warm-start epoch replanning — and writes the grid JSON.
-func bench(cfg mod.ServeConfig, load mod.LoadConfig, grid benchGrid, strategies []string, length, delayPct, zipf float64, outPath string) error {
+func bench(cfg mod.ServeConfig, load mod.LoadConfig, grid benchGrid, strategies []string, length, delayPct, zipf float64, outPath, csvPath string) error {
 	report := benchOutput{
-		Version:    2,
+		Version:    3,
 		Horizon:    load.Horizon,
 		Seed:       load.Seed,
 		EpochSlots: cfg.EpochSlots,
 	}
 	cfg.MeterReplanNanos = true
+	// The stage columns need the server's own decomposition; metering is
+	// observation only (cost totals are pinned bit-identical), so forcing
+	// it on keeps every published grid comparable.
+	cfg.MeterStages = true
+	var dump *csvDump
+	if csvPath != "" {
+		var err error
+		if dump, err = newCSVDump(csvPath); err != nil {
+			return err
+		}
+		defer dump.f.Close()
+	}
 	for wi, kind := range grid.workloads {
 		for si, size := range grid.sizes {
 			cat := mod.ZipfCatalog(size, length, length*delayPct/100, zipf)
@@ -322,7 +362,10 @@ func bench(cfg mod.ServeConfig, load mod.LoadConfig, grid benchGrid, strategies 
 					cell.Shards = s.Shards()
 					fmt.Printf("=== workload %s, %d objects, %d shards, strategy %s: in-process replay of %d requests (seed %d) ===\n",
 						cell.Workload, size, cell.Shards, strategy, len(reqs), cellLoad.Seed)
-					res, rep, err := benchStrategy(s, reqs, cellLoad.Horizon)
+					if dump != nil {
+						dump.setCell(cell.Workload, size, cell.Shards, strategy)
+					}
+					res, rep, err := benchStrategy(s, reqs, cellLoad.Horizon, dump)
 					s.Close()
 					if err != nil {
 						return err
@@ -342,6 +385,12 @@ func bench(cfg mod.ServeConfig, load mod.LoadConfig, grid benchGrid, strategies 
 			}
 		}
 	}
+	if dump != nil {
+		if err := dump.flush(); err != nil {
+			return err
+		}
+		fmt.Printf("modserve: wrote per-request dump %s (%d rows)\n", csvPath, dump.rows)
+	}
 	if outPath == "" {
 		return nil
 	}
@@ -356,25 +405,93 @@ func bench(cfg mod.ServeConfig, load mod.LoadConfig, grid benchGrid, strategies 
 	return nil
 }
 
+// csvDump streams the per-request bench rows of -csv: one line per
+// replayed request with its grid coordinates, ticket, and the per-stage
+// nanosecond timings the server's metering attached to the ticket.
+type csvDump struct {
+	f    *os.File
+	w    *bufio.Writer
+	rows int
+	// Current grid-cell coordinates, stamped on every row.
+	workload, strategy string
+	objects, shards    int
+}
+
+// csvHeader is the -csv column order; submit_ns is the caller-observed
+// Submit round trip, the queue/plan/replan columns are the server's own
+// stage decomposition from the ticket.
+const csvHeader = "workload,objects,shards,strategy,seq,object,t,outcome,epoch,slot,delay,start_at,queue_ns,plan_ns,replan_ns,submit_ns"
+
+func newCSVDump(path string) (*csvDump, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	d := &csvDump{f: f, w: bufio.NewWriter(f)}
+	fmt.Fprintln(d.w, csvHeader)
+	return d, nil
+}
+
+func (d *csvDump) setCell(workload string, objects, shards int, strategy string) {
+	d.workload, d.objects, d.shards, d.strategy = workload, objects, shards, strategy
+}
+
+func (d *csvDump) row(seq int, req mod.Request, tk mod.Ticket, submitNS int64) {
+	fmt.Fprintf(d.w, "%s,%d,%d,%s,%d,%s,%g,%s,%d,%d,%g,%g,%d,%d,%d,%d\n",
+		d.workload, d.objects, d.shards, d.strategy, seq, req.Object, req.T,
+		tk.Decision, tk.Epoch, tk.Slot, tk.Delay, tk.StartAt,
+		tk.QueueNS, tk.PlanNS, tk.ReplanNS, submitNS)
+	d.rows++
+}
+
+func (d *csvDump) flush() error {
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	return d.f.Close()
+}
+
 // benchStrategy replays the trace against one server, timing every Submit.
 // Tickets flow through the report's own Count/Finish accounting, so the
 // rendered output keeps the offered-delay summary and histogram the
-// untimed RunDriver path produces.
-func benchStrategy(s *mod.Server, reqs []mod.Request, horizon float64) (benchResult, *mod.LoadReport, error) {
+// untimed RunDriver path produces.  The stage columns are read from the
+// server's merged histograms (Metrics) before the drain.
+func benchStrategy(s *mod.Server, reqs []mod.Request, horizon float64, dump *csvDump) (benchResult, *mod.LoadReport, error) {
 	res := benchResult{Requests: len(reqs)}
 	lats := make([]float64, 0, len(reqs))
 	rep := &mod.LoadReport{Requests: len(reqs)}
 	t0 := time.Now()
-	for _, req := range reqs {
+	for seq, req := range reqs {
 		s0 := time.Now()
 		tk, err := s.Submit(req)
 		if err != nil {
 			return res, nil, err
 		}
-		lats = append(lats, float64(time.Since(s0).Microseconds()))
+		submitNS := time.Since(s0).Nanoseconds()
+		lats = append(lats, float64(submitNS)/1e3)
 		rep.Count(tk)
+		if dump != nil {
+			dump.row(seq, req, tk, submitNS)
+		}
 	}
 	elapsed := time.Since(t0).Seconds()
+	m, err := s.Metrics()
+	if err != nil {
+		return res, nil, err
+	}
+	var queue, plan, replan mod.LatencyHistogram
+	for _, st := range m.Stages {
+		queue.Merge(&st.Queue)
+		plan.Merge(&st.Plan)
+		replan.Merge(&st.Replan)
+	}
+	res.QueueP50US = float64(queue.Quantile(0.50)) / 1e3
+	res.QueueP99US = float64(queue.Quantile(0.99)) / 1e3
+	res.PlanP50US = float64(plan.Quantile(0.50)) / 1e3
+	res.PlanP99US = float64(plan.Quantile(0.99)) / 1e3
+	res.ReplanP50US = float64(replan.Quantile(0.50)) / 1e3
+	res.ReplanP99US = float64(replan.Quantile(0.99)) / 1e3
+	res.RejectedPressure = m.Stats.RejectedPressure
 	dr, err := s.Drain(horizon)
 	if err != nil {
 		return res, nil, err
@@ -486,8 +603,42 @@ func smoke(cfg mod.ServeConfig, load mod.LoadConfig, conc int) error {
 	}
 	fmt.Printf("modserve: %d requests served over HTTP (admitted %d, degraded %d, rejected %d)\n",
 		len(reqs), rep.Admitted, rep.Degraded, rep.Rejected)
+	if err := scrapeMetrics(base, cfg.MeterStages); err != nil {
+		cancel()
+		return err
+	}
+	fmt.Println("modserve: metrics scrape ok")
 	cancel()
 	return <-done
+}
+
+// scrapeMetrics fetches GET /v1/metrics and sanity-checks the Prometheus
+// exposition: the counter family must always be present, and with stage
+// metering on the latency histogram family must be too.
+func scrapeMetrics(base string, metered bool) error {
+	resp, err := http.Get(base + mod.APIVersion + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		return fmt.Errorf("metrics Content-Type %q is not the Prometheus text exposition", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	body := string(blob)
+	if !strings.Contains(body, "# TYPE mod_requests_total counter") {
+		return fmt.Errorf("metrics exposition is missing the request counter family:\n%s", body)
+	}
+	if metered && !strings.Contains(body, "# TYPE mod_stage_latency_seconds histogram") {
+		return fmt.Errorf("metrics exposition is missing the stage histogram family:\n%s", body)
+	}
+	return nil
 }
 
 func exitOn(err error) {

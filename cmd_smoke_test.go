@@ -58,7 +58,7 @@ func TestCommandSmoke(t *testing.T) {
 			[]string{"strategy online", "strategy dyadic-batched", "strategy batching",
 				"workload Poisson", "workload flash crowd", "BENCH_serve.json (4 cells, 3 strategies)"}},
 		{"modserve", []string{"-mode", "smoke", "-objects", "3", "-delay", "5", "-lambda", "2", "-horizon", "2"},
-			[]string{"served over HTTP", "smoke ok"}},
+			[]string{"served over HTTP", "metrics scrape ok", "smoke ok"}},
 		{"modlint", []string{"-list"},
 			[]string{"facadeonly", "shardloop", "ctxflow", "errwrap", "noalloc", "detrand"}},
 		{"modlint", []string{"./mod/..."},
@@ -108,8 +108,8 @@ func TestCommandSmoke(t *testing.T) {
 				if err := json.Unmarshal(blob, &parsed); err != nil {
 					t.Fatalf("bench JSON does not parse: %v\n%s", err, blob)
 				}
-				if parsed.Version != 2 {
-					t.Fatalf("bench JSON version %d, want 2:\n%s", parsed.Version, blob)
+				if parsed.Version != 3 {
+					t.Fatalf("bench JSON version %d, want 3:\n%s", parsed.Version, blob)
 				}
 				if len(parsed.Grid) != 4 { // 2 workloads x 1 size x 2 shard counts
 					t.Fatalf("bench JSON has %d grid cells, want 4:\n%s", len(parsed.Grid), blob)
@@ -122,6 +122,16 @@ func TestCommandSmoke(t *testing.T) {
 					for _, r := range cell.Results {
 						if r.ReqsPerSec <= 0 || r.BatchReqsPerSec <= 0 || r.CostStreams <= 0 {
 							t.Errorf("bench row %+v has non-positive throughput or cost", r)
+						}
+						// Stage metering is forced on in bench mode, so
+						// the plan-stage decomposition must be populated
+						// (every admission plans); no backpressure is
+						// configured, so no request may be pressure-refused.
+						if r.PlanP99US <= 0 {
+							t.Errorf("bench row %+v has no plan-stage latency despite metering", r)
+						}
+						if r.RejectedPressure != 0 {
+							t.Errorf("bench row %+v reports pressure rejects without -pressure", r)
 						}
 						if r.Strategy != "online" {
 							// Epoch-based strategies replan at least at drain,
@@ -137,7 +147,7 @@ func TestCommandSmoke(t *testing.T) {
 	}
 }
 
-// benchGridFile mirrors the version-2 BENCH_serve.json grid shape, with
+// benchGridFile mirrors the version-3 BENCH_serve.json grid shape, with
 // every field the smoke tests assert on.
 type benchGridFile struct {
 	Version int `json:"version"`
@@ -148,18 +158,25 @@ type benchGridFile struct {
 		Seed     int64  `json:"seed"`
 		Requests int    `json:"requests"`
 		Results  []struct {
-			Strategy        string  `json:"strategy"`
-			Requests        int     `json:"requests"`
-			Admitted        int     `json:"admitted"`
-			ReqsPerSec      float64 `json:"reqs_per_sec"`
-			BatchReqsPerSec float64 `json:"batch_reqs_per_sec"`
-			P99LatencyUS    float64 `json:"p99_admission_latency_us"`
-			Replans         int64   `json:"replans"`
-			WarmReplans     int64   `json:"warm_replans"`
-			CellsReused     int64   `json:"cells_reused"`
-			CellsRecomputed int64   `json:"cells_recomputed"`
-			CostStreams     float64 `json:"cost_streams"`
-			Peak            int     `json:"peak"`
+			Strategy         string  `json:"strategy"`
+			Requests         int     `json:"requests"`
+			Admitted         int     `json:"admitted"`
+			RejectedPressure int64   `json:"rejected_pressure"`
+			ReqsPerSec       float64 `json:"reqs_per_sec"`
+			BatchReqsPerSec  float64 `json:"batch_reqs_per_sec"`
+			P99LatencyUS     float64 `json:"p99_admission_latency_us"`
+			QueueP50US       float64 `json:"queue_p50_us"`
+			QueueP99US       float64 `json:"queue_p99_us"`
+			PlanP50US        float64 `json:"plan_p50_us"`
+			PlanP99US        float64 `json:"plan_p99_us"`
+			ReplanP50US      float64 `json:"replan_p50_us"`
+			ReplanP99US      float64 `json:"replan_p99_us"`
+			Replans          int64   `json:"replans"`
+			WarmReplans      int64   `json:"warm_replans"`
+			CellsReused      int64   `json:"cells_reused"`
+			CellsRecomputed  int64   `json:"cells_recomputed"`
+			CostStreams      float64 `json:"cost_streams"`
+			Peak             int     `json:"peak"`
 		} `json:"results"`
 	} `json:"grid"`
 }
@@ -187,12 +204,16 @@ func TestBenchGridDeterminism(t *testing.T) {
 		if err := json.Unmarshal(blob, &parsed); err != nil {
 			t.Fatalf("bench JSON does not parse: %v\n%s", err, blob)
 		}
-		// Scrub wall-clock-derived columns; everything left must replay
+		// Scrub wall-clock-derived columns (throughput, latency, and the
+		// stage-histogram quantiles); everything left must replay
 		// identically.
 		for gi := range parsed.Grid {
 			for ri := range parsed.Grid[gi].Results {
 				r := &parsed.Grid[gi].Results[ri]
 				r.ReqsPerSec, r.BatchReqsPerSec, r.P99LatencyUS = 0, 0, 0
+				r.QueueP50US, r.QueueP99US = 0, 0
+				r.PlanP50US, r.PlanP99US = 0, 0
+				r.ReplanP50US, r.ReplanP99US = 0, 0
 			}
 		}
 		return parsed
@@ -202,6 +223,59 @@ func TestBenchGridDeterminism(t *testing.T) {
 	b := run(filepath.Join(tmp, "b.json"))
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("bench grid is not deterministic across identical runs:\nfirst  %+v\nsecond %+v", a, b)
+	}
+}
+
+// TestBenchCSVDump pins the -csv per-request dump: the header names every
+// column, each replayed request becomes exactly one row stamped with its
+// grid coordinates, and the stage-timing columns are populated (plan time
+// is measured for every metered admission).
+func TestBenchCSVDump(t *testing.T) {
+	bin := buildCmd(t, "modserve")
+	tmp := t.TempDir()
+	csvPath := filepath.Join(tmp, "requests.csv")
+	args := []string{"-mode", "bench", "-objects", "3", "-delay", "5", "-lambda", "2",
+		"-horizon", "2", "-seed", "5", "-strategies", "online,batching",
+		"-workloads", "poisson", "-out", "", "-csv", csvPath}
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("modserve %v: %v\n%s", args, err, out)
+	}
+	blob, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("csv dump missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	const wantHeader = "workload,objects,shards,strategy,seq,object,t,outcome,epoch,slot,delay,start_at,queue_ns,plan_ns,replan_ns,submit_ns"
+	if lines[0] != wantHeader {
+		t.Fatalf("csv header = %q, want %q", lines[0], wantHeader)
+	}
+	cols := len(strings.Split(wantHeader, ","))
+	perStrategy := map[string]int{}
+	for i, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != cols {
+			t.Fatalf("csv row %d has %d fields, want %d: %q", i+1, len(f), cols, line)
+		}
+		if f[0] != "Poisson" || f[1] != "3" {
+			t.Errorf("csv row %d grid coordinates = %s/%s, want Poisson/3", i+1, f[0], f[1])
+		}
+		perStrategy[f[3]]++
+		if f[7] != "admitted" && f[7] != "degraded" && f[7] != "rejected" {
+			t.Errorf("csv row %d outcome = %q", i+1, f[7])
+		}
+		if sub := f[15]; sub == "" || sub == "0" || strings.HasPrefix(sub, "-") {
+			t.Errorf("csv row %d has no submit round-trip timing: %q", i+1, line)
+		}
+	}
+	if len(perStrategy) != 2 || perStrategy["online"] == 0 || perStrategy["batching"] == 0 {
+		t.Errorf("csv rows per strategy = %v, want both online and batching", perStrategy)
+	}
+	if perStrategy["online"] != perStrategy["batching"] {
+		t.Errorf("csv row counts differ per strategy: %v (same trace each)", perStrategy)
+	}
+	if !strings.Contains(string(out), "wrote per-request dump") {
+		t.Errorf("bench output does not announce the csv dump:\n%s", out)
 	}
 }
 

@@ -564,6 +564,10 @@ func AllWithWorkers(ctx context.Context, workers int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, ext1, ext2, ext3, ext4, ext5, ext6)
+	ext7, err := Backpressure(ctx, DefaultBackpressure())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ext1, ext2, ext3, ext4, ext5, ext6, ext7)
 	return out, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/textplot"
@@ -173,6 +174,122 @@ func WarmReplan(ctx context.Context, cfg LiveVsBatchConfig) (Result, error) {
 		Table: tab,
 		Notes: fmt.Sprintf("%d objects, Zipf(%g), horizon %g, seed %d, epoch %d slots: warm and cold replanning are bit-identical by construction (verified per row); warm_replans counts epoch closes that reused retained state, and the cell columns split the off-line planners' banded DP into reused vs recomputed work (the online strategy never replans; unicast and hybrid replan cold by design)",
 			cfg.Objects, cfg.ZipfExponent, cfg.Horizon, cfg.Seed, cfg.EpochSlots),
+	}, nil
+}
+
+// BackpressureConfig parameterizes the queue-backpressure experiment.
+type BackpressureConfig struct {
+	// Submits is the number of concurrent same-instant submissions raced
+	// against the paused shard at each high-water mark.
+	Submits int
+	// HighWaters are the per-shard queue high-water marks swept.
+	HighWaters []int
+	// T is the shared arrival instant (time units).
+	T float64
+	// Horizon is the drain horizon in time units.
+	Horizon float64
+}
+
+// DefaultBackpressure races 8 concurrent submissions against high-water
+// marks from permissive to refusing almost everything.
+func DefaultBackpressure() BackpressureConfig {
+	return BackpressureConfig{Submits: 8, HighWaters: []int{1, 2, 4}, T: 0.5, Horizon: 2}
+}
+
+// Backpressure pins the determinism of queue-depth admission arbitration:
+// a single-shard server is paused, Submits goroutines race identical
+// requests at it, and — whatever the goroutine schedule — exactly
+// HighWater of them may hold queue slots, so exactly Submits-HighWater
+// are refused with ErrPressure.  The refusals are observable while the
+// shard is still paused (the winners stay parked in the queue), which is
+// what makes the counts exact rather than statistical.  After release the
+// admitted subset drains to the same catalog cost as an unpressured
+// server fed HighWater requests directly: every column is a deterministic
+// count, verified per row, so the table is bit-identical across machines.
+func Backpressure(ctx context.Context, cfg BackpressureConfig) (Result, error) {
+	cat := mod.ZipfCatalog(1, 1, 0.125, 1)
+	tab := textplot.NewTable("high_water", "submits", "admitted", "rejected_pressure", "cost", "ref_cost")
+	for _, hw := range cfg.HighWaters {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("experiments: backpressure canceled: %w", err)
+		}
+		if hw >= cfg.Submits {
+			return Result{}, fmt.Errorf("experiments: high water %d admits every one of %d submits", hw, cfg.Submits)
+		}
+		srv, err := mod.NewLiveServer(cat, mod.WithWorkers(1), mod.WithBackpressure(hw))
+		if err != nil {
+			return Result{}, err
+		}
+		release, err := srv.Pause(0)
+		if err != nil {
+			srv.Close()
+			return Result{}, err
+		}
+		errs := make(chan error, cfg.Submits)
+		for i := 0; i < cfg.Submits; i++ {
+			go func() {
+				_, err := srv.Submit(mod.Request{Object: cat[0].Name, T: cfg.T})
+				errs <- err
+			}()
+		}
+		// Only pressure-refused submits can return while the shard is
+		// paused; the reservation holders are parked in the queue.
+		for i := 0; i < cfg.Submits-hw; i++ {
+			if err := <-errs; !errors.Is(err, mod.ErrPressure) {
+				release()
+				srv.Close()
+				return Result{}, fmt.Errorf("experiments: refusal %d under high water %d wants ErrPressure, got: %w", i, hw, err)
+			}
+		}
+		release()
+		for i := 0; i < hw; i++ {
+			if err := <-errs; err != nil {
+				srv.Close()
+				return Result{}, fmt.Errorf("experiments: admitted submit %d under high water %d failed: %w", i, hw, err)
+			}
+		}
+		dr, err := srv.Drain(cfg.Horizon)
+		srv.Close()
+		if err != nil {
+			return Result{}, err
+		}
+		if got := dr.Stats.RejectedPressure; got != int64(cfg.Submits-hw) {
+			return Result{}, fmt.Errorf("experiments: high water %d rejected %d of %d submits, want exactly %d",
+				hw, got, cfg.Submits, cfg.Submits-hw)
+		}
+		cost := dr.Objects[0].Cost
+
+		// Unpressured reference run of the admitted subset: all arrivals
+		// share one instant, so the totals are independent of WHICH
+		// submits won the race.
+		ref, err := mod.NewLiveServer(cat, mod.WithWorkers(1))
+		if err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < hw; i++ {
+			if _, err := ref.Submit(mod.Request{Object: cat[0].Name, T: cfg.T}); err != nil {
+				ref.Close()
+				return Result{}, err
+			}
+		}
+		refDr, err := ref.Drain(cfg.Horizon)
+		ref.Close()
+		if err != nil {
+			return Result{}, err
+		}
+		refCost := refDr.Objects[0].Cost
+		if cost != refCost || dr.Objects[0].Streams != refDr.Objects[0].Streams {
+			return Result{}, fmt.Errorf("experiments: high water %d: pressured cost %g != unpressured cost %g of the admitted subset",
+				hw, cost, refCost)
+		}
+		tab.AddRow(hw, cfg.Submits, int(dr.Stats.Admitted), int(dr.Stats.RejectedPressure), cost, refCost)
+	}
+	return Result{
+		ID:    "ext-backpressure",
+		Title: "Extension: queue-depth backpressure is exact admission arbitration",
+		Table: tab,
+		Notes: fmt.Sprintf("%d concurrent same-instant submits against a paused single shard: the atomic queue reservation admits exactly high_water of them and refuses the rest with ErrPressure (verified per row), and the admitted subset drains to the unpressured reference cost — backpressure changes who waits, never what anything costs",
+			cfg.Submits),
 	}, nil
 }
 

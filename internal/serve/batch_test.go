@@ -110,7 +110,7 @@ func TestSubmitBatchMatchesSequential(t *testing.T) {
 func TestSubmitBatchOneSendPerShard(t *testing.T) {
 	cat := batchCatalog()
 	cfg := (&Config{Catalog: cat, Shards: 2, DefaultStrategy: "batching"}).withDefaults()
-	srv := &Server{cfg: cfg, byName: make(map[string]*shard), quit: make(chan struct{})}
+	srv := newServerShell(cfg)
 	defer close(srv.quit)
 	srv.shards = []*shard{newShard(0, srv), newShard(1, srv)}
 	for i, o := range cat {
@@ -131,7 +131,7 @@ func TestSubmitBatchOneSendPerShard(t *testing.T) {
 				case m := <-sh.msgs:
 					sends[i].Add(1)
 					if msg, ok := m.(submitBatchMsg); ok {
-						sh.admitBatch(msg.reqs, msg.out)
+						sh.admitBatch(msg.reqs, msg.out, -1)
 						msg.done <- struct{}{}
 					}
 				case <-srv.quit:
@@ -174,7 +174,9 @@ func TestSubmitBatchClosed(t *testing.T) {
 // BenchmarkShardAdmitBatch is the CI allocation guard for the batch
 // admit path: a whole batch through admitBatch on the shard loop's side,
 // with a caller-provided ticket buffer, must not allocate for a
-// program-less strategy.
+// program-less strategy.  Stage metering is on (benchShard), and the
+// positive queueNS takes the histogram-observation branch, so the guard
+// covers the fully instrumented path.
 func BenchmarkShardAdmitBatch(b *testing.B) {
 	sh, _ := benchShard(b, "batching")
 	const batch = 256
@@ -187,7 +189,7 @@ func BenchmarkShardAdmitBatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sh.admitBatch(reqs, out)
+		sh.admitBatch(reqs, out, 4096)
 	}
 }
 

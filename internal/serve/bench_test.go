@@ -21,7 +21,9 @@ import (
 )
 
 // benchShard builds a loop-less shard (no goroutines) so the benchmark
-// can drive admitCore directly.
+// can drive admitCore directly.  Stage metering is ON, with a counter
+// clock standing in for the wall clock: the 0 allocs/op guard covers the
+// instrumented admit path, per-stage histogram observation included.
 func benchShard(b *testing.B, strategy string) (*shard, *objectState) {
 	b.Helper()
 	cat := multiobject.Catalog{
@@ -30,9 +32,11 @@ func benchShard(b *testing.B, strategy string) (*shard, *objectState) {
 		{Name: "mild", Length: 2, Popularity: 1, Delay: 0.05},
 		{Name: "cold", Length: 1, Popularity: 1, Delay: 0.04},
 	}
-	cfg := Config{Catalog: cat, MaxChannels: 0}
+	var tick int64
+	cfg := Config{Catalog: cat, MaxChannels: 0, MeterStages: true,
+		NowNanos: func() int64 { tick += 137; return tick }}
 	cfg = cfg.withDefaults()
-	srv := &Server{cfg: cfg, quit: make(chan struct{})}
+	srv := newServerShell(cfg)
 	sh := newShard(0, srv)
 	for i, o := range cat {
 		if err := sh.addObject(o, i, strategy); err != nil {

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -144,8 +146,15 @@ type Report struct {
 	// Admitted/Degraded/Rejected count the admission outcomes observed.
 	Admitted, Degraded, Rejected int
 	// Failed counts HTTP requests answered with a JSON error (HTTP mode
-	// only; e.g. unknown objects).
+	// only; e.g. unknown objects), including requests still refused by
+	// backpressure after the retry budget.
 	Failed int
+	// PressureRetries counts 429 responses the HTTP driver retried after
+	// honoring their Retry-After (capped backoff); PressureFailed counts
+	// requests abandoned after the retry budget.  A trace that completes
+	// under transient pressure shows retries but no failures.
+	PressureRetries int
+	PressureFailed  int
 	// OfferedDelay summarizes StartAt - T over served requests: the actual
 	// start-up delay each client was offered (degradations raise it).
 	OfferedDelay stats.Summary
@@ -194,12 +203,27 @@ func RunDriver(ctx context.Context, s *Server, reqs []Request, horizon float64) 
 	return rep, nil
 }
 
+// Backpressure retry budget of the HTTP driver: how many 429 responses
+// one request may absorb before it counts as failed, and the cap on any
+// single Retry-After-driven sleep.
+const (
+	maxPressureRetries = 8
+	maxPressureBackoff = 2 * time.Second
+)
+
 // RunHTTPDriver replays the request sequence against a live HTTP endpoint
 // with the given number of concurrent connections, measuring round-trip
 // latencies, then snapshots /stats.  Unlike the in-process driver the
 // interleaving (and therefore any admission degradation) is subject to
 // network scheduling, so this mode measures rather than reproduces.
 // Cancelling ctx stops dispatching and aborts in-flight requests.
+//
+// A 429 answer (queue-depth backpressure) is not a failure: the driver
+// honors the Retry-After header — sleeping at most maxPressureBackoff —
+// and retries the same request up to maxPressureRetries times, counting
+// each retry in Report.PressureRetries; only a request still refused
+// after the budget lands in Failed (and PressureFailed).  A trace
+// offered through transient pressure therefore completes.
 func RunHTTPDriver(ctx context.Context, baseURL string, reqs []Request, concurrency int) (*Report, error) {
 	if concurrency < 1 {
 		concurrency = 1
@@ -216,47 +240,71 @@ func RunHTTPDriver(ctx context.Context, baseURL string, reqs []Request, concurre
 			defer wg.Done()
 			for req := range work {
 				body, _ := json.Marshal(req)
-				hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-					baseURL+APIVersion+"/request", bytes.NewReader(body))
-				if err == nil {
-					hreq.Header.Set("Content-Type", "application/json")
-				}
-				t0 := time.Now()
-				var resp *http.Response
-				if err == nil {
-					resp, err = client.Do(hreq)
-				}
-				lat := time.Since(t0).Seconds()
-				if err != nil {
+			attempt:
+				for attempt := 0; ; attempt++ {
+					hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+						baseURL+APIVersion+"/request", bytes.NewReader(body))
+					if err == nil {
+						hreq.Header.Set("Content-Type", "application/json")
+					}
+					t0 := time.Now()
+					var resp *http.Response
+					if err == nil {
+						resp, err = client.Do(hreq)
+					}
+					lat := time.Since(t0).Seconds()
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						mu.Lock()
+						if attempt >= maxPressureRetries {
+							rep.Failed++
+							rep.PressureFailed++
+							mu.Unlock()
+							break
+						}
+						rep.PressureRetries++
+						mu.Unlock()
+						select {
+						case <-time.After(retryAfter):
+						case <-ctx.Done():
+							break attempt
+						}
+						continue
+					}
+					// Error responses are JSON {"error": ...}; decode both
+					// shapes so a per-request failure is counted, not fatal.
+					var out struct {
+						Ticket
+						Error string `json:"error"`
+					}
+					decErr := json.NewDecoder(resp.Body).Decode(&out)
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					switch {
+					case decErr != nil:
+						if firstErr == nil {
+							firstErr = fmt.Errorf("serve: bad ticket from %s: %w", baseURL, decErr)
+						}
+					case out.Error != "":
+						rep.Failed++
+					default:
+						rep.Count(out.Ticket)
+						rep.latencies = append(rep.latencies, lat)
 					}
 					mu.Unlock()
-					continue
+					break
 				}
-				// Error responses are JSON {"error": ...}; decode both
-				// shapes so a per-request failure is counted, not fatal.
-				var out struct {
-					Ticket
-					Error string `json:"error"`
-				}
-				decErr := json.NewDecoder(resp.Body).Decode(&out)
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				mu.Lock()
-				switch {
-				case decErr != nil:
-					if firstErr == nil {
-						firstErr = fmt.Errorf("serve: bad ticket from %s: %w", baseURL, decErr)
-					}
-				case out.Error != "":
-					rep.Failed++
-				default:
-					rep.Count(out.Ticket)
-					rep.latencies = append(rep.latencies, lat)
-				}
-				mu.Unlock()
 			}
 		}()
 	}
@@ -286,6 +334,20 @@ dispatch:
 	}
 	rep.Finish()
 	return rep, nil
+}
+
+// parseRetryAfter turns a Retry-After header (delay-seconds form) into
+// the driver's sleep: the advertised delay capped at maxPressureBackoff,
+// or half the cap when the header is absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	d := maxPressureBackoff / 2
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > maxPressureBackoff {
+		d = maxPressureBackoff
+	}
+	return d
 }
 
 // Count tallies one ticket: the admission decision and, for served
@@ -321,6 +383,12 @@ func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "rejected:             %d\n", r.Rejected)
 	if r.Failed > 0 {
 		fmt.Fprintf(w, "failed:               %d\n", r.Failed)
+	}
+	if r.PressureRetries > 0 {
+		fmt.Fprintf(w, "pressure retries:     %d\n", r.PressureRetries)
+	}
+	if r.PressureFailed > 0 {
+		fmt.Fprintf(w, "pressure failed:      %d\n", r.PressureFailed)
 	}
 	if r.OfferedDelay.N > 0 {
 		fmt.Fprintf(w, "offered delay:        %s\n", r.OfferedDelay)

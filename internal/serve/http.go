@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -42,18 +43,24 @@ type BatchResult struct {
 //	GET  /v1/stats           -> Stats
 //	GET  /v1/objects/{name}  -> ObjectStats
 //	GET  /v1/healthz         -> "ok"
-//	GET  /v1/metrics         -> expvar-style flat JSON counter map
+//	GET  /v1/metrics         -> Prometheus text exposition (see prometheus.go)
 //
 // Every error response, on every route and shard, is a uniform JSON body
 // {"error": "..."} with the appropriate status (unknown objects are
 // always 404) — clients never have to parse plain-text error bodies.
+// With Config.PressureHighWater set, a shard over its queue high-water
+// mark answers 429 with a Retry-After header (seconds, derived from the
+// shard's observed drain rate) instead of blocking the submit.
 //
 // The original unversioned routes (/request, /stats, /objects/{name},
 // /healthz, /metrics) are kept as deprecated aliases: they run the exact
 // same handlers and return byte-identical bodies, but mark themselves with
 // a "Deprecation: true" header and a Link header pointing at the /v1
 // successor.  New clients should use /v1 only; the aliases exist so
-// pre-/v1 deployments keep working.
+// pre-/v1 deployments keep working.  The one exception is /metrics,
+// whose /v1 route switched to the Prometheus text format: the legacy
+// alias keeps serving the original flat JSON counter map (so pre-/v1
+// pollers keep parsing), still marked deprecated.
 //
 // A request body without "t" (or with a negative one) is stamped with the
 // wall clock in Config.TimeUnit units since the server started, which is
@@ -69,7 +76,11 @@ func Handler(s *Server) http.Handler {
 	route("/stats", s.handleStats)
 	route("/objects/", s.handleObject)
 	route("/healthz", handleHealthz)
-	route("/metrics", s.handleMetrics)
+	// /metrics is the one route whose /v1 handler differs from its legacy
+	// alias: Prometheus text under /v1, the original JSON map (deprecated)
+	// on the unversioned path.
+	mux.HandleFunc(APIVersion+"/metrics", s.handleMetricsProm)
+	mux.HandleFunc("/metrics", deprecated(APIVersion+"/metrics", s.handleMetricsJSON))
 	// The batch-admission endpoint is new in /v1; it has no legacy alias.
 	mux.HandleFunc(APIVersion+"/requests", s.handleBatch)
 	return mux
@@ -96,9 +107,16 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ticket, err := s.Submit(req)
+	var pe *PressureError
 	switch {
 	case errors.Is(err, ErrUnknownObject):
 		writeJSONError(w, http.StatusNotFound, err.Error())
+		return
+	case errors.As(err, &pe):
+		// Queue-depth backpressure: tell the client when the shard's
+		// queue should have drained instead of blocking its request.
+		w.Header().Set("Retry-After", retryAfterSeconds(pe.RetryAfter))
+		writeJSONError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrClosed):
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
@@ -113,7 +131,23 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 		// declined: overloaded, try again later (or elsewhere).
 		status = http.StatusServiceUnavailable
 	}
+	if s.cfg.MeterStages {
+		t0 := s.nowNanos()
+		writeJSON(w, status, ticket)
+		s.observeRespond(ticket.Strategy, s.nowNanos()-t0)
+		return
+	}
 	writeJSON(w, status, ticket)
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (the header has one-second resolution).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // handleBatch admits an array of requests through Server.SubmitBatch,
@@ -150,13 +184,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		reqs = append(reqs, req)
 		idx = append(idx, i)
 	}
+	pressured := 0
+	var worst time.Duration
 	for k, res := range s.SubmitBatch(reqs) {
 		if res.Err != nil {
+			var pe *PressureError
+			if errors.As(res.Err, &pe) {
+				pressured++
+				if pe.RetryAfter > worst {
+					worst = pe.RetryAfter
+				}
+			}
 			out[idx[k]] = BatchResult{Error: res.Err.Error()}
 			continue
 		}
 		tk := res.Ticket
 		out[idx[k]] = BatchResult{Ticket: &tk}
+	}
+	// A batch refused entirely by backpressure answers 429 + Retry-After
+	// like the single-request route; partial pressure stays a 200 with
+	// per-entry errors (the batch contract: one bad entry never fails
+	// the rest).
+	if pressured > 0 && pressured == len(out) && len(out) > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(worst))
+		writeJSON(w, http.StatusTooManyRequests, out)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -198,7 +250,9 @@ func handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsJSON is the legacy (pre-Prometheus) /metrics body, kept
+// as the deprecated unversioned alias so existing pollers keep parsing.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	// Flat expvar-style counter map, cheap enough to poll: counters are
 	// atomics and the gauge is a single load (no shard round-trips).
 	writeJSON(w, http.StatusOK, map[string]int64{

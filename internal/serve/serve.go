@@ -53,6 +53,7 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/live"
 	"repro/internal/multiobject"
+	"repro/internal/stats"
 )
 
 // Config describes a live admission server.
@@ -122,6 +123,34 @@ type Config struct {
 	// scheduler so ObjectStats.Replan reports replan latency.  Off by
 	// default, keeping deterministic virtual-time replays clock-free.
 	MeterReplanNanos bool
+	// MeterStages decomposes every admission into per-stage timings —
+	// queue wait (submit to shard dequeue), plan (clock advance + gauge
+	// retirement + admission controller), replan (the requested object's
+	// epoch-DP share, read off its ReplanStats delta) — observed on the
+	// shard's own goroutine into preallocated fixed-bucket log-scale
+	// histograms, one set per shard per strategy (merged at Metrics
+	// time), plus a respond stage recorded by the HTTP layer around the
+	// ticket write.  The admit hot path stays allocation-free.  Stage
+	// nanos also appear on each Ticket.  Off by default, keeping
+	// deterministic virtual-time replays clock-free; cost totals are
+	// bit-identical either way (the metrics equivalence test pins this).
+	MeterStages bool
+	// PressureHighWater enables queue-depth backpressure: when a shard
+	// has this many requests submitted but not yet dequeued by its event
+	// loop, further Submit/SubmitBatch calls fail fast with a
+	// *PressureError (wrapping ErrPressure) carrying a Retry-After hint
+	// derived from the shard's observed drain rate, instead of blocking
+	// on the channel.  The HTTP layer turns it into 429 + Retry-After.
+	// 0 (the default) disables backpressure: submits block, the
+	// pre-backpressure behavior.  Must be at most QueueDepth to be
+	// meaningful (reservations beyond the channel buffer would block
+	// anyway).
+	PressureHighWater int
+	// NowNanos overrides the monotonic clock used for replan metering and
+	// stage timing (nanoseconds, any fixed origin).  nil selects
+	// nanoseconds since the server started.  Injecting a fake clock keeps
+	// tests deterministic.
+	NowNanos func() int64
 
 	// Context is the base context of the server's shard schedulers (the
 	// net/http BaseContext idiom): cancelling it aborts in-flight epoch
@@ -226,6 +255,12 @@ type Ticket struct {
 	// (its O(1) table lookup); epoch-replanned strategies decide merges at
 	// epoch close.  Empty for rejected requests.
 	Program []int64 `json:"program,omitempty"`
+	// QueueNS/PlanNS/ReplanNS are the per-stage timings of this admission
+	// in nanoseconds — queue wait, plan, and the requested object's
+	// epoch-replan share — populated only when Config.MeterStages is set.
+	QueueNS  int64 `json:"queue_ns,omitempty"`
+	PlanNS   int64 `json:"plan_ns,omitempty"`
+	ReplanNS int64 `json:"replan_ns,omitempty"`
 }
 
 // ObjectStats is the live accounting snapshot for one object.
@@ -274,18 +309,44 @@ type ObjectStats struct {
 // live.ReplanStats for field semantics).
 type ReplanStats = live.ReplanStats
 
+// ShardStats is the live queue accounting of one scheduler shard: the
+// observed channel occupancy backing the backpressure signal, not just
+// the configured capacity.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	// QueueDepth is the current occupancy: requests submitted (reserved)
+	// but not yet dequeued by the shard's event loop.
+	QueueDepth int64 `json:"queue_depth"`
+	// QueueCap is the configured channel buffer (Config.QueueDepth).
+	QueueCap int `json:"queue_cap"`
+	// HighWater is the maximum occupancy ever observed on the shard.
+	HighWater int64 `json:"high_water"`
+	// Dequeued counts requests the shard's loop has taken off its queue.
+	Dequeued int64 `json:"dequeued"`
+	// PressureHighWater is the configured backpressure threshold
+	// (Config.PressureHighWater; 0 = backpressure disabled).
+	PressureHighWater int `json:"pressure_high_water,omitempty"`
+}
+
 // Stats is a server-wide snapshot.
 type Stats struct {
-	Admitted     int64   `json:"admitted"`
-	Degraded     int64   `json:"degraded"`
-	Rejected     int64   `json:"rejected"`
-	Unknown      int64   `json:"unknown"`
-	LiveChannels int64   `json:"live_channels"`
-	Peak         int     `json:"peak"`
-	BusyTime     float64 `json:"busy_time"`
+	Admitted int64 `json:"admitted"`
+	Degraded int64 `json:"degraded"`
+	Rejected int64 `json:"rejected"`
+	// RejectedPressure counts submits refused by queue-depth backpressure
+	// (Config.PressureHighWater) before reaching any shard; they are not
+	// included in Rejected, which counts admission-controller rejections.
+	RejectedPressure int64   `json:"rejected_pressure"`
+	Unknown          int64   `json:"unknown"`
+	LiveChannels     int64   `json:"live_channels"`
+	Peak             int     `json:"peak"`
+	BusyTime         float64 `json:"busy_time"`
 	// Strategies counts the catalog's objects by serving strategy.
 	Strategies map[string]int64 `json:"strategies,omitempty"`
-	Objects    []ObjectStats    `json:"objects"`
+	// Shards reports each shard's observed queue occupancy and high-water
+	// mark (the backpressure signal), in shard order.
+	Shards  []ShardStats  `json:"shards"`
+	Objects []ObjectStats `json:"objects"`
 }
 
 // Server is the live admission server: a catalog router in front of a set
@@ -312,6 +373,118 @@ type Server struct {
 	degraded atomic.Int64
 	rejected atomic.Int64
 	unknown  atomic.Int64
+	// rejectedPressure counts submits refused by queue-depth backpressure
+	// before reaching any shard.
+	rejectedPressure atomic.Int64
+
+	// nowNanos is the monotonic clock behind replan metering and stage
+	// timing: Config.NowNanos, defaulting to nanoseconds since start.
+	nowNanos func() int64
+
+	// queues holds per-shard occupancy accounting: submitters reserve a
+	// slot before the channel send, shard loops release it on dequeue.
+	// It lives on the Server (not the shard) because both sides touch it.
+	queues []shardQueue
+
+	// stratNames/stratIdx index the catalog's distinct strategies, fixed
+	// after New; shards size their per-strategy stage histograms by it.
+	stratNames []string
+	stratIdx   map[string]int
+	// respond holds the respond-stage histograms (ticket to HTTP write),
+	// one per strategy, recorded by HTTP handlers under respMu — the only
+	// stage observed off the shard goroutines.
+	respMu  sync.Mutex
+	respond []stats.LogHistogram
+}
+
+// shardQueue is one shard's queue-occupancy accounting.
+type shardQueue struct {
+	// depth is the current occupancy: reservations not yet dequeued.
+	depth atomic.Int64
+	// high is the maximum depth ever observed.
+	high atomic.Int64
+	// dequeued counts requests the shard loop has taken off the queue.
+	dequeued atomic.Int64
+}
+
+// ErrPressure marks submits refused by queue-depth backpressure; classify
+// with errors.Is, and errors.As against *PressureError for the details.
+var ErrPressure = errors.New("serve: shard queue over high-water mark")
+
+// PressureError is the backpressure rejection: the shard whose queue is
+// over Config.PressureHighWater, its occupancy at the refusal, and a
+// retry hint derived from the shard's observed drain rate.
+type PressureError struct {
+	Shard int
+	Depth int64
+	// RetryAfter estimates when the queue will have drained below the
+	// high-water mark: depth times the shard's mean per-request drain
+	// time so far, clamped to [1s, 30s] (1s when no drain history
+	// exists).  The HTTP layer sends it as a Retry-After header.
+	RetryAfter time.Duration
+}
+
+func (e *PressureError) Error() string {
+	return fmt.Sprintf("%v: shard %d at depth %d, retry after %v",
+		ErrPressure, e.Shard, e.Depth, e.RetryAfter)
+}
+
+func (e *PressureError) Unwrap() error { return ErrPressure }
+
+// strategyIndex interns a strategy name (setup only, before loops start).
+func (s *Server) strategyIndex(name string) int {
+	if i, ok := s.stratIdx[name]; ok {
+		return i
+	}
+	i := len(s.stratNames)
+	s.stratIdx[name] = i
+	s.stratNames = append(s.stratNames, name)
+	return i
+}
+
+// reserve claims n queue slots on shard id, refusing with a
+// *PressureError when backpressure is on and the occupancy would exceed
+// the high-water mark.  The shard loop releases slots as it dequeues.
+// Reservation order is the arbitration: concurrent submitters get
+// distinct occupancy values, so exactly highWater of them proceed.
+func (s *Server) reserve(id int, n int64) error {
+	q := &s.queues[id]
+	depth := q.depth.Add(n)
+	if hw := int64(s.cfg.PressureHighWater); hw > 0 && depth > hw {
+		q.depth.Add(-n)
+		s.rejectedPressure.Add(n)
+		return &PressureError{Shard: id, Depth: depth, RetryAfter: s.retryAfter(q, depth)}
+	}
+	for {
+		h := q.high.Load()
+		if depth <= h || q.high.CompareAndSwap(h, depth) {
+			break
+		}
+	}
+	return nil
+}
+
+// unreserve releases n slots after a failed channel send (server closed).
+func (s *Server) unreserve(id int, n int64) {
+	s.queues[id].depth.Add(-n)
+}
+
+// retryAfter estimates the time until shard q drains depth requests, from
+// its lifetime mean per-request drain time, clamped to [1s, 30s].
+func (s *Server) retryAfter(q *shardQueue, depth int64) time.Duration {
+	d := time.Second
+	if deq := q.dequeued.Load(); deq > 0 {
+		if elapsed := s.nowNanos(); elapsed > 0 {
+			d = time.Duration(depth * (elapsed / deq))
+		}
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // New builds a Server and starts its shard event loops.  Every object is
@@ -331,12 +504,7 @@ func New(cfg Config) (*Server, error) {
 		//modlint:ignore ctxflow nil Config.Context means "never cancelled externally"; the one place the default is rooted
 		base = context.Background()
 	}
-	s := &Server{
-		cfg:    cfg,
-		byName: make(map[string]*shard, len(cfg.Catalog)),
-		start:  time.Now(),
-		quit:   make(chan struct{}),
-	}
+	s := newServerShell(cfg)
 	s.ctx, s.cancel = context.WithCancel(base)
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
@@ -353,11 +521,31 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.byName[o.Name] = sh
 	}
+	s.respond = make([]stats.LogHistogram, len(s.stratNames))
 	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go sh.loop()
 	}
 	return s, nil
+}
+
+// newServerShell builds the Server value minus shards and context: the
+// clock, queue accounting, and strategy index every code path (including
+// the loop-less benchmark harnesses) relies on.
+func newServerShell(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		byName:   make(map[string]*shard, len(cfg.Catalog)),
+		start:    time.Now(),
+		quit:     make(chan struct{}),
+		queues:   make([]shardQueue, cfg.Shards),
+		stratIdx: make(map[string]int, 2),
+	}
+	s.nowNanos = cfg.NowNanos
+	if s.nowNanos == nil {
+		s.nowNanos = s.replanClock
+	}
+	return s
 }
 
 // shardIndex routes an object name to a shard by FNV-1a hash.
@@ -404,7 +592,9 @@ func (s *Server) Shards() int {
 // Submit routes one request to its object's shard and waits for the
 // admission decision.  A negative or NaN T is stamped with the wall clock.
 // Submit is safe for concurrent use; requests for the same object are
-// serialized by its shard's event loop in channel order.
+// serialized by its shard's event loop in channel order.  With
+// Config.PressureHighWater set, a shard over its queue high-water mark
+// fails fast with a *PressureError instead of blocking.
 func (s *Server) Submit(req Request) (Ticket, error) {
 	if math.IsNaN(req.T) || math.IsInf(req.T, 0) || req.T < 0 {
 		req.T = s.Now()
@@ -414,14 +604,21 @@ func (s *Server) Submit(req Request) (Ticket, error) {
 		s.unknown.Add(1)
 		return Ticket{}, fmt.Errorf("%w %q", ErrUnknownObject, req.Object)
 	}
-	reply := make(chan Ticket, 1)
+	if err := s.reserve(sh.id, 1); err != nil {
+		return Ticket{}, err
+	}
+	msg := submitMsg{req: req, reply: make(chan Ticket, 1)}
+	if s.cfg.MeterStages {
+		msg.enqueueNS = s.nowNanos()
+	}
 	select {
-	case sh.msgs <- submitMsg{req: req, reply: reply}:
+	case sh.msgs <- msg:
 	case <-s.quit:
+		s.unreserve(sh.id, 1)
 		return Ticket{}, ErrClosed
 	}
 	select {
-	case t := <-reply:
+	case t := <-msg.reply:
 		return t, nil
 	case <-s.quit:
 		return Ticket{}, ErrClosed
@@ -475,11 +672,24 @@ func (s *Server) SubmitBatch(reqs []Request) []SubmitResult {
 		if len(batch) == 0 {
 			continue
 		}
+		// The whole sub-batch reserves queue slots at once: backpressure
+		// treats it as its occupancy in requests, not channel messages.
+		if err := s.reserve(id, int64(len(batch))); err != nil {
+			for _, i := range perIdx[id] {
+				out[i].Err = err
+			}
+			continue
+		}
 		p := pending{id: id, tks: make([]Ticket, len(batch)), done: make(chan struct{}, 1)}
+		bm := submitBatchMsg{reqs: batch, out: p.tks, done: p.done}
+		if s.cfg.MeterStages {
+			bm.enqueueNS = s.nowNanos()
+		}
 		select {
-		case s.shards[id].msgs <- submitBatchMsg{reqs: batch, out: p.tks, done: p.done}:
+		case s.shards[id].msgs <- bm:
 			sent = append(sent, p)
 		case <-s.quit:
+			s.unreserve(id, int64(len(batch)))
 			for _, i := range perIdx[id] {
 				out[i].Err = ErrClosed
 			}
@@ -498,6 +708,95 @@ func (s *Server) SubmitBatch(reqs []Request) []SubmitResult {
 		}
 	}
 	return out
+}
+
+// Pause parks one shard's event loop until the returned release function
+// is called (idempotent), without touching any scheduler state: queued
+// messages simply wait.  It exists so overload tests and the
+// backpressure experiment can hold a shard's queue at a known occupancy
+// deterministically — pause, submit past the high-water mark, observe
+// the pressure rejections, release, drain.  Pause returns once the loop
+// has actually parked.
+func (s *Server) Pause(shard int) (release func(), err error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("%w: no shard %d (have %d)", ErrBadRequest, shard, len(s.shards))
+	}
+	ack := make(chan struct{})
+	resume := make(chan struct{})
+	select {
+	case s.shards[shard].msgs <- pauseMsg{ack: ack, resume: resume}:
+	case <-s.quit:
+		return nil, ErrClosed
+	}
+	select {
+	case <-ack:
+	case <-s.quit:
+		return nil, ErrClosed
+	}
+	var once sync.Once
+	return func() { once.Do(func() { close(resume) }) }, nil
+}
+
+// StageSet groups the merged stage histograms of one strategy: queue
+// wait, plan, the requested object's replan share, and HTTP respond.
+type StageSet struct {
+	Strategy string
+	Queue    stats.LogHistogram
+	Plan     stats.LogHistogram
+	Replan   stats.LogHistogram
+	Respond  stats.LogHistogram
+}
+
+// MetricsSnapshot is the full observability snapshot behind /v1/metrics:
+// the server-wide Stats (counters, per-shard queue occupancy) plus the
+// per-stage latency histograms merged across shards, one set per
+// strategy, sorted by strategy name.  Histograms are empty unless
+// Config.MeterStages is set.
+type MetricsSnapshot struct {
+	Stats  Stats
+	Stages []StageSet
+}
+
+// Metrics snapshots the counters, per-shard queue accounting, and stage
+// histograms (merging the per-shard sets).  Like Stats it crosses each
+// shard's message channel once.
+func (s *Server) Metrics() (MetricsSnapshot, error) {
+	snaps, err := s.gather(func(reply chan shardSnapshot) any { return statsMsg{reply: reply} })
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	m := MetricsSnapshot{Stats: s.assemble(snaps)}
+	m.Stages = make([]StageSet, len(s.stratNames))
+	for i, name := range s.stratNames {
+		m.Stages[i].Strategy = name
+	}
+	for _, snap := range snaps {
+		for i := range snap.stages {
+			m.Stages[i].Queue.Merge(&snap.stages[i].queue)
+			m.Stages[i].Plan.Merge(&snap.stages[i].plan)
+			m.Stages[i].Replan.Merge(&snap.stages[i].replan)
+		}
+	}
+	s.respMu.Lock()
+	for i := range s.respond {
+		m.Stages[i].Respond.Merge(&s.respond[i])
+	}
+	s.respMu.Unlock()
+	sort.Slice(m.Stages, func(a, b int) bool { return m.Stages[a].Strategy < m.Stages[b].Strategy })
+	return m, nil
+}
+
+// observeRespond records one respond-stage sample (ticket to HTTP write)
+// for a strategy.  Safe for concurrent use; a no-op for strategies the
+// server does not serve (or on harnesses built without New).
+func (s *Server) observeRespond(strategy string, ns int64) {
+	i, ok := s.stratIdx[strategy]
+	if !ok || i >= len(s.respond) {
+		return
+	}
+	s.respMu.Lock()
+	s.respond[i].Observe(ns)
+	s.respMu.Unlock()
 }
 
 // Stats snapshots the server-wide counters and per-object accounting.  The
@@ -602,11 +901,24 @@ func (s *Server) gather(mk func(chan shardSnapshot) any) ([]shardSnapshot, error
 // order and a historical peak over all finalized streams.
 func (s *Server) assemble(snaps []shardSnapshot) Stats {
 	st := Stats{
-		Admitted:     s.admitted.Load(),
-		Degraded:     s.degraded.Load(),
-		Rejected:     s.rejected.Load(),
-		Unknown:      s.unknown.Load(),
-		LiveChannels: s.gauge.Load(),
+		Admitted:         s.admitted.Load(),
+		Degraded:         s.degraded.Load(),
+		Rejected:         s.rejected.Load(),
+		RejectedPressure: s.rejectedPressure.Load(),
+		Unknown:          s.unknown.Load(),
+		LiveChannels:     s.gauge.Load(),
+	}
+	st.Shards = make([]ShardStats, len(s.queues))
+	for i := range s.queues {
+		q := &s.queues[i]
+		st.Shards[i] = ShardStats{
+			Shard:             i,
+			QueueDepth:        q.depth.Load(),
+			QueueCap:          s.cfg.QueueDepth,
+			HighWater:         q.high.Load(),
+			Dequeued:          q.dequeued.Load(),
+			PressureHighWater: s.cfg.PressureHighWater,
+		}
 	}
 	usage := bandwidth.New()
 	for _, snap := range snaps {

@@ -6,21 +6,36 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/live"
 	"repro/internal/multiobject"
+	"repro/internal/stats"
 )
 
-// submitMsg asks the shard to admit one request.
+// submitMsg asks the shard to admit one request.  enqueueNS carries the
+// submit-side clock reading when stage metering is on (0 = unmetered),
+// so the loop can observe the queue-wait stage at dequeue.
 type submitMsg struct {
-	req   Request
-	reply chan Ticket
+	req       Request
+	reply     chan Ticket
+	enqueueNS int64
 }
 
 // submitBatchMsg asks the shard to admit a batch of requests in order —
 // one channel send for the whole batch.  The caller owns both slices;
 // the shard writes out[i] for reqs[i] and signals done exactly once.
+// enqueueNS is the batch's submit-side clock reading (0 = unmetered);
+// every entry shares the batch's queue wait.
 type submitBatchMsg struct {
-	reqs []Request
-	out  []Ticket
-	done chan struct{}
+	reqs      []Request
+	out       []Ticket
+	done      chan struct{}
+	enqueueNS int64
+}
+
+// pauseMsg parks the shard loop: it closes ack once parked and blocks
+// until resume closes (or the server shuts down).  Used by Server.Pause
+// to hold a queue at a known occupancy in overload tests.
+type pauseMsg struct {
+	ack    chan struct{}
+	resume chan struct{}
 }
 
 // statsMsg asks the shard for a snapshot of its objects.
@@ -38,6 +53,18 @@ type drainMsg struct {
 type shardSnapshot struct {
 	objects   []ObjectStats
 	intervals []bandwidth.Interval
+	// stages is a copy of the shard's per-strategy stage histograms
+	// (indexed like Server.stratNames); Server.Metrics merges them.
+	stages []stageHist
+}
+
+// stageHist is one strategy's stage histograms on one shard: plain
+// values owned by the loop goroutine, observed on the admit path with no
+// allocation (stats.LogHistogram is a fixed-size value type).
+type stageHist struct {
+	queue  stats.LogHistogram
+	plan   stats.LogHistogram
+	replan stats.LogHistogram
 }
 
 // objectState is all per-object state, owned exclusively by one shard's
@@ -48,6 +75,9 @@ type objectState struct {
 	obj      multiobject.Object
 	index    int // catalog position, for stable reporting order
 	strategy string
+	// si is the strategy's index in Server.stratNames, addressing the
+	// shard's stage histograms without a map lookup on the hot path.
+	si int
 
 	// Current delay epoch.  A degradation drains the scheduler and starts
 	// a fresh one with a larger delay; Slot/Program labels are
@@ -69,6 +99,15 @@ func (st *objectState) totals() live.Totals {
 	t := st.carry
 	t.Accumulate(st.sched.Totals())
 	return t
+}
+
+// replanNanos is the object's cumulative metered replan wall time; the
+// stage decomposition reads its delta across one admitCore call.  Cheap
+// enough for the hot path: Totals() is a value copy on every adapter.
+//
+//modlint:noalloc
+func (st *objectState) replanNanos() int64 {
+	return st.carry.Replan.ReplanNanos + st.sched.Totals().Replan.ReplanNanos
 }
 
 // shard is one scheduler shard: a single-goroutine event loop owning the
@@ -99,6 +138,16 @@ type shard struct {
 	// minDelay is the smallest initial object delay on the shard (delays
 	// only grow under degradation), the slot unit of the MaxSlotJump guard.
 	minDelay float64
+
+	// stages holds the per-strategy stage histograms (indexed like
+	// Server.stratNames), preallocated before the loop starts; Observe
+	// never allocates, so the admit path stays 0 allocs/op with stage
+	// metering on.
+	stages []stageHist
+	// lastPlanNS/lastReplanNS carry one admission's stage split from
+	// admitCore to the ticket materialization (loop-owned scratch).
+	lastPlanNS   int64
+	lastReplanNS int64
 }
 
 func newShard(id int, srv *Server) *shard {
@@ -146,8 +195,8 @@ func (sh *shard) StreamTrimmed(end, staleEnd float64) {
 func (sh *shard) newScheduler(obj multiobject.Object, strategy string, delay, base float64) (live.Incremental, error) {
 	obj.Delay = delay
 	var nowNanos func() int64
-	if sh.srv.cfg.MeterReplanNanos {
-		nowNanos = sh.srv.replanClock
+	if sh.srv.cfg.MeterReplanNanos || sh.srv.cfg.MeterStages {
+		nowNanos = sh.srv.nowNanos
 	}
 	return live.New(strategy, live.Config{
 		Object:       obj,
@@ -166,7 +215,11 @@ func (sh *shard) newScheduler(obj multiobject.Object, strategy string, delay, ba
 // addObject registers a catalog object with the shard (before loop start).
 // The strategy name was resolved and validated by Server.New.
 func (sh *shard) addObject(o multiobject.Object, index int, strategy string) error {
-	st := &objectState{obj: o, index: index, strategy: strategy, scale: 1}
+	st := &objectState{obj: o, index: index, strategy: strategy, scale: 1,
+		si: sh.srv.strategyIndex(strategy)}
+	for len(sh.stages) <= st.si {
+		sh.stages = append(sh.stages, stageHist{})
+	}
 	sched, err := sh.newScheduler(o, strategy, o.Delay, 0)
 	if err != nil {
 		return fmt.Errorf("%w: object %q: %w", ErrBadConfig, o.Name, err)
@@ -185,20 +238,42 @@ func (sh *shard) addObject(o multiobject.Object, index int, strategy string) err
 // loop is the shard's event loop; all object state is confined to it.
 func (sh *shard) loop() {
 	defer sh.srv.wg.Done()
+	q := &sh.srv.queues[sh.id]
 	for {
 		select {
 		case m := <-sh.msgs:
 			switch msg := m.(type) {
 			case submitMsg:
-				msg.reply <- sh.handleSubmit(msg.req)
+				queueNS := int64(-1)
+				if msg.enqueueNS != 0 {
+					queueNS = sh.srv.nowNanos() - msg.enqueueNS
+				}
+				tk := sh.handleSubmit(msg.req, queueNS)
+				q.depth.Add(-1)
+				q.dequeued.Add(1)
+				msg.reply <- tk
 			case submitBatchMsg:
-				sh.admitBatch(msg.reqs, msg.out)
+				queueNS := int64(-1)
+				if msg.enqueueNS != 0 {
+					queueNS = sh.srv.nowNanos() - msg.enqueueNS
+				}
+				sh.admitBatch(msg.reqs, msg.out, queueNS)
+				n := int64(len(msg.reqs))
+				q.depth.Add(-n)
+				q.dequeued.Add(n)
 				msg.done <- struct{}{}
 			case statsMsg:
 				msg.reply <- sh.snapshot()
 			case drainMsg:
 				sh.drain(msg.horizon)
 				msg.reply <- sh.snapshot()
+			case pauseMsg:
+				close(msg.ack)
+				select {
+				case <-msg.resume:
+				case <-sh.srv.quit:
+					return
+				}
 			}
 		case <-sh.srv.quit:
 			return
@@ -209,8 +284,12 @@ func (sh *shard) loop() {
 // handleSubmit clamps and guards the request's timestamp, runs the admit
 // hot path, and materializes the ticket (the one step that allocates: the
 // receiving program is copied out of the scheduler's buffer so the caller
-// can hold it).
-func (sh *shard) handleSubmit(req Request) Ticket {
+// can hold it).  A non-negative queueNS is the request's measured queue
+// wait: it is observed into the shard's stage histograms together with
+// the plan/replan split admitCore leaves behind, and stamped on the
+// ticket (requests that never reach admitCore — unknown objects, slot
+// jumps — record no stage samples).
+func (sh *shard) handleSubmit(req Request, queueNS int64) Ticket {
 	st := sh.byName[req.Object]
 	if st == nil {
 		// The router should never send a foreign object here; answer a
@@ -241,6 +320,17 @@ func (sh *shard) handleSubmit(req Request) Ticket {
 		Strategy: st.strategy,
 		Delay:    st.delay,
 	}
+	if queueNS >= 0 {
+		hs := &sh.stages[st.si]
+		hs.queue.Observe(queueNS)
+		hs.plan.Observe(sh.lastPlanNS)
+		if sh.lastReplanNS > 0 {
+			hs.replan.Observe(sh.lastReplanNS)
+		}
+		tk.QueueNS = queueNS
+		tk.PlanNS = sh.lastPlanNS
+		tk.ReplanNS = sh.lastReplanNS
+	}
 	if decision == Rejected {
 		return tk
 	}
@@ -261,10 +351,13 @@ func (sh *shard) handleSubmit(req Request) Ticket {
 // for program-less strategies); handleSubmit's receiving-program copy
 // remains the one intentional per-ticket allocation.
 //
+// Every entry shares the batch's queue wait (queueNS; negative =
+// unmetered), since the batch crossed the channel as one message.
+//
 //modlint:noalloc
-func (sh *shard) admitBatch(reqs []Request, out []Ticket) {
+func (sh *shard) admitBatch(reqs []Request, out []Ticket, queueNS int64) {
 	for i := range reqs {
-		out[i] = sh.handleSubmit(reqs[i])
+		out[i] = sh.handleSubmit(reqs[i], queueNS)
 	}
 }
 
@@ -274,24 +367,49 @@ func (sh *shard) admitBatch(reqs []Request, out []Ticket) {
 // in steady state (BenchmarkShardAdmit and a CI guard pin this); the
 // Admission's Program references the scheduler's buffer.
 //
+// With Config.MeterStages set it also splits the call's wall time into a
+// plan share and the requested object's replan share (the delta of its
+// metered ReplanStats across the call; epoch replans of *other* objects
+// triggered by the same clock advance are accounted to plan), leaving
+// both in the shard's scratch fields for the ticket materialization.
+//
 //modlint:noalloc
 func (sh *shard) admitCore(st *objectState, t float64) (live.Admission, Decision) {
+	meter := sh.srv.cfg.MeterStages
+	var t0, r0 int64
+	if meter {
+		t0 = sh.srv.nowNanos()
+		r0 = st.replanNanos()
+	}
 	sh.now = t
 	sh.advanceAll(t)
 	sh.popEnds(t)
 
+	var adm live.Admission
 	decision := sh.admit(st, t)
 	if decision == Rejected {
 		st.rejected++
 		sh.srv.rejected.Add(1)
-		return live.Admission{}, Rejected
-	}
-	adm := st.sched.Admit(t)
-	st.arrivals++
-	if decision == Degraded {
-		sh.srv.degraded.Add(1)
 	} else {
-		sh.srv.admitted.Add(1)
+		adm = st.sched.Admit(t)
+		st.arrivals++
+		if decision == Degraded {
+			sh.srv.degraded.Add(1)
+		} else {
+			sh.srv.admitted.Add(1)
+		}
+	}
+	if meter {
+		rd := st.replanNanos() - r0
+		if rd < 0 {
+			rd = 0
+		}
+		plan := sh.srv.nowNanos() - t0 - rd
+		if plan < 0 {
+			plan = 0
+		}
+		sh.lastReplanNS = rd
+		sh.lastPlanNS = plan
 	}
 	return adm, decision
 }
@@ -324,6 +442,7 @@ func (sh *shard) snapshot() shardSnapshot {
 	snap := shardSnapshot{
 		objects:   make([]ObjectStats, 0, len(sh.objects)),
 		intervals: sh.usage.Intervals(),
+		stages:    append([]stageHist(nil), sh.stages...),
 	}
 	for _, st := range sh.objects {
 		tot := st.totals()

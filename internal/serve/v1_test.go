@@ -60,7 +60,9 @@ func TestV1LegacyRouteParity(t *testing.T) {
 		{"GET", "/objects/object-01", "", false},
 		{"GET", "/objects/none", "", false},
 		{"GET", "/healthz", "", false},
-		{"GET", "/metrics", "", false},
+		// /metrics is intentionally absent: its /v1 route serves the
+		// Prometheus text format while the legacy alias keeps the
+		// original JSON map — TestMetricsRouteSplit pins both.
 	}
 	for _, tc := range cases {
 		legacyHost := hsV1
@@ -84,6 +86,59 @@ func TestV1LegacyRouteParity(t *testing.T) {
 		if got := v1Hdr.Get("Deprecation"); got != "" {
 			t.Errorf("%s %s: /v1 route carries Deprecation header %q", tc.method, tc.path, got)
 		}
+	}
+}
+
+// TestMetricsRouteSplit pins the one legacy route that is not a
+// byte-identical alias: GET /v1/metrics serves the Prometheus text
+// exposition, while the unversioned /metrics keeps the original flat
+// JSON counter map for pre-/v1 pollers — still marked deprecated with a
+// successor Link to /v1/metrics.
+func TestMetricsRouteSplit(t *testing.T) {
+	s, err := serve.New(serve.Config{Catalog: multiobject.ZipfCatalog(4, 1.0, 0.1, 1.0), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(serve.Handler(s))
+	defer func() { hs.Close(); s.Close() }()
+	if _, err := s.Submit(serve.Request{Object: "object-01", T: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	status, hdr, body := fetch(t, "GET", hs.URL+serve.APIVersion+"/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/metrics status = %d, want 200", status)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/v1/metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	if hdr.Get("Deprecation") != "" {
+		t.Errorf("/v1/metrics carries a Deprecation header")
+	}
+	if !strings.Contains(body, "# TYPE mod_requests_total counter") ||
+		!strings.Contains(body, `mod_requests_total{outcome="admitted"} 1`) {
+		t.Errorf("/v1/metrics is not Prometheus text:\n%s", body)
+	}
+
+	lgStatus, lgHdr, lgBody := fetch(t, "GET", hs.URL+"/metrics", "")
+	if lgStatus != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d, want 200", lgStatus)
+	}
+	if ct := lgHdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("legacy /metrics Content-Type = %q, want application/json", ct)
+	}
+	if lgHdr.Get("Deprecation") != "true" {
+		t.Errorf("legacy /metrics Deprecation header = %q, want \"true\"", lgHdr.Get("Deprecation"))
+	}
+	if link := lgHdr.Get("Link"); !strings.Contains(link, serve.APIVersion+"/metrics") || !strings.Contains(link, `rel="successor-version"`) {
+		t.Errorf("legacy /metrics Link header = %q, want /v1/metrics successor-version", link)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(lgBody), &m); err != nil {
+		t.Fatalf("legacy /metrics body is not the JSON counter map: %v\n%s", err, lgBody)
+	}
+	if m["serve.admitted"] != 1 {
+		t.Errorf("legacy serve.admitted = %d, want 1", m["serve.admitted"])
 	}
 }
 

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// HistogramBuckets is the fixed bucket count of LogHistogram.  The
+// buckets are log-2 spaced: bucket 0 covers [0, 256ns), every following
+// bucket doubles the upper bound, and the last bucket is the +Inf
+// overflow.  27 doublings of 256ns reach ~17s, comfortably past any
+// admission-path latency worth resolving, for 28*8 = 224 bytes of
+// counters per histogram.
+const HistogramBuckets = 28
+
+// histogramBase is the upper bound of bucket 0 in nanoseconds.
+const histogramBase = 256
+
+// LogHistogram is a fixed-size log-scale latency histogram counting
+// durations in nanoseconds.  It is a plain value type with no pointers:
+// observing, merging, and copying never allocate, so one histogram per
+// shard per stage can live on the shard struct and stay inside the
+// //modlint:noalloc admit path.  The zero value is ready to use.
+type LogHistogram struct {
+	Counts   [HistogramBuckets]int64 `json:"counts"`
+	Count    int64                   `json:"count"`
+	SumNanos int64                   `json:"sum_nanos"`
+}
+
+// histogramBucket maps a nanosecond duration to its bucket index.
+func histogramBucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns) / histogramBase)
+	if i >= HistogramBuckets {
+		i = HistogramBuckets - 1
+	}
+	return i
+}
+
+// HistogramUpperBound returns the exclusive upper bound, in nanoseconds,
+// of bucket i.  The last bucket's bound is math.MaxInt64 (rendered as
+// +Inf in the Prometheus exposition).
+func HistogramUpperBound(i int) int64 {
+	if i >= HistogramBuckets-1 {
+		return math.MaxInt64
+	}
+	return histogramBase << uint(i)
+}
+
+// Observe records one duration.  Negative durations (possible under a
+// coarse or adjusted clock) clamp to zero rather than corrupting a
+// bucket index.
+func (h *LogHistogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Counts[histogramBucket(ns)]++
+	h.Count++
+	h.SumNanos += ns
+}
+
+// Merge adds other's counts into h.  Merging the zero value is a no-op.
+func (h *LogHistogram) Merge(other *LogHistogram) {
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+	h.Count += other.Count
+	h.SumNanos += other.SumNanos
+}
+
+// Quantile returns an upper bound, in nanoseconds, on the q-quantile
+// (0 < q <= 1) of the observed durations: the upper edge of the bucket
+// containing the nearest-rank observation.  It returns 0 for an empty
+// histogram.  Observations in the overflow bucket report the largest
+// finite bound.
+func (h *LogHistogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.Counts {
+		seen += h.Counts[i]
+		if seen >= rank {
+			if i == HistogramBuckets-1 {
+				return histogramBase << uint(HistogramBuckets-2)
+			}
+			return HistogramUpperBound(i)
+		}
+	}
+	return histogramBase << uint(HistogramBuckets-2)
+}
+
+// MeanNanos returns the mean observed duration in nanoseconds, or 0 for
+// an empty histogram.
+func (h *LogHistogram) MeanNanos() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.SumNanos) / float64(h.Count)
+}

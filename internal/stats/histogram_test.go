@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{-5, 0},
+		{0, 0},
+		{255, 0},
+		{256, 1},
+		{511, 1},
+		{512, 2},
+		{1 << 20, 13}, // 1MiB ns ≈ 1.05ms
+		{math.MaxInt64, HistogramBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histogramBucket(c.ns); got != c.bucket {
+			t.Errorf("histogramBucket(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+	}
+	// Every finite upper bound must be the first value that belongs to
+	// the next bucket (exclusive upper edges).
+	for i := 0; i < HistogramBuckets-1; i++ {
+		ub := HistogramUpperBound(i)
+		if histogramBucket(ub-1) != i {
+			t.Errorf("bucket %d: upper bound %d minus one lands in bucket %d", i, ub, histogramBucket(ub-1))
+		}
+		if histogramBucket(ub) != i+1 {
+			t.Errorf("bucket %d: upper bound %d lands in bucket %d, want %d", i, ub, histogramBucket(ub), i+1)
+		}
+	}
+	if HistogramUpperBound(HistogramBuckets-1) != math.MaxInt64 {
+		t.Errorf("overflow bucket bound = %d, want MaxInt64", HistogramUpperBound(HistogramBuckets-1))
+	}
+}
+
+func TestHistogramObserveMerge(t *testing.T) {
+	var a, b LogHistogram
+	for i := int64(0); i < 100; i++ {
+		a.Observe(i * 1000)
+	}
+	b.Observe(1 << 30)
+	b.Observe(-7) // clamps to zero
+	a.Merge(&b)
+	if a.Count != 102 {
+		t.Fatalf("merged count = %d, want 102", a.Count)
+	}
+	var sum int64
+	for _, c := range a.Counts {
+		sum += c
+	}
+	if sum != a.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, a.Count)
+	}
+	wantSum := int64(0)
+	for i := int64(0); i < 100; i++ {
+		wantSum += i * 1000
+	}
+	wantSum += 1 << 30
+	if a.SumNanos != wantSum {
+		t.Fatalf("sum = %d, want %d", a.SumNanos, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h LogHistogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %d, want 0", h.Quantile(0.5))
+	}
+	// 90 fast observations (~1µs) and 10 slow ones (~1ms): the p50 must
+	// report a microsecond-scale bound, the p99 a millisecond-scale one.
+	for i := 0; i < 90; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 1000 || p50 > 4096 {
+		t.Errorf("p50 = %d, want a ~1µs bucket bound", p50)
+	}
+	if p99 < 1_000_000 || p99 > 4_194_304 {
+		t.Errorf("p99 = %d, want a ~1ms bucket bound", p99)
+	}
+	if q := h.Quantile(1); q != p99 {
+		t.Errorf("p100 = %d, want %d", q, p99)
+	}
+	// Overflow observations must yield a finite bound.
+	var o LogHistogram
+	o.Observe(math.MaxInt64)
+	if q := o.Quantile(0.5); q <= 0 || q == math.MaxInt64 {
+		t.Errorf("overflow quantile = %d, want finite positive", q)
+	}
+	if m := h.MeanNanos(); m <= 0 {
+		t.Errorf("mean = %v, want positive", m)
+	}
+}
+
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	var h LogHistogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per run, want 0", allocs)
+	}
+}

@@ -48,4 +48,9 @@ var (
 
 	// ErrServerClosed is returned by operations on a closed live server.
 	ErrServerClosed = serve.ErrClosed
+
+	// ErrPressure marks a live-server submit refused by queue-depth
+	// backpressure (WithBackpressure); errors.As extracts the
+	// *PressureError carrying the shard, depth, and suggested retry delay.
+	ErrPressure = serve.ErrPressure
 )

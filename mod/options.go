@@ -45,6 +45,19 @@ type Settings struct {
 	// cold replanning are bit-identical; false forces the cold path.
 	// Batch planning ignores it.
 	WarmReplanning bool
+	// PressureHighWater, when positive, turns on queue-depth backpressure
+	// in the live layer: submits routed to a shard whose queue occupancy
+	// already exceeds the mark are refused with ErrPressure (HTTP 429 +
+	// Retry-After) instead of blocking.  0 (the default) disables
+	// backpressure.  Batch planning ignores it.
+	PressureHighWater int
+	// MeterStages turns on per-request latency decomposition in the live
+	// layer: queue / plan / replan / respond stage histograms, exposed via
+	// Server.Metrics and GET /v1/metrics.  Metering is observation only —
+	// admission decisions and cost totals are bit-identical either way —
+	// and the admit path stays allocation-free with it on.  Batch planning
+	// ignores it.
+	MeterStages bool
 }
 
 // SlotsPerMedia returns the media length in slots of the start-up delay
@@ -130,3 +143,21 @@ func WithEpoch(slots int) Option { return func(s *Settings) { s.EpochSlots = slo
 // reports the warm-replan and cell-reuse accounting either way.  Batch
 // planning is unaffected.
 func WithWarmReplanning(on bool) Option { return func(s *Settings) { s.WarmReplanning = on } }
+
+// WithBackpressure sets the live layer's per-shard queue high-water mark:
+// a submit routed to a shard already holding more than highWater queued
+// requests is refused with ErrPressure (HTTP: 429 with a Retry-After
+// derived from the shard's drain rate) instead of blocking.  0 disables
+// backpressure (the default).  Batch planning is unaffected.
+func WithBackpressure(highWater int) Option {
+	return func(s *Settings) { s.PressureHighWater = highWater }
+}
+
+// WithStageMetering toggles per-request latency decomposition in
+// NewLiveServer (default off): with it on, every admission records queue
+// wait, planning, epoch-replanning, and HTTP-respond durations into
+// per-shard log-scale histograms, surfaced by Server.Metrics and the
+// GET /v1/metrics Prometheus endpoint.  Metering never changes admission
+// decisions or cost accounting, and the admit hot path stays
+// allocation-free with it on.  Batch planning is unaffected.
+func WithStageMetering(on bool) Option { return func(s *Settings) { s.MeterStages = on } }

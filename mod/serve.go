@@ -2,9 +2,11 @@ package mod
 
 import (
 	"context"
+	"io"
 	"net/http"
 
 	"repro/internal/serve"
+	"repro/internal/stats"
 )
 
 // The live layer: the long-running, sharded Media-on-Demand admission
@@ -36,6 +38,29 @@ const (
 
 // ServerStats is a server-wide counter snapshot.
 type ServerStats = serve.Stats
+
+// ShardStats is the per-shard queue accounting inside ServerStats:
+// instantaneous depth, capacity, lifetime high-water mark, dequeued
+// total, and the configured backpressure threshold.
+type ShardStats = serve.ShardStats
+
+// PressureError reports a submit refused by queue-depth backpressure:
+// which shard, the occupancy observed, and how long to wait before
+// retrying (derived from the shard's drain rate).  It wraps ErrPressure.
+type PressureError = serve.PressureError
+
+// MetricsSnapshot is the full observability snapshot behind GET
+// /v1/metrics: server stats plus the per-stage latency histograms.
+type MetricsSnapshot = serve.MetricsSnapshot
+
+// StageSet is one strategy's stage-latency decomposition: queue wait,
+// planning, epoch replanning, and HTTP respond histograms.
+type StageSet = serve.StageSet
+
+// LatencyHistogram is the fixed-bucket log-scale nanosecond histogram the
+// live layer records stage latencies into (an alias of the stats
+// package's LogHistogram).
+type LatencyHistogram = stats.LogHistogram
 
 // ObjectStats is the live accounting snapshot for one object.
 type ObjectStats = serve.ObjectStats
@@ -101,11 +126,20 @@ func NewLiveServer(cat Catalog, opts ...Option) (*Server, error) {
 		EpochSlots:         st.EpochSlots,
 		ConstantRateTuning: !st.Poisson,
 		ColdReplanning:     !st.WarmReplanning,
+		PressureHighWater:  st.PressureHighWater,
+		MeterStages:        st.MeterStages,
 	})
 }
 
 // Handler returns the server's versioned HTTP JSON API.
 func Handler(s *Server) http.Handler { return serve.Handler(s) }
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4) — the same body GET /v1/metrics
+// serves.  Use it to push metrics through a custom transport.
+func WritePrometheus(w io.Writer, m *MetricsSnapshot) {
+	serve.WritePrometheus(w, m)
+}
 
 // ListenAndServe binds addr, reports the bound address through onReady
 // (useful with ":0"), and serves the HTTP API until ctx is cancelled, then
