@@ -1,18 +1,23 @@
 // benchdiff compares two BENCH_serve.json files (the checked-in baseline
-// and a fresh run) and fails when any strategy's admission throughput
-// regressed by more than 10%.  It lives under .github/ so `go build ./...`
-// ignores it (dot-directories are excluded from package patterns); CI runs
-// it with `go run .github/benchdiff.go BENCH_serve.json /tmp/bench_new.json`.
+// and a fresh run) and fails when any strategy regressed: admission
+// throughput down more than 10%, or any stage-latency p99 — the queue,
+// plan, and replan columns distilled from the server's
+// mod_stage_latency_seconds histograms — up more than 10%.  It lives
+// under .github/ so `go build ./...` ignores it (dot-directories are
+// excluded from package patterns); CI runs it with
+// `go run .github/benchdiff.go BENCH_serve.json /tmp/bench_new.json`.
 //
 // Both bench shapes are accepted: the legacy flat file ({"results": [...]})
-// and the version-2 grid ({"grid": [{"results": [...]}, ...]}).  Rates are
-// aggregated per strategy as the mean over every row where the strategy
-// appears, so a baseline and a fresh run with different grid extents still
-// compare on their common strategies.  Throughput on shared CI runners is
-// noisy, which the 10% tolerance and cross-cell averaging absorb; beyond
-// that the build fails (::error::), and the checked-in baseline — the
-// cross-PR perf trajectory — must be deliberately refreshed by any PR
-// that moves it.
+// and the version-2+ grid ({"grid": [{"results": [...]}, ...]}).  Values
+// are aggregated per strategy as the mean over every row where the
+// strategy appears, so a baseline and a fresh run with different grid
+// extents still compare on their common strategies.  Timing on shared CI
+// runners is noisy, which the 10% tolerance, cross-cell averaging, and a
+// 25µs absolute floor on the latency columns absorb; beyond that the
+// build fails (::error::), and the checked-in baseline — the cross-PR
+// perf trajectory — must be deliberately refreshed by any PR that moves
+// it.  Stage columns only gate when both files carry them (older
+// baselines predate stage metering; a zero column means not measured).
 package main
 
 import (
@@ -23,11 +28,14 @@ import (
 )
 
 type benchRow struct {
-	Strategy   string  `json:"strategy"`
-	ReqsPerSec float64 `json:"reqs_per_sec"`
+	Strategy    string  `json:"strategy"`
+	ReqsPerSec  float64 `json:"reqs_per_sec"`
+	QueueP99US  float64 `json:"queue_p99_us"`
+	PlanP99US   float64 `json:"plan_p99_us"`
+	ReplanP99US float64 `json:"replan_p99_us"`
 }
 
-// benchFile matches both shapes: flat results and the version-2 grid.
+// benchFile matches both shapes: flat results and the version-2+ grid.
 type benchFile struct {
 	Results []benchRow `json:"results"`
 	Grid    []struct {
@@ -35,8 +43,16 @@ type benchFile struct {
 	} `json:"grid"`
 }
 
-// load returns each strategy's mean reqs/s across every row of the file.
-func load(path string) (map[string]float64, error) {
+// strategyStats is a strategy's cross-cell mean of each gated column.
+type strategyStats struct {
+	reqsPerSec  float64
+	queueP99US  float64
+	planP99US   float64
+	replanP99US float64
+}
+
+// load returns each strategy's mean columns across every row of the file.
+func load(path string) (map[string]strategyStats, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -52,17 +68,45 @@ func load(path string) (map[string]float64, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("%s: no bench rows (neither flat results nor grid cells)", path)
 	}
-	sum := make(map[string]float64)
+	sum := make(map[string]strategyStats)
 	n := make(map[string]float64)
 	for _, r := range rows {
-		sum[r.Strategy] += r.ReqsPerSec
+		s := sum[r.Strategy]
+		s.reqsPerSec += r.ReqsPerSec
+		s.queueP99US += r.QueueP99US
+		s.planP99US += r.PlanP99US
+		s.replanP99US += r.ReplanP99US
+		sum[r.Strategy] = s
 		n[r.Strategy]++
 	}
-	out := make(map[string]float64, len(sum))
-	for s := range sum {
-		out[s] = sum[s] / n[s]
+	out := make(map[string]strategyStats, len(sum))
+	for name, s := range sum {
+		out[name] = strategyStats{
+			reqsPerSec:  s.reqsPerSec / n[name],
+			queueP99US:  s.queueP99US / n[name],
+			planP99US:   s.planP99US / n[name],
+			replanP99US: s.replanP99US / n[name],
+		}
 	}
 	return out, nil
+}
+
+const (
+	tolerance = 0.10
+	// latencyFloorUS keeps sub-resolution jitter from failing the build: a
+	// p99 regression must exceed the relative tolerance AND grow by at
+	// least this many microseconds.
+	latencyFloorUS = 25.0
+)
+
+// p99Regressed reports whether a stage p99 moved enough to gate: both
+// measured (older baselines carry zeros for unmetered stages), over the
+// relative tolerance, and over the absolute floor.
+func p99Regressed(oldUS, newUS float64) bool {
+	if oldUS <= 0 || newUS <= 0 {
+		return false
+	}
+	return newUS > oldUS*(1+tolerance) && newUS-oldUS > latencyFloorUS
 }
 
 func main() {
@@ -70,46 +114,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRates, err := load(os.Args[1])
+	oldStats, err := load(os.Args[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	newRates, err := load(os.Args[2])
+	newStats, err := load(os.Args[2])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	const tolerance = 0.10
-	strategies := make([]string, 0, len(oldRates))
-	for s := range oldRates {
+	strategies := make([]string, 0, len(oldStats))
+	for s := range oldStats {
 		strategies = append(strategies, s)
 	}
 	sort.Strings(strategies)
 	failed := false
 	for _, strategy := range strategies {
-		oldRate := oldRates[strategy]
-		newRate, ok := newRates[strategy]
+		o := oldStats[strategy]
+		n, ok := newStats[strategy]
 		if !ok {
 			fmt.Printf("::error::benchdiff: strategy %q present in baseline but missing from new run\n", strategy)
 			failed = true
 			continue
 		}
-		delta := (newRate - oldRate) / oldRate
-		fmt.Printf("%-16s %12.0f -> %12.0f reqs/s (%+.1f%%)\n", strategy, oldRate, newRate, 100*delta)
+		delta := (n.reqsPerSec - o.reqsPerSec) / o.reqsPerSec
+		fmt.Printf("%-16s %12.0f -> %12.0f reqs/s (%+.1f%%)  p99 q %.0f->%.0f plan %.0f->%.0f replan %.0f->%.0f us\n",
+			strategy, o.reqsPerSec, n.reqsPerSec, 100*delta,
+			o.queueP99US, n.queueP99US, o.planP99US, n.planP99US, o.replanP99US, n.replanP99US)
 		if delta < -tolerance {
 			fmt.Printf("::error::benchdiff: %s admission throughput regressed %.1f%% (%.0f -> %.0f reqs/s)\n",
-				strategy, -100*delta, oldRate, newRate)
+				strategy, -100*delta, o.reqsPerSec, n.reqsPerSec)
 			failed = true
 		}
+		for _, stage := range []struct {
+			name         string
+			oldUS, newUS float64
+		}{
+			{"queue", o.queueP99US, n.queueP99US},
+			{"plan", o.planP99US, n.planP99US},
+			{"replan", o.replanP99US, n.replanP99US},
+		} {
+			if p99Regressed(stage.oldUS, stage.newUS) {
+				fmt.Printf("::error::benchdiff: %s %s-stage p99 regressed %.1f%% (%.0f -> %.0f us)\n",
+					strategy, stage.name, 100*(stage.newUS-stage.oldUS)/stage.oldUS, stage.oldUS, stage.newUS)
+				failed = true
+			}
+		}
 	}
-	for strategy := range newRates {
-		if _, ok := oldRates[strategy]; !ok {
+	for strategy := range newStats {
+		if _, ok := oldStats[strategy]; !ok {
 			fmt.Printf("%-16s (new strategy, no baseline)\n", strategy)
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("benchdiff: no throughput regression beyond 10%")
+	fmt.Println("benchdiff: no throughput or stage-p99 regression beyond 10%")
 }

@@ -15,9 +15,16 @@
 // Retry-After derived from the shard's drain rate.  Every object is served live by the planner family
 // named with -strategy (any name in mod.LivePlanners(): the natively
 // incremental "online" forest, or epoch-replanned "offline", "dyadic",
-// "batching", "hybrid", ...).  In "load" mode it replays a deterministic
-// Poisson/constant/ramp/flash-crowd request trace against a running server
-// over HTTP and reports latency, admission, and delay histograms.  In
+// "batching", "hybrid", ...).  -snapshot-dir DIR turns on durable state:
+// every admission is WAL-logged before its ticket is acknowledged and
+// shards snapshot their full scheduler state every -snapshot-epochs
+// epochs (POST /v1/admin/snapshot forces one); -restore warm-restarts
+// from the directory's latest snapshots plus WAL tails, resuming ticket
+// numbering where the previous process stopped.  In "load" mode it
+// replays a deterministic Poisson/constant/ramp/flash-crowd request trace
+// against a running server over HTTP and reports latency, admission, and
+// delay histograms; -skipreqs/-maxreqs window the trace so a
+// kill-and-restore run can replay exactly the remainder after a restart.  In
 // "bench" mode it sweeps a standard workload benchmark matrix — every
 // -workloads arrival process x -sizes catalog size x -shardgrid shard
 // count, replaying each cell's deterministic trace in-process once per
@@ -42,6 +49,7 @@
 // Usage:
 //
 //	modserve -mode serve -addr :8377 -objects 100 -zipf 1 -delay 2 -cap 200 -strategy online
+//	modserve -mode serve -addr :8377 -snapshot-dir /var/lib/modserve -restore
 //	modserve -mode load -addr http://localhost:8377 -lambda 0.5 -horizon 20 -arrivals poisson -seed 7
 //	modserve -mode bench -workloads poisson,flash -sizes 8,16 -shardgrid 1,2 -lambda 0.5 -horizon 20 -strategies online,dyadic,batching -out BENCH_serve.json
 //	modserve -mode smoke
@@ -94,6 +102,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for the request trace (fixed seed = reproducible run)")
 	conc := flag.Int("conc", 8, "concurrent connections for -mode load")
 	timeUnit := flag.Duration("timeunit", time.Second, "wall-clock duration of one catalog time unit (serve)")
+	snapDir := flag.String("snapshot-dir", "", "durability directory (snapshot + WAL per shard); empty = no durability (serve/smoke)")
+	snapEpochs := flag.Int("snapshot-epochs", 0, "snapshot cadence in epochs (0 = server default)")
+	restore := flag.Bool("restore", false, "warm-restart: restore state from -snapshot-dir before serving")
+	maxReqs := flag.Int("maxreqs", 0, "load: replay at most N requests of the trace (0 = all)")
+	skipReqs := flag.Int("skipreqs", 0, "load: skip the first N requests of the trace")
 	flag.Parse()
 
 	cat := mod.ZipfCatalog(*objects, *length, *length**delayPct/100, *zipf)
@@ -108,6 +121,16 @@ func main() {
 		EpochSlots:        *epoch,
 		PressureHighWater: *pressure,
 		MeterStages:       *meter,
+		SnapshotEpochs:    *snapEpochs,
+	}
+	if *snapDir != "" {
+		fs, err := mod.NewFileStore(*snapDir)
+		exitOn(err)
+		cfg.Store = fs
+		cfg.OwnStore = true // the server closes the store it was handed
+		cfg.Restore = *restore
+	} else if *restore {
+		exitOn(fmt.Errorf("-restore requires -snapshot-dir"))
 	}
 	load := mod.LoadConfig{
 		Horizon:          *horizon,
@@ -128,6 +151,9 @@ func main() {
 		defer stop()
 		s, err := mod.NewServer(cfg)
 		exitOn(err)
+		if cfg.Restore {
+			fmt.Printf("modserve: restored durable state from %s\n", *snapDir)
+		}
 		err = mod.ListenAndServe(ctx, *addr, s, func(bound string) {
 			fmt.Printf("modserve: serving %d objects on %s (strategy %s, cap %d, %s per time unit)\n",
 				len(cat), bound, *strategy, *capacity, *timeUnit)
@@ -141,6 +167,17 @@ func main() {
 		}
 		reqs, err := mod.GenerateRequests(cat, load)
 		exitOn(err)
+		// -skipreqs/-maxreqs window the deterministic trace so a kill-and-
+		// restore run can replay "the rest of the trace" after a restart.
+		if *skipReqs > 0 {
+			if *skipReqs > len(reqs) {
+				*skipReqs = len(reqs)
+			}
+			reqs = reqs[*skipReqs:]
+		}
+		if *maxReqs > 0 && *maxReqs < len(reqs) {
+			reqs = reqs[:*maxReqs]
+		}
 		fmt.Printf("modserve: replaying %d requests (%s, seed %d) against %s with %d connections\n",
 			len(reqs), load.Kind, *seed, base, *conc)
 		rep, err := mod.RunHTTPDriver(context.Background(), base, reqs, *conc)
@@ -570,6 +607,9 @@ func smoke(cfg mod.ServeConfig, load mod.LoadConfig, conc int) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Restore {
+		fmt.Println("modserve: restored durable state")
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	bound := make(chan string, 1)
 	done := make(chan error, 1)
@@ -608,6 +648,22 @@ func smoke(cfg mod.ServeConfig, load mod.LoadConfig, conc int) error {
 		return err
 	}
 	fmt.Println("modserve: metrics scrape ok")
+	if cfg.Store != nil {
+		// Exercise the warm-restart primitive end to end: force a durable
+		// snapshot over the admin route before shutting down, so a later
+		// -restore run picks the state up.
+		resp, err := http.Post(base+mod.APIVersion+"/admin/snapshot", "application/json", nil)
+		if err != nil {
+			cancel()
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			cancel()
+			return fmt.Errorf("admin/snapshot returned %d", resp.StatusCode)
+		}
+		fmt.Println("modserve: durable snapshot saved")
+	}
 	cancel()
 	return <-done
 }

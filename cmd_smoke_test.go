@@ -226,6 +226,51 @@ func TestBenchGridDeterminism(t *testing.T) {
 	}
 }
 
+// TestModserveDurableSmoke drives the durability flags end to end: a
+// smoke run with -snapshot-dir leaves snapshot and WAL files behind (the
+// admin snapshot route is exercised on the way out), and a second run
+// with -restore warm-restarts from them cleanly.
+func TestModserveDurableSmoke(t *testing.T) {
+	bin := buildCmd(t, "modserve")
+	dir := filepath.Join(t.TempDir(), "snap")
+	base := []string{"-mode", "smoke", "-objects", "3", "-delay", "5", "-lambda", "2",
+		"-horizon", "2", "-seed", "5", "-snapshot-dir", dir}
+
+	out, err := exec.Command(bin, base...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("modserve %v: %v\n%s", base, err, out)
+	}
+	for _, want := range []string{"durable snapshot saved", "smoke ok"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("first run output missing %q:\n%s", want, out)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("snapshot dir unreadable: %v", err)
+	}
+	snaps := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snapshot-") {
+			snaps++
+		}
+	}
+	if snaps == 0 {
+		t.Fatalf("no snapshot files in %s after durable smoke run (found %v)", dir, entries)
+	}
+
+	again := append(append([]string{}, base...), "-restore")
+	out, err = exec.Command(bin, again...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("modserve %v: %v\n%s", again, err, out)
+	}
+	for _, want := range []string{"restored durable state", "smoke ok"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("restore run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestBenchCSVDump pins the -csv per-request dump: the header names every
 // column, each replayed request becomes exactly one row stamped with its
 // grid coordinates, and the stage-timing columns are populated (plan time
@@ -289,6 +334,8 @@ func TestCommandSmokeBadFlags(t *testing.T) {
 	}{
 		{"modsim", []string{"-mode", "nope"}},
 		{"modserve", []string{"-mode", "nope"}},
+		{"modserve", []string{"-mode", "serve", "-snapshot-dir", "/dev/null/nope"}},
+		{"modserve", []string{"-mode", "smoke", "-restore"}},
 		{"modserve", []string{"-mode", "bench", "-arrivals", "nope"}},
 		{"modserve", []string{"-mode", "bench", "-workloads", "nope"}},
 		{"modserve", []string{"-mode", "bench", "-shardgrid", "1,x"}},

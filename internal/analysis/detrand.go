@@ -15,6 +15,7 @@ var DetrandPackages = map[string]bool{
 	"repro/internal/live":        true,
 	"repro/internal/arrivals":    true,
 	"repro/internal/experiments": true,
+	"repro/internal/store":       true,
 }
 
 // detrandAllowed are the math/rand functions that construct seeded

@@ -20,6 +20,7 @@ var ErrwrapPackages = map[string]bool{
 	"repro/internal/multiobject": true,
 	"repro/internal/offline":     true,
 	"repro/internal/moderr":      true,
+	"repro/internal/store":       true,
 	"repro/mod":                  true,
 }
 

@@ -568,6 +568,10 @@ func AllWithWorkers(ctx context.Context, workers int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, ext1, ext2, ext3, ext4, ext5, ext6, ext7)
+	ext8, err := CrashRecovery(ctx, DefaultCrashRecovery())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ext1, ext2, ext3, ext4, ext5, ext6, ext7, ext8)
 	return out, nil
 }

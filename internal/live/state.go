@@ -1,0 +1,149 @@
+package live
+
+import "fmt"
+
+// State is the serializable mid-run state of an Incremental scheduler:
+// everything a restart cannot rederive from the object's configuration.
+// The serving layer's durability path exports it at snapshot time, writes
+// it through the snapshot codec, and hands it back to Restore on
+// recovery; Export and Restore are exact inverses, so a restored
+// scheduler continues bit-identically to the uninterrupted one (the
+// crash-recovery equivalence tests pin this for every strategy).
+//
+// Exactly one of Online and Epoch is set, matching the strategy family.
+type State struct {
+	// Strategy is the scheduler's planner registry name.
+	Strategy string
+	Online   *OnlineState
+	Epoch    *EpochState
+}
+
+// OnlineState is the dynamic state of the native on-line scheduler.  The
+// merge-tree template, group lengths, and scratch buffers are static
+// per media length and come back from the plan cache.
+type OnlineState struct {
+	// Base is the absolute time of slot 0 (it moves on degradation).
+	Base float64
+	// Started and Finalized are the stream and slot cursors of the
+	// oblivious plan; LastArrival is the largest occupied arrival slot
+	// (-1: none).
+	Started     int64
+	Finalized   int64
+	LastArrival int64
+	// The accounting mirror of Totals().
+	Clients          int64
+	Streams          int64
+	FinalizedStreams int64
+	SlotUnits        int64
+	BusyTime         float64
+}
+
+// EpochState is the dynamic state of an epoch-replanning scheduler.  The
+// warm replanning state is not exported: it is a pure function of the
+// current epoch's arrival trace, so Restore rebuilds it by re-observing
+// Times in order.
+type EpochState struct {
+	// Origin is the absolute time of the first epoch's start.
+	Origin float64
+	// Epoch is the current epoch index.
+	Epoch int64
+	// Times are the current epoch's arrivals, epoch-relative and
+	// nondecreasing.
+	Times []float64
+	// LastSlot and LastTime are the batched / immediate duplicate-client
+	// cursors (-1 and -Inf when the epoch is empty).
+	LastSlot int64
+	LastTime float64
+	// SlotBase accumulates the slots consumed before re-basings.
+	SlotBase int64
+	// Provisional are the estimated ends of the gauge's placeholder
+	// channels for the current epoch's clients.
+	Provisional []float64
+	// Totals is the closed-epoch accounting.
+	Totals Totals
+}
+
+// Export captures sched's dynamic state.  It does not mutate the
+// scheduler and may be called between any two admissions.
+func Export(sched Incremental) (State, error) {
+	switch s := sched.(type) {
+	case *onlineSched:
+		return State{Strategy: s.Strategy(), Online: &OnlineState{
+			Base:             s.base,
+			Started:          s.started,
+			Finalized:        s.finalized,
+			LastArrival:      s.lastArrival,
+			Clients:          s.clients,
+			Streams:          s.streams,
+			FinalizedStreams: s.finalizedStreams,
+			SlotUnits:        s.slotUnits,
+			BusyTime:         s.busyTime,
+		}}, nil
+	case *epochSched:
+		return State{Strategy: s.Strategy(), Epoch: &EpochState{
+			Origin:      s.origin,
+			Epoch:       s.epoch,
+			Times:       append([]float64(nil), s.times...),
+			LastSlot:    s.lastSlot,
+			LastTime:    s.lastTime,
+			SlotBase:    s.slotBase,
+			Provisional: append([]float64(nil), s.provisional...),
+			Totals:      s.totals,
+		}}, nil
+	}
+	return State{}, fmt.Errorf("%w: cannot export scheduler type %T", ErrBadConfig, sched)
+}
+
+// Restore builds the named strategy's scheduler from cfg — exactly like
+// New — and reinstates the dynamic state st on it.  No Sink events fire:
+// the serving layer restores its gauge and bandwidth accounting from its
+// own snapshot sections, so replaying stream history here would double
+// count.  Warm replanning state is rebuilt by re-observing the restored
+// arrival trace, which reproduces it exactly (it is a pure function of
+// the nondecreasing trace).
+func Restore(name string, cfg Config, st State) (Incremental, error) {
+	sched, err := New(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.Strategy != "" && st.Strategy != sched.Strategy() {
+		return nil, fmt.Errorf("%w: restoring %q state into %q scheduler", ErrBadConfig, st.Strategy, sched.Strategy())
+	}
+	switch s := sched.(type) {
+	case *onlineSched:
+		o := st.Online
+		if o == nil {
+			return nil, fmt.Errorf("%w: no online state for strategy %q", ErrBadConfig, name)
+		}
+		s.base = o.Base
+		s.started = o.Started
+		s.finalized = o.Finalized
+		s.lastArrival = o.LastArrival
+		s.clients = o.Clients
+		s.streams = o.Streams
+		s.finalizedStreams = o.FinalizedStreams
+		s.slotUnits = o.SlotUnits
+		s.busyTime = o.BusyTime
+		return s, nil
+	case *epochSched:
+		e := st.Epoch
+		if e == nil {
+			return nil, fmt.Errorf("%w: no epoch state for strategy %q", ErrBadConfig, name)
+		}
+		s.origin = e.Origin
+		s.epoch = e.Epoch
+		s.times = append(s.times[:0], e.Times...)
+		s.lastSlot = e.LastSlot
+		s.lastTime = e.LastTime
+		s.slotBase = e.SlotBase
+		s.provisional = append(s.provisional[:0], e.Provisional...)
+		s.totals = e.Totals
+		if s.warm != nil {
+			for _, rel := range s.times {
+				s.warm.observe(rel)
+			}
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("%w: cannot restore scheduler type %T", ErrBadConfig, sched)
+}

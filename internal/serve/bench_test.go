@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"repro/internal/multiobject"
+	"repro/internal/store"
 )
 
 // benchShard builds a loop-less shard (no goroutines) so the benchmark
@@ -56,6 +57,35 @@ func BenchmarkShardAdmit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t += 0.003
 		sh.admitCore(st, t)
+	}
+}
+
+// BenchmarkShardAdmitDurable extends the allocation guard to the durable
+// hot path: the WAL record fill and channel send (logSubmit), the admit
+// core, and the log-before-ack flush round-trip through the WAL writer.
+// The record travels as a fixed-size array inside the channel message, so
+// durability must add zero allocations per admitted request.
+func BenchmarkShardAdmitDurable(b *testing.B) {
+	sh, st := benchShard(b, "online")
+	srv := sh.srv
+	srv.cfg.Store = store.NewMem()
+	sh.walCh = make(chan walMsg, srv.cfg.QueueDepth)
+	srv.walWG.Add(1)
+	go srv.walWriter(sh)
+	defer func() {
+		close(sh.walCh)
+		srv.walWG.Wait()
+	}()
+	reply := make(chan Ticket, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += 0.003
+		sh.logSubmit(Request{Object: "hot", T: t})
+		sh.admitCore(st, t)
+		sh.walCh <- walMsg{kind: walAck, reply: reply}
+		<-reply
 	}
 }
 

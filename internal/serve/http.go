@@ -44,6 +44,8 @@ type BatchResult struct {
 //	GET  /v1/objects/{name}  -> ObjectStats
 //	GET  /v1/healthz         -> "ok"
 //	GET  /v1/metrics         -> Prometheus text exposition (see prometheus.go)
+//	POST /v1/admin/snapshot  -> force a durable snapshot of every shard
+//	                            (409 when the server has no store)
 //
 // Every error response, on every route and shard, is a uniform JSON body
 // {"error": "..."} with the appropriate status (unknown objects are
@@ -83,7 +85,33 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("/metrics", deprecated(APIVersion+"/metrics", s.handleMetricsJSON))
 	// The batch-admission endpoint is new in /v1; it has no legacy alias.
 	mux.HandleFunc(APIVersion+"/requests", s.handleBatch)
+	// Admin: force a durable snapshot of every shard (no legacy alias).
+	mux.HandleFunc(APIVersion+"/admin/snapshot", s.handleSnapshot)
 	return mux
+}
+
+// handleSnapshot answers POST /v1/admin/snapshot by forcing an immediate
+// snapshot of every shard and waiting for the stores to confirm — the
+// warm-restart primitive: snapshot, stop the process, restart with the
+// restore flag.  Servers without a durability store answer 409.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	err := s.Snapshot()
+	switch {
+	case errors.Is(err, ErrBadConfig):
+		writeJSONError(w, http.StatusConflict, err.Error())
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // deprecated wraps a legacy route handler so responses advertise the /v1

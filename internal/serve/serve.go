@@ -54,6 +54,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/multiobject"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Config describes a live admission server.
@@ -152,6 +153,27 @@ type Config struct {
 	// tests deterministic.
 	NowNanos func() int64
 
+	// Store enables durability: every admitted request is appended to a
+	// per-shard write-ahead log before its ticket is acknowledged, and
+	// each shard snapshots its full scheduler state at epoch boundaries
+	// (see SnapshotEpochs).  nil (the default) disables durability
+	// entirely — no extra goroutines, no hot-path changes.
+	Store store.Store
+	// SnapshotEpochs is the snapshot cadence in replanning epochs: a
+	// shard snapshots after its virtual clock advances SnapshotEpochs ×
+	// EpochSlots slots of its smallest object delay (default 1).  Only
+	// meaningful with Store set.
+	SnapshotEpochs int
+	// Restore makes New load each shard's latest snapshot from Store and
+	// replay its WAL tail through the ordinary admit path before serving,
+	// recovering the pre-crash state exactly (ticket IDs continue past
+	// the WAL high-water mark; totals converge bit for bit).  Corrupted
+	// snapshot or WAL bytes fail New with store.ErrCorruptSnapshot.
+	Restore bool
+	// OwnStore transfers Store's ownership to the server: Close also
+	// closes the store.  The facade sets it for stores it opened itself.
+	OwnStore bool
+
 	// Context is the base context of the server's shard schedulers (the
 	// net/http BaseContext idiom): cancelling it aborts in-flight epoch
 	// replan DPs.  nil means Background.  Close cancels the derived
@@ -194,6 +216,9 @@ func (c *Config) withDefaults() Config {
 	if out.PlanWorkers <= 0 {
 		out.PlanWorkers = 1
 	}
+	if out.SnapshotEpochs <= 0 {
+		out.SnapshotEpochs = 1
+	}
 	return out
 }
 
@@ -230,6 +255,13 @@ type Request struct {
 
 // Ticket is the server's answer to a request.
 type Ticket struct {
+	// ID is the ticket's server-unique identifier, dense per shard and
+	// disjoint across shards (shard-local sequence s on shard i of n
+	// yields s*n + i + 1).  It survives restarts: a restored server
+	// resumes each shard's sequence past the WAL high-water mark, so no
+	// ID is ever reissued.  0 means unassigned (requests for unknown
+	// objects, which consume no sequence number).
+	ID       int64    `json:"id,omitempty"`
 	Object   string   `json:"object"`
 	Decision Decision `json:"decision"`
 	// Strategy is the planner family serving the object.
@@ -336,11 +368,16 @@ type Stats struct {
 	// RejectedPressure counts submits refused by queue-depth backpressure
 	// (Config.PressureHighWater) before reaching any shard; they are not
 	// included in Rejected, which counts admission-controller rejections.
-	RejectedPressure int64   `json:"rejected_pressure"`
-	Unknown          int64   `json:"unknown"`
-	LiveChannels     int64   `json:"live_channels"`
-	Peak             int     `json:"peak"`
-	BusyTime         float64 `json:"busy_time"`
+	RejectedPressure int64 `json:"rejected_pressure"`
+	Unknown          int64 `json:"unknown"`
+	LiveChannels     int64 `json:"live_channels"`
+	// WALFailures counts durability-store operations (append, flush,
+	// snapshot) that failed.  The server favors availability: failed
+	// writes are counted and the request still acknowledged, so nonzero
+	// means the durable log is incomplete, not that requests were lost.
+	WALFailures int64   `json:"wal_failures,omitempty"`
+	Peak        int     `json:"peak"`
+	BusyTime    float64 `json:"busy_time"`
 	// Strategies counts the catalog's objects by serving strategy.
 	Strategies map[string]int64 `json:"strategies,omitempty"`
 	// Shards reports each shard's observed queue occupancy and high-water
@@ -376,6 +413,13 @@ type Server struct {
 	// rejectedPressure counts submits refused by queue-depth backpressure
 	// before reaching any shard.
 	rejectedPressure atomic.Int64
+	// walFailures counts failed durability-store operations; the WAL
+	// writers increment it instead of failing admission.
+	walFailures atomic.Int64
+
+	// walWG tracks the per-shard WAL writer goroutines; Close waits for
+	// them after the shard loops (their only senders) have exited.
+	walWG sync.WaitGroup
 
 	// nowNanos is the monotonic clock behind replan metering and stage
 	// timing: Config.NowNanos, defaulting to nanoseconds since start.
@@ -522,6 +566,25 @@ func New(cfg Config) (*Server, error) {
 		s.byName[o.Name] = sh
 	}
 	s.respond = make([]stats.LogHistogram, len(s.stratNames))
+	if cfg.Store != nil {
+		for _, sh := range s.shards {
+			sh.walCh = make(chan walMsg, cfg.QueueDepth)
+			sh.snapEvery = float64(cfg.SnapshotEpochs*cfg.EpochSlots) * sh.minDelay
+			if cfg.Restore {
+				if err := sh.restore(); err != nil {
+					s.cancel()
+					return nil, err
+				}
+			}
+			sh.nextSnap = sh.now + sh.snapEvery
+		}
+		// Writers start only after every shard restored, so a failed
+		// restore leaves no goroutines behind.
+		for _, sh := range s.shards {
+			s.walWG.Add(1)
+			go s.walWriter(sh)
+		}
+	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go sh.loop()
@@ -907,6 +970,7 @@ func (s *Server) assemble(snaps []shardSnapshot) Stats {
 		RejectedPressure: s.rejectedPressure.Load(),
 		Unknown:          s.unknown.Load(),
 		LiveChannels:     s.gauge.Load(),
+		WALFailures:      s.walFailures.Load(),
 	}
 	st.Shards = make([]ShardStats, len(s.queues))
 	for i := range s.queues {
@@ -947,6 +1011,10 @@ func sortObjects(objs []ObjectStats, cat multiobject.Catalog) {
 }
 
 // Close stops every shard event loop.  In-flight Submits return ErrClosed.
+// With durability on, the WAL writers drain after the loops (their only
+// senders) exit, so every record of an acknowledged request reaches the
+// store before Close returns; a store the server owns (Config.OwnStore)
+// is then closed too.
 func (s *Server) Close() {
 	select {
 	case <-s.quit:
@@ -955,5 +1023,14 @@ func (s *Server) Close() {
 	}
 	close(s.quit)
 	s.wg.Wait()
+	for _, sh := range s.shards {
+		if sh.walCh != nil {
+			close(sh.walCh)
+		}
+	}
+	s.walWG.Wait()
+	if s.cfg.OwnStore && s.cfg.Store != nil {
+		s.cfg.Store.Close()
+	}
 	s.cancel()
 }

@@ -117,9 +117,13 @@ func (st *objectState) replanNanos() int64 {
 //
 //modlint:loop
 type shard struct {
-	id   int
-	srv  *Server
-	msgs chan any
+	id int
+	// total is the server's shard count (at least 1, even on loop-less
+	// benchmark harnesses); ticket IDs are ticketSeq*total + id + 1, so
+	// IDs are dense per shard and disjoint across shards.
+	total int
+	srv   *Server
+	msgs  chan any
 
 	objects []*objectState
 	byName  map[string]*objectState
@@ -148,11 +152,34 @@ type shard struct {
 	// admitCore to the ticket materialization (loop-owned scratch).
 	lastPlanNS   int64
 	lastReplanNS int64
+
+	// Durability state (nil/zero without Config.Store).  ticketSeq is the
+	// next ticket's shard-local sequence number; it survives restarts via
+	// the snapshot and WAL replay, so ticket IDs are never reissued.
+	// admittedL/degradedL/rejectedL mirror this shard's contributions to
+	// the server-wide atomic counters — the atomics cannot be decomposed
+	// per shard at snapshot time, the loop-owned mirrors can.
+	ticketSeq int64
+	admittedL int64
+	degradedL int64
+	rejectedL int64
+	// walCh feeds the shard's WAL writer goroutine; nil disables
+	// durability routing in the loop.  The loop is the only sender.
+	walCh chan walMsg
+	// snapEvery/nextSnap drive the snapshot cadence in virtual time
+	// (SnapshotEpochs × EpochSlots slots of the smallest object delay).
+	snapEvery float64
+	nextSnap  float64
 }
 
 func newShard(id int, srv *Server) *shard {
+	total := srv.cfg.Shards
+	if total < 1 {
+		total = 1
+	}
 	return &shard{
 		id:     id,
+		total:  total,
 		srv:    srv,
 		msgs:   make(chan any, srv.cfg.QueueDepth),
 		byName: make(map[string]*objectState),
@@ -248,10 +275,20 @@ func (sh *shard) loop() {
 				if msg.enqueueNS != 0 {
 					queueNS = sh.srv.nowNanos() - msg.enqueueNS
 				}
+				// Log before admit, ack through the writer after: the
+				// durable log stays an exact prefix of the acked requests.
+				if sh.walCh != nil {
+					sh.logSubmit(msg.req)
+				}
 				tk := sh.handleSubmit(msg.req, queueNS)
 				q.depth.Add(-1)
 				q.dequeued.Add(1)
-				msg.reply <- tk
+				if sh.walCh != nil {
+					sh.walCh <- walMsg{kind: walAck, tk: tk, reply: msg.reply}
+					sh.maybeSnapshot()
+				} else {
+					msg.reply <- tk
+				}
 			case submitBatchMsg:
 				queueNS := int64(-1)
 				if msg.enqueueNS != 0 {
@@ -261,7 +298,19 @@ func (sh *shard) loop() {
 				n := int64(len(msg.reqs))
 				q.depth.Add(-n)
 				q.dequeued.Add(n)
-				msg.done <- struct{}{}
+				if sh.walCh != nil {
+					sh.walCh <- walMsg{kind: walBatchAck, done: msg.done}
+					sh.maybeSnapshot()
+				} else {
+					msg.done <- struct{}{}
+				}
+			case snapshotMsg:
+				if sh.walCh == nil {
+					msg.reply <- fmt.Errorf("%w: shard %d has no durability store", ErrBadConfig, sh.id)
+					continue
+				}
+				sh.walCh <- walMsg{kind: walSnapshot, snap: sh.encodeSnapshot(), errc: msg.reply}
+				sh.nextSnap = sh.now + sh.snapEvery
 			case statsMsg:
 				msg.reply <- sh.snapshot()
 			case drainMsg:
@@ -293,10 +342,15 @@ func (sh *shard) handleSubmit(req Request, queueNS int64) Ticket {
 	st := sh.byName[req.Object]
 	if st == nil {
 		// The router should never send a foreign object here; answer a
-		// rejection rather than wedging the caller.
+		// rejection rather than wedging the caller.  No sequence number:
+		// unknown requests touch no snapshotted state and are not logged.
 		sh.srv.unknown.Add(1)
 		return Ticket{Object: req.Object, Decision: Rejected, T: req.T}
 	}
+	// Every known-object request — including rejections, which mutate
+	// counters — consumes one sequence number, matching its WAL record.
+	id := sh.ticketSeq*int64(sh.total) + int64(sh.id) + 1
+	sh.ticketSeq++
 	// The shard clock is monotone: a request stamped earlier than the
 	// latest event is served as if it arrived now.
 	t := req.T
@@ -308,11 +362,13 @@ func (sh *shard) handleSubmit(req Request, queueNS int64) Ticket {
 	// this request could be answered.  Reject it without advancing.
 	if (t-sh.now)/sh.minDelay > float64(sh.srv.cfg.MaxSlotJump) {
 		st.rejected++
+		sh.rejectedL++
 		sh.srv.rejected.Add(1)
-		return Ticket{Object: st.obj.Name, Decision: Rejected, T: req.T, Epoch: st.epoch, Strategy: st.strategy, Delay: st.delay}
+		return Ticket{ID: id, Object: st.obj.Name, Decision: Rejected, T: req.T, Epoch: st.epoch, Strategy: st.strategy, Delay: st.delay}
 	}
 	adm, decision := sh.admitCore(st, t)
 	tk := Ticket{
+		ID:       id,
 		Object:   st.obj.Name,
 		Decision: decision,
 		T:        t,
@@ -356,7 +412,11 @@ func (sh *shard) handleSubmit(req Request, queueNS int64) Ticket {
 //
 //modlint:noalloc
 func (sh *shard) admitBatch(reqs []Request, out []Ticket, queueNS int64) {
+	durable := sh.walCh != nil
 	for i := range reqs {
+		if durable {
+			sh.logSubmit(reqs[i])
+		}
 		out[i] = sh.handleSubmit(reqs[i], queueNS)
 	}
 }
@@ -389,13 +449,16 @@ func (sh *shard) admitCore(st *objectState, t float64) (live.Admission, Decision
 	decision := sh.admit(st, t)
 	if decision == Rejected {
 		st.rejected++
+		sh.rejectedL++
 		sh.srv.rejected.Add(1)
 	} else {
 		adm = st.sched.Admit(t)
 		st.arrivals++
 		if decision == Degraded {
+			sh.degradedL++
 			sh.srv.degraded.Add(1)
 		} else {
+			sh.admittedL++
 			sh.srv.admitted.Add(1)
 		}
 	}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is the file-backed Store: one snapshot file and one WAL file per
+// shard under a single directory.
+//
+//	snapshot-<shard>.bin   the latest sealed snapshot blob
+//	wal-<shard>.log        framed records appended since that snapshot
+//
+// Snapshots are written to a temporary file and renamed into place, so a
+// crash during SaveSnapshot leaves the previous snapshot intact.  WAL
+// appends go through a buffered writer that is flushed to the operating
+// system on every Flush call — the log-before-ack barrier.  The
+// durability model is process-crash (SIGKILL): once write(2) returns,
+// the bytes live in the kernel page cache and survive the process; no
+// fsync is issued, so a simultaneous power loss is out of scope (the
+// CI chaos step kills the process, not the machine).
+type File struct {
+	dir string
+
+	mu   sync.Mutex
+	wals map[int]*walFile
+}
+
+// walFile is one shard's open WAL append handle.
+type walFile struct {
+	f *os.File
+	w *bufio.Writer
+	// frame is the reusable framing scratch buffer, so a steady append
+	// stream does not allocate per record.
+	frame []byte
+}
+
+// NewFile opens (creating if needed) a file store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create snapshot dir: %w", err)
+	}
+	return &File{dir: dir, wals: make(map[int]*walFile)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *File) Dir() string { return s.dir }
+
+func (s *File) snapPath(shard int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snapshot-%d.bin", shard))
+}
+
+func (s *File) walPath(shard int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%d.log", shard))
+}
+
+// SaveSnapshot implements Store: write-temp-then-rename, then truncate
+// the shard's WAL.  A crash between the two steps leaves superseded
+// records in the WAL; their sequence numbers predate the snapshot's, so
+// replay skips them (the serve layer checks).
+func (s *File) SaveSnapshot(shard int, data []byte) error {
+	path := s.snapPath(shard)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wf := s.wals[shard]; wf != nil {
+		if err := wf.w.Flush(); err != nil {
+			return fmt.Errorf("store: flush WAL before truncate: %w", err)
+		}
+		if err := wf.f.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncate WAL: %w", err)
+		}
+		return nil
+	}
+	// No open handle this process lifetime: drop any stale log from a
+	// previous run.
+	if err := os.Remove(s.walPath(shard)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: remove superseded WAL: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot implements Store.
+func (s *File) LoadSnapshot(shard int) ([]byte, error) {
+	data, err := os.ReadFile(s.snapPath(shard))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// wal returns shard's open WAL handle, opening it in append mode first
+// if needed.  Callers hold s.mu.
+func (s *File) wal(shard int) (*walFile, error) {
+	if wf := s.wals[shard]; wf != nil {
+		return wf, nil
+	}
+	f, err := os.OpenFile(s.walPath(shard), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open WAL: %w", err)
+	}
+	wf := &walFile{f: f, w: bufio.NewWriterSize(f, 1<<15)}
+	s.wals[shard] = wf
+	return wf, nil
+}
+
+// AppendWAL implements Store.
+func (s *File) AppendWAL(shard int, rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wf, err := s.wal(shard)
+	if err != nil {
+		return err
+	}
+	wf.frame = appendFrame(wf.frame[:0], rec)
+	if _, err := wf.w.Write(wf.frame); err != nil {
+		return fmt.Errorf("store: append WAL record: %w", err)
+	}
+	return nil
+}
+
+// Flush implements Store: buffered records reach the operating system.
+func (s *File) Flush(shard int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wf := s.wals[shard]; wf != nil {
+		if err := wf.w.Flush(); err != nil {
+			return fmt.Errorf("store: flush WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayWAL implements Store.
+func (s *File) ReplayWAL(shard int, fn func(rec []byte) error) error {
+	if err := s.Flush(shard); err != nil {
+		return err
+	}
+	buf, err := os.ReadFile(s.walPath(shard))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read WAL: %w", err)
+	}
+	return walkFrames(buf, fn)
+}
+
+// Close implements Store: every open WAL handle is flushed and closed.
+// The File must not be used afterwards.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for shard, wf := range s.wals {
+		if err := wf.w.Flush(); err != nil && first == nil {
+			first = fmt.Errorf("store: flush WAL on close: %w", err)
+		}
+		if err := wf.f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("store: close WAL: %w", err)
+		}
+		delete(s.wals, shard)
+	}
+	return first
+}

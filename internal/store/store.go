@@ -1,0 +1,63 @@
+// Package store is the durability layer of the serving stack: a pluggable
+// snapshot-plus-write-ahead-log store behind one Store interface, with an
+// in-memory backend for tests and a file backend for production.
+//
+// The contract mirrors the classic log-then-apply recovery discipline:
+//
+//   - Every request a shard accepts is appended to its per-shard WAL
+//     *before* the submitter's ticket is acknowledged (the serve layer
+//     routes the acknowledgement through the WAL writer), so the durable
+//     record is always an exact prefix of the acknowledged requests.
+//   - At epoch boundaries the shard encodes its full scheduler state with
+//     the versioned binary codec in codec.go and calls SaveSnapshot, which
+//     atomically replaces the previous snapshot.  WAL records carry their
+//     shard-local sequence number, so replay skips records the snapshot
+//     already covers — a crash between the snapshot rename and the WAL
+//     truncation can never double-apply a request.
+//   - On restart the serve layer loads the latest snapshot and replays the
+//     WAL tail through the ordinary admit path, converging bit for bit to
+//     the state of an uninterrupted run (the crash-recovery equivalence
+//     tests in internal/serve pin this for every strategy).
+//
+// All decoding is defensive: truncated or corrupted bytes surface an error
+// wrapping ErrCorruptSnapshot, never a panic.  A torn final WAL frame —
+// the normal artifact of a crash mid-append — is not corruption: its
+// request was never acknowledged, so replay simply stops there.
+package store
+
+import "errors"
+
+// ErrCorruptSnapshot marks snapshot or WAL bytes that fail structural
+// validation (bad magic, unsupported version, checksum mismatch, truncated
+// payload, out-of-range lengths).  Classify with errors.Is; it is
+// re-exported by the public facade as mod.ErrCorruptSnapshot.
+var ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+
+// Store persists per-shard snapshots and write-ahead logs.  Shards are
+// identified by their integer index; implementations must be safe for
+// concurrent use by one writer goroutine per shard plus a restore reader.
+type Store interface {
+	// SaveSnapshot atomically replaces shard's snapshot with data (an
+	// opaque blob, typically an Encoder.Finish result).  Records already
+	// covered by the snapshot are logically superseded; implementations
+	// truncate the shard's WAL, and replay additionally skips stale
+	// sequence numbers so the two steps need not be atomic together.
+	SaveSnapshot(shard int, data []byte) error
+	// LoadSnapshot returns the latest snapshot saved for shard, or
+	// (nil, nil) when none exists.
+	LoadSnapshot(shard int) ([]byte, error)
+	// AppendWAL appends one record to shard's write-ahead log.  The store
+	// frames and copies the bytes; the caller may reuse rec immediately.
+	// Appended records may be buffered until Flush.
+	AppendWAL(shard int, rec []byte) error
+	// Flush makes every record appended to shard's WAL durable.  The serve
+	// layer calls it before acknowledging a ticket (log-before-ack).
+	Flush(shard int) error
+	// ReplayWAL calls fn for each record appended to shard's WAL since the
+	// last SaveSnapshot, in append order, stopping at the first error.  A
+	// torn final frame (crash mid-append) ends replay silently; a complete
+	// frame with a checksum mismatch fails with ErrCorruptSnapshot.
+	ReplayWAL(shard int, fn func(rec []byte) error) error
+	// Close releases the store's resources (file handles, buffers).
+	Close() error
+}

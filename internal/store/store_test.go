@@ -1,0 +1,498 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// backends returns one fresh instance of every Store implementation, so
+// the conformance tests below run identically against both.
+func backends(t *testing.T) map[string]Store {
+	t.Helper()
+	f, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return map[string]Store{"mem": NewMem(), "file": f}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if got, err := st.LoadSnapshot(0); err != nil || got != nil {
+				t.Fatalf("LoadSnapshot on empty store = %v, %v; want nil, nil", got, err)
+			}
+			blob := []byte("first snapshot")
+			if err := st.SaveSnapshot(0, blob); err != nil {
+				t.Fatalf("SaveSnapshot: %v", err)
+			}
+			got, err := st.LoadSnapshot(0)
+			if err != nil || string(got) != string(blob) {
+				t.Fatalf("LoadSnapshot = %q, %v; want %q", got, err, blob)
+			}
+			// Saving again replaces, not appends.
+			if err := st.SaveSnapshot(0, []byte("second")); err != nil {
+				t.Fatalf("SaveSnapshot (replace): %v", err)
+			}
+			got, err = st.LoadSnapshot(0)
+			if err != nil || string(got) != "second" {
+				t.Fatalf("LoadSnapshot after replace = %q, %v; want %q", got, err, "second")
+			}
+			// Shards are independent.
+			if got, err := st.LoadSnapshot(1); err != nil || got != nil {
+				t.Fatalf("LoadSnapshot(1) = %v, %v; want nil, nil", got, err)
+			}
+		})
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			recs := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma-longer-record")}
+			for _, r := range recs {
+				if err := st.AppendWAL(3, r); err != nil {
+					t.Fatalf("AppendWAL: %v", err)
+				}
+			}
+			if err := st.Flush(3); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+			var got [][]byte
+			err := st.ReplayWAL(3, func(rec []byte) error {
+				got = append(got, append([]byte(nil), rec...))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("ReplayWAL: %v", err)
+			}
+			if len(got) != len(recs) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+			}
+			for i := range recs {
+				if string(got[i]) != string(recs[i]) {
+					t.Fatalf("record %d = %q, want %q", i, got[i], recs[i])
+				}
+			}
+			// Callback errors propagate.
+			sentinel := errors.New("stop here")
+			if err := st.ReplayWAL(3, func([]byte) error { return sentinel }); !errors.Is(err, sentinel) {
+				t.Fatalf("ReplayWAL callback error = %v, want %v", err, sentinel)
+			}
+		})
+	}
+}
+
+func TestSaveSnapshotTruncatesWAL(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := st.AppendWAL(0, []byte("pre-snapshot")); err != nil {
+				t.Fatalf("AppendWAL: %v", err)
+			}
+			if err := st.SaveSnapshot(0, []byte("snap")); err != nil {
+				t.Fatalf("SaveSnapshot: %v", err)
+			}
+			n := 0
+			if err := st.ReplayWAL(0, func([]byte) error { n++; return nil }); err != nil {
+				t.Fatalf("ReplayWAL: %v", err)
+			}
+			if n != 0 {
+				t.Fatalf("WAL has %d records after snapshot, want 0", n)
+			}
+			// Records appended after the snapshot replay normally.
+			if err := st.AppendWAL(0, []byte("post")); err != nil {
+				t.Fatalf("AppendWAL: %v", err)
+			}
+			if err := st.Flush(0); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+			if err := st.ReplayWAL(0, func([]byte) error { n++; return nil }); err != nil {
+				t.Fatalf("ReplayWAL: %v", err)
+			}
+			if n != 1 {
+				t.Fatalf("WAL has %d records after post-snapshot append, want 1", n)
+			}
+		})
+	}
+}
+
+// TestWALTornTail pins the crash-mid-append semantics: a trailing partial
+// frame ends replay silently, because its request was never acknowledged.
+func TestWALTornTail(t *testing.T) {
+	full := appendFrame(nil, []byte("complete record"))
+	frame := appendFrame(nil, []byte("torn record"))
+	for cut := 1; cut < len(frame); cut++ {
+		buf := append(append([]byte(nil), full...), frame[:cut]...)
+		n := 0
+		if err := walkFrames(buf, func([]byte) error { n++; return nil }); err != nil {
+			t.Fatalf("cut=%d: walkFrames = %v, want silent stop", cut, err)
+		}
+		if n != 1 {
+			t.Fatalf("cut=%d: replayed %d records, want 1", cut, n)
+		}
+	}
+}
+
+// TestWALCorruptFrame pins the complement: a complete frame whose payload
+// fails its checksum is corruption, not a torn tail.
+func TestWALCorruptFrame(t *testing.T) {
+	buf := appendFrame(nil, []byte("record one"))
+	buf = appendFrame(buf, []byte("record two"))
+	for off := 4; off < len(buf); off++ { // skip the first length prefix: a huge length reads as torn
+		bad := append([]byte(nil), buf...)
+		bad[off] ^= 0xff
+		err := walkFrames(bad, func([]byte) error { return nil })
+		// Flipping a length prefix can turn the rest into a torn tail;
+		// flipping payload or checksum bytes must surface corruption.
+		if err != nil && !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("offset %d: walkFrames = %v, want ErrCorruptSnapshot or nil", off, err)
+		}
+		isLenPrefix := off >= 18 && off < 18+4 // second frame's length prefix (frame one spans 4+10+4 bytes)
+		if err == nil && !isLenPrefix {
+			t.Fatalf("offset %d: corruption went undetected", off)
+		}
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	if err := st.SaveSnapshot(0, []byte("durable snap")); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	if err := st.AppendWAL(0, []byte("durable rec")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("NewFile (reopen): %v", err)
+	}
+	defer st2.Close()
+	snap, err := st2.LoadSnapshot(0)
+	if err != nil || string(snap) != "durable snap" {
+		t.Fatalf("LoadSnapshot after reopen = %q, %v", snap, err)
+	}
+	var recs []string
+	if err := st2.ReplayWAL(0, func(rec []byte) error {
+		recs = append(recs, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayWAL after reopen: %v", err)
+	}
+	if len(recs) != 1 || recs[0] != "durable rec" {
+		t.Fatalf("replayed %v, want [durable rec]", recs)
+	}
+}
+
+// TestFileStoreStaleWALDropped: a snapshot saved by a fresh process (no
+// open WAL handle yet) must still supersede the previous run's log.
+func TestFileStoreStaleWALDropped(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	if err := st.AppendWAL(0, []byte("old run")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("NewFile (reopen): %v", err)
+	}
+	defer st2.Close()
+	if err := st2.SaveSnapshot(0, []byte("snap")); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	n := 0
+	if err := st2.ReplayWAL(0, func([]byte) error { n++; return nil }); err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("stale WAL leaked %d records past the snapshot", n)
+	}
+}
+
+// TestFileStoreTornTailOnDisk simulates a crash mid-append by truncating
+// the WAL file itself, then replays through a reopened store.
+func TestFileStoreTornTailOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	if err := st.AppendWAL(0, []byte("kept")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	if err := st.AppendWAL(0, []byte("torn away")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	path := filepath.Join(dir, "wal-0.log")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	st2, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("NewFile (reopen): %v", err)
+	}
+	defer st2.Close()
+	var recs []string
+	if err := st2.ReplayWAL(0, func(rec []byte) error {
+		recs = append(recs, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayWAL over torn file: %v", err)
+	}
+	if len(recs) != 1 || recs[0] != "kept" {
+		t.Fatalf("replayed %v, want [kept]", recs)
+	}
+}
+
+func TestNewFileBadDir(t *testing.T) {
+	if _, err := NewFile("/dev/null/nope"); err == nil {
+		t.Fatal("NewFile(/dev/null/nope) succeeded, want error")
+	}
+}
+
+func TestMemClone(t *testing.T) {
+	m := NewMem()
+	if err := m.SaveSnapshot(0, []byte("snap")); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	if err := m.AppendWAL(0, []byte("rec")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	c := m.Clone()
+	// Mutating the original must not leak into the clone.
+	if err := m.AppendWAL(0, []byte("after clone")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	m.Corrupt(0, 0)
+	snap, err := c.LoadSnapshot(0)
+	if err != nil || string(snap) != "snap" {
+		t.Fatalf("clone snapshot = %q, %v; want %q", snap, err, "snap")
+	}
+	n := 0
+	if err := c.ReplayWAL(0, func([]byte) error { n++; return nil }); err != nil {
+		t.Fatalf("clone ReplayWAL: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("clone WAL has %d records, want 1", n)
+	}
+	if c.Snapshots() != 1 {
+		t.Fatalf("clone Snapshots() = %d, want 1", c.Snapshots())
+	}
+	if m.WALBytes(0) <= c.WALBytes(0) {
+		t.Fatalf("original WAL (%d bytes) should exceed clone's (%d)", m.WALBytes(0), c.WALBytes(0))
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.U8(7)
+	e.U32(0xdeadbeef)
+	e.U64(1 << 62)
+	e.I64(-42)
+	e.F64(3.14159)
+	e.F64(0.0)
+	e.String("hello, 世界")
+	e.String("")
+	e.F64s([]float64{1.5, -2.5, 0})
+	e.F64s(nil)
+	e.I64s([]int64{9, -9})
+	blob := e.Finish()
+
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if v := d.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := d.U32(); v != 0xdeadbeef {
+		t.Fatalf("U32 = %x", v)
+	}
+	if v := d.U64(); v != 1<<62 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := d.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := d.F64(); v != 3.14159 {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := d.F64(); v != 0.0 {
+		t.Fatalf("F64 zero = %v", v)
+	}
+	if v := d.String(); v != "hello, 世界" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := d.String(); v != "" {
+		t.Fatalf("empty String = %q", v)
+	}
+	fs := d.F64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || fs[2] != 0 {
+		t.Fatalf("F64s = %v", fs)
+	}
+	if v := d.F64s(); v != nil {
+		t.Fatalf("empty F64s = %v", v)
+	}
+	is := d.I64s()
+	if len(is) != 2 || is[0] != 9 || is[1] != -9 {
+		t.Fatalf("I64s = %v", is)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+// TestCodecDeterministic: the same values encode to the same bytes.
+func TestCodecDeterministic(t *testing.T) {
+	build := func() []byte {
+		e := NewEncoder()
+		e.F64(0.123456789)
+		e.I64s([]int64{3, 1, 4, 1, 5})
+		e.String("determinism")
+		return e.Finish()
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Fatalf("two encodings differ:\n%x\n%x", a, b)
+	}
+}
+
+func TestDecoderRejectsCorruption(t *testing.T) {
+	e := NewEncoder()
+	e.U64(12345)
+	e.String("payload")
+	blob := e.Finish()
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(blob); cut++ {
+			d, err := NewDecoder(blob[:cut])
+			if err == nil {
+				// Frame happened to validate (only possible for the full
+				// blob, which this loop never passes) — drain and expect
+				// Done to fail instead.
+				d.U64()
+				_ = d.String()
+				err = d.Done()
+			}
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("cut=%d: error = %v, want ErrCorruptSnapshot", cut, err)
+			}
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		for off := range blob {
+			bad := append([]byte(nil), blob...)
+			bad[off] ^= 0x01
+			if _, err := NewDecoder(bad); !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("offset %d: error = %v, want ErrCorruptSnapshot", off, err)
+			}
+		}
+	})
+
+	t.Run("trailing-bytes", func(t *testing.T) {
+		d, err := NewDecoder(blob)
+		if err != nil {
+			t.Fatalf("NewDecoder: %v", err)
+		}
+		d.U64() // leave the string unread
+		if err := d.Done(); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("Done with unread payload = %v, want ErrCorruptSnapshot", err)
+		}
+	})
+
+	t.Run("overrun-sticky", func(t *testing.T) {
+		d, err := NewDecoder(blob)
+		if err != nil {
+			t.Fatalf("NewDecoder: %v", err)
+		}
+		d.U64()
+		_ = d.String()
+		if v := d.U64(); v != 0 {
+			t.Fatalf("read past payload = %d, want 0", v)
+		}
+		if err := d.Err(); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("Err after overrun = %v, want ErrCorruptSnapshot", err)
+		}
+		if v := d.F64(); v != 0 { // sticky: later reads stay zero
+			t.Fatalf("read after sticky error = %v, want 0", v)
+		}
+	})
+
+	t.Run("bad-length-prefix", func(t *testing.T) {
+		// Hand-build a frame whose string length prefix promises far more
+		// bytes than the payload holds; the bound check must reject it
+		// without attempting the allocation.
+		var body []byte
+		body = binary.LittleEndian.AppendUint32(body, codecMagic)
+		body = append(body, codecVersion)
+		body = binary.LittleEndian.AppendUint32(body, 0xffffffff)
+		blob := binary.LittleEndian.AppendUint32(body, crc32Of(body))
+		d, err := NewDecoder(blob)
+		if err != nil {
+			t.Fatalf("NewDecoder: %v", err)
+		}
+		if s := d.String(); s != "" {
+			t.Fatalf("String with huge prefix = %q, want empty", s)
+		}
+		if err := d.Err(); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("Err = %v, want ErrCorruptSnapshot", err)
+		}
+	})
+}
+
+func TestDecoderRejectsWrongMagicAndVersion(t *testing.T) {
+	mk := func(magic uint32, version uint8) []byte {
+		var body []byte
+		body = binary.LittleEndian.AppendUint32(body, magic)
+		body = append(body, version)
+		return binary.LittleEndian.AppendUint32(body, crc32Of(body))
+	}
+	if _, err := NewDecoder(mk(0x12345678, codecVersion)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("wrong magic: %v", err)
+	}
+	if _, err := NewDecoder(mk(codecMagic, codecVersion+1)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("future version: %v", err)
+	}
+	if _, err := NewDecoder(mk(codecMagic, codecVersion)); err != nil {
+		t.Fatalf("valid empty payload: %v", err)
+	}
+}
+
+func TestErrorsWrapSentinel(t *testing.T) {
+	_, err := NewDecoder(nil)
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("NewDecoder(nil) = %v", err)
+	}
+	if msg := fmt.Sprint(err); msg == "" {
+		t.Fatal("error has no message")
+	}
+}

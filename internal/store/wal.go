@@ -1,0 +1,51 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL framing shared by the memory and file backends: each record is
+//
+//	length (4) | payload | crc32c of payload (4)
+//
+// back to back.  A *torn tail* — fewer bytes than one complete frame
+// promises — is the expected artifact of a crash mid-append: the record
+// was never flushed, so its request was never acknowledged, and replay
+// stops there silently.  A *complete* frame whose checksum does not
+// match its payload, by contrast, is corruption and fails replay with
+// ErrCorruptSnapshot.
+
+const walFrameOverhead = 4 + 4
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst, rec []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rec)))
+	dst = append(dst, rec...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(rec, codecTable))
+}
+
+// walkFrames calls fn for each complete frame of buf in order.  It stops
+// silently at a torn tail and with ErrCorruptSnapshot at a checksum
+// mismatch or at the first error fn returns.
+func walkFrames(buf []byte, fn func(rec []byte) error) error {
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return nil // torn tail: partial length prefix
+		}
+		n := int(binary.LittleEndian.Uint32(buf[:4]))
+		if len(buf)-4 < n+4 {
+			return nil // torn tail: partial payload or checksum
+		}
+		rec, sumBytes := buf[4:4+n], buf[4+n:4+n+4]
+		if got, want := crc32.Checksum(rec, codecTable), binary.LittleEndian.Uint32(sumBytes); got != want {
+			return fmt.Errorf("%w: WAL record checksum mismatch (stored %08x, computed %08x)", ErrCorruptSnapshot, want, got)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		buf = buf[4+n+4:]
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/multiobject"
 	"repro/internal/policy"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // Sentinel errors of the facade.  Wherever possible they are the same
@@ -53,4 +54,10 @@ var (
 	// backpressure (WithBackpressure); errors.As extracts the
 	// *PressureError carrying the shard, depth, and suggested retry delay.
 	ErrPressure = serve.ErrPressure
+
+	// ErrCorruptSnapshot marks durable state the live server refuses to
+	// restore from: a snapshot or WAL that fails its checksum, structure,
+	// or configuration-fingerprint validation.  Restores fail loudly and
+	// completely rather than partially applying suspect state.
+	ErrCorruptSnapshot = store.ErrCorruptSnapshot
 )

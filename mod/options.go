@@ -58,6 +58,24 @@ type Settings struct {
 	// and the admit path stays allocation-free with it on.  Batch planning
 	// ignores it.
 	MeterStages bool
+	// Store is the live layer's durability backend: every admission is
+	// WAL-logged before its ticket is acknowledged, and shards snapshot
+	// their full scheduler state at epoch boundaries.  Nil (the default)
+	// disables durability.  Batch planning ignores it.
+	Store Store
+	// SnapshotDir, when non-empty, opens a file-backed Store rooted at the
+	// directory (created if absent) and hands its lifetime to the server —
+	// the one-knob spelling of durability.  It overrides Store.  Batch
+	// planning ignores it.
+	SnapshotDir string
+	// SnapshotEpochs is the snapshot cadence in epochs (each EpochSlots
+	// slots of a shard's smallest delay); 0 selects the serving default of
+	// one.  Batch planning ignores it.
+	SnapshotEpochs int
+	// Restore makes the server rebuild its state from the Store's latest
+	// snapshots and WAL tails before serving, resuming ticket numbering
+	// past the WAL high-water mark.  Batch planning ignores it.
+	Restore bool
 }
 
 // SlotsPerMedia returns the media length in slots of the start-up delay
@@ -161,3 +179,24 @@ func WithBackpressure(highWater int) Option {
 // decisions or cost accounting, and the admit hot path stays
 // allocation-free with it on.  Batch planning is unaffected.
 func WithStageMetering(on bool) Option { return func(s *Settings) { s.MeterStages = on } }
+
+// WithStore attaches a durability backend to the live server: admissions
+// are WAL-logged before acknowledgement and shards snapshot their state at
+// epoch boundaries.  The caller keeps ownership (Close the store after the
+// server).  Batch planning ignores it.
+func WithStore(st Store) Option { return func(s *Settings) { s.Store = st } }
+
+// WithDurability opens a file-backed durability store rooted at dir
+// (created if absent) and hands its lifetime to the server — the one-knob
+// spelling of WithStore for production deployments.  Batch planning
+// ignores it.
+func WithDurability(dir string) Option { return func(s *Settings) { s.SnapshotDir = dir } }
+
+// WithSnapshotEpochs sets the durability snapshot cadence in epochs
+// (default 1).  Batch planning ignores it.
+func WithSnapshotEpochs(n int) Option { return func(s *Settings) { s.SnapshotEpochs = n } }
+
+// WithRestore makes the live server rebuild its state from the store's
+// latest snapshots and WAL tails before serving — the warm-restart flag.
+// Batch planning ignores it.
+func WithRestore(on bool) Option { return func(s *Settings) { s.Restore = on } }

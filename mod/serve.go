@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // The live layer: the long-running, sharded Media-on-Demand admission
@@ -113,12 +114,15 @@ func LivePlanners() []string { return serve.LivePlanners() }
 // replanning period of epoch-based strategies in slots, WithChannelCap
 // the admission controller's channel budget, WithWorkers the shard
 // count, WithPoisson(false) the constant-rate dyadic tuning, and
-// WithWarmReplanning(false) cold whole-epoch replanning.  For knobs
-// beyond the options (degradation ladder, queue depths, wall-clock time
-// unit), build a ServeConfig and call NewServer directly.
+// WithWarmReplanning(false) cold whole-epoch replanning.  Durability
+// comes from WithDurability (a file store the server owns) or WithStore
+// (a caller-owned backend), with WithSnapshotEpochs setting the cadence
+// and WithRestore warm-restarting from the store's latest state.  For
+// knobs beyond the options (degradation ladder, queue depths, wall-clock
+// time unit), build a ServeConfig and call NewServer directly.
 func NewLiveServer(cat Catalog, opts ...Option) (*Server, error) {
 	st := ResolveSettings(opts...)
-	return serve.New(ServeConfig{
+	cfg := ServeConfig{
 		Catalog:            cat,
 		Shards:             st.Workers,
 		MaxChannels:        st.ChannelCap,
@@ -128,8 +132,46 @@ func NewLiveServer(cat Catalog, opts ...Option) (*Server, error) {
 		ColdReplanning:     !st.WarmReplanning,
 		PressureHighWater:  st.PressureHighWater,
 		MeterStages:        st.MeterStages,
-	})
+		Store:              st.Store,
+		SnapshotEpochs:     st.SnapshotEpochs,
+		Restore:            st.Restore,
+	}
+	if st.SnapshotDir != "" {
+		fs, err := store.NewFile(st.SnapshotDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = fs
+		cfg.OwnStore = true
+	}
+	s, err := serve.New(cfg)
+	if err != nil && cfg.OwnStore {
+		cfg.Store.Close()
+	}
+	return s, err
 }
+
+// Store is the live server's pluggable durability backend: per-shard
+// epoch snapshots plus a write-ahead log of admitted requests.  The
+// server logs before acknowledging, so the durable log is always an exact
+// prefix of the acknowledged admissions.
+type Store = store.Store
+
+// MemStore is the in-memory Store — the deterministic backend the
+// crash-recovery tests and experiments use (its Clone models the bytes
+// "on disk" at a kill instant).
+type MemStore = store.Mem
+
+// FileStore is the production Store: one snapshot file and one append-only
+// WAL file per shard under a directory, with atomic snapshot replacement.
+type FileStore = store.File
+
+// NewMemStore returns an empty in-memory durability store.
+func NewMemStore() *MemStore { return store.NewMem() }
+
+// NewFileStore opens (creating if needed) a file-backed durability store
+// rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) { return store.NewFile(dir) }
 
 // Handler returns the server's versioned HTTP JSON API.
 func Handler(s *Server) http.Handler { return serve.Handler(s) }
