@@ -15,6 +15,7 @@ package serve
 // slices, boxing, map churn) is a build break, not a slow drift.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/multiobject"
@@ -69,6 +70,7 @@ func BenchmarkShardAdmitDurable(b *testing.B) {
 	sh, st := benchShard(b, "online")
 	srv := sh.srv
 	srv.cfg.Store = store.NewMem()
+	srv.walRepair = make([]atomic.Bool, 1) // invariant: non-nil whenever walCh is
 	sh.walCh = make(chan walMsg, srv.cfg.QueueDepth)
 	srv.walWG.Add(1)
 	go srv.walWriter(sh)

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/multiobject"
@@ -327,6 +328,81 @@ func TestAdminSnapshotRoute(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("POST snapshot without a store = %d, want 409", resp.StatusCode)
 	}
+}
+
+// flakyStore wraps a Mem store and fails exactly one AppendWAL call —
+// the model of a transient disk hiccup on an otherwise healthy store.
+type flakyStore struct {
+	*store.Mem
+	failAt int64 // 1-based index of the AppendWAL call to fail
+	n      atomic.Int64
+}
+
+func (f *flakyStore) AppendWAL(shard int, rec []byte) error {
+	if f.n.Add(1) == f.failAt {
+		return errors.New("injected disk hiccup")
+	}
+	return f.Mem.AppendWAL(shard, rec)
+}
+
+// TestWALFailureRepairSnapshot: a transient AppendWAL failure leaves a
+// sequence gap in the WAL (the request is still acked).  The writer
+// flags the shard and the next admission forces a repair snapshot that
+// truncates the gapped log, so a later restore succeeds — instead of
+// every restore failing New with a WAL sequence gap until the next
+// cadence snapshot happens to truncate it.
+func TestWALFailureRepairSnapshot(t *testing.T) {
+	const horizon = 8.0
+	reqs := crashTrace(t)
+
+	ref, err := serve.New(crashConfig("online", 1, nil, false))
+	if err != nil {
+		t.Fatalf("New(ref): %v", err)
+	}
+	refTickets := submitAll(t, ref, reqs)
+	refDrain, err := ref.Drain(horizon)
+	if err != nil {
+		t.Fatalf("Drain(ref): %v", err)
+	}
+	ref.Close()
+
+	mem := store.NewMem()
+	flaky := &flakyStore{Mem: mem, failAt: 5}
+	doomed, err := serve.New(crashConfig("online", 1, flaky, false))
+	if err != nil {
+		t.Fatalf("New(doomed): %v", err)
+	}
+	tickets := submitAll(t, doomed, reqs)
+	for i := range tickets {
+		// Availability over durability: the hiccup never surfaces to a
+		// submitter.
+		if !sameTicket(tickets[i], refTickets[i]) {
+			t.Fatalf("ticket %d diverged under WAL failure:\n got %+v\nwant %+v", i, tickets[i], refTickets[i])
+		}
+	}
+	// crashConfig sets no SnapshotEpochs cadence, so the only snapshot
+	// that can exist is the forced repair.
+	if got := mem.Snapshots(); got != 1 {
+		t.Fatalf("store holds %d snapshots, want exactly the repair snapshot", got)
+	}
+	disk := mem.Clone()
+	doomed.Close()
+
+	restored, err := serve.New(crashConfig("online", 1, disk, true))
+	if err != nil {
+		t.Fatalf("New(restored) after repaired WAL gap: %v", err)
+	}
+	gotDrain, err := restored.Drain(horizon)
+	if err != nil {
+		t.Fatalf("Drain(restored): %v", err)
+	}
+	if !reflect.DeepEqual(gotDrain.Objects, refDrain.Objects) {
+		t.Fatalf("drained objects diverged:\n got %+v\nwant %+v", gotDrain.Objects, refDrain.Objects)
+	}
+	if gotDrain.Stats.WALFailures != 0 {
+		t.Fatalf("restored server reports %d WAL failures, want 0", gotDrain.Stats.WALFailures)
+	}
+	restored.Close()
 }
 
 // TestRestoreSurfacesCorruption: a flipped byte anywhere in a snapshot

@@ -40,7 +40,14 @@ import (
 //
 // Store failures favor availability over durability: the writer counts
 // them (Stats.WALFailures) and still acknowledges, so a full disk
-// degrades the durability guarantee rather than wedging admission.
+// degrades the durability guarantee rather than wedging admission.  A
+// failed append additionally leaves a sequence gap in the log that would
+// fail every restore until the log is truncated, so the writer flags the
+// shard and the next admission forces an immediate repair snapshot —
+// SaveSnapshot truncates the WAL, re-establishing a consistent base one
+// admission after the hiccup instead of a full cadence later.  (If the
+// repair snapshot itself fails, the flag re-arms and the next admission
+// retries.)
 
 // walRecSize is the fixed WAL record layout: sequence number (8),
 // catalog object index (4), raw request timestamp as float bits (8).
@@ -72,6 +79,9 @@ type walMsg struct {
 	done  chan struct{}
 	snap  []byte
 	errc  chan error
+	// repair marks a walSnapshot forced by a prior append failure; if
+	// saving it fails too, the writer re-arms the shard's repair flag.
+	repair bool
 }
 
 // snapshotMsg asks a shard loop to snapshot now; the writer answers on
@@ -96,6 +106,7 @@ func (s *Server) walWriter(sh *shard) {
 			buf = m.rec
 			if err := st.AppendWAL(sh.id, buf[:]); err != nil {
 				s.walFailures.Add(1)
+				s.walRepair[sh.id].Store(true)
 			}
 		case walAck:
 			if err := st.Flush(sh.id); err != nil {
@@ -111,6 +122,9 @@ func (s *Server) walWriter(sh *shard) {
 			err := st.SaveSnapshot(sh.id, m.snap)
 			if err != nil {
 				s.walFailures.Add(1)
+				if m.repair {
+					s.walRepair[sh.id].Store(true)
+				}
 			}
 			if m.errc != nil {
 				m.errc <- err
@@ -140,9 +154,19 @@ func (sh *shard) logSubmit(req Request) {
 
 // maybeSnapshot hands the writer a snapshot once the shard clock passes
 // the next cadence boundary (Config.SnapshotEpochs epochs of EpochSlots
-// slots of the shard's smallest delay).
+// slots of the shard's smallest delay), or immediately when the writer
+// flagged a WAL append failure — the repair snapshot truncates the
+// gapped log so a later restore does not fail on the missing sequence.
 func (sh *shard) maybeSnapshot() {
-	if sh.walCh == nil || sh.snapEvery <= 0 || sh.now < sh.nextSnap {
+	if sh.walCh == nil {
+		return
+	}
+	if sh.srv.walRepair[sh.id].CompareAndSwap(true, false) {
+		sh.walCh <- walMsg{kind: walSnapshot, snap: sh.encodeSnapshot(), repair: true}
+		sh.nextSnap = sh.now + sh.snapEvery
+		return
+	}
+	if sh.snapEvery <= 0 || sh.now < sh.nextSnap {
 		return
 	}
 	sh.walCh <- walMsg{kind: walSnapshot, snap: sh.encodeSnapshot()}

@@ -416,6 +416,11 @@ type Server struct {
 	// walFailures counts failed durability-store operations; the WAL
 	// writers increment it instead of failing admission.
 	walFailures atomic.Int64
+	// walRepair holds one flag per shard (nil without a store): set by
+	// the shard's WAL writer when an append fails, leaving a sequence
+	// gap in the log, and consumed by the shard loop, which forces an
+	// immediate repair snapshot to re-establish a consistent base.
+	walRepair []atomic.Bool
 
 	// walWG tracks the per-shard WAL writer goroutines; Close waits for
 	// them after the shard loops (their only senders) have exited.
@@ -567,6 +572,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.respond = make([]stats.LogHistogram, len(s.stratNames))
 	if cfg.Store != nil {
+		s.walRepair = make([]atomic.Bool, len(s.shards))
 		for _, sh := range s.shards {
 			sh.walCh = make(chan walMsg, cfg.QueueDepth)
 			sh.snapEvery = float64(cfg.SnapshotEpochs*cfg.EpochSlots) * sh.minDelay
@@ -922,6 +928,14 @@ func (r *DrainResult) AverageChannels() float64 {
 // the truncated trailing partial group of each object's current epoch —
 // and returns the final accounting.  Drain is terminal: it is meant for
 // virtual-clock runs, after which the server should be Closed.
+//
+// Drain is not durable.  It advances scheduler state outside the
+// WAL/snapshot discipline — nothing it does is logged or snapshotted —
+// so on a durable server a restore after Drain reproduces the pre-drain
+// state, not the drained one.  That is intentional: Drain reports a
+// finished run; it is not an admission whose effects need replaying.
+// Callers who want the post-restart server to skip the drained work
+// should Snapshot before draining and discard the store afterwards.
 func (s *Server) Drain(horizon float64) (*DrainResult, error) {
 	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
 		return nil, fmt.Errorf("%w: drain horizon must be positive and finite, got %g", ErrBadRequest, horizon)

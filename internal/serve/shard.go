@@ -165,6 +165,8 @@ type shard struct {
 	rejectedL int64
 	// walCh feeds the shard's WAL writer goroutine; nil disables
 	// durability routing in the loop.  The loop is the only sender.
+	// (Cross-goroutine repair signalling lives on Server.walRepair, off
+	// the loop-owned struct.)
 	walCh chan walMsg
 	// snapEvery/nextSnap drive the snapshot cadence in virtual time
 	// (SnapshotEpochs × EpochSlots slots of the smallest object delay).
@@ -489,7 +491,9 @@ func (sh *shard) advanceAll(t float64) {
 	}
 }
 
-// drain finalizes every object of the shard at the horizon.
+// drain finalizes every object of the shard at the horizon.  The clock
+// advance and scheduler mutations are deliberately outside the
+// WAL/snapshot discipline — see Server.Drain for the durability caveat.
 func (sh *shard) drain(horizon float64) {
 	if horizon > sh.now {
 		sh.now = horizon

@@ -19,7 +19,10 @@ import (
 // Snapshots are written to a temporary file and renamed into place, so a
 // crash during SaveSnapshot leaves the previous snapshot intact.  WAL
 // appends go through a buffered writer that is flushed to the operating
-// system on every Flush call — the log-before-ack barrier.  The
+// system on every Flush call — the log-before-ack barrier.  A crash can
+// leave a torn final frame in the log; the first append of the next
+// process trims the file back to its last complete frame so new records
+// never land after torn bytes (see wal).  The
 // durability model is process-crash (SIGKILL): once write(2) returns,
 // the bytes live in the kernel page cache and survive the process; no
 // fsync is issued, so a simultaneous power loss is out of scope (the
@@ -105,11 +108,29 @@ func (s *File) LoadSnapshot(shard int) ([]byte, error) {
 
 // wal returns shard's open WAL handle, opening it in append mode first
 // if needed.  Callers hold s.mu.
+//
+// On the first open of a process lifetime the file may end in a torn
+// frame left by the previous crash (bufio flushing a full buffer
+// mid-frame).  Replay tolerates the tear, but appending after it would
+// poison the log: the next restore would read a garbage length prefix
+// spanning the torn bytes and the new records, and either refuse to
+// start or silently drop every acknowledged record after the tear.  So
+// the file is trimmed to its last complete frame before any append.
 func (s *File) wal(shard int) (*walFile, error) {
 	if wf := s.wals[shard]; wf != nil {
 		return wf, nil
 	}
-	f, err := os.OpenFile(s.walPath(shard), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := s.walPath(shard)
+	if buf, err := os.ReadFile(path); err == nil {
+		if keep := completeFramesLen(buf); keep < len(buf) {
+			if err := os.Truncate(path, int64(keep)); err != nil {
+				return nil, fmt.Errorf("store: trim torn WAL tail: %w", err)
+			}
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: inspect WAL: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open WAL: %w", err)
 	}

@@ -272,6 +272,117 @@ func TestFileStoreTornTailOnDisk(t *testing.T) {
 	}
 }
 
+// TestFileStoreAppendAfterTornTail pins the restart-after-crash append
+// path: a torn final frame on disk must be trimmed before the reopened
+// store appends, so new records never land after torn bytes.  Without
+// the trim, replay after a second restart reads a garbage length prefix
+// spanning the tear and the new records — either refusing to start or
+// silently dropping every acknowledged record after the tear.
+func TestFileStoreAppendAfterTornTail(t *testing.T) {
+	// Torn tails of both shapes the review scenario produces: a short
+	// fragment whose bogus length exceeds whatever follows, and a long
+	// one whose bogus length could swallow the next records whole.
+	tears := map[string][]byte{
+		"partial-length": {0x7f},
+		"huge-length":    {0xff, 0xff, 0xff, 0x7f, 0xab, 0xcd},
+		"partial-frame":  appendFrame(nil, []byte("never flushed whole"))[:9],
+	}
+	for name, tear := range tears {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := NewFile(dir)
+			if err != nil {
+				t.Fatalf("NewFile: %v", err)
+			}
+			if err := st.AppendWAL(0, []byte("acked one")); err != nil {
+				t.Fatalf("AppendWAL: %v", err)
+			}
+			if err := st.AppendWAL(0, []byte("acked two")); err != nil {
+				t.Fatalf("AppendWAL: %v", err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// The crash artifact: a flushed fragment of a frame whose
+			// request was never acknowledged.
+			f, err := os.OpenFile(filepath.Join(dir, "wal-0.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatalf("open WAL for tear: %v", err)
+			}
+			if _, err := f.Write(tear); err != nil {
+				t.Fatalf("write tear: %v", err)
+			}
+			f.Close()
+
+			// Restart: replay sees the acked records, then the process
+			// appends (and acks) a new one.
+			st2, err := NewFile(dir)
+			if err != nil {
+				t.Fatalf("NewFile (restart): %v", err)
+			}
+			replay := func(s Store) []string {
+				t.Helper()
+				var recs []string
+				if err := s.ReplayWAL(0, func(rec []byte) error {
+					recs = append(recs, string(rec))
+					return nil
+				}); err != nil {
+					t.Fatalf("ReplayWAL: %v", err)
+				}
+				return recs
+			}
+			if got := replay(st2); len(got) != 2 {
+				t.Fatalf("replay over torn file = %v, want 2 records", got)
+			}
+			if err := st2.AppendWAL(0, []byte("acked three")); err != nil {
+				t.Fatalf("AppendWAL after tear: %v", err)
+			}
+			if err := st2.Flush(0); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+			if err := st2.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			// Second restart: every acknowledged record must replay, in
+			// order, with no corruption error.
+			st3, err := NewFile(dir)
+			if err != nil {
+				t.Fatalf("NewFile (second restart): %v", err)
+			}
+			defer st3.Close()
+			got := replay(st3)
+			want := []string{"acked one", "acked two", "acked three"}
+			if len(got) != len(want) {
+				t.Fatalf("replayed %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCompleteFramesLen(t *testing.T) {
+	buf := appendFrame(nil, []byte("one"))
+	buf = appendFrame(buf, []byte("two longer"))
+	whole := len(buf)
+	if got := completeFramesLen(buf); got != whole {
+		t.Fatalf("completeFramesLen(whole) = %d, want %d", got, whole)
+	}
+	if got := completeFramesLen(nil); got != 0 {
+		t.Fatalf("completeFramesLen(nil) = %d, want 0", got)
+	}
+	for cut := 1; cut < walFrameOverhead+3; cut++ {
+		torn := append(append([]byte(nil), buf...), appendFrame(nil, []byte("torn"))[:cut]...)
+		if got := completeFramesLen(torn); got != whole {
+			t.Fatalf("cut=%d: completeFramesLen = %d, want %d", cut, got, whole)
+		}
+	}
+}
+
 func TestNewFileBadDir(t *testing.T) {
 	if _, err := NewFile("/dev/null/nope"); err == nil {
 		t.Fatal("NewFile(/dev/null/nope) succeeded, want error")

@@ -26,6 +26,25 @@ func appendFrame(dst, rec []byte) []byte {
 	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(rec, codecTable))
 }
 
+// completeFramesLen returns the length of buf's longest prefix made of
+// complete frames — the byte offset where a torn tail begins, if any.
+// Checksums are not verified here: a complete-but-corrupt frame is
+// replay's to reject, not the append path's to silently drop.
+func completeFramesLen(buf []byte) int {
+	off := 0
+	for {
+		rest := buf[off:]
+		if len(rest) < 4 {
+			return off
+		}
+		n := int(binary.LittleEndian.Uint32(rest[:4]))
+		if len(rest)-4 < n+4 {
+			return off
+		}
+		off += 4 + n + 4
+	}
+}
+
 // walkFrames calls fn for each complete frame of buf in order.  It stops
 // silently at a torn tail and with ErrCorruptSnapshot at a checksum
 // mismatch or at the first error fn returns.
