@@ -1,7 +1,9 @@
 // benchdiff compares two BENCH_serve.json files (the checked-in baseline
 // and a fresh run) and fails when any strategy regressed: admission
-// throughput down more than 10%, or any stage-latency p99 — the queue,
-// plan, and replan columns distilled from the server's
+// throughput down more than 10%, durable group-commit throughput
+// (version-4 durable_reqs_per_sec, gated only when both files carry it)
+// down more than 10%, or any stage-latency p99 — the queue, plan, and
+// replan columns distilled from the server's
 // mod_stage_latency_seconds histograms — up more than 10%.  It lives
 // under .github/ so `go build ./...` ignores it (dot-directories are
 // excluded from package patterns); CI runs it with
@@ -28,11 +30,12 @@ import (
 )
 
 type benchRow struct {
-	Strategy    string  `json:"strategy"`
-	ReqsPerSec  float64 `json:"reqs_per_sec"`
-	QueueP99US  float64 `json:"queue_p99_us"`
-	PlanP99US   float64 `json:"plan_p99_us"`
-	ReplanP99US float64 `json:"replan_p99_us"`
+	Strategy          string  `json:"strategy"`
+	ReqsPerSec        float64 `json:"reqs_per_sec"`
+	QueueP99US        float64 `json:"queue_p99_us"`
+	PlanP99US         float64 `json:"plan_p99_us"`
+	ReplanP99US       float64 `json:"replan_p99_us"`
+	DurableReqsPerSec float64 `json:"durable_reqs_per_sec"`
 }
 
 // benchFile matches both shapes: flat results and the version-2+ grid.
@@ -44,11 +47,15 @@ type benchFile struct {
 }
 
 // strategyStats is a strategy's cross-cell mean of each gated column.
+// durableReqsPerSec averages only the rows that measured it (the
+// version-4 durable columns appear on "online" rows; version-3 baselines
+// have none at all) and stays zero when no row did.
 type strategyStats struct {
-	reqsPerSec  float64
-	queueP99US  float64
-	planP99US   float64
-	replanP99US float64
+	reqsPerSec        float64
+	queueP99US        float64
+	planP99US         float64
+	replanP99US       float64
+	durableReqsPerSec float64
 }
 
 // load returns each strategy's mean columns across every row of the file.
@@ -70,23 +77,32 @@ func load(path string) (map[string]strategyStats, error) {
 	}
 	sum := make(map[string]strategyStats)
 	n := make(map[string]float64)
+	nDur := make(map[string]float64)
 	for _, r := range rows {
 		s := sum[r.Strategy]
 		s.reqsPerSec += r.ReqsPerSec
 		s.queueP99US += r.QueueP99US
 		s.planP99US += r.PlanP99US
 		s.replanP99US += r.ReplanP99US
+		if r.DurableReqsPerSec > 0 {
+			s.durableReqsPerSec += r.DurableReqsPerSec
+			nDur[r.Strategy]++
+		}
 		sum[r.Strategy] = s
 		n[r.Strategy]++
 	}
 	out := make(map[string]strategyStats, len(sum))
 	for name, s := range sum {
-		out[name] = strategyStats{
+		st := strategyStats{
 			reqsPerSec:  s.reqsPerSec / n[name],
 			queueP99US:  s.queueP99US / n[name],
 			planP99US:   s.planP99US / n[name],
 			replanP99US: s.replanP99US / n[name],
 		}
+		if nDur[name] > 0 {
+			st.durableReqsPerSec = s.durableReqsPerSec / nDur[name]
+		}
+		out[name] = st
 	}
 	return out, nil
 }
@@ -147,6 +163,19 @@ func main() {
 				strategy, -100*delta, o.reqsPerSec, n.reqsPerSec)
 			failed = true
 		}
+		// The durable group-commit column gates like admission throughput,
+		// but only when both files measured it — a version-3 baseline
+		// (no durable columns) never fails a version-4 run, and vice versa.
+		if o.durableReqsPerSec > 0 && n.durableReqsPerSec > 0 {
+			dDelta := (n.durableReqsPerSec - o.durableReqsPerSec) / o.durableReqsPerSec
+			fmt.Printf("%-16s %12.0f -> %12.0f durable reqs/s (%+.1f%%)\n",
+				strategy, o.durableReqsPerSec, n.durableReqsPerSec, 100*dDelta)
+			if dDelta < -tolerance {
+				fmt.Printf("::error::benchdiff: %s durable group-commit throughput regressed %.1f%% (%.0f -> %.0f reqs/s)\n",
+					strategy, -100*dDelta, o.durableReqsPerSec, n.durableReqsPerSec)
+				failed = true
+			}
+		}
 		for _, stage := range []struct {
 			name         string
 			oldUS, newUS float64
@@ -170,5 +199,5 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("benchdiff: no throughput or stage-p99 regression beyond 10%")
+	fmt.Println("benchdiff: no throughput, durable-throughput, or stage-p99 regression beyond 10%")
 }

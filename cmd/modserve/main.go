@@ -20,7 +20,12 @@
 // shards snapshot their full scheduler state every -snapshot-epochs
 // epochs (POST /v1/admin/snapshot forces one); -restore warm-restarts
 // from the directory's latest snapshots plus WAL tails, resuming ticket
-// numbering where the previous process stopped.  In "load" mode it
+// numbering where the previous process stopped.  -sync picks the WAL
+// group-commit barrier: "os" (the default) flushes to the operating
+// system before acknowledging and survives process kill, "full" also
+// fsyncs — one fsync per group commit, shared by every acknowledgement
+// in the batch — and survives power loss, "none" leaves commit timing
+// to the store's buffering.  In "load" mode it
 // replays a deterministic Poisson/constant/ramp/flash-crowd request trace
 // against a running server over HTTP and reports latency, admission, and
 // delay histograms; -skipreqs/-maxreqs window the trace so a
@@ -33,8 +38,11 @@
 // batch), per-request admission latency, and warm-start epoch replanning
 // (replans, warm hits, DP cells reused vs recomputed, replan latency),
 // plus the per-stage latency decomposition (queue/plan/replan p50 and p99
-// from the server's histograms), and writes the machine-readable grid to
-// -out (BENCH_serve.json by default, version 3) so the repository's
+// from the server's histograms).  For the "online" strategy each cell
+// additionally measures durable throughput on a file-backed store with 8
+// concurrent submitters — group-commit versus flush-per-ack, plus the
+// flushes-per-request coalescing factor — and the grid is written to
+// -out (BENCH_serve.json by default, version 4) so the repository's
 // serving performance is tracked across changes; -csv FILE additionally
 // dumps one row per replayed request (grid coordinates, ticket, and
 // per-stage nanosecond timings) for offline analysis.  In "smoke" mode it
@@ -49,7 +57,7 @@
 // Usage:
 //
 //	modserve -mode serve -addr :8377 -objects 100 -zipf 1 -delay 2 -cap 200 -strategy online
-//	modserve -mode serve -addr :8377 -snapshot-dir /var/lib/modserve -restore
+//	modserve -mode serve -addr :8377 -snapshot-dir /var/lib/modserve -sync full -restore
 //	modserve -mode load -addr http://localhost:8377 -lambda 0.5 -horizon 20 -arrivals poisson -seed 7
 //	modserve -mode bench -workloads poisson,flash -sizes 8,16 -shardgrid 1,2 -lambda 0.5 -horizon 20 -strategies online,dyadic,batching -out BENCH_serve.json
 //	modserve -mode smoke
@@ -68,6 +76,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -104,6 +113,7 @@ func main() {
 	timeUnit := flag.Duration("timeunit", time.Second, "wall-clock duration of one catalog time unit (serve)")
 	snapDir := flag.String("snapshot-dir", "", "durability directory (snapshot + WAL per shard); empty = no durability (serve/smoke)")
 	snapEpochs := flag.Int("snapshot-epochs", 0, "snapshot cadence in epochs (0 = server default)")
+	syncFlag := flag.String("sync", "os", "WAL group-commit barrier: none | os | full (with -snapshot-dir)")
 	restore := flag.Bool("restore", false, "warm-restart: restore state from -snapshot-dir before serving")
 	maxReqs := flag.Int("maxreqs", 0, "load: replay at most N requests of the trace (0 = all)")
 	skipReqs := flag.Int("skipreqs", 0, "load: skip the first N requests of the trace")
@@ -123,6 +133,9 @@ func main() {
 		MeterStages:       *meter,
 		SnapshotEpochs:    *snapEpochs,
 	}
+	syncMode, err := mod.ParseSyncMode(*syncFlag)
+	exitOn(err)
+	cfg.SyncMode = syncMode
 	if *snapDir != "" {
 		fs, err := mod.NewFileStore(*snapDir)
 		exitOn(err)
@@ -279,6 +292,12 @@ func parseInts(s string, fallback int) ([]int, error) {
 // The stage columns come from the server's own latency decomposition
 // (Config.MeterStages): per-admission queue wait, planning, and
 // epoch-replan share, as p50/p99 of the merged stage histograms.
+// The durable columns (version 4, "online" rows only) replay the trace on
+// a file-backed store with 16 concurrent submitters: durable_reqs_per_sec
+// is the group-commit pipeline at the default "os" sync level,
+// durable_per_ack_reqs_per_sec the flush-per-acknowledgement baseline on
+// the same store, and wal_flushes_per_req the group-commit coalescing
+// factor (store flushes divided by acknowledged requests).
 type benchResult struct {
 	Strategy         string  `json:"strategy"`
 	Requests         int     `json:"requests"`
@@ -305,6 +324,10 @@ type benchResult struct {
 	CostStreams      float64 `json:"cost_streams"`
 	BusyTime         float64 `json:"busy_time"`
 	Peak             int     `json:"peak"`
+
+	DurableReqsPerSec       float64 `json:"durable_reqs_per_sec,omitempty"`
+	DurablePerAckReqsPerSec float64 `json:"durable_per_ack_reqs_per_sec,omitempty"`
+	WALFlushesPerReq        float64 `json:"wal_flushes_per_req,omitempty"`
 }
 
 // benchCell is one grid cell: a workload x catalog size x shard count
@@ -321,9 +344,9 @@ type benchCell struct {
 	Results  []benchResult `json:"results"`
 }
 
-// benchOutput is the machine-readable bench report (version 3: the
-// version-2 grid shape plus rejected_pressure and the per-stage latency
-// columns): enough context to reproduce the sweep plus one cell per grid
+// benchOutput is the machine-readable bench report (version 4: the
+// version-3 grid shape plus the durable-throughput columns on "online"
+// rows): enough context to reproduce the sweep plus one cell per grid
 // combination, so the repository's serving-performance trajectory is
 // tracked across changes by .github/benchdiff.go.
 type benchOutput struct {
@@ -349,7 +372,7 @@ func cellSeed(base int64, wi, si int) int64 {
 // ReplanStats) warm-start epoch replanning — and writes the grid JSON.
 func bench(cfg mod.ServeConfig, load mod.LoadConfig, grid benchGrid, strategies []string, length, delayPct, zipf float64, outPath, csvPath string) error {
 	report := benchOutput{
-		Version:    3,
+		Version:    4,
 		Horizon:    load.Horizon,
 		Seed:       load.Seed,
 		EpochSlots: cfg.EpochSlots,
@@ -410,11 +433,20 @@ func bench(cfg mod.ServeConfig, load mod.LoadConfig, grid benchGrid, strategies 
 					if res.BatchReqsPerSec, err = benchBatch(cellCfg, reqs, cellLoad.Horizon); err != nil {
 						return err
 					}
+					if strategy == "online" {
+						if err := benchDurable(cellCfg, reqs, cellLoad.Horizon, &res); err != nil {
+							return err
+						}
+					}
 					res.Strategy = strategy
 					cell.Results = append(cell.Results, res)
 					rep.Render(os.Stdout)
 					fmt.Printf("\nthroughput:           %.0f reqs/s single, %.0f reqs/s batched (p50 %.1f us, p99 %.1f us per admission)\n",
 						res.ReqsPerSec, res.BatchReqsPerSec, res.P50LatencyUS, res.P99LatencyUS)
+					if res.DurableReqsPerSec > 0 {
+						fmt.Printf("durable (file store): %.0f reqs/s group commit, %.0f reqs/s flush-per-ack (%.3f flushes/req)\n",
+							res.DurableReqsPerSec, res.DurablePerAckReqsPerSec, res.WALFlushesPerReq)
+					}
 					fmt.Printf("replans:              %d (%d warm; %d cells reused, %d recomputed; total %.0f us, max %.0f us)\n\n",
 						res.Replans, res.WarmReplans, res.CellsReused, res.CellsRecomputed, res.ReplanTotalUS, res.MaxReplanUS)
 				}
@@ -590,6 +622,130 @@ func benchBatch(cfg mod.ServeConfig, reqs []mod.Request, horizon float64) (float
 	return float64(len(reqs)) / elapsed, nil
 }
 
+// benchDurable measures the durable admission path for the "online" row
+// of a cell: the same trace on a file-backed store under a throwaway
+// directory, submitted by 16 concurrent striped workers per shard
+// (worker w replays requests w, w+N, w+2N, ... — the shard clock clamps
+// timestamps monotone, so interleaving is safe).  It runs twice at the
+// default "os" sync level: once through the group-commit pipeline
+// (recording durable_reqs_per_sec and the flushes-per-request
+// coalescing factor) and once with Config.FlushPerAck — one store flush
+// per acknowledgement, the pre-group-commit behavior — as the baseline
+// (durable_per_ack_reqs_per_sec).
+func benchDurable(cfg mod.ServeConfig, reqs []mod.Request, horizon float64, res *benchResult) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	// One bench cell's trace lasts low single-digit milliseconds at
+	// durable throughput — far too short for a stable wall-clock figure —
+	// so every measurement replays the trace in rounds until it has
+	// submitted at least minSubmits requests (resubmitted timestamps
+	// clamp to the shard clock, which is fine for a throughput run).
+	// Group and per-ack runs alternate back to back as pairs so machine
+	// drift hits both modes alike, and the recorded columns come from
+	// the pair whose group/per-ack ratio is the median — a paired
+	// measurement, not independent medians that could mix a fast group
+	// window with a slow per-ack one.
+	// The submitter cohort scales with the cell's shard count so every
+	// shard sees the same 16-worker concurrency (and so the same
+	// group-commit coalescing opportunity) regardless of grid position.
+	const (
+		submittersPerShard = 16
+		minSubmits         = 40000
+		pairs              = 5
+	)
+	submitters := submittersPerShard
+	if cfg.Shards > 1 {
+		submitters = submittersPerShard * cfg.Shards
+	}
+	rounds := (minSubmits + len(reqs) - 1) / len(reqs)
+	n := rounds * len(reqs)
+	run := func(perAck bool) (rps, flushesPerReq float64, err error) {
+		dir, err := os.MkdirTemp("", "modserve-bench-wal-")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		fs, err := mod.NewFileStore(dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		dcfg := cfg
+		dcfg.Store = fs
+		dcfg.OwnStore = true
+		dcfg.FlushPerAck = perAck
+		// Both durable runs measure the durable pipeline itself; stage
+		// metering (forced on for the grid's latency columns) stays off
+		// here so its per-request cost does not dilute the comparison.
+		dcfg.MeterStages = false
+		s, err := mod.NewServer(dcfg)
+		if err != nil {
+			fs.Close()
+			return 0, 0, err
+		}
+		defer s.Close()
+		errs := make(chan error, submitters)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					for i := w; i < len(reqs); i += submitters {
+						if _, err := s.Submit(reqs[i]); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0).Seconds()
+		select {
+		case err := <-errs:
+			return 0, 0, err
+		default:
+		}
+		st, err := s.Stats()
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := s.Drain(horizon); err != nil {
+			return 0, 0, err
+		}
+		if elapsed > 0 {
+			rps = float64(n) / elapsed
+		}
+		flushesPerReq = float64(st.WALFlushes) / float64(n)
+		return rps, flushesPerReq, nil
+	}
+	type pair struct {
+		group, perAck, flushes float64
+	}
+	var runs []pair
+	for p := 0; p < pairs; p++ {
+		g, f, err := run(false)
+		if err != nil {
+			return err
+		}
+		a, _, err := run(true)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, pair{group: g, perAck: a, flushes: f})
+	}
+	sort.Slice(runs, func(i, j int) bool {
+		return runs[i].group*runs[j].perAck < runs[j].group*runs[i].perAck
+	})
+	mid := runs[len(runs)/2]
+	res.DurableReqsPerSec = mid.group
+	res.DurablePerAckReqsPerSec = mid.perAck
+	res.WALFlushesPerReq = mid.flushes
+	return nil
+}
+
 // percentile returns the p-quantile of sorted samples (nearest rank).
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
@@ -664,6 +820,12 @@ func smoke(cfg mod.ServeConfig, load mod.LoadConfig, conc int) error {
 		}
 		fmt.Println("modserve: durable snapshot saved")
 	}
+	// Drop the smoke client's keep-alive connections (every request above
+	// rode the shared DefaultTransport, including any conn the transport
+	// raced open and never used) before asking the server to wind down:
+	// a pooled connection the server still counts as new or active would
+	// otherwise hold http.Server.Shutdown until its deadline.
+	http.DefaultClient.CloseIdleConnections()
 	cancel()
 	return <-done
 }

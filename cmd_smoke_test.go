@@ -108,8 +108,8 @@ func TestCommandSmoke(t *testing.T) {
 				if err := json.Unmarshal(blob, &parsed); err != nil {
 					t.Fatalf("bench JSON does not parse: %v\n%s", err, blob)
 				}
-				if parsed.Version != 3 {
-					t.Fatalf("bench JSON version %d, want 3:\n%s", parsed.Version, blob)
+				if parsed.Version != 4 {
+					t.Fatalf("bench JSON version %d, want 4:\n%s", parsed.Version, blob)
 				}
 				if len(parsed.Grid) != 4 { // 2 workloads x 1 size x 2 shard counts
 					t.Fatalf("bench JSON has %d grid cells, want 4:\n%s", len(parsed.Grid), blob)
@@ -139,6 +139,24 @@ func TestCommandSmoke(t *testing.T) {
 							if r.Replans <= 0 || r.WarmReplans != r.Replans {
 								t.Errorf("%s row %+v: want warm_replans == replans > 0", cell.Workload, r)
 							}
+							// The durable columns are measured on the
+							// "online" rows only.
+							if r.DurableReqsPerSec != 0 || r.WALFlushesPerReq != 0 {
+								t.Errorf("%s row %+v: durable columns on a non-online row", cell.Workload, r)
+							}
+						} else {
+							// Version 4: online rows carry the durable
+							// group-commit columns.  Throughputs must be
+							// positive, and group commit must coalesce —
+							// strictly fewer than one store flush per
+							// acknowledged request.
+							if r.DurableReqsPerSec <= 0 || r.DurablePerAckReqsPerSec <= 0 {
+								t.Errorf("%s row %+v: non-positive durable throughput", cell.Workload, r)
+							}
+							if r.WALFlushesPerReq <= 0 || r.WALFlushesPerReq >= 1 {
+								t.Errorf("%s row %+v: wal_flushes_per_req = %v, want in (0, 1)",
+									cell.Workload, r, r.WALFlushesPerReq)
+							}
 						}
 					}
 				}
@@ -147,7 +165,7 @@ func TestCommandSmoke(t *testing.T) {
 	}
 }
 
-// benchGridFile mirrors the version-3 BENCH_serve.json grid shape, with
+// benchGridFile mirrors the version-4 BENCH_serve.json grid shape, with
 // every field the smoke tests assert on.
 type benchGridFile struct {
 	Version int `json:"version"`
@@ -177,6 +195,10 @@ type benchGridFile struct {
 			CellsRecomputed  int64   `json:"cells_recomputed"`
 			CostStreams      float64 `json:"cost_streams"`
 			Peak             int     `json:"peak"`
+
+			DurableReqsPerSec       float64 `json:"durable_reqs_per_sec"`
+			DurablePerAckReqsPerSec float64 `json:"durable_per_ack_reqs_per_sec"`
+			WALFlushesPerReq        float64 `json:"wal_flushes_per_req"`
 		} `json:"results"`
 	} `json:"grid"`
 }
@@ -214,6 +236,7 @@ func TestBenchGridDeterminism(t *testing.T) {
 				r.QueueP50US, r.QueueP99US = 0, 0
 				r.PlanP50US, r.PlanP99US = 0, 0
 				r.ReplanP50US, r.ReplanP99US = 0, 0
+				r.DurableReqsPerSec, r.DurablePerAckReqsPerSec, r.WALFlushesPerReq = 0, 0, 0
 			}
 		}
 		return parsed
@@ -339,6 +362,7 @@ func TestCommandSmokeBadFlags(t *testing.T) {
 		{"modserve", []string{"-mode", "bench", "-arrivals", "nope"}},
 		{"modserve", []string{"-mode", "bench", "-workloads", "nope"}},
 		{"modserve", []string{"-mode", "bench", "-shardgrid", "1,x"}},
+		{"modserve", []string{"-mode", "bench", "-sync", "nope"}},
 		{"modlint", []string{"-run", "nope"}},
 	} {
 		bin, ok := bins[tc.cmd]

@@ -118,7 +118,7 @@ func TestSubmitBatchOneSendPerShard(t *testing.T) {
 		if err := sh.addObject(o, i, "batching"); err != nil {
 			t.Fatal(err)
 		}
-		srv.byName[o.Name] = sh
+		srv.byName[o.Name] = route{sh: sh, st: sh.byName[o.Name]}
 	}
 	// Counting loops instead of shard.loop: every channel receive is one
 	// send from SubmitBatch.

@@ -61,23 +61,32 @@ func BenchmarkShardAdmit(b *testing.B) {
 	}
 }
 
-// BenchmarkShardAdmitDurable extends the allocation guard to the durable
-// hot path: the WAL record fill and channel send (logSubmit), the admit
-// core, and the log-before-ack flush round-trip through the WAL writer.
-// The record travels as a fixed-size array inside the channel message, so
-// durability must add zero allocations per admitted request.
-func BenchmarkShardAdmitDurable(b *testing.B) {
-	sh, st := benchShard(b, "online")
+// durableShard wires a loop-less benchmark shard to a Mem store and a
+// live group-commit WAL writer; the returned stop func drains the writer.
+func durableShard(b *testing.B, sh *shard) (stop func()) {
+	b.Helper()
 	srv := sh.srv
 	srv.cfg.Store = store.NewMem()
 	srv.walRepair = make([]atomic.Bool, 1) // invariant: non-nil whenever walCh is
 	sh.walCh = make(chan walMsg, srv.cfg.QueueDepth)
 	srv.walWG.Add(1)
 	go srv.walWriter(sh)
-	defer func() {
+	return func() {
 		close(sh.walCh)
 		srv.walWG.Wait()
-	}()
+	}
+}
+
+// BenchmarkShardAdmitDurable extends the allocation guard to the durable
+// hot path: the WAL record fill and channel send (logSubmit, the
+// record-only walSubmit), the admit core, and the commit round-trip
+// through the group-commit WAL writer (an ack-only walSubmit).  The
+// record travels as a fixed-size array inside the channel message, so
+// durability must add zero allocations per admitted request.
+func BenchmarkShardAdmitDurable(b *testing.B) {
+	sh, st := benchShard(b, "online")
+	stop := durableShard(b, sh)
+	defer stop()
 	reply := make(chan Ticket, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -86,8 +95,33 @@ func BenchmarkShardAdmitDurable(b *testing.B) {
 		t += 0.003
 		sh.logSubmit(Request{Object: "hot", T: t})
 		sh.admitCore(st, t)
-		sh.walCh <- walMsg{kind: walAck, reply: reply}
+		sh.walCh <- walMsg{kind: walSubmit, reply: reply}
 		<-reply
+	}
+}
+
+// BenchmarkShardAdmitDurableBatch is the batch half of the durable
+// allocation guard: 256 requests through admitBatch (which sends one
+// record-only walSubmit per entry) followed by one walBatchAck commit
+// round-trip.  The whole batch must amortize to 0 allocs/op.
+func BenchmarkShardAdmitDurableBatch(b *testing.B) {
+	sh, _ := benchShard(b, "batching")
+	stop := durableShard(b, sh)
+	defer stop()
+	const batch = 256
+	names := []string{"hot", "warm", "mild", "cold"}
+	reqs := make([]Request, batch)
+	out := make([]Ticket, batch)
+	for i := range reqs {
+		reqs[i] = Request{Object: names[i%len(names)], T: 0.5}
+	}
+	done := make(chan struct{}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.admitBatch(reqs, out, 4096)
+		sh.walCh <- walMsg{kind: walBatchAck, done: done}
+		<-done
 	}
 }
 

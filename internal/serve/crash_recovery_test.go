@@ -43,6 +43,23 @@ func crashConfig(strategy string, shards int, st store.Store, restore bool) serv
 	}
 }
 
+// crashVariant is one durability configuration of the equivalence matrix:
+// a sync level, optionally the per-ack (pre-group-commit) writer.
+type crashVariant struct {
+	name        string
+	mode        store.SyncMode
+	flushPerAck bool
+}
+
+func crashVariants() []crashVariant {
+	return []crashVariant{
+		{name: "sync-none", mode: store.SyncNone},
+		{name: "sync-os", mode: store.SyncOS},
+		{name: "sync-full", mode: store.SyncFull},
+		{name: "per-ack", mode: store.SyncOS, flushPerAck: true},
+	}
+}
+
 func crashTrace(t *testing.T) []serve.Request {
 	t.Helper()
 	reqs, err := serve.GenerateRequests(crashCatalog(), serve.LoadConfig{
@@ -99,61 +116,71 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 				}
 				ref.Close()
 
-				for _, cut := range cuts {
-					mem := store.NewMem()
-					doomed, err := serve.New(crashConfig(strategy, shards, mem, false))
-					if err != nil {
-						t.Fatalf("shards=%d cut=%d: New(doomed): %v", shards, cut, err)
-					}
-					head := submitAll(t, doomed, reqs[:cut])
-					for i := range head {
-						if !sameTicket(head[i], refTickets[i]) {
-							t.Fatalf("shards=%d cut=%d: durable head ticket %d diverged:\n got %+v\nwant %+v",
-								shards, cut, i, head[i], refTickets[i])
+				for _, v := range crashVariants() {
+					for _, cut := range cuts {
+						mem := store.NewMem()
+						cfg := crashConfig(strategy, shards, mem, false)
+						cfg.SyncMode = v.mode
+						cfg.FlushPerAck = v.flushPerAck
+						doomed, err := serve.New(cfg)
+						if err != nil {
+							t.Fatalf("shards=%d %s cut=%d: New(doomed): %v", shards, v.name, cut, err)
 						}
-					}
-					// SIGKILL: capture the store as it stands, then discard
-					// the doomed server without giving it a clean shutdown
-					// path to flush anything further.
-					disk := mem.Clone()
-					doomed.Close()
+						head := submitAll(t, doomed, reqs[:cut])
+						for i := range head {
+							if !sameTicket(head[i], refTickets[i]) {
+								t.Fatalf("shards=%d %s cut=%d: durable head ticket %d diverged:\n got %+v\nwant %+v",
+									shards, v.name, cut, i, head[i], refTickets[i])
+							}
+						}
+						// SIGKILL: capture the store as it stands, then discard
+						// the doomed server without giving it a clean shutdown
+						// path to flush anything further.  Serial submits mean
+						// every request was acked — and so committed — before
+						// the clone, in every sync mode.
+						disk := mem.Clone()
+						doomed.Close()
 
-					restored, err := serve.New(crashConfig(strategy, shards, disk, true))
-					if err != nil {
-						t.Fatalf("shards=%d cut=%d: New(restored): %v", shards, cut, err)
-					}
-					tail := submitAll(t, restored, reqs[cut:])
-					for i := range tail {
-						if !sameTicket(tail[i], refTickets[cut+i]) {
-							t.Fatalf("shards=%d cut=%d: tail ticket %d diverged:\n got %+v\nwant %+v",
-								shards, cut, i, tail[i], refTickets[cut+i])
+						rcfg := crashConfig(strategy, shards, disk, true)
+						rcfg.SyncMode = v.mode
+						rcfg.FlushPerAck = v.flushPerAck
+						restored, err := serve.New(rcfg)
+						if err != nil {
+							t.Fatalf("shards=%d %s cut=%d: New(restored): %v", shards, v.name, cut, err)
 						}
+						tail := submitAll(t, restored, reqs[cut:])
+						for i := range tail {
+							if !sameTicket(tail[i], refTickets[cut+i]) {
+								t.Fatalf("shards=%d %s cut=%d: tail ticket %d diverged:\n got %+v\nwant %+v",
+									shards, v.name, cut, i, tail[i], refTickets[cut+i])
+							}
+						}
+						gotDrain, err := restored.Drain(horizon)
+						if err != nil {
+							t.Fatalf("shards=%d %s cut=%d: Drain(restored): %v", shards, v.name, cut, err)
+						}
+						if !reflect.DeepEqual(gotDrain.Objects, refDrain.Objects) {
+							t.Fatalf("shards=%d %s cut=%d: drained objects diverged:\n got %+v\nwant %+v",
+								shards, v.name, cut, gotDrain.Objects, refDrain.Objects)
+						}
+						if got, want := gotDrain.Usage.Total(), refDrain.Usage.Total(); math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("shards=%d %s cut=%d: busy time %g, want %g", shards, v.name, cut, got, want)
+						}
+						if got, want := gotDrain.Usage.Peak(), refDrain.Usage.Peak(); got != want {
+							t.Fatalf("shards=%d %s cut=%d: peak %d, want %d", shards, v.name, cut, got, want)
+						}
+						gotStats, wantStats := gotDrain.Stats, refDrain.Stats
+						if gotStats.Admitted != wantStats.Admitted || gotStats.Degraded != wantStats.Degraded ||
+							gotStats.Rejected != wantStats.Rejected || gotStats.LiveChannels != wantStats.LiveChannels {
+							t.Fatalf("shards=%d %s cut=%d: counters diverged:\n got %+v\nwant %+v",
+								shards, v.name, cut, gotStats, wantStats)
+						}
+						if gotStats.WALFailures != 0 {
+							t.Fatalf("shards=%d %s cut=%d: %d WAL failures on a healthy store",
+								shards, v.name, cut, gotStats.WALFailures)
+						}
+						restored.Close()
 					}
-					gotDrain, err := restored.Drain(horizon)
-					if err != nil {
-						t.Fatalf("shards=%d cut=%d: Drain(restored): %v", shards, cut, err)
-					}
-					if !reflect.DeepEqual(gotDrain.Objects, refDrain.Objects) {
-						t.Fatalf("shards=%d cut=%d: drained objects diverged:\n got %+v\nwant %+v",
-							shards, cut, gotDrain.Objects, refDrain.Objects)
-					}
-					if got, want := gotDrain.Usage.Total(), refDrain.Usage.Total(); math.Float64bits(got) != math.Float64bits(want) {
-						t.Fatalf("shards=%d cut=%d: busy time %g, want %g", shards, cut, got, want)
-					}
-					if got, want := gotDrain.Usage.Peak(), refDrain.Usage.Peak(); got != want {
-						t.Fatalf("shards=%d cut=%d: peak %d, want %d", shards, cut, got, want)
-					}
-					gotStats, wantStats := gotDrain.Stats, refDrain.Stats
-					if gotStats.Admitted != wantStats.Admitted || gotStats.Degraded != wantStats.Degraded ||
-						gotStats.Rejected != wantStats.Rejected || gotStats.LiveChannels != wantStats.LiveChannels {
-						t.Fatalf("shards=%d cut=%d: counters diverged:\n got %+v\nwant %+v",
-							shards, cut, gotStats, wantStats)
-					}
-					if gotStats.WALFailures != 0 {
-						t.Fatalf("shards=%d cut=%d: %d WAL failures on a healthy store",
-							shards, cut, gotStats.WALFailures)
-					}
-					restored.Close()
 				}
 			}
 		})
@@ -330,11 +357,14 @@ func TestAdminSnapshotRoute(t *testing.T) {
 	}
 }
 
-// flakyStore wraps a Mem store and fails exactly one AppendWAL call —
-// the model of a transient disk hiccup on an otherwise healthy store.
+// flakyStore wraps a Mem store and fails the append of exactly one
+// record — the model of a transient disk hiccup on an otherwise healthy
+// store.  Both append entry points count records, so the injection works
+// whether the writer appends singly (FlushPerAck) or in batches (group
+// commit); a failing batch appends its prefix like the file backend.
 type flakyStore struct {
 	*store.Mem
-	failAt int64 // 1-based index of the AppendWAL call to fail
+	failAt int64 // 1-based index of the record append to fail
 	n      atomic.Int64
 }
 
@@ -343,6 +373,18 @@ func (f *flakyStore) AppendWAL(shard int, rec []byte) error {
 		return errors.New("injected disk hiccup")
 	}
 	return f.Mem.AppendWAL(shard, rec)
+}
+
+func (f *flakyStore) AppendWALBatch(shard int, recs [][]byte) error {
+	for _, rec := range recs {
+		if f.n.Add(1) == f.failAt {
+			return errors.New("injected disk hiccup")
+		}
+		if err := f.Mem.AppendWAL(shard, rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TestWALFailureRepairSnapshot: a transient AppendWAL failure leaves a

@@ -4,7 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
+	"repro/internal/bandwidth"
 	"repro/internal/live"
 	"repro/internal/multiobject"
 	"repro/internal/stats"
@@ -13,30 +16,45 @@ import (
 
 // Durability wiring.  With Config.Store set, each shard gains a companion
 // WAL-writer goroutine and a typed channel to it, and the shard loop
-// routes every admission through a log-before-ack discipline:
+// routes every admission through a group-commit log-before-ack
+// discipline:
 //
-//  1. Before running the admit path for a request, the loop sends the
-//     request's WAL record (sequence number, catalog index, clamped-free
-//     timestamp) down the channel.
-//  2. After the admit path, the loop sends the acknowledgement — the
-//     ticket and its reply channel — down the same channel.
-//  3. The writer appends records and, at each acknowledgement, flushes
-//     the store before delivering the ticket to the submitter.
+//  1. For each single submit the loop captures the request's WAL record
+//     (sequence number, catalog index, clamp-free timestamp), runs the
+//     admit path, and sends record, ticket, and reply channel down the
+//     writer channel as ONE walSubmit message.  Batch submits send one
+//     record-only walSubmit per entry followed by a single walBatchAck.
+//  2. The writer drains the channel greedily — a blocking receive, then
+//     non-blocking receives until the channel is empty (optionally
+//     lingering Config.GroupCommitMaxDelay for stragglers) — appends
+//     every pending record with one AppendWALBatch, performs ONE Flush
+//     for the whole batch at Config.SyncMode, and only then releases the
+//     batch's acknowledgements in FIFO order.
 //
-// The channel is FIFO, so the durable log is always an exact prefix of
-// the acknowledged requests: a crash can lose unacknowledged tail
-// requests (whose submitters never got tickets) but never an
-// acknowledged one.  The admit hot path itself allocates nothing extra —
-// the record is a fixed-size array inside the channel message
-// (BenchmarkShardAdmitDurable and the CI allocation guard pin 0
-// allocs/op with durability on).
+// The channel is FIFO and acks release only after the records ahead of
+// them are committed, so the durable log is always a gap-free prefix of
+// the admission order covering every acknowledged request: a crash can
+// lose unacknowledged tail requests (whose submitters never got tickets)
+// but never an acknowledged one.  Under load, N acknowledgements share
+// one flush (Stats.WALFlushes counts them; TestGroupCommitCoalesces pins
+// flushes < acks) — which is also what makes store.SyncFull affordable:
+// one fsync amortized over the batch.  Config.FlushPerAck restores the
+// pre-group-commit flush-per-acknowledgement writer for benchmarking and
+// bisection.  The admit hot path itself allocates nothing extra — the
+// record is a fixed-size array inside the channel message
+// (BenchmarkShardAdmitDurable, BenchmarkShardAdmitDurableBatch, and the
+// CI allocation guard pin 0 allocs/op with durability on).
 //
-// Snapshots ride the same channel (walSnapshot), so the writer's
-// SaveSnapshot — which truncates the WAL — is serialized with the
-// appends and can never truncate a record the snapshot doesn't cover.
-// The file backend's crash window between snapshot rename and WAL
-// truncation is closed by sequence numbers instead: replay skips records
-// below the snapshot's next sequence.
+// Snapshots ride the same channel (walSnapshot) and act as in-batch
+// barriers: the writer lands the record run accumulated so far, then
+// saves the snapshot — which truncates the WAL — so it can never
+// truncate a record it doesn't cover.  The loop only copies its state
+// into a reusable shardSnapshotState; the codec runs on the writer
+// goroutine with a pooled Encoder, so a cadence snapshot no longer
+// stalls admission for the encode.  The file backend's crash window
+// between snapshot rename and WAL truncation is closed by sequence
+// numbers instead: replay skips records below the snapshot's next
+// sequence.
 //
 // Store failures favor availability over durability: the writer counts
 // them (Stats.WALFailures) and still acknowledges, so a full disk
@@ -53,18 +71,25 @@ import (
 // catalog object index (4), raw request timestamp as float bits (8).
 const walRecSize = 8 + 4 + 8
 
+// walMaxBatch caps one group commit's batch so accretion under sustained
+// overload cannot defer the flush (and the acknowledgements behind it)
+// indefinitely.
+const walMaxBatch = 1024
+
 // walKind discriminates the messages on a shard's WAL channel.
 type walKind uint8
 
 const (
-	// walRecord: append rec to the shard's WAL.  No acknowledgement.
-	walRecord walKind = iota
-	// walAck: flush, then deliver tk on reply (single submit).
-	walAck
-	// walBatchAck: flush, then signal done (batch submit).
+	// walSubmit: one single-submit admission, record and acknowledgement
+	// merged into one message.  When hasRec is set, rec joins the
+	// commit's append run; when reply is non-nil, tk is delivered on it
+	// after the commit.  admitBatch sends record-only walSubmits (reply
+	// nil), acknowledged collectively by one walBatchAck.
+	walSubmit walKind = iota
+	// walBatchAck: signal done after the commit (batch submit).
 	walBatchAck
-	// walSnapshot: save snap as the shard's snapshot (truncating the
-	// WAL); errc, when non-nil, receives the result.
+	// walSnapshot: encode snap and save it as the shard's snapshot
+	// (truncating the WAL); errc, when non-nil, receives the result.
 	walSnapshot
 )
 
@@ -72,13 +97,17 @@ const (
 // is a fixed-size array, not a slice, so sending it copies the bytes
 // through the channel without allocating.
 type walMsg struct {
-	kind  walKind
-	rec   [walRecSize]byte
-	tk    Ticket
-	reply chan Ticket
-	done  chan struct{}
-	snap  []byte
-	errc  chan error
+	kind walKind
+	rec  [walRecSize]byte
+	// hasRec marks a walSubmit that carries a record (known object, a
+	// sequence number was consumed); unknown-object submits are acked
+	// without logging anything.
+	hasRec bool
+	tk     Ticket
+	reply  chan Ticket
+	done   chan struct{}
+	snap   *shardSnapshotState
+	errc   chan error
 	// repair marks a walSnapshot forced by a prior append failure; if
 	// saving it fails too, the writer re-arms the shard's repair flag.
 	repair bool
@@ -90,54 +119,249 @@ type snapshotMsg struct {
 	reply chan error
 }
 
+// walCommit is one writer's reusable commit state: the drained messages,
+// the append run under assembly, and the dirty flag tracking records
+// appended to the store but not yet flushed (carried across commits, so
+// record-only commits defer their flush to the first commit that
+// actually acknowledges something).
+type walCommit struct {
+	pend  []walMsg
+	recs  [][]byte
+	dirty bool
+}
+
 // walWriter drains one shard's WAL channel.  It is a Server method (not
 // a shard method) because it runs on its own goroutine, off the shard
 // loop; the shard loop is the channel's only sender and closes it at
-// shutdown, after which the writer exits.
+// shutdown, after which the writer commits what it holds and exits.
+//
+// This is the group-commit loop: one blocking receive starts a batch,
+// greedy non-blocking receives extend it with everything already queued
+// (plus, when Config.GroupCommitMaxDelay is set, one bounded linger for
+// stragglers), and commit lands the whole batch with a single append run
+// and at most one Flush before releasing its acknowledgements in FIFO
+// order.
 func (s *Server) walWriter(sh *shard) {
 	defer s.walWG.Done()
+	if s.cfg.FlushPerAck {
+		s.walWriterPerAck(sh)
+		return
+	}
+	mode := s.cfg.SyncMode
+	linger := s.cfg.GroupCommitMaxDelay
+	var timer *time.Timer
+	w := &walCommit{}
+	for {
+		m, ok := <-sh.walCh
+		if !ok {
+			return
+		}
+		w.pend = append(w.pend, m)
+		open := true
+		grew := true
+	gather:
+		for len(w.pend) < walMaxBatch {
+			select {
+			case m2, ok2 := <-sh.walCh:
+				if !ok2 {
+					open = false
+					break gather
+				}
+				w.pend = append(w.pend, m2)
+				grew = true
+			default:
+				if linger <= 0 {
+					// The channel is empty.  Yield the processor once per
+					// growth spurt before committing: submitters woken by
+					// the previous batch's acks get to enqueue their next
+					// requests, so the batch accretes toward the in-flight
+					// cohort instead of committing one record at a time
+					// when the scheduler alternates producer and writer.
+					// An unproductive yield (no new message) commits, so
+					// an idle writer adds one yield of latency, not a
+					// timer wait.
+					if grew {
+						grew = false
+						runtime.Gosched()
+						continue
+					}
+					break gather
+				}
+				// The channel is empty; hold the batch open for up to
+				// linger from this moment (arrivals during the window
+				// join the batch but do not extend it).
+				if timer == nil {
+					timer = time.NewTimer(linger)
+				} else {
+					timer.Reset(linger)
+				}
+				for {
+					select {
+					case m2, ok2 := <-sh.walCh:
+						if !ok2 {
+							if !timer.Stop() {
+								<-timer.C
+							}
+							open = false
+							break gather
+						}
+						w.pend = append(w.pend, m2)
+					case <-timer.C:
+						break gather
+					}
+				}
+			}
+		}
+		s.commit(sh, w, mode)
+		if !open {
+			return
+		}
+	}
+}
+
+// commit lands one drained batch: records are gathered into append runs
+// (a walSnapshot acts as a barrier — the run so far lands, then the
+// snapshot saves, superseding it), the store is flushed at most once if
+// anything dirty needs acknowledging, and only then are the batch's
+// acknowledgements released in FIFO order.  That ordering is the
+// durability contract: by the time any submitter in the batch holds a
+// ticket, every record up to and including its own is committed at the
+// configured sync level.
+func (s *Server) commit(sh *shard, w *walCommit, mode store.SyncMode) {
+	w.recs = w.recs[:0]
+	acks := false
+	for i := range w.pend {
+		m := &w.pend[i]
+		switch m.kind {
+		case walSubmit:
+			if m.hasRec {
+				w.recs = append(w.recs, m.rec[:])
+			}
+			if m.reply != nil {
+				acks = true
+			}
+		case walBatchAck:
+			acks = true
+		case walSnapshot:
+			s.appendRun(sh, w)
+			// The snapshot covers every record before it in the batch (it
+			// was captured after those admissions on the loop), and
+			// SaveSnapshot truncates the WAL — nothing appended so far
+			// needs a flush of its own.
+			w.dirty = false
+			s.writeSnapshot(sh, m)
+		}
+	}
+	s.appendRun(sh, w)
+	if acks && w.dirty {
+		if err := s.cfg.Store.Flush(sh.id, mode); err != nil {
+			s.walFailures.Add(1)
+		}
+		s.walFlushes.Add(1)
+		w.dirty = false
+	}
+	for i := range w.pend {
+		m := &w.pend[i]
+		switch m.kind {
+		case walSubmit:
+			if m.reply != nil {
+				m.reply <- m.tk
+			}
+		case walBatchAck:
+			m.done <- struct{}{}
+		}
+	}
+	w.pend = w.pend[:0]
+}
+
+// appendRun lands the commit's accumulated records with one batch append.
+// A failed append may leave a sequence gap (a prefix can land), so the
+// shard is flagged for a repair snapshot either way; the run still counts
+// as dirty — flushing a partial prefix is harmless and keeps the on-disk
+// bytes a prefix of admission order.
+func (s *Server) appendRun(sh *shard, w *walCommit) {
+	if len(w.recs) == 0 {
+		return
+	}
+	if err := s.cfg.Store.AppendWALBatch(sh.id, w.recs); err != nil {
+		s.walFailures.Add(1)
+		s.walRepair[sh.id].Store(true)
+	}
+	w.dirty = true
+	w.recs = w.recs[:0]
+}
+
+// writeSnapshot runs the snapshot codec on the writer goroutine — the
+// loop only captured plain state — with a pooled Encoder, then saves the
+// blob and recycles the capture buffer back to the shard's free list.
+func (s *Server) writeSnapshot(sh *shard, m *walMsg) {
+	if s.walEnc[sh.id] == nil {
+		s.walEnc[sh.id] = store.NewEncoder()
+	} else {
+		s.walEnc[sh.id].Reset()
+	}
+	enc := s.walEnc[sh.id]
+	encodeSnapshotState(enc, m.snap)
+	err := s.cfg.Store.SaveSnapshot(sh.id, enc.Finish())
+	sh.releaseSnapState(m.snap)
+	if err != nil {
+		s.walFailures.Add(1)
+		if m.repair {
+			s.walRepair[sh.id].Store(true)
+		}
+	}
+	if m.errc != nil {
+		m.errc <- err
+	}
+}
+
+// walWriterPerAck is the pre-group-commit writer: one Flush per
+// acknowledgement, records appended as they arrive, fed by the original
+// two-messages-per-admission protocol (submitDurable sends the record
+// and the acknowledgement separately in this mode).  Kept behind
+// Config.FlushPerAck for benchmarking and bisection — it is the baseline
+// the durability table in README.md compares against.
+func (s *Server) walWriterPerAck(sh *shard) {
 	st := s.cfg.Store
+	mode := s.cfg.SyncMode
 	// buf lives for the writer's whole life so the per-record append
 	// passes a stable slice into the store without per-message escapes.
 	var buf [walRecSize]byte
 	for m := range sh.walCh {
 		switch m.kind {
-		case walRecord:
-			buf = m.rec
-			if err := st.AppendWAL(sh.id, buf[:]); err != nil {
-				s.walFailures.Add(1)
-				s.walRepair[sh.id].Store(true)
-			}
-		case walAck:
-			if err := st.Flush(sh.id); err != nil {
-				s.walFailures.Add(1)
-			}
-			m.reply <- m.tk
-		case walBatchAck:
-			if err := st.Flush(sh.id); err != nil {
-				s.walFailures.Add(1)
-			}
-			m.done <- struct{}{}
-		case walSnapshot:
-			err := st.SaveSnapshot(sh.id, m.snap)
-			if err != nil {
-				s.walFailures.Add(1)
-				if m.repair {
+		case walSubmit:
+			if m.hasRec {
+				buf = m.rec
+				if err := st.AppendWAL(sh.id, buf[:]); err != nil {
+					s.walFailures.Add(1)
 					s.walRepair[sh.id].Store(true)
 				}
 			}
-			if m.errc != nil {
-				m.errc <- err
+			if m.reply != nil {
+				if err := st.Flush(sh.id, mode); err != nil {
+					s.walFailures.Add(1)
+				}
+				s.walFlushes.Add(1)
+				m.reply <- m.tk
 			}
+		case walBatchAck:
+			if err := st.Flush(sh.id, mode); err != nil {
+				s.walFailures.Add(1)
+			}
+			s.walFlushes.Add(1)
+			m.done <- struct{}{}
+		case walSnapshot:
+			s.writeSnapshot(sh, &m)
 		}
 	}
 }
 
-// logSubmit appends the WAL record for a request the admit path is about
-// to consume a sequence number for.  Unknown objects consume no sequence
-// number and are not logged (handleSubmit answers them without touching
-// any counter a snapshot covers).  Called by the shard loop immediately
-// before handleSubmit, so record order equals admission order.
+// logSubmit sends the record-only walSubmit for a request the admit path
+// is about to consume a sequence number for.  Unknown objects consume no
+// sequence number and are not logged (handleSubmit answers them without
+// touching any counter a snapshot covers).  Called by admitBatch
+// immediately before each per-entry admit, so record order equals
+// admission order; the batch's single walBatchAck follows.
 //
 //modlint:noalloc
 func (sh *shard) logSubmit(req Request) {
@@ -145,31 +369,79 @@ func (sh *shard) logSubmit(req Request) {
 		return
 	}
 	var m walMsg
-	m.kind = walRecord
+	m.kind = walSubmit
+	m.hasRec = true
 	binary.LittleEndian.PutUint64(m.rec[0:8], uint64(sh.ticketSeq))
 	binary.LittleEndian.PutUint32(m.rec[8:12], uint32(sh.byName[req.Object].index))
 	binary.LittleEndian.PutUint64(m.rec[12:20], math.Float64bits(req.T))
 	sh.walCh <- m
 }
 
-// maybeSnapshot hands the writer a snapshot once the shard clock passes
-// the next cadence boundary (Config.SnapshotEpochs epochs of EpochSlots
-// slots of the shard's smallest delay), or immediately when the writer
-// flagged a WAL append failure — the repair snapshot truncates the
-// gapped log so a later restore does not fail on the missing sequence.
+// submitDurable is the shard loop's durable single-submit path: capture
+// the WAL record at the current sequence number, admit, account the
+// queue, then hand record, ticket, and reply channel to the writer as
+// ONE walSubmit message — the merged form of the old walRecord+walAck
+// pair, halving the channel traffic per request.  The record must be
+// captured before the admit (which consumes the sequence number) and
+// sent after it (the message carries the ticket); the loop is the
+// channel's only sender, so the interleaving stays admission-ordered.
+// st is the pre-resolved object state from the router (nil falls back
+// to the shard's own lookup).
+//
+//modlint:noalloc
+func (sh *shard) submitDurable(st *objectState, req Request, queueNS int64, reply chan Ticket, q *shardQueue) {
+	if sh.srv.cfg.FlushPerAck {
+		// The pre-group-commit baseline kept record and acknowledgement as
+		// separate channel messages; reproduce that two-message protocol
+		// faithfully so the FlushPerAck benchmark measures what PR 9
+		// actually shipped, channel traffic included.
+		sh.logSubmit(req)
+		var a walMsg
+		a.kind = walSubmit
+		a.tk = sh.handleSubmit(req, queueNS)
+		q.dequeued.Add(1)
+		a.reply = reply
+		sh.walCh <- a
+		return
+	}
+	var m walMsg
+	m.kind = walSubmit
+	if st == nil {
+		st = sh.byName[req.Object]
+	}
+	if st != nil {
+		m.hasRec = true
+		binary.LittleEndian.PutUint64(m.rec[0:8], uint64(sh.ticketSeq))
+		binary.LittleEndian.PutUint32(m.rec[8:12], uint32(st.index))
+		binary.LittleEndian.PutUint64(m.rec[12:20], math.Float64bits(req.T))
+	}
+	m.tk = sh.handleSubmitFor(st, req, queueNS)
+	q.dequeued.Add(1)
+	m.reply = reply
+	sh.walCh <- m
+}
+
+// maybeSnapshot hands the writer a snapshot capture once the shard clock
+// passes the next cadence boundary (Config.SnapshotEpochs epochs of
+// EpochSlots slots of the shard's smallest delay), or immediately when
+// the writer flagged a WAL append failure — the repair snapshot
+// truncates the gapped log so a later restore does not fail on the
+// missing sequence.  The loop only copies state; the writer encodes.
 func (sh *shard) maybeSnapshot() {
 	if sh.walCh == nil {
 		return
 	}
-	if sh.srv.walRepair[sh.id].CompareAndSwap(true, false) {
-		sh.walCh <- walMsg{kind: walSnapshot, snap: sh.encodeSnapshot(), repair: true}
+	// A plain load keeps the common no-repair case off the locked
+	// instruction; the CAS settles the race only when the flag is up.
+	if sh.srv.walRepair[sh.id].Load() && sh.srv.walRepair[sh.id].CompareAndSwap(true, false) {
+		sh.walCh <- walMsg{kind: walSnapshot, snap: sh.captureSnapshot(), repair: true}
 		sh.nextSnap = sh.now + sh.snapEvery
 		return
 	}
 	if sh.snapEvery <= 0 || sh.now < sh.nextSnap {
 		return
 	}
-	sh.walCh <- walMsg{kind: walSnapshot, snap: sh.encodeSnapshot()}
+	sh.walCh <- walMsg{kind: walSnapshot, snap: sh.captureSnapshot()}
 	sh.nextSnap = sh.now + sh.snapEvery
 }
 
@@ -232,68 +504,168 @@ func decodeHist(d *store.Decoder, h *stats.LogHistogram) error {
 	return d.Err()
 }
 
-// encodeSnapshot serializes the shard's full scheduler state with the
-// versioned store codec: identity fingerprint, clock, ticket sequence,
-// loop-owned counter mirrors, gauge end-event heap, finalized bandwidth
-// intervals, stage histograms, and per-object state (delay epoch,
-// accounting carry, and the live scheduler's exported dynamic state).
-// The encoding is deterministic: the same state always yields the same
-// bytes.
-func (sh *shard) encodeSnapshot() []byte {
-	e := store.NewEncoder()
-	e.I64(int64(sh.id))
-	e.I64(int64(sh.total))
-	e.F64(sh.now)
-	e.I64(sh.ticketSeq)
-	e.I64(sh.admittedL)
-	e.I64(sh.degradedL)
-	e.I64(sh.rejectedL)
+// shardSnapshotState is a plain-data copy of everything a snapshot
+// serializes, captured on the shard loop and encoded on the WAL writer.
+// The split keeps the codec — the expensive part of a snapshot — off the
+// admit path.  Instances cycle through the shard's snapFree list, so a
+// steady snapshot cadence reuses two buffers instead of allocating
+// fresh slices per capture.
+type shardSnapshotState struct {
+	id, total int
+	now       float64
+	ticketSeq int64
+	admittedL int64
+	degradedL int64
+	rejectedL int64
+	ends      []endEvent
+	intervals []bandwidth.Interval
+	stages    []stageHist
+	objects   []objectSnapState
+}
 
-	// Gauge end-event heap, in heap-array order: restoring it verbatim
-	// reproduces the exact pop order of the original run.
-	e.U32(uint32(len(sh.ends)))
-	for _, ev := range sh.ends {
+// objectSnapState is one object's captured snapshot state.  live.Export
+// deep-copies the scheduler's dynamic state (Times, Provisional), so the
+// capture shares nothing with the live scheduler the loop keeps mutating.
+type objectSnapState struct {
+	name     string
+	strategy string
+	epoch    int
+	scale    float64
+	delay    float64
+	L        int64
+	arrivals int64
+	rejected int64
+	carry    live.Totals
+	live     live.State
+	// exportOK distinguishes a captured live state from an unexportable
+	// scheduler, which encodes as a poison kind so restore fails loudly.
+	exportOK bool
+}
+
+// takeSnapState pops a reusable capture buffer off the free list, or
+// allocates one when the list is empty (or absent, on bench harnesses
+// that wire durability by hand).
+func (sh *shard) takeSnapState() *shardSnapshotState {
+	if sh.snapFree != nil {
+		select {
+		case ss := <-sh.snapFree:
+			return ss
+		default:
+		}
+	}
+	return &shardSnapshotState{}
+}
+
+// releaseSnapState returns a capture buffer to the free list once the
+// writer has encoded it; an overfull (or absent) list drops the buffer.
+func (sh *shard) releaseSnapState(ss *shardSnapshotState) {
+	if sh.snapFree == nil || ss == nil {
+		return
+	}
+	select {
+	case sh.snapFree <- ss:
+	default:
+	}
+}
+
+// captureSnapshot copies the shard's full scheduler state — identity
+// fingerprint, clock, ticket sequence, loop-owned counter mirrors, gauge
+// end-event heap, finalized bandwidth intervals, stage histograms, and
+// per-object state (delay epoch, accounting carry, and the live
+// scheduler's exported dynamic state) — into a reusable capture buffer.
+// It runs on the shard loop; encodeSnapshotState serializes the result
+// on the writer goroutine.
+func (sh *shard) captureSnapshot() *shardSnapshotState {
+	ss := sh.takeSnapState()
+	ss.id = sh.id
+	ss.total = sh.total
+	ss.now = sh.now
+	ss.ticketSeq = sh.ticketSeq
+	ss.admittedL = sh.admittedL
+	ss.degradedL = sh.degradedL
+	ss.rejectedL = sh.rejectedL
+	// Heap-array order: restoring it verbatim reproduces the exact pop
+	// order of the original run.
+	ss.ends = append(ss.ends[:0], sh.ends...)
+	ss.intervals = sh.usage.Intervals()
+	// stageHist holds fixed-size value histograms, so this copies.
+	ss.stages = append(ss.stages[:0], sh.stages...)
+	ss.objects = ss.objects[:0]
+	for _, st := range sh.objects {
+		o := objectSnapState{
+			name:     st.obj.Name,
+			strategy: st.strategy,
+			epoch:    st.epoch,
+			scale:    st.scale,
+			delay:    st.delay,
+			L:        st.L,
+			arrivals: st.arrivals,
+			rejected: st.rejected,
+			carry:    st.carry,
+		}
+		if ls, err := live.Export(st.sched); err == nil {
+			o.live = ls
+			o.exportOK = true
+		}
+		// Every registered strategy is exportable; an unexportable
+		// scheduler would be a new strategy family missing its State
+		// support.  exportOK stays false and the codec writes a poison
+		// kind so restore fails loudly rather than silently dropping the
+		// object's schedule.
+		ss.objects = append(ss.objects, o)
+	}
+	return ss
+}
+
+// encodeSnapshotState serializes a captured shard state with the
+// versioned store codec.  The encoding is deterministic: the same state
+// always yields the same bytes.  Runs on the WAL writer goroutine.
+func encodeSnapshotState(e *store.Encoder, ss *shardSnapshotState) {
+	e.I64(int64(ss.id))
+	e.I64(int64(ss.total))
+	e.F64(ss.now)
+	e.I64(ss.ticketSeq)
+	e.I64(ss.admittedL)
+	e.I64(ss.degradedL)
+	e.I64(ss.rejectedL)
+
+	e.U32(uint32(len(ss.ends)))
+	for _, ev := range ss.ends {
 		e.F64(ev.t)
 		e.I64(int64(ev.delta))
 	}
 
-	ivs := sh.usage.Intervals()
-	e.U32(uint32(len(ivs)))
-	for _, iv := range ivs {
+	e.U32(uint32(len(ss.intervals)))
+	for _, iv := range ss.intervals {
 		e.F64(iv.Start)
 		e.F64(iv.End)
 	}
 
-	e.U32(uint32(len(sh.stages)))
-	for i := range sh.stages {
-		encodeHist(e, &sh.stages[i].queue)
-		encodeHist(e, &sh.stages[i].plan)
-		encodeHist(e, &sh.stages[i].replan)
+	e.U32(uint32(len(ss.stages)))
+	for i := range ss.stages {
+		encodeHist(e, &ss.stages[i].queue)
+		encodeHist(e, &ss.stages[i].plan)
+		encodeHist(e, &ss.stages[i].replan)
 	}
 
-	e.U32(uint32(len(sh.objects)))
-	for _, st := range sh.objects {
-		e.String(st.obj.Name)
-		e.String(st.strategy)
-		e.I64(int64(st.epoch))
-		e.F64(st.scale)
-		e.F64(st.delay)
-		e.I64(st.L)
-		e.I64(st.arrivals)
-		e.I64(st.rejected)
-		encodeTotals(e, st.carry)
-		ls, err := live.Export(st.sched)
-		if err != nil {
-			// Every registered strategy is exportable; an unexportable
-			// scheduler would be a new strategy family missing its State
-			// support.  Encode a poison kind so restore fails loudly
-			// rather than silently dropping the object's schedule.
+	e.U32(uint32(len(ss.objects)))
+	for i := range ss.objects {
+		o := &ss.objects[i]
+		e.String(o.name)
+		e.String(o.strategy)
+		e.I64(int64(o.epoch))
+		e.F64(o.scale)
+		e.F64(o.delay)
+		e.I64(o.L)
+		e.I64(o.arrivals)
+		e.I64(o.rejected)
+		encodeTotals(e, o.carry)
+		if !o.exportOK {
 			e.U8(0xff)
 			continue
 		}
-		encodeLiveState(e, ls)
+		encodeLiveState(e, o.live)
 	}
-	return e.Finish()
 }
 
 func encodeLiveState(e *store.Encoder, ls live.State) {
@@ -569,25 +941,43 @@ func (sh *shard) restore() error {
 // each is saved.  It is the synchronous form of the periodic cadence —
 // the HTTP layer exposes it as POST /v1/admin/snapshot for warm
 // restarts: snapshot, stop the process, start it with Restore.
+//
+// The request fans out to all shards concurrently before collecting any
+// reply, so the wall time is one shard's capture+encode+save, not the
+// sum across shards.  The first failure is reported (by lowest shard
+// index); later shards still finish their snapshots — each reply channel
+// is buffered, so no writer blocks on an abandoned reply.
 func (s *Server) Snapshot() error {
 	if s.cfg.Store == nil {
 		return fmt.Errorf("%w: server has no durability store", ErrBadConfig)
 	}
-	for _, sh := range s.shards {
-		reply := make(chan error, 1)
+	replies := make([]chan error, len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = make(chan error, 1)
 		select {
-		case sh.msgs <- snapshotMsg{reply: reply}:
+		case sh.msgs <- snapshotMsg{reply: replies[i]}:
 		case <-s.quit:
-			return ErrClosed
-		}
-		select {
-		case err := <-reply:
-			if err != nil {
-				return fmt.Errorf("serve: snapshot shard %d: %w", sh.id, err)
-			}
-		case <-s.quit:
-			return ErrClosed
+			replies[i] = nil
 		}
 	}
-	return nil
+	var first error
+	for i, sh := range s.shards {
+		if replies[i] == nil {
+			if first == nil {
+				first = ErrClosed
+			}
+			continue
+		}
+		select {
+		case err := <-replies[i]:
+			if err != nil && first == nil {
+				first = fmt.Errorf("serve: snapshot shard %d: %w", sh.id, err)
+			}
+		case <-s.quit:
+			if first == nil {
+				first = ErrClosed
+			}
+		}
+	}
+	return first
 }

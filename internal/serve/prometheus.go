@@ -48,6 +48,10 @@ func WritePrometheus(w io.Writer, m *MetricsSnapshot) {
 	fmt.Fprint(w, "# TYPE mod_live_channels gauge\n")
 	fmt.Fprintf(w, "mod_live_channels %d\n", m.Stats.LiveChannels)
 
+	fmt.Fprint(w, "# HELP mod_wal_flushes_total Durability-store flushes (WAL group commits); the ratio of admitted requests to flushes is the group-commit coalescing factor.\n")
+	fmt.Fprint(w, "# TYPE mod_wal_flushes_total counter\n")
+	fmt.Fprintf(w, "mod_wal_flushes_total %d\n", m.Stats.WALFlushes)
+
 	fmt.Fprint(w, "# HELP mod_shard_queue_depth Requests submitted but not yet dequeued by the shard's event loop.\n")
 	fmt.Fprint(w, "# TYPE mod_shard_queue_depth gauge\n")
 	for _, sh := range m.Stats.Shards {

@@ -164,6 +164,33 @@ type Config struct {
 	// EpochSlots slots of its smallest object delay (default 1).  Only
 	// meaningful with Store set.
 	SnapshotEpochs int
+	// SyncMode sets the commit level of each WAL group commit's Flush:
+	// store.SyncOS (the zero value, default) hands buffered records to
+	// the operating system before acknowledging — the log survives
+	// SIGKILL; store.SyncFull additionally fsyncs, surviving power loss
+	// at one fsync per group commit rather than per request;
+	// store.SyncNone defers everything to the store's own buffering —
+	// acknowledged records can be lost on crash, but the on-disk log is
+	// still always a gap-free prefix of admission order.  Only meaningful
+	// with Store set.
+	SyncMode store.SyncMode
+	// GroupCommitMaxDelay holds a group commit open for stragglers after
+	// the WAL channel drains, bounding the extra latency a submitter can
+	// pay to share a flush.  The default 0 commits as soon as the channel
+	// is empty — coalescing then comes only from natural queueing, which
+	// already collapses N concurrent submitters into ~1 flush under
+	// load.  Set a small delay (tens of microseconds) to trade ack
+	// latency for fewer fsyncs at SyncFull.
+	GroupCommitMaxDelay time.Duration
+	// FlushPerAck restores the pre-group-commit durable pipeline end to
+	// end: one store Flush per acknowledgement, record and
+	// acknowledgement as separate WAL messages, a freshly allocated
+	// submit message and reply channel per request, and a shard loop that
+	// takes one select per message instead of burst-draining its queue.
+	// The durability guarantee is identical; the flag exists for
+	// benchmarking and bisection (it is the baseline the durability table
+	// in README.md compares against).
+	FlushPerAck bool
 	// Restore makes New load each shard's latest snapshot from Store and
 	// replay its WAL tail through the ordinary admit path before serving,
 	// recovering the pre-crash state exactly (ticket IDs continue past
@@ -375,9 +402,14 @@ type Stats struct {
 	// snapshot) that failed.  The server favors availability: failed
 	// writes are counted and the request still acknowledged, so nonzero
 	// means the durable log is incomplete, not that requests were lost.
-	WALFailures int64   `json:"wal_failures,omitempty"`
-	Peak        int     `json:"peak"`
-	BusyTime    float64 `json:"busy_time"`
+	WALFailures int64 `json:"wal_failures,omitempty"`
+	// WALFlushes counts durability-store Flush calls — group commits.
+	// Under concurrent load it grows much slower than Admitted (many
+	// acknowledgements share one flush); the ratio is the group-commit
+	// coalescing factor.
+	WALFlushes int64   `json:"wal_flushes,omitempty"`
+	Peak       int     `json:"peak"`
+	BusyTime   float64 `json:"busy_time"`
 	// Strategies counts the catalog's objects by serving strategy.
 	Strategies map[string]int64 `json:"strategies,omitempty"`
 	// Shards reports each shard's observed queue occupancy and high-water
@@ -391,7 +423,7 @@ type Stats struct {
 type Server struct {
 	cfg    Config
 	shards []*shard
-	byName map[string]*shard
+	byName map[string]route
 
 	start time.Time
 	quit  chan struct{}
@@ -416,6 +448,13 @@ type Server struct {
 	// walFailures counts failed durability-store operations; the WAL
 	// writers increment it instead of failing admission.
 	walFailures atomic.Int64
+	// walFlushes counts store Flush calls (group commits) across all
+	// shards' WAL writers.
+	walFlushes atomic.Int64
+	// walEnc holds each shard writer's pooled snapshot Encoder (nil
+	// without a store), reset and reused per snapshot; only that shard's
+	// writer goroutine touches its slot.
+	walEnc []*store.Encoder
 	// walRepair holds one flag per shard (nil without a store): set by
 	// the shard's WAL writer when an append fails, leaving a sequence
 	// gap in the log, and consumed by the shard loop, which forces an
@@ -435,6 +474,15 @@ type Server struct {
 	// It lives on the Server (not the shard) because both sides touch it.
 	queues []shardQueue
 
+	// submitPool recycles the per-Submit message struct — which owns its
+	// reply channel — keeping the steady-state submit path free of
+	// per-request heap traffic (boxing a submitMsg value into the shard's
+	// any-typed channel allocates; a pooled pointer does not).  A message
+	// is pooled only by the submitter after its ticket was received, so a
+	// pooled message's channel is always empty; a Submit abandoned by
+	// shutdown leaves message and channel to the collector.
+	submitPool sync.Pool
+
 	// stratNames/stratIdx index the catalog's distinct strategies, fixed
 	// after New; shards size their per-strategy stage histograms by it.
 	stratNames []string
@@ -446,14 +494,34 @@ type Server struct {
 	respond []stats.LogHistogram
 }
 
+// route is one catalog object's resolved destination: its shard and its
+// loop-owned state.  Resolving both with a single map lookup at the
+// router lets Submit hand the shard a pre-resolved object pointer, so
+// the admit path never repeats the name lookup.  Submitters only carry
+// the pointer; the shard loop alone dereferences it.
+type route struct {
+	sh *shard
+	st *objectState
+}
+
 // shardQueue is one shard's queue-occupancy accounting.
 type shardQueue struct {
-	// depth is the current occupancy: reservations not yet dequeued.
-	depth atomic.Int64
+	// enqueued counts reservations (submit side); dequeued counts
+	// requests the shard loop has taken off the queue.  The current
+	// occupancy is their difference — splitting the two monotone
+	// counters this way leaves the loop's dequeue accounting at ONE
+	// atomic add per request where a direct depth gauge needs two.
+	enqueued atomic.Int64
 	// high is the maximum depth ever observed.
 	high atomic.Int64
 	// dequeued counts requests the shard loop has taken off the queue.
 	dequeued atomic.Int64
+}
+
+// depth is the queue's current occupancy.  A stale dequeued read can
+// only overestimate — conservative for backpressure.
+func (q *shardQueue) depth() int64 {
+	return q.enqueued.Load() - q.dequeued.Load()
 }
 
 // ErrPressure marks submits refused by queue-depth backpressure; classify
@@ -498,9 +566,9 @@ func (s *Server) strategyIndex(name string) int {
 // distinct occupancy values, so exactly highWater of them proceed.
 func (s *Server) reserve(id int, n int64) error {
 	q := &s.queues[id]
-	depth := q.depth.Add(n)
+	depth := q.enqueued.Add(n) - q.dequeued.Load()
 	if hw := int64(s.cfg.PressureHighWater); hw > 0 && depth > hw {
-		q.depth.Add(-n)
+		q.enqueued.Add(-n)
 		s.rejectedPressure.Add(n)
 		return &PressureError{Shard: id, Depth: depth, RetryAfter: s.retryAfter(q, depth)}
 	}
@@ -515,7 +583,7 @@ func (s *Server) reserve(id int, n int64) error {
 
 // unreserve releases n slots after a failed channel send (server closed).
 func (s *Server) unreserve(id int, n int64) {
-	s.queues[id].depth.Add(-n)
+	s.queues[id].enqueued.Add(-n)
 }
 
 // retryAfter estimates the time until shard q drains depth requests, from
@@ -568,13 +636,15 @@ func New(cfg Config) (*Server, error) {
 		if err := sh.addObject(o, i, strategy); err != nil {
 			return nil, err
 		}
-		s.byName[o.Name] = sh
+		s.byName[o.Name] = route{sh: sh, st: sh.byName[o.Name]}
 	}
 	s.respond = make([]stats.LogHistogram, len(s.stratNames))
 	if cfg.Store != nil {
 		s.walRepair = make([]atomic.Bool, len(s.shards))
+		s.walEnc = make([]*store.Encoder, len(s.shards))
 		for _, sh := range s.shards {
 			sh.walCh = make(chan walMsg, cfg.QueueDepth)
+			sh.snapFree = make(chan *shardSnapshotState, 2)
 			sh.snapEvery = float64(cfg.SnapshotEpochs*cfg.EpochSlots) * sh.minDelay
 			if cfg.Restore {
 				if err := sh.restore(); err != nil {
@@ -604,7 +674,7 @@ func New(cfg Config) (*Server, error) {
 func newServerShell(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
-		byName:   make(map[string]*shard, len(cfg.Catalog)),
+		byName:   make(map[string]route, len(cfg.Catalog)),
 		start:    time.Now(),
 		quit:     make(chan struct{}),
 		queues:   make([]shardQueue, cfg.Shards),
@@ -668,28 +738,69 @@ func (s *Server) Submit(req Request) (Ticket, error) {
 	if math.IsNaN(req.T) || math.IsInf(req.T, 0) || req.T < 0 {
 		req.T = s.Now()
 	}
-	sh, ok := s.byName[req.Object]
+	r, ok := s.byName[req.Object]
 	if !ok {
 		s.unknown.Add(1)
 		return Ticket{}, fmt.Errorf("%w %q", ErrUnknownObject, req.Object)
 	}
+	sh := r.sh
 	if err := s.reserve(sh.id, 1); err != nil {
 		return Ticket{}, err
 	}
-	msg := submitMsg{req: req, reply: make(chan Ticket, 1)}
+	if s.cfg.FlushPerAck {
+		// The legacy pipeline allocated message and reply channel per
+		// request and paid the full select both ways; reproduce it so the
+		// FlushPerAck baseline measures what actually shipped before group
+		// commit.
+		msg := submitMsg{req: req, reply: make(chan Ticket, 1)}
+		if s.cfg.MeterStages {
+			msg.enqueueNS = s.nowNanos()
+		}
+		select {
+		case sh.msgs <- msg:
+		case <-s.quit:
+			s.unreserve(sh.id, 1)
+			return Ticket{}, ErrClosed
+		}
+		select {
+		case t := <-msg.reply:
+			return t, nil
+		case <-s.quit:
+			return Ticket{}, ErrClosed
+		}
+	}
+	msg, _ := s.submitPool.Get().(*submitMsg)
+	if msg == nil {
+		msg = &submitMsg{reply: make(chan Ticket, 1)}
+	}
+	msg.req = req
+	msg.st = r.st
+	msg.enqueueNS = 0
 	if s.cfg.MeterStages {
 		msg.enqueueNS = s.nowNanos()
 	}
+	// Fast path first: the shard channel is buffered, so under normal
+	// load the non-blocking send lands without the multi-case select.
 	select {
 	case sh.msgs <- msg:
-	case <-s.quit:
-		s.unreserve(sh.id, 1)
-		return Ticket{}, ErrClosed
+	default:
+		select {
+		case sh.msgs <- msg:
+		case <-s.quit:
+			s.unreserve(sh.id, 1)
+			s.submitPool.Put(msg)
+			return Ticket{}, ErrClosed
+		}
 	}
 	select {
 	case t := <-msg.reply:
+		// The ack arrived, so the shard and writer are done with the
+		// message; it recycles with its (now empty) reply channel.
+		s.submitPool.Put(msg)
 		return t, nil
 	case <-s.quit:
+		// The loop or writer may still answer on msg.reply; the message
+		// and its channel are abandoned to the collector.
 		return Ticket{}, ErrClosed
 	}
 }
@@ -720,14 +831,14 @@ func (s *Server) SubmitBatch(reqs []Request) []SubmitResult {
 		if math.IsNaN(req.T) || math.IsInf(req.T, 0) || req.T < 0 {
 			req.T = s.Now()
 		}
-		sh, ok := s.byName[req.Object]
+		r, ok := s.byName[req.Object]
 		if !ok {
 			s.unknown.Add(1)
 			out[i].Err = fmt.Errorf("%w %q", ErrUnknownObject, req.Object)
 			continue
 		}
-		perReq[sh.id] = append(perReq[sh.id], req)
-		perIdx[sh.id] = append(perIdx[sh.id], i)
+		perReq[r.sh.id] = append(perReq[r.sh.id], req)
+		perIdx[r.sh.id] = append(perIdx[r.sh.id], i)
 	}
 	// One send per shard with work; gather only after every send, so the
 	// shard loops run their portions concurrently.
@@ -880,10 +991,11 @@ func (s *Server) Stats() (Stats, error) {
 
 // Object returns the live accounting snapshot for one object.
 func (s *Server) Object(name string) (ObjectStats, error) {
-	sh, ok := s.byName[name]
+	r, ok := s.byName[name]
 	if !ok {
 		return ObjectStats{}, fmt.Errorf("%w %q", ErrUnknownObject, name)
 	}
+	sh := r.sh
 	reply := make(chan shardSnapshot, 1)
 	select {
 	case sh.msgs <- statsMsg{reply: reply}:
@@ -985,13 +1097,14 @@ func (s *Server) assemble(snaps []shardSnapshot) Stats {
 		Unknown:          s.unknown.Load(),
 		LiveChannels:     s.gauge.Load(),
 		WALFailures:      s.walFailures.Load(),
+		WALFlushes:       s.walFlushes.Load(),
 	}
 	st.Shards = make([]ShardStats, len(s.queues))
 	for i := range s.queues {
 		q := &s.queues[i]
 		st.Shards[i] = ShardStats{
 			Shard:             i,
-			QueueDepth:        q.depth.Load(),
+			QueueDepth:        q.depth(),
 			QueueCap:          s.cfg.QueueDepth,
 			HighWater:         q.high.Load(),
 			Dequeued:          q.dequeued.Load(),

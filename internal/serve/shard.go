@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/bandwidth"
 	"repro/internal/live"
@@ -13,8 +14,13 @@ import (
 // submit-side clock reading when stage metering is on (0 = unmetered),
 // so the loop can observe the queue-wait stage at dequeue.
 type submitMsg struct {
-	req       Request
-	reply     chan Ticket
+	req   Request
+	reply chan Ticket
+	// st is the request's pre-resolved object state (set by the pooled
+	// Submit path from the router's route entry), saving the loop a
+	// second name lookup; only the shard loop dereferences it.  The
+	// legacy value-boxed form leaves it nil and the loop looks up.
+	st        *objectState
 	enqueueNS int64
 }
 
@@ -172,6 +178,12 @@ type shard struct {
 	// (SnapshotEpochs × EpochSlots slots of the smallest object delay).
 	snapEvery float64
 	nextSnap  float64
+	// snapFree recycles snapshot capture buffers between the loop (which
+	// fills one per snapshot) and the WAL writer (which returns it after
+	// encoding).  Capacity 2: one in flight, one ready for the next
+	// cadence tick.  A channel, not a sync.Pool — the loop-owned struct
+	// carries no sync/atomic state (modlint:loop).
+	snapFree chan *shardSnapshotState
 }
 
 func newShard(id int, srv *Server) *shard {
@@ -265,71 +277,130 @@ func (sh *shard) addObject(o multiobject.Object, index int, strategy string) err
 }
 
 // loop is the shard's event loop; all object state is confined to it.
+// One blocking select per wake, then a burst drain: messages already
+// queued are handled through non-blocking receives, so a backlog costs
+// one scheduler wake and one multi-case select for the whole burst
+// instead of one per message (the burst is also what feeds the WAL
+// writer's group commits whole cohorts at a time).
 func (sh *shard) loop() {
 	defer sh.srv.wg.Done()
 	q := &sh.srv.queues[sh.id]
+	// Config.FlushPerAck opts the loop out of burst draining too — the
+	// legacy pipeline took one select per message.
+	burst := !sh.srv.cfg.FlushPerAck
 	for {
+		var m any
 		select {
-		case m := <-sh.msgs:
-			switch msg := m.(type) {
-			case submitMsg:
-				queueNS := int64(-1)
-				if msg.enqueueNS != 0 {
-					queueNS = sh.srv.nowNanos() - msg.enqueueNS
-				}
-				// Log before admit, ack through the writer after: the
-				// durable log stays an exact prefix of the acked requests.
-				if sh.walCh != nil {
-					sh.logSubmit(msg.req)
-				}
-				tk := sh.handleSubmit(msg.req, queueNS)
-				q.depth.Add(-1)
-				q.dequeued.Add(1)
-				if sh.walCh != nil {
-					sh.walCh <- walMsg{kind: walAck, tk: tk, reply: msg.reply}
-					sh.maybeSnapshot()
-				} else {
-					msg.reply <- tk
-				}
-			case submitBatchMsg:
-				queueNS := int64(-1)
-				if msg.enqueueNS != 0 {
-					queueNS = sh.srv.nowNanos() - msg.enqueueNS
-				}
-				sh.admitBatch(msg.reqs, msg.out, queueNS)
-				n := int64(len(msg.reqs))
-				q.depth.Add(-n)
-				q.dequeued.Add(n)
-				if sh.walCh != nil {
-					sh.walCh <- walMsg{kind: walBatchAck, done: msg.done}
-					sh.maybeSnapshot()
-				} else {
-					msg.done <- struct{}{}
-				}
-			case snapshotMsg:
-				if sh.walCh == nil {
-					msg.reply <- fmt.Errorf("%w: shard %d has no durability store", ErrBadConfig, sh.id)
-					continue
-				}
-				sh.walCh <- walMsg{kind: walSnapshot, snap: sh.encodeSnapshot(), errc: msg.reply}
-				sh.nextSnap = sh.now + sh.snapEvery
-			case statsMsg:
-				msg.reply <- sh.snapshot()
-			case drainMsg:
-				sh.drain(msg.horizon)
-				msg.reply <- sh.snapshot()
-			case pauseMsg:
-				close(msg.ack)
-				select {
-				case <-msg.resume:
-				case <-sh.srv.quit:
-					return
-				}
-			}
+		case m = <-sh.msgs:
 		case <-sh.srv.quit:
 			return
 		}
+		for {
+			if !sh.handle(m, q) {
+				return
+			}
+			if !burst {
+				break
+			}
+			m = nil
+			yielded := false
+			for m == nil {
+				select {
+				case m = <-sh.msgs:
+				default:
+				}
+				if m != nil || yielded {
+					break
+				}
+				// The queue ran dry, but on a saturated box the
+				// submitters this burst unblocked are runnable and
+				// about to enqueue: one yield lets them run, turning
+				// a full park/unpark cycle per request into a single
+				// scheduler pass per burst.  If nothing arrives after
+				// the yield the loop parks for real below.
+				runtime.Gosched()
+				yielded = true
+			}
+			if m == nil {
+				break
+			}
+		}
 	}
+}
+
+// handle processes one dequeued loop message; false tells the loop to
+// exit (shutdown observed while parked).
+func (sh *shard) handle(m any, q *shardQueue) bool {
+	switch msg := m.(type) {
+	case *submitMsg:
+		queueNS := int64(-1)
+		if msg.enqueueNS != 0 {
+			queueNS = sh.srv.nowNanos() - msg.enqueueNS
+		}
+		// The submitter owns the message and recycles it after the ack;
+		// the loop only reads it, and only before the ack is sent.
+		req, reply, st := msg.req, msg.reply, msg.st
+		// Capture the record before admit, send record and ack as
+		// one message after: the durable log stays an exact prefix
+		// of the acked requests, at one channel send per request.
+		if sh.walCh != nil {
+			sh.submitDurable(st, req, queueNS, reply, q)
+			sh.maybeSnapshot()
+		} else {
+			tk := sh.handleSubmitFor(st, req, queueNS)
+			q.dequeued.Add(1)
+			reply <- tk
+		}
+	case submitMsg:
+		// Value-boxed form: sent by Submit's legacy FlushPerAck path,
+		// which resolves the object on the loop like the old pipeline.
+		queueNS := int64(-1)
+		if msg.enqueueNS != 0 {
+			queueNS = sh.srv.nowNanos() - msg.enqueueNS
+		}
+		if sh.walCh != nil {
+			sh.submitDurable(msg.st, msg.req, queueNS, msg.reply, q)
+			sh.maybeSnapshot()
+		} else {
+			tk := sh.handleSubmit(msg.req, queueNS)
+			q.dequeued.Add(1)
+			msg.reply <- tk
+		}
+	case submitBatchMsg:
+		queueNS := int64(-1)
+		if msg.enqueueNS != 0 {
+			queueNS = sh.srv.nowNanos() - msg.enqueueNS
+		}
+		sh.admitBatch(msg.reqs, msg.out, queueNS)
+		n := int64(len(msg.reqs))
+		q.dequeued.Add(n)
+		if sh.walCh != nil {
+			sh.walCh <- walMsg{kind: walBatchAck, done: msg.done}
+			sh.maybeSnapshot()
+		} else {
+			msg.done <- struct{}{}
+		}
+	case snapshotMsg:
+		if sh.walCh == nil {
+			msg.reply <- fmt.Errorf("%w: shard %d has no durability store", ErrBadConfig, sh.id)
+			return true
+		}
+		sh.walCh <- walMsg{kind: walSnapshot, snap: sh.captureSnapshot(), errc: msg.reply}
+		sh.nextSnap = sh.now + sh.snapEvery
+	case statsMsg:
+		msg.reply <- sh.snapshot()
+	case drainMsg:
+		sh.drain(msg.horizon)
+		msg.reply <- sh.snapshot()
+	case pauseMsg:
+		close(msg.ack)
+		select {
+		case <-msg.resume:
+		case <-sh.srv.quit:
+			return false
+		}
+	}
+	return true
 }
 
 // handleSubmit clamps and guards the request's timestamp, runs the admit
@@ -341,7 +412,12 @@ func (sh *shard) loop() {
 // ticket (requests that never reach admitCore — unknown objects, slot
 // jumps — record no stage samples).
 func (sh *shard) handleSubmit(req Request, queueNS int64) Ticket {
-	st := sh.byName[req.Object]
+	return sh.handleSubmitFor(sh.byName[req.Object], req, queueNS)
+}
+
+// handleSubmitFor is handleSubmit with the object already resolved, so
+// the durable path's record capture and admit share one map lookup.
+func (sh *shard) handleSubmitFor(st *objectState, req Request, queueNS int64) Ticket {
 	if st == nil {
 		// The router should never send a foreign object here; answer a
 		// rejection rather than wedging the caller.  No sequence number:

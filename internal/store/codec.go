@@ -44,6 +44,18 @@ func NewEncoder() *Encoder {
 	return e
 }
 
+// Reset discards the blob under construction (including a sealed one)
+// and lays the header down again on the retained buffer, making the
+// Encoder ready for a fresh blob without reallocating.  A long-lived
+// writer that snapshots on a cadence holds one Encoder and Resets it per
+// snapshot.  Safe only once the previous Finish result has been consumed
+// (SaveSnapshot copies or writes the bytes before returning).
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, codecMagic)
+	e.buf = append(e.buf, codecVersion)
+}
+
 // U8 appends one byte.
 func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
 
@@ -84,7 +96,8 @@ func (e *Encoder) I64s(vs []int64) {
 
 // Finish seals the blob: the checksum over header and payload is
 // appended and the complete byte slice returned.  The Encoder must not
-// be used afterwards.
+// be used afterwards except to Reset it for a fresh blob (which reclaims
+// the returned slice's backing array).
 func (e *Encoder) Finish() []byte {
 	sum := crc32.Checksum(e.buf, codecTable)
 	e.buf = binary.LittleEndian.AppendUint32(e.buf, sum)

@@ -18,15 +18,15 @@ import (
 //
 // Snapshots are written to a temporary file and renamed into place, so a
 // crash during SaveSnapshot leaves the previous snapshot intact.  WAL
-// appends go through a buffered writer that is flushed to the operating
-// system on every Flush call — the log-before-ack barrier.  A crash can
+// appends go through a buffered writer committed by Flush — the
+// group-commit log-before-ack barrier — at the caller's SyncMode:
+// SyncNone leaves records in the user-space buffer (lost on SIGKILL),
+// SyncOS flushes them to the kernel page cache (survives SIGKILL, the
+// default), and SyncFull additionally fsyncs the file (survives power
+// loss; group commit amortizes the fsync over a batch).  A crash can
 // leave a torn final frame in the log; the first append of the next
 // process trims the file back to its last complete frame so new records
-// never land after torn bytes (see wal).  The
-// durability model is process-crash (SIGKILL): once write(2) returns,
-// the bytes live in the kernel page cache and survive the process; no
-// fsync is issued, so a simultaneous power loss is out of scope (the
-// CI chaos step kills the process, not the machine).
+// never land after torn bytes (see wal).
 type File struct {
 	dir string
 
@@ -154,8 +154,54 @@ func (s *File) AppendWAL(shard int, rec []byte) error {
 	return nil
 }
 
-// Flush implements Store: buffered records reach the operating system.
-func (s *File) Flush(shard int) error {
+// AppendWALBatch implements Store: the whole run goes into the buffered
+// writer under one lock acquisition; on error a prefix may be appended.
+func (s *File) AppendWALBatch(shard int, recs [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wf, err := s.wal(shard)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		wf.frame = appendFrame(wf.frame[:0], rec)
+		if _, err := wf.w.Write(wf.frame); err != nil {
+			return fmt.Errorf("store: append WAL record: %w", err)
+		}
+	}
+	return nil
+}
+
+// Flush implements Store: SyncNone does nothing, SyncOS hands buffered
+// records to the operating system, SyncFull additionally fsyncs the file
+// so the commit survives power loss (fdatasync semantics — Go's
+// File.Sync is the portable spelling).
+func (s *File) Flush(shard int, mode SyncMode) error {
+	if mode == SyncNone {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wf := s.wals[shard]
+	if wf == nil {
+		return nil
+	}
+	if err := wf.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush WAL: %w", err)
+	}
+	if mode == SyncFull {
+		if err := wf.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// flushOS spills the shard's user-space buffer to the OS regardless of
+// the configured sync mode: in-process readers (ReplayWAL, the truncate
+// in SaveSnapshot) must see every appended record — buffering only
+// models what a crash would lose.
+func (s *File) flushOS(shard int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if wf := s.wals[shard]; wf != nil {
@@ -168,7 +214,7 @@ func (s *File) Flush(shard int) error {
 
 // ReplayWAL implements Store.
 func (s *File) ReplayWAL(shard int, fn func(rec []byte) error) error {
-	if err := s.Flush(shard); err != nil {
+	if err := s.flushOS(shard); err != nil {
 		return err
 	}
 	buf, err := os.ReadFile(s.walPath(shard))

@@ -7,7 +7,15 @@ import "sync"
 // Clone stands in for "the bytes on disk at the instant of a SIGKILL" —
 // a deterministic kill point no real crash can provide.
 //
-// Each shard's WAL is kept as one contiguous framed byte slice, so a
+// The crash model mirrors the file backend's buffered writer: appends
+// land in a per-shard pending buffer and Flush publishes them to the
+// durable log; Clone copies only the published bytes, so records not yet
+// committed at the kill point are lost, exactly like bytes still in a
+// user-space buffer.  Memory writes are instantaneous, so every SyncMode
+// behaves like SyncOS here — the mode axis only changes behavior on the
+// file backend.
+//
+// Each shard's WAL is kept as contiguous framed byte slices, so a
 // steady stream of AppendWAL calls costs only amortized slice growth:
 // the durable admit path stays 0 allocs/op under -benchmem
 // (BenchmarkShardAdmitDurable and the CI allocation guard pin this).
@@ -15,20 +23,26 @@ type Mem struct {
 	mu    sync.Mutex
 	snaps map[int][]byte
 	wals  map[int][]byte
+	// pending holds framed records appended but not yet flushed — the
+	// in-memory stand-in for the file backend's bufio buffer.
+	pending map[int][]byte
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem {
-	return &Mem{snaps: make(map[int][]byte), wals: make(map[int][]byte)}
+	return &Mem{snaps: make(map[int][]byte), wals: make(map[int][]byte),
+		pending: make(map[int][]byte)}
 }
 
 // SaveSnapshot implements Store: the snapshot is replaced and the
-// shard's WAL truncated (its records are superseded by the snapshot).
+// shard's WAL truncated, pending records included (every record appended
+// before the snapshot message is superseded by it).
 func (m *Mem) SaveSnapshot(shard int, data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.snaps[shard] = append([]byte(nil), data...)
 	m.wals[shard] = m.wals[shard][:0]
+	m.pending[shard] = m.pending[shard][:0]
 	return nil
 }
 
@@ -43,21 +57,47 @@ func (m *Mem) LoadSnapshot(shard int) ([]byte, error) {
 	return append([]byte(nil), data...), nil
 }
 
-// AppendWAL implements Store.
+// AppendWAL implements Store: the record lands in the pending buffer
+// until the next Flush publishes it.
 func (m *Mem) AppendWAL(shard int, rec []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.wals[shard] = appendFrame(m.wals[shard], rec)
+	m.pending[shard] = appendFrame(m.pending[shard], rec)
 	return nil
 }
 
-// Flush implements Store: memory is always "durable".
-func (m *Mem) Flush(shard int) error { return nil }
+// AppendWALBatch implements Store.
+func (m *Mem) AppendWALBatch(shard int, recs [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf := m.pending[shard]
+	for _, rec := range recs {
+		buf = appendFrame(buf, rec)
+	}
+	m.pending[shard] = buf
+	return nil
+}
 
-// ReplayWAL implements Store.
+// Flush implements Store: pending records become part of the durable
+// log (the bytes Clone captures).  Memory commits are instantaneous, so
+// the sync mode changes nothing here; see the type comment.
+func (m *Mem) Flush(shard int, mode SyncMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := m.pending[shard]; len(p) > 0 {
+		m.wals[shard] = append(m.wals[shard], p...)
+		m.pending[shard] = p[:0]
+	}
+	return nil
+}
+
+// ReplayWAL implements Store: published and pending records alike — an
+// in-process reader sees every appended record, like the file backend's
+// internal flush before reading.
 func (m *Mem) ReplayWAL(shard int, fn func(rec []byte) error) error {
 	m.mu.Lock()
 	buf := append([]byte(nil), m.wals[shard]...)
+	buf = append(buf, m.pending[shard]...)
 	m.mu.Unlock()
 	return walkFrames(buf, fn)
 }
@@ -65,9 +105,11 @@ func (m *Mem) ReplayWAL(shard int, fn func(rec []byte) error) error {
 // Close implements Store.
 func (m *Mem) Close() error { return nil }
 
-// Clone deep-copies the store: the crash-recovery tests take a Clone at
-// the kill point and restore a fresh server from it, so the "disk image
-// at SIGKILL" is exact and deterministic.
+// Clone deep-copies the store's *committed* state: the crash-recovery
+// tests take a Clone at the kill point and restore a fresh server from
+// it, so the "disk image at SIGKILL" is exact and deterministic.
+// Pending (appended but unflushed) records are deliberately dropped —
+// they are the bytes a real crash loses from the user-space buffer.
 func (m *Mem) Clone() *Mem {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -95,12 +137,12 @@ func (m *Mem) Snapshots() int {
 	return n
 }
 
-// WALBytes reports the framed size of one shard's WAL tail (test and
-// experiment observability).
+// WALBytes reports the framed size of one shard's WAL tail, pending
+// records included (test and experiment observability).
 func (m *Mem) WALBytes(shard int) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.wals[shard])
+	return len(m.wals[shard]) + len(m.pending[shard])
 }
 
 // Corrupt flips one byte of shard's snapshot (test hook for the

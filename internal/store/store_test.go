@@ -60,7 +60,7 @@ func TestWALAppendReplay(t *testing.T) {
 					t.Fatalf("AppendWAL: %v", err)
 				}
 			}
-			if err := st.Flush(3); err != nil {
+			if err := st.Flush(3, SyncOS); err != nil {
 				t.Fatalf("Flush: %v", err)
 			}
 			var got [][]byte
@@ -108,7 +108,7 @@ func TestSaveSnapshotTruncatesWAL(t *testing.T) {
 			if err := st.AppendWAL(0, []byte("post")); err != nil {
 				t.Fatalf("AppendWAL: %v", err)
 			}
-			if err := st.Flush(0); err != nil {
+			if err := st.Flush(0, SyncOS); err != nil {
 				t.Fatalf("Flush: %v", err)
 			}
 			if err := st.ReplayWAL(0, func([]byte) error { n++; return nil }); err != nil {
@@ -337,7 +337,7 @@ func TestFileStoreAppendAfterTornTail(t *testing.T) {
 			if err := st2.AppendWAL(0, []byte("acked three")); err != nil {
 				t.Fatalf("AppendWAL after tear: %v", err)
 			}
-			if err := st2.Flush(0); err != nil {
+			if err := st2.Flush(0, SyncOS); err != nil {
 				t.Fatalf("Flush: %v", err)
 			}
 			if err := st2.Close(); err != nil {
@@ -396,6 +396,9 @@ func TestMemClone(t *testing.T) {
 	}
 	if err := m.AppendWAL(0, []byte("rec")); err != nil {
 		t.Fatalf("AppendWAL: %v", err)
+	}
+	if err := m.Flush(0, SyncOS); err != nil {
+		t.Fatalf("Flush: %v", err)
 	}
 	c := m.Clone()
 	// Mutating the original must not leak into the clone.
@@ -595,6 +598,150 @@ func TestDecoderRejectsWrongMagicAndVersion(t *testing.T) {
 	}
 	if _, err := NewDecoder(mk(codecMagic, codecVersion)); err != nil {
 		t.Fatalf("valid empty payload: %v", err)
+	}
+}
+
+// TestWALBatchAppend pins AppendWALBatch equivalence: a batch append
+// followed by one Flush replays exactly like per-record appends, on both
+// backends and at every sync mode (in-process replay must see every
+// record regardless of mode).
+func TestWALBatchAppend(t *testing.T) {
+	recs := [][]byte{[]byte("one"), []byte(""), []byte("three is longer")}
+	for _, mode := range []SyncMode{SyncNone, SyncOS, SyncFull} {
+		for name, st := range backends(t) {
+			t.Run(fmt.Sprintf("%s/%v", name, mode), func(t *testing.T) {
+				if err := st.AppendWALBatch(int(mode), recs); err != nil {
+					t.Fatalf("AppendWALBatch: %v", err)
+				}
+				if err := st.Flush(int(mode), mode); err != nil {
+					t.Fatalf("Flush(%v): %v", mode, err)
+				}
+				var got []string
+				if err := st.ReplayWAL(int(mode), func(rec []byte) error {
+					got = append(got, string(rec))
+					return nil
+				}); err != nil {
+					t.Fatalf("ReplayWAL: %v", err)
+				}
+				if len(got) != len(recs) {
+					t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+				}
+				for i := range recs {
+					if got[i] != string(recs[i]) {
+						t.Fatalf("record %d = %q, want %q", i, got[i], recs[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFileSyncModes pins the file backend's barrier semantics as far as
+// a unit test can see them: under SyncNone a Flush leaves the bytes in
+// the user-space buffer (the on-disk file does not grow), under SyncOS
+// and SyncFull the file holds every complete frame after the Flush.
+func TestFileSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncNone, SyncOS, SyncFull} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := NewFile(dir)
+			if err != nil {
+				t.Fatalf("NewFile: %v", err)
+			}
+			defer st.Close()
+			if err := st.AppendWAL(0, []byte("rec")); err != nil {
+				t.Fatalf("AppendWAL: %v", err)
+			}
+			if err := st.Flush(0, mode); err != nil {
+				t.Fatalf("Flush(%v): %v", mode, err)
+			}
+			info, err := os.Stat(filepath.Join(dir, "wal-0.log"))
+			if err != nil {
+				t.Fatalf("Stat: %v", err)
+			}
+			onDisk := info.Size() > 0
+			if mode == SyncNone && onDisk {
+				t.Fatalf("SyncNone flush wrote %d bytes to disk; want buffered", info.Size())
+			}
+			if mode != SyncNone && !onDisk {
+				t.Fatalf("%v flush left the WAL file empty", mode)
+			}
+		})
+	}
+}
+
+// TestMemCloneDropsPending pins the group-commit crash model: records
+// appended but not yet flushed are absent from a Clone — they are the
+// bytes a SIGKILL takes from the user-space buffer — while the live
+// store still replays them.
+func TestMemCloneDropsPending(t *testing.T) {
+	m := NewMem()
+	if err := m.AppendWAL(0, []byte("committed")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	if err := m.Flush(0, SyncOS); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := m.AppendWAL(0, []byte("in flight")); err != nil {
+		t.Fatalf("AppendWAL: %v", err)
+	}
+	replay := func(s Store) []string {
+		t.Helper()
+		var recs []string
+		if err := s.ReplayWAL(0, func(rec []byte) error {
+			recs = append(recs, string(rec))
+			return nil
+		}); err != nil {
+			t.Fatalf("ReplayWAL: %v", err)
+		}
+		return recs
+	}
+	if got := replay(m); len(got) != 2 {
+		t.Fatalf("live store replays %v, want both records", got)
+	}
+	if got := replay(m.Clone()); len(got) != 1 || got[0] != "committed" {
+		t.Fatalf("clone replays %v, want [committed] only", got)
+	}
+}
+
+// TestEncoderReset pins the pooled-encoder contract: a Reset encoder
+// produces byte-identical blobs to a fresh one, reusing its buffer.
+func TestEncoderReset(t *testing.T) {
+	build := func(e *Encoder) []byte {
+		e.I64(42)
+		e.String("snapshot")
+		e.F64s([]float64{1, 2, 3})
+		return append([]byte(nil), e.Finish()...)
+	}
+	fresh := build(NewEncoder())
+	e := NewEncoder()
+	e.U64(999) // garbage from a "previous" blob
+	e.Finish()
+	e.Reset()
+	if got := build(e); string(got) != string(fresh) {
+		t.Fatalf("reset encoder blob differs from fresh:\n%x\n%x", got, fresh)
+	}
+	e.Reset()
+	if got := build(e); string(got) != string(fresh) {
+		t.Fatalf("second reset blob differs from fresh:\n%x\n%x", got, fresh)
+	}
+	if _, err := NewDecoder(fresh); err != nil {
+		t.Fatalf("blob does not decode: %v", err)
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for s, want := range map[string]SyncMode{"none": SyncNone, "os": SyncOS, "full": SyncFull, "": SyncOS} {
+		got, err := ParseSyncMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if s != "" && got.String() != s {
+			t.Fatalf("SyncMode(%v).String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseSyncMode("fsync"); err == nil {
+		t.Fatal("ParseSyncMode(fsync) succeeded, want error")
 	}
 }
 

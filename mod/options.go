@@ -76,6 +76,11 @@ type Settings struct {
 	// snapshots and WAL tails before serving, resuming ticket numbering
 	// past the WAL high-water mark.  Batch planning ignores it.
 	Restore bool
+	// SyncMode is the WAL group-commit barrier: SyncOS (the zero value)
+	// commits to the operating system before acknowledging, SyncFull
+	// additionally fsyncs (one fsync per group commit), SyncNone leaves
+	// commits to the store's own buffering.  Batch planning ignores it.
+	SyncMode SyncMode
 }
 
 // SlotsPerMedia returns the media length in slots of the start-up delay
@@ -200,3 +205,10 @@ func WithSnapshotEpochs(n int) Option { return func(s *Settings) { s.SnapshotEpo
 // latest snapshots and WAL tails before serving — the warm-restart flag.
 // Batch planning ignores it.
 func WithRestore(on bool) Option { return func(s *Settings) { s.Restore = on } }
+
+// WithSync sets the durability barrier of each WAL group commit: SyncOS
+// (the default) survives process kill, SyncFull also survives power loss
+// — affordable because the whole group commit shares one fsync —
+// SyncNone trades crash safety of acknowledged requests for raw
+// throughput.  Batch planning ignores it.
+func WithSync(m SyncMode) Option { return func(s *Settings) { s.SyncMode = m } }

@@ -135,6 +135,7 @@ func NewLiveServer(cat Catalog, opts ...Option) (*Server, error) {
 		Store:              st.Store,
 		SnapshotEpochs:     st.SnapshotEpochs,
 		Restore:            st.Restore,
+		SyncMode:           st.SyncMode,
 	}
 	if st.SnapshotDir != "" {
 		fs, err := store.NewFile(st.SnapshotDir)
@@ -153,9 +154,33 @@ func NewLiveServer(cat Catalog, opts ...Option) (*Server, error) {
 
 // Store is the live server's pluggable durability backend: per-shard
 // epoch snapshots plus a write-ahead log of admitted requests.  The
-// server logs before acknowledging, so the durable log is always an exact
-// prefix of the acknowledged admissions.
+// server logs before acknowledging — records and acknowledgements move
+// through a group-commit pipeline that coalesces many acknowledgements
+// into one store flush — so the durable log is always an exact prefix of
+// the acknowledged admissions.
 type Store = store.Store
+
+// SyncMode selects the durability barrier of each WAL group commit; see
+// WithSync.
+type SyncMode = store.SyncMode
+
+// The group-commit sync levels: SyncOS (default) survives process kill,
+// SyncFull survives power loss at one fsync per group commit, SyncNone
+// leaves commit timing to the store's buffering (acknowledged requests
+// may be lost on crash; the log stays a gap-free prefix of admissions).
+const (
+	SyncOS   = store.SyncOS
+	SyncNone = store.SyncNone
+	SyncFull = store.SyncFull
+)
+
+// ParseSyncMode parses the command-line spelling of a sync level:
+// "none", "os" (or empty), or "full".  Unknown spellings fail with an
+// error wrapping ErrBadSyncMode.
+func ParseSyncMode(s string) (SyncMode, error) { return store.ParseSyncMode(s) }
+
+// ErrBadSyncMode marks an unrecognized ParseSyncMode spelling.
+var ErrBadSyncMode = store.ErrBadSyncMode
 
 // MemStore is the in-memory Store — the deterministic backend the
 // crash-recovery tests and experiments use (its Clone models the bytes
